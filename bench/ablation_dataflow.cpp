@@ -1,0 +1,78 @@
+// Sec. III-C ablation: dataflow memory-access accounting. Reproduces the
+// paper's in-text numbers — weight-stationary (+near-memory psums) vs
+// input-stationary (up to 3.3x) and vs strict output-stationary (up to
+// 10.3x) — and the partial-sum share of activation-memory accesses
+// (paper: 13-20%).
+#include <algorithm>
+#include <cstdio>
+
+#include "arch/compiler.hpp"
+#include "arch/report.hpp"
+
+int main() {
+  using namespace geo::arch;
+  using geo::arch::Table;
+
+  const NetworkShape nets[] = {NetworkShape::cnn4_cifar(),
+                               NetworkShape::vgg16(),
+                               NetworkShape::lenet5()};
+
+  for (const NetworkShape& net : nets) {
+    const HwConfig hw =
+        net.name == "vgg16" ? HwConfig::lp() : HwConfig::ulp();
+    const Compiler compiler(hw);
+    std::printf("network %s on %s fabric\n\n", net.name.c_str(),
+                net.name == "vgg16" ? "LP" : "ULP");
+
+    Table t({"layer", "WS+nm", "OS", "IS", "OS/WS", "IS/WS", "psum frac"});
+    AccessCounts ws_total, os_total, is_total;
+    double worst_os = 0, worst_is = 0;
+    for (const auto& layer : net.layers) {
+      const auto ws = compiler.plan_layer(layer, Dataflow::kWeightStationary);
+      const auto os = compiler.plan_layer(layer, Dataflow::kOutputStationary);
+      const auto is = compiler.plan_layer(layer, Dataflow::kInputStationary);
+      ws_total += ws.accesses;
+      os_total += os.accesses;
+      is_total += is.accesses;
+      const double os_ratio = static_cast<double>(os.accesses.total()) /
+                              static_cast<double>(ws.accesses.total());
+      const double is_ratio = static_cast<double>(is.accesses.total()) /
+                              static_cast<double>(ws.accesses.total());
+      worst_os = std::max(worst_os, os_ratio);
+      worst_is = std::max(worst_is, is_ratio);
+      const double psum_frac =
+          static_cast<double>(ws.accesses.psum_reads +
+                              ws.accesses.psum_writes) /
+          static_cast<double>(ws.accesses.act_memory_total());
+      t.add_row({layer.name,
+                 Table::si(static_cast<double>(ws.accesses.total())),
+                 Table::si(static_cast<double>(os.accesses.total())),
+                 Table::si(static_cast<double>(is.accesses.total())),
+                 Table::num(os_ratio, 1), Table::num(is_ratio, 1),
+                 Table::percent(psum_frac)});
+    }
+    const double psum_net =
+        static_cast<double>(ws_total.psum_reads + ws_total.psum_writes) /
+        static_cast<double>(ws_total.act_memory_total());
+    t.add_row({"TOTAL", Table::si(static_cast<double>(ws_total.total())),
+               Table::si(static_cast<double>(os_total.total())),
+               Table::si(static_cast<double>(is_total.total())),
+               Table::num(static_cast<double>(os_total.total()) /
+                              static_cast<double>(ws_total.total()),
+                          1),
+               Table::num(static_cast<double>(is_total.total()) /
+                              static_cast<double>(ws_total.total()),
+                          1),
+               Table::percent(psum_net)});
+    t.print();
+    std::printf(
+        "worst layer: OS/WS %.1fx (paper: up to 10.3x), IS/WS %.1fx "
+        "(paper: up to 3.3x)\n\n",
+        worst_os, worst_is);
+  }
+  std::printf(
+      "paper: WS+near-memory wins on virtually every conv layer; psums are "
+      "13-20%% of\nactivation-memory accesses, so near-memory accumulation "
+      "is not energy-critical.\n");
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Sec. III-D ablation: pipeline-stage timing study and the area cost of
+// shadow buffers and pipeline registers; reports the critical-path cut, the
+// DVFS voltage, and the resulting energy factor.
+#include <cstdio>
+
+#include "arch/area_model.hpp"
+#include "arch/report.hpp"
+#include "arch/timing_model.hpp"
+
+int main() {
+  using namespace geo::arch;
+  const TechParams tech = TechParams::hvt28();
+
+  std::printf("Ablation | pipeline stage and DVFS (Sec. III-D)\n\n");
+
+  const TimingReport r = analyze_timing(HwConfig::ulp(), tech);
+  Table t({"quantity", "value"});
+  t.add_row({"unpipelined path", Table::num(r.unpipelined_ns, 2) + " ns"});
+  t.add_row({"stage 1 (LFSR..SC MAC)", Table::num(r.stage1_ns, 2) + " ns"});
+  t.add_row({"stage 2 (PB acc..counter)", Table::num(r.stage2_ns, 2) + " ns"});
+  t.add_row({"pipelined path", Table::num(r.pipelined_ns, 2) + " ns"});
+  t.add_row({"critical-path cut", Table::percent(r.critical_path_cut)});
+  t.add_row({"clock period (400 MHz)",
+             Table::num(r.clock_period_ns, 2) + " ns"});
+  t.add_row({"achievable vdd", Table::num(r.achievable_vdd, 2) + " V"});
+  t.add_row({"dynamic energy factor",
+             Table::num(dynamic_energy_scale(r.achievable_vdd, 0.9), 2)});
+  t.print();
+  std::printf("\npaper: >30%% path cut, <1%% area, 0.81 V at 400 MHz\n\n");
+
+  // Area overheads of the two pipeline-era structures.
+  HwConfig full = HwConfig::ulp();
+  HwConfig no_shadow = full;
+  no_shadow.shadow_buffers = false;
+  HwConfig no_pipe = full;
+  no_pipe.pipeline_stage = false;
+  HwConfig full_shadow = full;
+  full_shadow.progressive = false;  // shadow must be full-size (4x)
+
+  const double a_full = accelerator_area(full, tech).total();
+  const double a_no_shadow = accelerator_area(no_shadow, tech).total();
+  const double a_no_pipe = accelerator_area(no_pipe, tech).total();
+  const double a_full_shadow = accelerator_area(full_shadow, tech).total();
+
+  Table a({"structure", "area cost", "paper"});
+  a.add_row({"progressive shadow buffers",
+             Table::percent((a_full - a_no_shadow) / a_no_shadow),
+             "~4% of accelerator"});
+  a.add_row({"full-size shadow buffers (no progressive)",
+             Table::percent((a_full_shadow - a_no_shadow) / a_no_shadow),
+             "4x the progressive cost"});
+  a.add_row({"pipeline registers",
+             Table::percent((a_full - a_no_pipe) / a_no_pipe), "<1%"});
+  a.print();
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Shared helpers for the bench harnesses: environment-sized workloads and a
+// trained-model cache so re-running benches is cheap.
+//
+// Environment knobs:
+//   GEO_BENCH_TRAIN   training-set size          (default 256)
+//   GEO_BENCH_TEST    test-set size              (default 128)
+//   GEO_BENCH_EPOCHS  training epochs            (default 8)
+//   GEO_BENCH_FULL    =1 adds the slow sweeps (VGG accuracy rows, ...)
+//   GEO_CACHE_DIR     trained-weight cache dir   (default .geo_cache)
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+
+#include "nn/dataset.hpp"
+#include "nn/models.hpp"
+#include "nn/trainer.hpp"
+
+namespace geo::bench {
+
+inline int env_int(const char* name, int fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::atoi(v) : fallback;
+}
+
+inline bool full_mode() { return env_int("GEO_BENCH_FULL", 0) != 0; }
+
+struct BenchSizes {
+  int train = env_int("GEO_BENCH_TRAIN", 320);
+  int test = env_int("GEO_BENCH_TEST", 128);
+  int epochs = env_int("GEO_BENCH_EPOCHS", 12);
+};
+
+inline std::string cache_dir() {
+  const char* v = std::getenv("GEO_CACHE_DIR");
+  const std::string dir = v != nullptr ? v : ".geo_cache";
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  return dir;
+}
+
+// Trains (or loads from cache) `model_name` under `cfg` and returns test
+// accuracy in percent.
+inline double accuracy_percent(const std::string& model_name,
+                               const nn::Dataset& train_set,
+                               const nn::Dataset& test_set,
+                               const nn::ScModelConfig& cfg,
+                               const BenchSizes& sizes,
+                               bool cache = true) {
+  nn::Sequential net =
+      nn::make_model(model_name, train_set.channels(), 10, cfg, 42);
+  nn::TrainOptions opts;
+  opts.epochs = sizes.epochs;
+  if (cfg.mode == nn::ScModelConfig::Mode::kStochastic) {
+    // Stochastic forward passes train best with a gentler optimizer and a
+    // tighter weight range (keeps OR unions out of deep saturation).
+    opts.lr = 1e-3f;
+    opts.clamp_limit = 0.5f;
+    if (cfg.accum == nn::AccumMode::kOr) {
+      // All-OR is the most nonlinear configuration and converges slowest;
+      // the paper trains everything for 1000 epochs, so at this reduced
+      // budget OR configurations get gentler steps and proportionally more
+      // of them.
+      opts.lr = 5e-4f;
+      opts.clamp_limit = 0.3f;
+      opts.epochs *= 3;
+    }
+  }
+  opts.batch_size = 16;
+  if (cache) {
+    opts.cache_dir = cache_dir();
+    opts.cache_key = model_name + "_" + train_set.name + "_" + cfg.key() +
+                     "_n" + std::to_string(train_set.count()) + "_e" +
+                     std::to_string(sizes.epochs);
+  }
+  return nn::train(net, train_set, test_set, opts).test_accuracy * 100.0;
+}
+
+}  // namespace geo::bench

@@ -1,0 +1,102 @@
+// Fig. 2 reproduction: RMS multiplication error vs cycle for normal and
+// progressive stream generation, multiplying uniformly sampled 8-bit pairs,
+// against the 8-bit integer product. Also emits a Fig. 3-style cycle trace
+// of the generation pipeline (normal vs progressive SNG behavior).
+#include <cstdio>
+#include <random>
+#include <vector>
+
+#include "arch/gen_pipeline_sim.hpp"
+#include "arch/report.hpp"
+#include "sc/progressive.hpp"
+#include "sc/stream_stats.hpp"
+
+namespace {
+
+// RMS error of the running stream estimate of a*b after `cycles` cycles,
+// averaged over `pairs` random 8-bit operand pairs.
+double rms_at_cycle(unsigned lfsr_bits, bool progressive, std::size_t cycles,
+                    int pairs, std::size_t stream_len) {
+  using namespace geo::sc;
+  std::mt19937 rng(1234);
+  std::uniform_int_distribution<std::uint32_t> dist(0, 255);
+  const ProgressiveSchedule sched{.value_bits = 8, .lfsr_bits = lfsr_bits};
+  std::vector<double> errors;
+  errors.reserve(static_cast<std::size_t>(pairs));
+  for (int i = 0; i < pairs; ++i) {
+    const std::uint32_t a = dist(rng), b = dist(rng);
+    ProgressiveSng sa(RngKind::kLfsr,
+                      SeedSpec{.bits = lfsr_bits,
+                               .seed = 3 + 2 * static_cast<unsigned>(i)},
+                      sched);
+    ProgressiveSng sb(RngKind::kLfsr,
+                      SeedSpec{.bits = lfsr_bits,
+                               .seed = 101 + 5 * static_cast<unsigned>(i)},
+                      sched);
+    const Bitstream pa = progressive ? sa.generate(a, stream_len)
+                                     : sa.generate_normal(a, stream_len);
+    const Bitstream pb = progressive ? sb.generate(b, stream_len)
+                                     : sb.generate_normal(b, stream_len);
+    const Bitstream prod = pa & pb;
+    const double est = static_cast<double>(prod.popcount_prefix(cycles)) /
+                       static_cast<double>(cycles);
+    const double exact =
+        (static_cast<double>(a) / 256.0) * (static_cast<double>(b) / 256.0);
+    errors.push_back(est - exact);
+  }
+  return rms(errors);
+}
+
+}  // namespace
+
+int main() {
+  using geo::arch::Table;
+  std::printf(
+      "Fig. 2 | RMS multiplication error vs cycle, normal vs progressive\n"
+      "         (uniform 8-bit operands, error vs 8-bit integer product)\n\n");
+
+  const int pairs = 400;
+  struct Config {
+    unsigned lfsr_bits;
+    std::size_t stream_len;
+  };
+  for (const Config cfg : {Config{5, 32}, Config{6, 64}, Config{7, 128}}) {
+    std::printf("-- %u-bit LFSR, %zu-bit streams --\n", cfg.lfsr_bits,
+                cfg.stream_len);
+    Table t({"cycle", "normal RMS", "progressive RMS", "delta"});
+    for (std::size_t cyc : {2ul, 4ul, 8ul, 16ul, 32ul, 64ul, 128ul}) {
+      if (cyc > cfg.stream_len) continue;
+      const double n = rms_at_cycle(cfg.lfsr_bits, false, cyc, pairs,
+                                    cfg.stream_len);
+      const double p = rms_at_cycle(cfg.lfsr_bits, true, cyc, pairs,
+                                    cfg.stream_len);
+      t.add_row({std::to_string(cyc), Table::num(n, 4), Table::num(p, 4),
+                 Table::num(p - n, 4)});
+    }
+    t.print();
+    std::printf("\n");
+  }
+  std::printf(
+      "paper: progressive error converges to normal within <=8 cycles; full\n"
+      "streams are near-identical.\n\n");
+
+  // Fig. 3 companion: cycle-level trace of the two SNG structures.
+  std::printf("Fig. 3 | generation pipeline trace (800 values, 32 b/cy)\n\n");
+  for (const bool progressive : {false, true}) {
+    geo::arch::GenPipelineConfig g;
+    g.values = 800;
+    g.lfsr_bits = 7;
+    g.stream_cycles = 256;
+    g.passes = 3;
+    g.progressive = progressive;
+    g.shadow = progressive;  // GEO pairs them
+    const auto r = geo::arch::simulate_generation(g, /*keep_trace=*/true);
+    std::printf("%s SNG:\n", progressive ? "progressive+shadow" : "normal");
+    for (const auto& line : r.trace) std::printf("  %s\n", line.c_str());
+    std::printf("  total %lld cycles, %lld stalled, start latency %lld\n\n",
+                static_cast<long long>(r.total_cycles),
+                static_cast<long long>(r.stall_cycles),
+                static_cast<long long>(r.reload_start_latency));
+  }
+  return 0;
+}

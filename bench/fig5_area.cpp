@@ -1,0 +1,60 @@
+// Fig. 5 reproduction: area of an SC MAC unit under different accumulation
+// hardware (all-OR SC, PBW, PBHW, APC [24], full fixed-point) across kernel
+// sizes, normalized to the all-OR unit.
+#include <cstdio>
+
+#include "arch/area_model.hpp"
+#include "arch/report.hpp"
+
+int main() {
+  using namespace geo::arch;
+  using geo::nn::AccumMode;
+  const TechParams tech = TechParams::hvt28();
+
+  std::printf(
+      "Fig. 5 | SC MAC-unit area vs kernel size and accumulation mode\n"
+      "         (um^2 at 28 nm; parenthesized = normalized to all-OR)\n\n");
+
+  struct Kernel {
+    int cin, k;
+  };
+  const Kernel kernels[] = {{1, 3},  {4, 3},   {16, 3},  {64, 3},
+                            {256, 3}, {1, 5},  {16, 5},  {64, 5},
+                            {256, 5}, {512, 5}};
+
+  Table t({"kernel (CinxHxW)", "SC (all-OR)", "PBW", "PBHW", "APC", "FXP"});
+  for (const Kernel& k : kernels) {
+    const double sc = sc_mac_unit_um2(k.cin, k.k, k.k, AccumMode::kOr, tech);
+    auto cell = [&](AccumMode mode) {
+      const double a = sc_mac_unit_um2(k.cin, k.k, k.k, mode, tech);
+      return Table::si(a, 1) + " (" + Table::num(a / sc, 2) + "x)";
+    };
+    t.add_row({std::to_string(k.cin) + "x" + std::to_string(k.k) + "x" +
+                   std::to_string(k.k),
+               Table::si(sc, 1) + " (1.00x)", cell(AccumMode::kPbw),
+               cell(AccumMode::kPbhw), cell(AccumMode::kApc),
+               cell(AccumMode::kFxp)});
+  }
+  t.print();
+
+  const double pbw_small =
+      sc_mac_unit_ge(1, 3, 3, AccumMode::kPbw) /
+      sc_mac_unit_ge(1, 3, 3, AccumMode::kOr);
+  const double pbw_large =
+      sc_mac_unit_ge(512, 5, 5, AccumMode::kPbw) /
+      sc_mac_unit_ge(512, 5, 5, AccumMode::kOr);
+  const double fxp_large =
+      sc_mac_unit_ge(512, 5, 5, AccumMode::kFxp) /
+      sc_mac_unit_ge(512, 5, 5, AccumMode::kOr);
+  const double apc_vs_pbw =
+      sc_mac_unit_ge(512, 5, 5, AccumMode::kApc) /
+      sc_mac_unit_ge(512, 5, 5, AccumMode::kPbw);
+  std::printf(
+      "\nsummary: PBW overhead %.0f%% (small kernels) -> %.0f%% (512x5x5);\n"
+      "         FXP %.1fx all-OR at 512x5x5; APC %.1fx PBW at 512x5x5\n"
+      "paper:   PBW up to 1.4x small, ~4%% large; FXP >5x for most kernels;\n"
+      "         APC >3x PBW/PBHW for larger kernels\n",
+      (pbw_small - 1.0) * 100.0, (pbw_large - 1.0) * 100.0, fxp_large,
+      apc_vs_pbw);
+  return 0;
+}

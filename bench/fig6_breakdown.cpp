@@ -1,0 +1,77 @@
+// Fig. 6 reproduction: per-module area and energy breakdown plus latency for
+// Base-128,128 / GEO-GEN-128,128 / GEO-GEN-EXEC-32,64 on the SVHN CNN,
+// normalized to the baseline (the paper's bars).
+#include <cstdio>
+#include <vector>
+
+#include "arch/report.hpp"
+#include "core/geo.hpp"
+
+int main() {
+  using namespace geo;
+  const arch::NetworkShape net = arch::NetworkShape::cnn4_svhn();
+
+  const core::GeoConfig configs[] = {core::GeoConfig::base_ulp(),
+                                     core::GeoConfig::gen_ulp(),
+                                     core::GeoConfig::gen_exec_ulp()};
+
+  std::printf("Fig. 6 | area / energy / latency, normalized to %s\n\n",
+              configs[0].name.c_str());
+
+  struct Point {
+    std::string name;
+    arch::AreaBreakdown area;
+    arch::PerfResult perf;
+  };
+  std::vector<Point> points;
+  for (const auto& cfg : configs) {
+    core::GeoAccelerator acc(cfg);
+    points.push_back({cfg.name, acc.area(), acc.run(net)});
+  }
+  const double area0 = points[0].area.total();
+  const double energy0 = points[0].perf.energy_per_frame_j;
+  const double latency0 = points[0].perf.seconds;
+
+  std::printf("area breakdown (fraction of baseline total area):\n");
+  arch::Table ta({"module", "Base", "GEN", "GEN-EXEC"});
+  for (std::size_t i = 0; i < points[0].area.items().size(); ++i) {
+    std::vector<std::string> row{points[0].area.items()[i].first};
+    for (const auto& p : points)
+      row.push_back(arch::Table::percent(p.area.items()[i].second / area0));
+    ta.add_row(row);
+  }
+  ta.print();
+
+  std::printf("\nenergy breakdown (fraction of baseline frame energy):\n");
+  arch::Table te({"module", "Base", "GEN", "GEN-EXEC"});
+  for (std::size_t i = 0; i < points[0].perf.energy.items().size(); ++i) {
+    std::vector<std::string> row{points[0].perf.energy.items()[i].first};
+    for (const auto& p : points)
+      row.push_back(
+          arch::Table::percent(p.perf.energy.items()[i].second / energy0));
+    te.add_row(row);
+  }
+  te.print();
+
+  std::printf("\n");
+  arch::Table s({"configuration", "norm. area", "norm. energy",
+                 "norm. latency", "frames/s", "vdd"});
+  for (const auto& p : points)
+    s.add_row({p.name, arch::Table::num(p.area.total() / area0, 3),
+               arch::Table::num(p.perf.energy_per_frame_j / energy0, 3),
+               arch::Table::num(p.perf.seconds / latency0, 3),
+               arch::Table::si(p.perf.frames_per_second),
+               arch::Table::num(p.perf.vdd, 2)});
+  s.print();
+
+  std::printf("\nbars (latency, normalized):\n");
+  for (const auto& p : points)
+    std::printf("  %-22s %s %.2f\n", p.name.c_str(),
+                arch::bar(p.perf.seconds / latency0, 1.0, 40).c_str(),
+                p.perf.seconds / latency0);
+
+  std::printf(
+      "\npaper: GEN -1%% area, 1.7x speedup, 1.6x energy; GEN-EXEC +2%% "
+      "area,\n       4.3x speedup, 5.2x energy vs base\n");
+  return 0;
+}

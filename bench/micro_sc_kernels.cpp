@@ -1,0 +1,103 @@
+// google-benchmark microbenchmarks of the SC substrate hot paths: stream
+// generation (LFSR vs TRNG vs Sobol, normal vs progressive), packed-word
+// MAC/OR kernels, parallel counting, and a full SC conv layer forward.
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "nn/sc_layers.hpp"
+#include "sc/ops.hpp"
+#include "sc/parallel_counter.hpp"
+#include "sc/progressive.hpp"
+#include "sc/sng.hpp"
+
+namespace {
+
+using namespace geo::sc;
+
+void BM_StreamGeneration(benchmark::State& state) {
+  const auto kind = static_cast<RngKind>(state.range(0));
+  const auto len = static_cast<std::size_t>(state.range(1));
+  Sng sng(kind, SeedSpec{.bits = 8, .seed = 7});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sng.generate(100, len));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(len));
+  state.SetLabel(std::string(to_string(kind)) + "/" + std::to_string(len));
+}
+BENCHMARK(BM_StreamGeneration)
+    ->Args({static_cast<long>(RngKind::kLfsr), 128})
+    ->Args({static_cast<long>(RngKind::kTrng), 128})
+    ->Args({static_cast<long>(RngKind::kSobol), 128})
+    ->Args({static_cast<long>(RngKind::kLfsr), 1024});
+
+void BM_ProgressiveGeneration(benchmark::State& state) {
+  const ProgressiveSchedule sched{.value_bits = 8, .lfsr_bits = 7};
+  ProgressiveSng sng(RngKind::kLfsr, SeedSpec{.bits = 7, .seed = 3}, sched);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sng.generate(100, 128));
+  }
+  state.SetItemsProcessed(state.iterations() * 128);
+}
+BENCHMARK(BM_ProgressiveGeneration);
+
+void BM_PackedMacOrAccumulate(benchmark::State& state) {
+  // One OR-accumulation group: products ANDed and ORed at word level.
+  const int taps = static_cast<int>(state.range(0));
+  const std::size_t len = 128;
+  Sng sng(RngKind::kLfsr, SeedSpec{.bits = 7, .seed = 5});
+  std::vector<Bitstream> acts, wgts;
+  for (int i = 0; i < taps; ++i) {
+    acts.push_back(sng.generate(60 + static_cast<std::uint32_t>(i) % 40, len));
+    wgts.push_back(sng.generate(30 + static_cast<std::uint32_t>(i) % 70, len));
+  }
+  for (auto _ : state) {
+    Bitstream acc(len);
+    for (int i = 0; i < taps; ++i)
+      acc |= acts[static_cast<std::size_t>(i)] &
+             wgts[static_cast<std::size_t>(i)];
+    benchmark::DoNotOptimize(acc.popcount());
+  }
+  state.SetItemsProcessed(state.iterations() * taps *
+                          static_cast<long>(len));
+}
+BENCHMARK(BM_PackedMacOrAccumulate)->Arg(9)->Arg(72)->Arg(400);
+
+void BM_ParallelCount(benchmark::State& state) {
+  const int streams = static_cast<int>(state.range(0));
+  Sng sng(RngKind::kLfsr, SeedSpec{.bits = 8, .seed = 9});
+  std::vector<Bitstream> s;
+  for (int i = 0; i < streams; ++i)
+    s.push_back(sng.generate(128, 256));
+  for (auto _ : state) benchmark::DoNotOptimize(parallel_count(s));
+}
+BENCHMARK(BM_ParallelCount)->Arg(8)->Arg(64);
+
+void BM_ApcCount(benchmark::State& state) {
+  Sng sng(RngKind::kLfsr, SeedSpec{.bits = 8, .seed = 9});
+  std::vector<Bitstream> s;
+  for (int i = 0; i < 64; ++i) s.push_back(sng.generate(128, 256));
+  for (auto _ : state) benchmark::DoNotOptimize(apc_count_total(s));
+}
+BENCHMARK(BM_ApcCount);
+
+void BM_ScConvForward(benchmark::State& state) {
+  using namespace geo::nn;
+  const int stream_len = static_cast<int>(state.range(0));
+  std::mt19937 rng(1);
+  ScLayerConfig cfg;
+  cfg.stream_len = stream_len;
+  cfg.accum = AccumMode::kPbw;
+  ScConv2d conv(8, 8, 3, 1, 1, rng, cfg);
+  Tensor x({1, 8, 12, 12});
+  std::mt19937 xr(2);
+  std::uniform_real_distribution<float> dist(0.0f, 1.0f);
+  for (auto& v : x.data()) v = dist(xr);
+  for (auto _ : state) benchmark::DoNotOptimize(conv.forward(x, false));
+  state.SetLabel("stream " + std::to_string(stream_len));
+}
+BENCHMARK(BM_ScConvForward)->Arg(32)->Arg(128)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

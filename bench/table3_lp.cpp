@@ -1,0 +1,93 @@
+// Table III reproduction: GEO LP vs iso-area Eyeriss (8-bit), SM-SC and
+// SCOPE (reported), and ACOUSTIC LP-256 — on the downscaled VGG-16.
+#include <cstdio>
+
+#include "arch/report.hpp"
+#include "baselines/acoustic.hpp"
+#include "baselines/eyeriss.hpp"
+#include "baselines/reported.hpp"
+#include "core/geo.hpp"
+
+int main() {
+  using namespace geo;
+  using arch::Table;
+  const arch::NetworkShape vgg = arch::NetworkShape::vgg16();
+
+  const baselines::EyerissModel eye(baselines::EyerissConfig::lp_8bit());
+  const auto eye_vgg = eye.run(vgg);
+
+  const core::GeoAccelerator geo64(core::GeoConfig::lp(64, 128));
+  const auto geo64_vgg = geo64.run(vgg);
+  const core::GeoAccelerator geo32(core::GeoConfig::lp(32, 64));
+  const auto geo32_vgg = geo32.run(vgg);
+
+  const baselines::AcousticModel aco = baselines::AcousticModel::lp(256);
+  const auto aco_vgg = aco.run(vgg);
+
+  const auto& smsc = baselines::reported::kSmSc;
+  const auto& scope = baselines::reported::kScope;
+
+  Table t({"metric", "Eyeriss 8b", "GEO LP-64,128", "SM-SC", "SCOPE",
+           "ACOUSTIC LP-256", "GEO LP-32,64"});
+  t.add_row({"Voltage [V]", "0.90", Table::num(geo64.operating_vdd(), 2),
+             "0.90", "-", "0.90", Table::num(geo32.operating_vdd(), 2)});
+  t.add_row({"Area [mm2]", Table::num(eye.area_mm2(), 1),
+             Table::num(geo64.area().total(), 1), "-",
+             Table::num(scope.area_mm2, 0), Table::num(aco.area_mm2(), 1),
+             Table::num(geo32.area().total(), 1)});
+  t.add_row({"Power [mW]", Table::num(eye_vgg.average_power_w * 1e3, 0),
+             Table::num(geo64_vgg.average_power_w * 1e3, 0), "-", "-",
+             Table::num(aco_vgg.average_power_w * 1e3, 0),
+             Table::num(geo32_vgg.average_power_w * 1e3, 0)});
+  t.add_row({"Clock [MHz]", "400", "400", Table::num(smsc.clock_mhz, 0),
+             Table::num(scope.clock_mhz, 0), "400", "400"});
+  t.add_row({"CIFAR VGG Fr/s", Table::si(eye_vgg.frames_per_second, 2),
+             Table::si(geo64_vgg.frames_per_second, 2), "-", "-",
+             Table::si(aco_vgg.frames_per_second, 2),
+             Table::si(geo32_vgg.frames_per_second, 2)});
+  t.add_row({"CIFAR VGG Fr/J", Table::si(eye_vgg.frames_per_joule, 2),
+             Table::si(geo64_vgg.frames_per_joule, 2), "-", "-",
+             Table::si(aco_vgg.frames_per_joule, 2),
+             Table::si(geo32_vgg.frames_per_joule, 2)});
+  t.add_row({"Peak GOPS", Table::num(eye.peak_gops(), 0),
+             Table::si(geo64.peak_gops(), 1),
+             Table::num(smsc.peak_gops, 0), Table::num(scope.peak_gops, 0),
+             Table::num(aco.peak_gops(), 0),
+             Table::si(geo32.peak_gops(), 1)});
+  t.add_row({"Peak TOPS/W", Table::num(eye.peak_tops_per_watt(), 2),
+             Table::num(geo64.peak_tops_per_watt(), 2),
+             Table::num(smsc.peak_tops_per_watt, 2), "-",
+             Table::num(aco.peak_tops_per_watt(), 2),
+             Table::num(geo32.peak_tops_per_watt(), 2)});
+
+  std::printf("Table III | GEO LP vs fixed-point and SC implementations "
+              "(28 nm; SM-SC & SCOPE columns reported)\n\n");
+  t.print();
+
+  // External-memory sensitivity: the paper notes GEO would be up to 6.1x
+  // more energy-efficient than Eyeriss with external accesses omitted.
+  core::GeoConfig no_ext_cfg = core::GeoConfig::lp(64, 128);
+  no_ext_cfg.hw.external_memory = false;
+  const auto geo_no_ext =
+      core::GeoAccelerator(no_ext_cfg).run(vgg);
+  baselines::EyerissConfig eye_no_ext_cfg = baselines::EyerissConfig::lp_8bit();
+  eye_no_ext_cfg.external_memory = false;
+  const auto eye_no_ext =
+      baselines::EyerissModel(eye_no_ext_cfg).run(vgg);
+
+  std::printf(
+      "\nkey ratios: GEO-64,128 vs Eyeriss-8b: %.1fx Fr/s, %.1fx Fr/J "
+      "(paper 5.6x / 2.6x)\n"
+      "            same, external memory omitted: %.1fx Fr/J (paper: up to "
+      "6.1x)\n"
+      "            GEO-32,64 vs ACOUSTIC-256: %.1fx Fr/s, %.1fx Fr/J "
+      "(paper 2.4x / 1.6x)\n"
+      "            GEO LP area = %.1f%% of SCOPE (paper: 3.3%%)\n",
+      geo64_vgg.frames_per_second / eye_vgg.frames_per_second,
+      geo64_vgg.frames_per_joule / eye_vgg.frames_per_joule,
+      geo_no_ext.frames_per_joule / eye_no_ext.frames_per_joule,
+      geo32_vgg.frames_per_second / aco_vgg.frames_per_second,
+      geo32_vgg.frames_per_joule / aco_vgg.frames_per_joule,
+      geo64.area().total() / scope.area_mm2 * 100.0);
+  return 0;
+}

@@ -1,0 +1,28 @@
+# Bench binaries land in build/bench/ with nothing else, so the harness can
+# execute every file in that directory. Included from the top-level
+# CMakeLists (not add_subdirectory) to keep CMake's per-directory artifacts
+# out of build/bench/.
+set(GEO_BENCHES
+  fig1_sharing
+  fig2_progressive
+  fig5_area
+  fig6_breakdown
+  table1_accuracy
+  table2_ulp
+  table3_lp
+  ablation_generation
+  ablation_dataflow
+  ablation_ldseq
+  ablation_pipeline
+  micro_sc_kernels
+)
+
+foreach(name ${GEO_BENCHES})
+  add_executable(bench_${name} ${CMAKE_CURRENT_LIST_DIR}/${name}.cpp)
+  target_link_libraries(bench_${name} PRIVATE geo)
+  set_target_properties(bench_${name} PROPERTIES
+    RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench
+    OUTPUT_NAME ${name})
+endforeach()
+
+target_link_libraries(bench_micro_sc_kernels PRIVATE benchmark::benchmark)

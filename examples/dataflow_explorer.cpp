@@ -1,0 +1,68 @@
+// Dataflow explorer: per-layer memory-access accounting for the three
+// dataflows of Sec. III-C on any of the paper networks, plus the compiled
+// GEO instruction stream for one layer.
+//
+//   ./example_dataflow_explorer [cnn4|lenet5|vgg16]
+#include <cstdio>
+#include <cstring>
+
+#include "arch/compiler.hpp"
+#include "arch/report.hpp"
+
+int main(int argc, char** argv) {
+  using namespace geo::arch;
+
+  NetworkShape net = NetworkShape::cnn4_cifar();
+  if (argc > 1 && std::strcmp(argv[1], "lenet5") == 0)
+    net = NetworkShape::lenet5();
+  else if (argc > 1 && std::strcmp(argv[1], "vgg16") == 0)
+    net = NetworkShape::vgg16();
+
+  const Compiler compiler(HwConfig::ulp());
+
+  std::printf("Per-layer memory accesses on %s (GEO ULP fabric)\n\n",
+              net.name.c_str());
+  Table table({"layer", "taps", "WS+nearmem", "output-stat", "input-stat",
+               "OS/WS", "IS/WS"});
+  AccessCounts ws_total, os_total, is_total;
+  for (const auto& layer : net.layers) {
+    const auto ws = compiler.plan_layer(layer, Dataflow::kWeightStationary);
+    const auto os = compiler.plan_layer(layer, Dataflow::kOutputStationary);
+    const auto is = compiler.plan_layer(layer, Dataflow::kInputStationary);
+    ws_total += ws.accesses;
+    os_total += os.accesses;
+    is_total += is.accesses;
+    table.add_row(
+        {layer.name, std::to_string(layer.taps()),
+         Table::si(static_cast<double>(ws.accesses.total())),
+         Table::si(static_cast<double>(os.accesses.total())),
+         Table::si(static_cast<double>(is.accesses.total())),
+         Table::num(static_cast<double>(os.accesses.total()) /
+                        static_cast<double>(ws.accesses.total()),
+                    1),
+         Table::num(static_cast<double>(is.accesses.total()) /
+                        static_cast<double>(ws.accesses.total()),
+                    1)});
+  }
+  table.add_row({"TOTAL", "",
+                 Table::si(static_cast<double>(ws_total.total())),
+                 Table::si(static_cast<double>(os_total.total())),
+                 Table::si(static_cast<double>(is_total.total())),
+                 Table::num(static_cast<double>(os_total.total()) /
+                                static_cast<double>(ws_total.total()),
+                            1),
+                 Table::num(static_cast<double>(is_total.total()) /
+                                static_cast<double>(ws_total.total()),
+                            1)});
+  table.print();
+
+  std::printf("\nCompiled GEO program for layer '%s':\n\n",
+              net.layers[1].name.c_str());
+  const LayerPlan plan =
+      compiler.plan_layer(net.layers[1], Dataflow::kWeightStationary);
+  std::printf("%s", plan.program.to_text().c_str());
+  std::printf("(x %lld passes, %d kernel slice(s), %d windows/pass)\n",
+              static_cast<long long>(plan.passes), plan.kernel_slices,
+              plan.windows_per_pass);
+  return 0;
+}

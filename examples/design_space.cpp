@@ -1,0 +1,62 @@
+// Design-space exploration: sweeps stream lengths and optimization toggles
+// across the ULP design point and prints the area / latency / energy
+// landscape — the kind of study Sec. IV's Fig. 6 distills.
+//
+//   ./example_design_space
+#include <cstdio>
+
+#include "arch/report.hpp"
+#include "core/geo.hpp"
+
+int main() {
+  using namespace geo;
+  const arch::NetworkShape net = arch::NetworkShape::cnn4_svhn();
+
+  arch::Table table({"configuration", "area mm2", "frames/s", "uJ/frame",
+                     "avg mW", "vdd"});
+
+  auto add = [&](const core::GeoConfig& cfg) {
+    const core::GeoAccelerator acc(cfg);
+    const arch::PerfResult perf = acc.run(net);
+    table.add_row({cfg.name, arch::Table::num(acc.area().total(), 3),
+                   arch::Table::si(perf.frames_per_second),
+                   arch::Table::num(perf.energy_per_frame_j * 1e6, 2),
+                   arch::Table::num(perf.average_power_w * 1e3, 1),
+                   arch::Table::num(perf.vdd, 2)});
+  };
+
+  // Fig. 6 ladder.
+  add(core::GeoConfig::base_ulp());
+  add(core::GeoConfig::gen_ulp());
+  add(core::GeoConfig::gen_exec_ulp());
+
+  // Stream-length sweep on the full GEO ULP.
+  for (const auto& [sp, s] :
+       {std::pair{16, 32}, {32, 64}, {64, 128}, {128, 128}})
+    add(core::GeoConfig::ulp(sp, s));
+
+  // Single-optimization ablations on ULP-32,64.
+  core::GeoConfig no_prog = core::GeoConfig::ulp(32, 64);
+  no_prog.name = "ULP-32,64 -progressive";
+  no_prog.hw.progressive = false;
+  add(no_prog);
+
+  core::GeoConfig no_shadow = core::GeoConfig::ulp(32, 64);
+  no_shadow.name = "ULP-32,64 -shadow";
+  no_shadow.hw.shadow_buffers = false;
+  add(no_shadow);
+
+  core::GeoConfig no_nm = core::GeoConfig::ulp(32, 64);
+  no_nm.name = "ULP-32,64 -nearmem";
+  no_nm.hw.near_memory = false;
+  add(no_nm);
+
+  core::GeoConfig no_pipe = core::GeoConfig::ulp(32, 64);
+  no_pipe.name = "ULP-32,64 -pipeline";
+  no_pipe.hw.pipeline_stage = false;
+  add(no_pipe);
+
+  std::printf("Design-space sweep on %s\n\n", net.name.c_str());
+  table.print();
+  return 0;
+}

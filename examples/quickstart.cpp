@@ -1,0 +1,47 @@
+// Quickstart: build a GEO accelerator, estimate its hardware, simulate a
+// network, and run a (tiny) bit-level SC accuracy evaluation.
+//
+//   ./example_quickstart
+#include <cstdio>
+
+#include "arch/report.hpp"
+#include "core/geo.hpp"
+
+int main() {
+  using namespace geo;
+
+  // 1. Pick a design point: GEO-ULP with {sp=32, s=64} streams.
+  core::GeoAccelerator acc(core::GeoConfig::ulp(32, 64));
+  std::printf("== %s ==\n\n", acc.name().c_str());
+
+  // 2. Hardware estimation.
+  const arch::AreaBreakdown area = acc.area();
+  std::printf("area:       %.3f mm^2 (logic %.3f + memories %.3f)\n",
+              area.total(), area.logic_total(),
+              area.act_memory + area.wgt_memory);
+  std::printf("peak:       %.0f GOPS, %.1f TOPS/W\n", acc.peak_gops(),
+              acc.peak_tops_per_watt());
+  std::printf("DVFS:       pipeline cut %.0f%% of the critical path -> "
+              "%.2f V at 400 MHz\n\n",
+              acc.timing().critical_path_cut * 100.0, acc.operating_vdd());
+
+  // 3. Performance simulation on the paper's CNN-4 (CIFAR-10 scale).
+  const arch::PerfResult perf = acc.run(arch::NetworkShape::cnn4_cifar());
+  std::printf("CNN-4/CIFAR: %.1fk frames/s, %.1f uJ/frame, %.1f mW\n\n",
+              perf.frames_per_second / 1e3, perf.energy_per_frame_j * 1e6,
+              perf.average_power_w * 1e3);
+
+  // 4. Bit-level SC accuracy on the synthetic digits task (kept tiny here;
+  //    see bench/table1_accuracy for the paper-style sweep).
+  const nn::Dataset train_set = nn::make_digits(192, 1);
+  const nn::Dataset test_set = nn::make_digits(96, 2);
+  nn::TrainOptions opts;
+  opts.epochs = 8;
+  opts.batch_size = 16;
+  std::printf("training LeNet-5 with stream-aware SC forward...\n");
+  const double accuracy =
+      acc.evaluate_accuracy("lenet5", train_set, test_set, opts);
+  std::printf("digits test accuracy (SC, {32,64} streams): %.1f%%\n",
+              accuracy * 100.0);
+  return 0;
+}

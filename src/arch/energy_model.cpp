@@ -1,0 +1,100 @@
+#include "arch/energy_model.hpp"
+
+namespace geo::arch {
+
+double EnergyBreakdown::total() const {
+  return mac_array + act_sng + act_sng_buffers + wgt_sng + wgt_sng_buffers +
+         output_conv + near_memory + act_memory + wgt_memory +
+         external_memory + leakage + other;
+}
+
+std::vector<std::pair<std::string, double>> EnergyBreakdown::items() const {
+  return {
+      {"SC MAC arrays", mac_array},
+      {"Act. SNG", act_sng},
+      {"Act. SNG buffers", act_sng_buffers},
+      {"Wgt. SNG", wgt_sng},
+      {"Wgt. SNG buffers", wgt_sng_buffers},
+      {"Output conv.", output_conv},
+      {"Near-memory compute", near_memory},
+      {"Act. memory", act_memory},
+      {"Wgt. memory", wgt_memory},
+      {"External memory", external_memory},
+      {"Leakage", leakage},
+      {"Other", other},
+  };
+}
+
+EnergyModel::EnergyModel(const HwConfig& hw, const TechParams& tech,
+                         const ActivityFactors& act)
+    : hw_(hw),
+      tech_(tech),
+      act_(act),
+      area_(accelerator_area(hw, tech)),
+      act_sram_{static_cast<double>(hw.act_mem_kb), hw.mem_port_bits, 2},
+      wgt_sram_{static_cast<double>(hw.wgt_mem_kb), hw.mem_port_bits, 2} {}
+
+double EnergyModel::ge_energy_j() const {
+  return tech_.ge_energy_fj * 1e-15 *
+         dynamic_energy_scale(hw_.vdd, tech_.vdd_nominal);
+}
+
+namespace {
+// GE count implied by an area-breakdown entry (undo the mm2 conversion).
+double ge_of(double mm2, const TechParams& tech) {
+  return mm2 / (tech.ge_area_um2 * 1e-6 * tech.layout_overhead);
+}
+}  // namespace
+
+double EnergyModel::mac_cycle_energy() const {
+  return ge_of(area_.mac_array, tech_) * act_.mac_array * ge_energy_j();
+}
+
+double EnergyModel::act_sng_cycle_energy() const {
+  return ge_of(area_.act_sng, tech_) * act_.sng * ge_energy_j();
+}
+
+double EnergyModel::wgt_sng_cycle_energy() const {
+  return ge_of(area_.wgt_sng, tech_) * act_.sng * ge_energy_j();
+}
+
+double EnergyModel::buffer_cycle_energy() const {
+  return ge_of(area_.act_sng_buffers + area_.wgt_sng_buffers +
+                   area_.shadow_buffers,
+               tech_) *
+         act_.sng_buffers * ge_energy_j();
+}
+
+double EnergyModel::output_conv_cycle_energy() const {
+  return ge_of(area_.output_converters + area_.pipeline, tech_) *
+         act_.output_conv * ge_energy_j();
+}
+
+double EnergyModel::compute_cycle_energy() const {
+  const double control = ge_of(area_.control, tech_) * act_.control;
+  return mac_cycle_energy() + act_sng_cycle_energy() +
+         wgt_sng_cycle_energy() + buffer_cycle_energy() +
+         output_conv_cycle_energy() + control * ge_energy_j();
+}
+
+double EnergyModel::buffer_load_energy(int bits) const {
+  return bits * ge_flip_flop() * ge_energy_j();
+}
+
+double EnergyModel::near_mem_add_energy() const {
+  // The adder fires exactly when the instruction uses it, so no activity
+  // factor applies here.
+  return 16 * ge_full_adder() * ge_energy_j();
+}
+
+double EnergyModel::leakage_power() const {
+  const double logic_ge = ge_of(area_.logic_total(), tech_);
+  const double logic_w = logic_ge * tech_.ge_leak_nw * 1e-9 *
+                         leakage_power_scale(hw_.vdd, tech_.vdd_nominal);
+  const double sram_w =
+      (act_sram_.leakage_mw() + wgt_sram_.leakage_mw()) * 1e-3 *
+      leakage_power_scale(hw_.vdd, tech_.vdd_nominal);
+  return logic_w + sram_w;
+}
+
+}  // namespace geo::arch

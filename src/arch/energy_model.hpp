@@ -1,0 +1,97 @@
+// Dynamic + leakage energy model with per-module activity factors.
+//
+// The paper adjusts synthesis power numbers with activity factors obtained
+// from RTL simulation ("many modules, such as SNG buffers and batch
+// normalization modules are idle most of the time"); here the factors are
+// explicit per-module constants applied to GE switching energy.
+#pragma once
+
+#include "arch/area_model.hpp"
+#include "arch/hw_config.hpp"
+#include "arch/memory_model.hpp"
+#include "arch/tech.hpp"
+
+namespace geo::arch {
+
+struct ActivityFactors {
+  double mac_array = 0.18;     // SC streams toggle densely
+  double sng = 0.30;           // LFSR + comparator switch every cycle
+  double sng_buffers = 0.03;   // loaded rarely, hold mostly
+  double output_conv = 0.25;
+  double near_memory = 0.05;   // time-multiplexed
+  double pipeline = 0.25;
+  double control = 0.10;
+};
+
+struct EnergyBreakdown {
+  double mac_array = 0;  // joules each
+  double act_sng = 0;
+  double act_sng_buffers = 0;
+  double wgt_sng = 0;
+  double wgt_sng_buffers = 0;
+  double output_conv = 0;
+  double near_memory = 0;
+  double act_memory = 0;
+  double wgt_memory = 0;
+  double external_memory = 0;
+  double leakage = 0;
+  double other = 0;
+
+  double total() const;
+  std::vector<std::pair<std::string, double>> items() const;
+};
+
+class EnergyModel {
+ public:
+  EnergyModel(const HwConfig& hw, const TechParams& tech,
+              const ActivityFactors& act = {});
+
+  // Dynamic energy of one *compute* cycle (stream generation + MAC +
+  // accumulation + conversion active), in joules, at the configured vdd.
+  double compute_cycle_energy() const;
+
+  // Per-module pieces of one compute cycle (joules).
+  double mac_cycle_energy() const;
+  double act_sng_cycle_energy() const;
+  double wgt_sng_cycle_energy() const;
+  double buffer_cycle_energy() const;
+  double output_conv_cycle_energy() const;
+
+  // Energy of loading one SNG buffer value (8 bits moved + register write).
+  double buffer_load_energy(int bits) const;
+
+  // Near-memory read-add-write of one 16-bit lane pair (adder only; the two
+  // SRAM accesses are billed separately).
+  double near_mem_add_energy() const;
+
+  // SRAM word accesses.
+  double act_read_energy() const { return act_sram_.read_energy_pj() * 1e-12; }
+  double act_write_energy() const {
+    return act_sram_.write_energy_pj() * 1e-12;
+  }
+  double wgt_read_energy() const { return wgt_sram_.read_energy_pj() * 1e-12; }
+
+  // External memory energy per bit moved.
+  double ext_energy_per_bit() const {
+    return ext_.energy_pj_per_bit * 1e-12;
+  }
+
+  // Total leakage power (W) at the configured vdd, including SRAM retention.
+  double leakage_power() const;
+
+  const SramModel& act_sram() const { return act_sram_; }
+  const SramModel& wgt_sram() const { return wgt_sram_; }
+  const ExternalMemoryModel& ext_mem() const { return ext_; }
+
+ private:
+  double ge_energy_j() const;  // per GE toggle at configured vdd
+
+  HwConfig hw_;
+  TechParams tech_;
+  ActivityFactors act_;
+  AreaBreakdown area_;  // reused for GE-proportional energy splits
+  SramModel act_sram_, wgt_sram_;
+  ExternalMemoryModel ext_;
+};
+
+}  // namespace geo::arch

@@ -1,0 +1,91 @@
+#include "arch/gen_pipeline_sim.hpp"
+
+#include <algorithm>
+#include <string>
+
+namespace geo::arch {
+
+namespace {
+std::int64_t ceil_div(std::int64_t a, std::int64_t b) {
+  return (a + b - 1) / b;
+}
+}  // namespace
+
+GenPipelineResult simulate_generation(const GenPipelineConfig& cfg,
+                                      bool keep_trace) {
+  GenPipelineResult r;
+
+  // Bits that must arrive before generation can start, and in total.
+  const int load_bits = cfg.progressive
+                            ? std::min(cfg.lfsr_bits, cfg.value_bits)
+                            : cfg.value_bits;
+  const std::int64_t total_bits =
+      static_cast<std::int64_t>(cfg.values) * load_bits;
+  const std::int64_t start_bits =
+      cfg.progressive ? static_cast<std::int64_t>(cfg.values) * 2
+                      : total_bits;
+
+  const std::int64_t full_reload_cycles =
+      ceil_div(total_bits, cfg.fill_bits_per_cycle);
+  const std::int64_t start_cycles =
+      ceil_div(start_bits, cfg.fill_bits_per_cycle);
+
+  std::int64_t cycle = 0;
+  // `prefetched` = bits of the *next* pass already sitting in shadow buffers
+  // when a pass boundary is crossed.
+  std::int64_t prefetched = 0;
+
+  for (int pass = 0; pass < cfg.passes; ++pass) {
+    // Phase 1: wait until enough of this pass's values are loaded to start.
+    const std::int64_t outstanding_start =
+        std::max<std::int64_t>(0, start_bits - prefetched);
+    const std::int64_t wait =
+        ceil_div(outstanding_start, cfg.fill_bits_per_cycle);
+    cycle += wait;
+    r.stall_cycles += wait;
+    if (pass == 0) r.reload_start_latency = wait;
+
+    // Phase 2: compute. The remainder of this pass's bits stream in under
+    // the compute (progressive), and — with shadow buffers — the next
+    // pass's bits follow behind them on the same fill port.
+    const std::int64_t remaining_this =
+        std::max<std::int64_t>(0, total_bits - prefetched - outstanding_start);
+    const std::int64_t fill_capacity =
+        static_cast<std::int64_t>(cfg.stream_cycles) * cfg.fill_bits_per_cycle;
+    std::int64_t capacity_left = fill_capacity;
+
+    if (cfg.progressive) {
+      // Trailing bits of the current pass ride under compute.
+      const std::int64_t used = std::min(remaining_this, capacity_left);
+      capacity_left -= used;
+      // If even the current pass cannot finish loading under compute, the
+      // tail stalls the *end* of the pass.
+      const std::int64_t overflow = remaining_this - used;
+      const std::int64_t tail = ceil_div(overflow, cfg.fill_bits_per_cycle);
+      cycle += cfg.stream_cycles + tail;
+      r.stall_cycles += tail;
+    } else {
+      // Non-progressive: the full value was loaded up front.
+      cycle += cfg.stream_cycles;
+    }
+
+    prefetched = 0;
+    if (cfg.shadow && pass + 1 < cfg.passes)
+      prefetched = std::min<std::int64_t>(capacity_left, total_bits);
+
+    if (keep_trace)
+      r.trace.push_back("pass " + std::to_string(pass) + ": wait=" +
+                        std::to_string(wait) + " compute=" +
+                        std::to_string(cfg.stream_cycles) + " prefetched=" +
+                        std::to_string(prefetched) + "b");
+
+    r.bits_loaded += total_bits;
+  }
+
+  (void)full_reload_cycles;
+  (void)start_cycles;
+  r.total_cycles = cycle;
+  return r;
+}
+
+}  // namespace geo::arch

@@ -1,0 +1,37 @@
+// Cycle-level micro-simulator of the SNG buffer-fill / generation pipeline
+// (Fig. 3, Sec. II-B and III-D). Unlike the analytical PerfSim, this walks
+// individual cycles of one compute engine through a sequence of passes and
+// reports exactly when generation could start and how many stall cycles each
+// policy pays. Used to validate the paper's "4x reload-latency reduction"
+// and "up to 2x latency improvement" claims and by the ablation bench.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace geo::arch {
+
+struct GenPipelineConfig {
+  int values = 800;          // SNG buffer entries to (re)load per pass
+  int value_bits = 8;        // stored bits per value
+  int lfsr_bits = 7;         // bits actually needed (stream-length matched)
+  int fill_bits_per_cycle = 32;
+  int stream_cycles = 256;   // compute cycles per pass (2x stream length)
+  int passes = 8;
+  bool progressive = false;  // start after the first 2-bit group
+  bool shadow = false;       // load next pass during current compute
+};
+
+struct GenPipelineResult {
+  std::int64_t total_cycles = 0;
+  std::int64_t stall_cycles = 0;          // cycles compute sat idle
+  std::int64_t reload_start_latency = 0;  // idle cycles before first gen cycle
+  std::int64_t bits_loaded = 0;           // memory traffic in bits
+  std::vector<std::string> trace;         // optional per-phase trace lines
+};
+
+GenPipelineResult simulate_generation(const GenPipelineConfig& cfg,
+                                      bool keep_trace = false);
+
+}  // namespace geo::arch

@@ -1,0 +1,126 @@
+// Hardware description of a GEO-style accelerator instance (Fig. 4a).
+//
+// Presets reproduce the paper's design points: ULP (25.6K MACs, 150 KB
+// on-chip SRAM), LP (294K MACs, 0.5 MB SRAM + HBM2-class external memory),
+// the un-optimized baseline of Fig. 6, and the ACOUSTIC [5] comparison
+// configurations (same memory/compute sizing, optimizations off, longer
+// streams).
+#pragma once
+
+#include "nn/sc_config.hpp"
+#include "sc/seed_sharing.hpp"
+
+namespace geo::arch {
+
+struct HwConfig {
+  // --- compute fabric ----------------------------------------------------
+  int rows = 64;            // MAC rows; one output channel per row
+  int macs_per_row = 400;   // SC MAC units per row
+  int windows_per_row = 8;  // sliding-window positions sharing a row's weights
+  int pb_segments = 8;      // parallel-counter inputs per row (PBW hardware)
+  nn::AccumMode accum = nn::AccumMode::kPbw;
+
+  // --- stream generation ---------------------------------------------------
+  int sng_value_bits = 8;   // SNG buffer width per value
+  int lfsr_bits = 8;        // generator width (matched to stream length)
+  sc::Sharing sharing = sc::Sharing::kModerate;
+  bool lfsr_per_sng = false;  // true = unshared generator per SNG (baseline)
+  bool progressive = true;
+  bool shadow_buffers = true;
+
+  // --- execution -----------------------------------------------------------
+  bool near_memory = true;   // read-add-write psum + near-memory BN
+  bool pipeline_stage = true;  // SC-MAC / partial-binary pipeline cut
+  double clock_mhz = 400.0;
+  double vdd = 0.9;  // may be lowered by DVFS when the pipeline stage exists
+
+  // --- stream lengths ({sp, s}, already specified values; split-unipolar
+  //     doubles the cycle count at run time) -------------------------------
+  int stream_len_pool = 32;
+  int stream_len = 64;
+  int stream_len_output = 128;
+
+  // --- memories ------------------------------------------------------------
+  int act_mem_kb = 100;
+  int wgt_mem_kb = 50;
+  int mem_port_bits = 64;        // SRAM word width (energy accounting)
+  int buffer_fill_bits = 32;     // SNG-buffer fill network bandwidth / cycle
+  bool external_memory = false;  // LP streams weights from HBM2-class DRAM
+
+  int total_macs() const { return rows * macs_per_row; }
+  int weight_sngs_per_row() const { return macs_per_row / windows_per_row; }
+  int activation_sngs() const { return macs_per_row; }
+  int total_sngs() const {
+    return rows * weight_sngs_per_row() + activation_sngs();
+  }
+  int output_converters() const { return rows * windows_per_row; }
+
+  // ---- presets ------------------------------------------------------------
+  static HwConfig ulp() { return {}; }
+
+  static HwConfig lp() {
+    HwConfig c;
+    c.rows = 128;
+    c.macs_per_row = 2304;  // 294,912 MACs ("294K")
+    c.act_mem_kb = 340;
+    c.wgt_mem_kb = 172;
+    c.stream_len_pool = 64;
+    c.stream_len = 128;
+    c.external_memory = true;
+    return c;
+  }
+
+  // Fig. 6 baseline: no GEO optimizations, 16-bit unshared LFSRs emulating a
+  // TRNG, 128-bit streams everywhere.
+  static HwConfig base_ulp() {
+    HwConfig c;
+    c.lfsr_bits = 16;
+    c.lfsr_per_sng = true;
+    c.sharing = sc::Sharing::kNone;
+    c.progressive = false;
+    c.shadow_buffers = false;
+    c.near_memory = false;
+    c.pipeline_stage = false;
+    c.accum = nn::AccumMode::kOr;
+    c.stream_len_pool = 128;
+    c.stream_len = 128;
+    return c;
+  }
+
+  // Fig. 6 middle point: generation optimizations only.
+  static HwConfig geo_gen_ulp() {
+    HwConfig c = base_ulp();
+    c.lfsr_bits = 8;
+    c.lfsr_per_sng = false;
+    c.sharing = sc::Sharing::kModerate;
+    c.progressive = true;
+    c.shadow_buffers = true;
+    return c;
+  }
+
+  // ACOUSTIC [5]: all-OR accumulation, no GEO generation/execution
+  // optimizations, sized identically, longer streams for iso-accuracy.
+  static HwConfig acoustic_ulp(int stream = 128) {
+    HwConfig c = base_ulp();
+    c.stream_len_pool = stream;
+    c.stream_len = stream;
+    return c;
+  }
+
+  static HwConfig acoustic_lp(int stream = 256) {
+    HwConfig c = lp();
+    c.lfsr_bits = 16;
+    c.lfsr_per_sng = true;
+    c.sharing = sc::Sharing::kNone;
+    c.progressive = false;
+    c.shadow_buffers = false;
+    c.near_memory = false;
+    c.pipeline_stage = false;
+    c.accum = nn::AccumMode::kOr;
+    c.stream_len_pool = stream;
+    c.stream_len = stream;
+    return c;
+  }
+};
+
+}  // namespace geo::arch

@@ -1,0 +1,110 @@
+#include "arch/isa.hpp"
+
+#include <array>
+#include <sstream>
+#include <stdexcept>
+
+namespace geo::arch {
+
+namespace {
+constexpr std::array<const char*, 12> kMnemonics = {
+    "nop",    "config",  "loadwgt", "loadact", "genexec", "nmacc",
+    "nmbn",   "pool",    "storeout", "loadext", "barrier", "halt",
+};
+}
+
+const char* mnemonic(Opcode op) noexcept {
+  const auto i = static_cast<std::size_t>(op);
+  return i < kMnemonics.size() ? kMnemonics[i] : "?";
+}
+
+std::string Instruction::to_string() const {
+  std::ostringstream os;
+  os << mnemonic(op);
+  if (arg0 != 0 || arg1 != 0 || arg2 != 0) os << ' ' << arg0;
+  if (arg1 != 0 || arg2 != 0) os << ' ' << arg1;
+  if (arg2 != 0) os << ' ' << arg2;
+  return os.str();
+}
+
+std::uint64_t Instruction::encode() const {
+  auto field = [](std::int32_t v) -> std::uint64_t {
+    if (v < -32768 || v > 32767)
+      throw std::out_of_range("Instruction::encode: operand exceeds 16 bits");
+    return static_cast<std::uint64_t>(static_cast<std::uint16_t>(v));
+  };
+  return (static_cast<std::uint64_t>(op) << 56) | (field(arg0) << 32) |
+         (field(arg1) << 16) | field(arg2);
+}
+
+Instruction Instruction::decode(std::uint64_t word) {
+  auto field = [](std::uint64_t w, unsigned shift) {
+    return static_cast<std::int32_t>(
+        static_cast<std::int16_t>((w >> shift) & 0xFFFF));
+  };
+  Instruction inst;
+  const auto op = static_cast<std::uint8_t>(word >> 56);
+  if (op >= kMnemonics.size())
+    throw std::invalid_argument("Instruction::decode: bad opcode");
+  inst.op = static_cast<Opcode>(op);
+  inst.arg0 = field(word, 32);
+  inst.arg1 = field(word, 16);
+  inst.arg2 = field(word, 0);
+  return inst;
+}
+
+Instruction Instruction::parse(const std::string& line) {
+  std::istringstream is(line);
+  std::string m;
+  if (!(is >> m)) throw std::invalid_argument("Instruction::parse: empty");
+  Instruction inst;
+  bool found = false;
+  for (std::size_t i = 0; i < kMnemonics.size(); ++i)
+    if (m == kMnemonics[i]) {
+      inst.op = static_cast<Opcode>(i);
+      found = true;
+      break;
+    }
+  if (!found)
+    throw std::invalid_argument("Instruction::parse: unknown mnemonic " + m);
+  is >> inst.arg0 >> inst.arg1 >> inst.arg2;
+  return inst;
+}
+
+std::string Program::to_text() const {
+  std::string out;
+  for (const auto& inst : code_) {
+    out += inst.to_string();
+    out += '\n';
+  }
+  return out;
+}
+
+Program Program::from_text(const std::string& text) {
+  Program p;
+  std::istringstream is(text);
+  std::string line;
+  while (std::getline(is, line)) {
+    // Strip comments and blanks.
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    p.push(Instruction::parse(line));
+  }
+  return p;
+}
+
+std::vector<std::uint64_t> Program::encode() const {
+  std::vector<std::uint64_t> words;
+  words.reserve(code_.size());
+  for (const auto& inst : code_) words.push_back(inst.encode());
+  return words;
+}
+
+Program Program::decode(const std::vector<std::uint64_t>& words) {
+  Program p;
+  for (std::uint64_t w : words) p.push(Instruction::decode(w));
+  return p;
+}
+
+}  // namespace geo::arch

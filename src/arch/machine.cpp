@@ -1,0 +1,285 @@
+#include "arch/machine.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <stdexcept>
+
+#include "nn/quantize.hpp"
+#include "sc/progressive.hpp"
+#include "sc/seed_sharing.hpp"
+#include "sc/sng.hpp"
+
+namespace geo::arch {
+
+namespace {
+
+std::size_t popcount_words(const std::uint64_t* w, std::size_t n) {
+  std::size_t c = 0;
+  for (std::size_t i = 0; i < n; ++i)
+    c += static_cast<std::size_t>(std::popcount(w[i]));
+  return c;
+}
+
+// Generates one magnitude stream exactly like the nn SC layers do (shared
+// code path requirement for the bit-exactness contract).
+void generate_stream(std::uint64_t* dst, std::size_t wpl, std::size_t length,
+                     const nn::ScLayerConfig& cfg, const sc::SeedSpec& spec,
+                     std::uint32_t q) {
+  std::fill(dst, dst + wpl, 0);
+  if (q == 0) return;
+  const unsigned n = spec.bits;
+  sc::Bitstream stream;
+  if (cfg.progressive) {
+    sc::ProgressiveSchedule sched;
+    sched.value_bits = cfg.value_bits;
+    sched.lfsr_bits = n;
+    sc::ProgressiveSng sng(cfg.rng, spec, sched);
+    stream = sng.generate(q, length);
+  } else {
+    const std::uint32_t vn = n >= cfg.value_bits
+                                 ? q << (n - cfg.value_bits)
+                                 : q >> (cfg.value_bits - n);
+    if (vn == 0) return;
+    sc::Sng sng(cfg.rng, spec);
+    stream = sng.generate(vn, length);
+  }
+  const auto src = stream.words();
+  std::copy(src.begin(), src.end(), dst);
+}
+
+}  // namespace
+
+GeoMachine::GeoMachine(const HwConfig& hw) : hw_(hw) {}
+
+nn::ScLayerConfig GeoMachine::layer_config(const ConvShape& shape,
+                                           std::uint64_t layer_salt) const {
+  const Compiler compiler(hw_);
+  nn::ScLayerConfig cfg;
+  cfg.rng = hw_.lfsr_per_sng ? sc::RngKind::kTrng : sc::RngKind::kLfsr;
+  cfg.sharing = hw_.sharing;
+  cfg.accum = hw_.accum;
+  cfg.stream_len = compiler.stream_len_for(shape);
+  cfg.value_bits = static_cast<unsigned>(hw_.sng_value_bits);
+  cfg.progressive = hw_.progressive;
+  cfg.layer_salt = layer_salt;
+  return cfg;
+}
+
+MachineResult GeoMachine::run_conv(const ConvShape& shape,
+                                   std::span<const float> weights,
+                                   std::span<const float> input,
+                                   std::span<const float> bn_scale,
+                                   std::span<const float> bn_shift,
+                                   std::uint64_t layer_salt) {
+  const Compiler compiler(hw_);
+  const LayerPlan plan = compiler.plan_layer(shape,
+                                             compiler.natural_dataflow());
+  const nn::ScLayerConfig cfg = layer_config(shape, layer_salt);
+
+  const int L = cfg.stream_len;
+  const std::size_t wpl = static_cast<std::size_t>((L + 63) / 64);
+  const unsigned n = cfg.lfsr_bits();
+  const int K = shape.taps();
+  const int ho = shape.hout(), wo = shape.wout();
+  const std::int64_t outputs = shape.outputs();
+
+  if (weights.size() != static_cast<std::size_t>(shape.weights()))
+    throw std::invalid_argument("GeoMachine: weight count mismatch");
+  if (input.size() != static_cast<std::size_t>(shape.activations()))
+    throw std::invalid_argument("GeoMachine: input size mismatch");
+  if (bn_scale.size() != static_cast<std::size_t>(shape.cout) ||
+      bn_shift.size() != bn_scale.size())
+    throw std::invalid_argument("GeoMachine: BN coefficient count mismatch");
+
+  const sc::KernelExtents ext{shape.cout, shape.cin, shape.kh, shape.kw};
+  const sc::SeedAllocator alloc(cfg.sharing, n, ext, layer_salt);
+
+  // ---- weight memory -> weight SNG streams (whole filter bank) ----------
+  std::vector<std::uint64_t> wpos(weights.size() * wpl, 0);
+  std::vector<std::uint64_t> wneg(weights.size() * wpl, 0);
+  {
+    std::size_t idx = 0;
+    for (int oc = 0; oc < shape.cout; ++oc)
+      for (int ic = 0; ic < shape.cin; ++ic)
+        for (int ky = 0; ky < shape.kh; ++ky)
+          for (int kx = 0; kx < shape.kw; ++kx, ++idx) {
+            const float w = std::clamp(weights[idx], -1.0f, 1.0f);
+            const std::uint32_t q =
+                nn::quantize_unsigned(std::abs(w), cfg.value_bits);
+            const sc::SeedSpec spec = alloc.weight({oc, ic, ky, kx});
+            generate_stream(
+                (w >= 0.0f ? &wpos : &wneg)->data() + idx * wpl, wpl,
+                static_cast<std::size_t>(L), cfg, spec, q);
+          }
+  }
+
+  // ---- activation streams, generated lazily per buffer slot -------------
+  std::vector<std::uint64_t> act(input.size() * wpl, 0);
+  std::vector<char> act_ready(input.size(), 0);
+  auto act_stream = [&](std::size_t idx) -> const std::uint64_t* {
+    if (!act_ready[idx]) {
+      const float a = std::clamp(input[idx], 0.0f, 1.0f);
+      const std::uint32_t q = nn::quantize_unsigned(a, cfg.value_bits);
+      generate_stream(act.data() + idx * wpl, wpl,
+                      static_cast<std::size_t>(L), cfg,
+                      alloc.activation(static_cast<int>(idx)), q);
+      act_ready[idx] = 1;
+    }
+    return act.data() + idx * wpl;
+  };
+
+  MachineResult result;
+  result.counters.assign(static_cast<std::size_t>(outputs), 0);
+  result.activations.assign(static_cast<std::size_t>(outputs), 0);
+
+  // ---- pass schedule ------------------------------------------------------
+  const int R = hw_.rows;
+  const int chans_at_once = std::min(shape.cout, R);
+  const int windows_per_pass = plan.windows_per_pass;
+  const int slices = plan.kernel_slices;
+  const std::int64_t M = hw_.macs_per_row;
+  const std::int64_t xy = static_cast<std::int64_t>(ho) * wo;
+
+  int groups = 1;
+  switch (cfg.accum) {
+    case nn::AccumMode::kOr: groups = 1; break;
+    case nn::AccumMode::kPbw: groups = shape.kw; break;
+    case nn::AccumMode::kPbhw: groups = shape.kh * shape.kw; break;
+    case nn::AccumMode::kFxp:
+    case nn::AccumMode::kApc: groups = 1; break;  // accumulated per tap
+  }
+  std::vector<std::uint64_t> scratch(static_cast<std::size_t>(groups) * 2 *
+                                     wpl);
+
+  const double fill = hw_.buffer_fill_bits;
+  const double bits_per_value =
+      hw_.progressive ? static_cast<double>(n) : hw_.sng_value_bits;
+
+  MachineStats& st = result.stats;
+  for (int cg = 0; cg * R < shape.cout; ++cg) {
+    for (std::int64_t wg = 0; wg * windows_per_pass < xy; ++wg) {
+      for (int p = 0; p < slices; ++p) {
+        ++st.passes;
+        // -- reload accounting (the functional fills below are exact; the
+        //    stall model matches PerfSim::pass_stall_cycles).
+        st.act_buffer_fills += plan.act_loads_per_pass;
+        st.wgt_buffer_fills += plan.wgt_loads_per_pass;
+        const double act_cycles =
+            std::ceil(plan.act_loads_per_pass * bits_per_value / fill);
+        const double wgt_cycles =
+            std::ceil(plan.wgt_loads_per_pass * bits_per_value / fill);
+        const double reload = std::max(act_cycles, wgt_cycles);
+        double stall = reload;
+        if (hw_.shadow_buffers)
+          stall = std::max(0.0, reload - plan.stream_cycles);
+        else if (hw_.progressive)
+          stall = std::ceil(
+              std::max(plan.act_loads_per_pass, plan.wgt_loads_per_pass) *
+              2.0 / fill);
+        st.stall_cycles += static_cast<std::int64_t>(stall);
+        st.compute_cycles +=
+            plan.stream_cycles + (hw_.pipeline_stage ? 1 : 0);
+
+        // -- bit-exact computation of this pass's outputs.
+        const int tap_lo = static_cast<int>(p * M);
+        const int tap_hi = static_cast<int>(
+            std::min<std::int64_t>(K, (p + 1) * M));
+        for (int c = 0; c < chans_at_once; ++c) {
+          const int oc = cg * R + c;
+          if (oc >= shape.cout) break;
+          for (int wslot = 0; wslot < windows_per_pass; ++wslot) {
+            const std::int64_t pos = wg * windows_per_pass + wslot;
+            if (pos >= xy) break;
+            const int oy = static_cast<int>(pos) / wo;
+            const int ox = static_cast<int>(pos) % wo;
+
+            std::fill(scratch.begin(), scratch.end(), 0);
+            std::int64_t direct = 0;  // kFxp / kApc path
+            for (int t = tap_lo; t < tap_hi; ++t) {
+              const int kx = t % shape.kw;
+              const int ky = (t / shape.kw) % shape.kh;
+              const int ic = t / (shape.kw * shape.kh);
+              const int iy = oy * shape.stride - shape.pad + ky;
+              const int ix = ox * shape.stride - shape.pad + kx;
+              if (iy < 0 || iy >= shape.hin || ix < 0 || ix >= shape.win)
+                continue;
+              const std::size_t aidx =
+                  (static_cast<std::size_t>(ic) * shape.hin + iy) *
+                      shape.win +
+                  ix;
+              const std::uint64_t* a = act_stream(aidx);
+              const std::size_t widx =
+                  (static_cast<std::size_t>(oc) * K + t) * wpl;
+              const std::uint64_t* wp = &wpos[widx];
+              const std::uint64_t* wn = &wneg[widx];
+              if (cfg.accum == nn::AccumMode::kFxp ||
+                  cfg.accum == nn::AccumMode::kApc) {
+                // The machine's APC reduces to exact counting per product
+                // pair order; we model kApc == kFxp at machine level (the
+                // area model carries the difference).
+                for (std::size_t k = 0; k < wpl; ++k) {
+                  direct += std::popcount(a[k] & wp[k]);
+                  direct -= std::popcount(a[k] & wn[k]);
+                }
+              } else {
+                int g = 0;
+                if (cfg.accum == nn::AccumMode::kPbw)
+                  g = kx;
+                else if (cfg.accum == nn::AccumMode::kPbhw)
+                  g = ky * shape.kw + kx;
+                std::uint64_t* gp =
+                    &scratch[static_cast<std::size_t>(g) * 2 * wpl];
+                std::uint64_t* gn = gp + wpl;
+                for (std::size_t k = 0; k < wpl; ++k) {
+                  gp[k] |= a[k] & wp[k];
+                  gn[k] |= a[k] & wn[k];
+                }
+              }
+            }
+            std::int64_t total = direct;
+            if (cfg.accum == nn::AccumMode::kOr ||
+                cfg.accum == nn::AccumMode::kPbw ||
+                cfg.accum == nn::AccumMode::kPbhw) {
+              for (int g = 0; g < groups; ++g) {
+                const std::uint64_t* gp =
+                    &scratch[static_cast<std::size_t>(g) * 2 * wpl];
+                total += static_cast<std::int64_t>(popcount_words(gp, wpl));
+                total -= static_cast<std::int64_t>(
+                    popcount_words(gp + wpl, wpl));
+              }
+            }
+            // Near-memory read-add-write of the partial sum (first slice
+            // writes, later slices accumulate).
+            const std::size_t oidx =
+                (static_cast<std::size_t>(oc) * ho + oy) * wo + ox;
+            result.counters[oidx] += static_cast<std::int32_t>(total);
+            if (slices > 1 && p > 0) ++st.psum_ops;
+          }
+        }
+      }
+    }
+  }
+
+  // ---- near-memory BN + bounded ReLU + write-back ------------------------
+  const double inv_len = 1.0 / static_cast<double>(L);
+  const double lanes = std::max(1, hw_.mem_port_bits / 16);
+  for (int oc = 0; oc < shape.cout; ++oc)
+    for (std::int64_t i = 0; i < xy; ++i) {
+      const std::size_t oidx = static_cast<std::size_t>(oc) * xy + i;
+      const double value = result.counters[oidx] * inv_len;
+      const double bn = bn_scale[static_cast<std::size_t>(oc)] * value +
+                        bn_shift[static_cast<std::size_t>(oc)];
+      const double act_out = std::clamp(bn, 0.0, 1.0);
+      result.activations[oidx] = static_cast<std::uint8_t>(
+          nn::quantize_unsigned(static_cast<float>(act_out), 8));
+      if (hw_.near_memory) ++st.bn_ops;
+    }
+
+  st.nearmem_cycles = static_cast<std::int64_t>(
+      2.0 * (st.psum_ops + st.bn_ops) / lanes);
+  st.total_cycles = st.compute_cycles + st.stall_cycles + st.nearmem_cycles;
+  return result;
+}
+
+}  // namespace geo::arch

@@ -1,0 +1,79 @@
+// GeoMachine: a functional, cycle-counting model of one GEO accelerator
+// executing a convolutional layer with real data — the "architecture
+// simulator" companion to the analytical PerfSim.
+//
+// The machine owns the two on-chip memories and walks the compiled pass
+// schedule the way the hardware does: for every pass it fills the weight and
+// activation SNG buffers (counting reload beats against the fill network,
+// with progressive loading and shadow buffering), runs the stream generation
+// and MAC rows bit-exactly using the sc substrate, accumulates the output
+// converters, spills partial sums to activation memory through the 2-cycle
+// near-memory read-add-write, and finally applies near-memory fixed-point
+// batch-norm + bounded ReLU before writing activations back.
+//
+// Functional contract (tested): the pre-BN output counts equal what the
+// nn::ScConv2d reference computes for the same configuration, seed layout
+// and quantized operands — the hardware mapping (rows, windows, kernel
+// slices) must not change the arithmetic.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "arch/compiler.hpp"
+#include "arch/hw_config.hpp"
+#include "nn/sc_layers.hpp"
+
+namespace geo::arch {
+
+struct MachineStats {
+  std::int64_t passes = 0;
+  std::int64_t compute_cycles = 0;
+  std::int64_t stall_cycles = 0;
+  std::int64_t nearmem_cycles = 0;
+  std::int64_t total_cycles = 0;
+  std::int64_t act_buffer_fills = 0;  // values loaded into act SNG buffers
+  std::int64_t wgt_buffer_fills = 0;
+  std::int64_t psum_ops = 0;
+  std::int64_t bn_ops = 0;
+};
+
+// One layer's execution result: quantized output activations (after BN +
+// bounded ReLU, in the unipolar 8-bit domain) plus the raw pre-BN counter
+// values and execution statistics.
+struct MachineResult {
+  // (cout, hout, wout), row-major; valid after BN/ReLU.
+  std::vector<std::uint8_t> activations;
+  // Raw output-converter totals, same layout (pos - neg counts).
+  std::vector<std::int32_t> counters;
+  MachineStats stats;
+};
+
+class GeoMachine {
+ public:
+  explicit GeoMachine(const HwConfig& hw);
+
+  // Executes one convolutional layer.
+  //   weights  : (cout, cin, kh, kw) signed values in [-1, 1]
+  //   input    : (cin, hin, win) unipolar values in [0, 1]
+  //   bn_scale / bn_shift : per-output-channel folded BN coefficients
+  //   layer_salt : seed-space rotation, must match the reference model
+  MachineResult run_conv(const ConvShape& shape,
+                         std::span<const float> weights,
+                         std::span<const float> input,
+                         std::span<const float> bn_scale,
+                         std::span<const float> bn_shift,
+                         std::uint64_t layer_salt);
+
+  const HwConfig& hw() const { return hw_; }
+
+  // The nn-layer configuration this machine's execution matches.
+  nn::ScLayerConfig layer_config(const ConvShape& shape,
+                                 std::uint64_t layer_salt) const;
+
+ private:
+  HwConfig hw_;
+};
+
+}  // namespace geo::arch

@@ -1,0 +1,40 @@
+#include "arch/memory_model.hpp"
+
+#include <cmath>
+
+namespace geo::arch {
+
+namespace {
+// 28 nm SRAM macro density including periphery (bit cell ~0.12 um2, array
+// efficiency ~60%): ~1.6 mm2 per MB.
+constexpr double kMm2PerKb = 1.6 / 1024.0;
+
+// Access-energy shape: E = (base + k * sqrt(bank_kb)) * (word_bits / 64).
+constexpr double kReadBasePj = 1.1;
+constexpr double kReadSlope = 0.55;
+constexpr double kWriteFactor = 1.1;  // writes slightly above reads
+
+constexpr double kLeakUwPerKb = 1.4;  // HVT retention leakage
+}  // namespace
+
+double SramModel::area_mm2() const {
+  // Banking adds decoder/sense duplication: ~4% per extra bank.
+  const double bank_overhead = 1.0 + 0.04 * (banks - 1);
+  return capacity_kb * kMm2PerKb * bank_overhead;
+}
+
+double SramModel::read_energy_pj() const {
+  const double bank_kb = capacity_kb / banks;
+  return (kReadBasePj + kReadSlope * std::sqrt(bank_kb)) *
+         (static_cast<double>(word_bits) / 64.0);
+}
+
+double SramModel::write_energy_pj() const {
+  return read_energy_pj() * kWriteFactor;
+}
+
+double SramModel::leakage_mw() const {
+  return capacity_kb * kLeakUwPerKb * 1e-3;
+}
+
+}  // namespace geo::arch

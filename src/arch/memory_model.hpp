@@ -1,0 +1,43 @@
+// Memory models: CACTI-style on-chip SRAM and an HBM2-class external memory
+// (O'Connor et al. [29]).
+#pragma once
+
+namespace geo::arch {
+
+// Banked on-chip SRAM. Area scales linearly with capacity (bit-cell limited);
+// access energy grows with the square root of bank capacity (bitline /
+// wordline length), the classic CACTI shape.
+struct SramModel {
+  double capacity_kb = 64.0;
+  int word_bits = 64;
+  int banks = 2;  // GEO organizes both memories as 2 logical banks (ping-pong)
+
+  double area_mm2() const;
+
+  // Energy of one word access.
+  double read_energy_pj() const;
+  double write_energy_pj() const;
+
+  double leakage_mw() const;
+
+  // Words deliverable per cycle (one per bank).
+  int words_per_cycle() const { return banks; }
+};
+
+// External DRAM channel, HBM2-class.
+struct ExternalMemoryModel {
+  double energy_pj_per_bit = 3.9;  // [29]: ~3.9 pJ/bit end-to-end
+  double bandwidth_gbytes = 32.0;  // allocated channel bandwidth
+  double phy_area_mm2 = 4.4;       // controller + PHY footprint at 28 nm
+
+  double access_energy_pj(double bits) const {
+    return energy_pj_per_bit * bits;
+  }
+
+  // Seconds to transfer `bytes`.
+  double transfer_seconds(double bytes) const {
+    return bytes / (bandwidth_gbytes * 1e9);
+  }
+};
+
+}  // namespace geo::arch

@@ -1,0 +1,120 @@
+#include "arch/program_timer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "arch/memory_model.hpp"
+
+namespace geo::arch {
+
+ProgramTiming ProgramTimer::time(const Program& program,
+                                 std::int64_t iterations) const {
+  ProgramTiming t;
+  const double fill = hw_.buffer_fill_bits;
+  const double lanes = std::max(1, hw_.mem_port_bits / 16);
+
+  // Stream-length context set by kConfig (needed for progressive loading).
+  int lfsr_bits = hw_.lfsr_bits;
+  const double value_bits = hw_.sng_value_bits;
+
+  // The fill port is busy until `port_free`; compute is busy until
+  // `compute_free`. Shadow buffering lets loads run during compute;
+  // without shadow buffers loads for a pass must finish before its
+  // GenExec starts *and* cannot start until the previous GenExec ends.
+  std::int64_t now = 0;          // current issue time
+  std::int64_t port_free = 0;    // when the fill port is idle
+  std::int64_t compute_free = 0; // when the compute engine is idle
+  std::int64_t ext_free = 0;     // when the external channel is idle
+
+  for (std::int64_t it = 0; it < iterations; ++it) {
+    std::int64_t loads_done = now;
+    for (const Instruction& inst : program.instructions()) {
+      switch (inst.op) {
+        case Opcode::kConfig:
+          lfsr_bits = std::min(inst.arg1, hw_.lfsr_bits);
+          now += 1;
+          break;
+        case Opcode::kLoadWgt:
+        case Opcode::kLoadAct: {
+          const double bits_per_value =
+              hw_.progressive ? lfsr_bits : value_bits;
+          const auto cost = static_cast<std::int64_t>(
+              std::ceil(inst.arg0 * bits_per_value / fill));
+          // Loads queue on the fill port. With shadow buffers the port runs
+          // ahead of the program counter (prefetching the next pass under
+          // the current compute); without them a load waits for both the
+          // program counter and the compute engine.
+          const std::int64_t start =
+              hw_.shadow_buffers ? port_free
+                                 : std::max({port_free, now, compute_free});
+          port_free = start + cost;
+          t.load_cycles += cost;
+          loads_done = std::max(loads_done, port_free);
+          break;
+        }
+        case Opcode::kLoadExt: {
+          const double bytes_per_cycle =
+              ExternalMemoryModel{}.bandwidth_gbytes * 1e9 /
+              (hw_.clock_mhz * 1e6);
+          const auto cost = static_cast<std::int64_t>(
+              std::ceil(inst.arg0 / bytes_per_cycle));
+          ext_free = std::max(ext_free, now) + cost;
+          t.ext_cycles += cost;
+          break;
+        }
+        case Opcode::kBarrier: {
+          // Generation may begin once the minimum prefix of every value has
+          // landed: with progressive loading that is the first 2-bit group
+          // (1/4 of a full 8-bit fill), otherwise the whole load.
+          std::int64_t ready = loads_done;
+          if (hw_.progressive && loads_done > now) {
+            // Generation starts once the first 2-bit group of every value
+            // is in; the rest of the bits trickle in under compute.
+            const double bits_per_value = std::max<double>(lfsr_bits, 2.0);
+            const std::int64_t queued = loads_done - now;
+            ready = now + static_cast<std::int64_t>(
+                              std::ceil(queued * 2.0 / bits_per_value));
+          }
+          if (ready > now) {
+            t.stall_cycles += ready - now;
+            now = ready;
+          }
+          break;
+        }
+        case Opcode::kGenExec: {
+          const std::int64_t start = std::max(now, compute_free);
+          t.stall_cycles += start - now;
+          now = start;
+          const std::int64_t cost =
+              inst.arg0 + (hw_.pipeline_stage ? 1 : 0);
+          compute_free = now + cost;
+          now = compute_free;
+          t.compute_cycles += cost;
+          break;
+        }
+        case Opcode::kNearMemAcc:
+        case Opcode::kNearMemBn: {
+          const auto cost = static_cast<std::int64_t>(
+              std::ceil(2.0 * inst.arg0 / lanes));
+          now += cost;
+          t.nearmem_cycles += cost;
+          break;
+        }
+        case Opcode::kPool:
+        case Opcode::kStoreOut:
+          now += 1;
+          break;
+        case Opcode::kNop:
+          now += 1;
+          break;
+        case Opcode::kHalt:
+          break;
+      }
+    }
+    now = std::max(now, ext_free);
+  }
+  t.cycles = now;
+  return t;
+}
+
+}  // namespace geo::arch

@@ -1,0 +1,40 @@
+// ProgramTimer: executes a compiled GEO instruction stream against the
+// hardware configuration, cycle by cycle, modeling the overlap between the
+// buffer-fill port and the compute engine (ping-pong banks + shadow
+// buffers). This makes the ISA load-bearing: the analytical PerfSim and the
+// instruction-level timing must agree (tested), mirroring the paper's
+// "performance simulator ... with a compiled code representing the given
+// network model".
+#pragma once
+
+#include <cstdint>
+
+#include "arch/hw_config.hpp"
+#include "arch/isa.hpp"
+
+namespace geo::arch {
+
+struct ProgramTiming {
+  std::int64_t cycles = 0;          // end-to-end cycles for one iteration
+  std::int64_t compute_cycles = 0;  // GenExec time
+  std::int64_t load_cycles = 0;     // fill-port busy time
+  std::int64_t stall_cycles = 0;    // compute waiting on loads
+  std::int64_t nearmem_cycles = 0;
+  std::int64_t ext_cycles = 0;      // external-memory streaming (overlapped)
+};
+
+class ProgramTimer {
+ public:
+  explicit ProgramTimer(const HwConfig& hw) : hw_(hw) {}
+
+  // Times one iteration of the program (one pass of a layer kernel).
+  // `iterations` repeats it back-to-back, carrying shadow-buffer prefetch
+  // across iterations, which is how the compiler's per-layer programs are
+  // meant to run (the plan's pass count).
+  ProgramTiming time(const Program& program, std::int64_t iterations = 1) const;
+
+ private:
+  HwConfig hw_;
+};
+
+}  // namespace geo::arch

@@ -1,0 +1,81 @@
+#include "arch/report.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace geo::arch {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::add_row(std::vector<std::string> row) {
+  row.resize(header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string Table::si(double v, int precision) {
+  const char* suffix = "";
+  double scaled = v;
+  if (std::abs(v) >= 1e9) {
+    scaled = v / 1e9;
+    suffix = "G";
+  } else if (std::abs(v) >= 1e6) {
+    scaled = v / 1e6;
+    suffix = "M";
+  } else if (std::abs(v) >= 1e3) {
+    scaled = v / 1e3;
+    suffix = "k";
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f%s", precision, scaled, suffix);
+  return buf;
+}
+
+std::string Table::percent(double fraction, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", precision, fraction * 100.0);
+  return buf;
+}
+
+std::string Table::render() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c)
+    widths[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << (c == 0 ? "| " : " | ");
+      os << row[c];
+      os << std::string(widths[c] - row[c].size(), ' ');
+    }
+    os << " |\n";
+  };
+  emit(header_);
+  os << '|';
+  for (std::size_t c = 0; c < header_.size(); ++c)
+    os << std::string(widths[c] + 2, '-') << '|';
+  os << '\n';
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+void Table::print() const { std::fputs(render().c_str(), stdout); }
+
+std::string bar(double value, double max, int width) {
+  if (max <= 0) return {};
+  const int n = static_cast<int>(std::lround(value / max * width));
+  return std::string(static_cast<std::size_t>(std::clamp(n, 0, width)), '#');
+}
+
+}  // namespace geo::arch

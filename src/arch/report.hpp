@@ -1,0 +1,32 @@
+// Plain-text table / bar-chart rendering for the bench harnesses.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace geo::arch {
+
+// Fixed-width table with a header row; columns auto-sized.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+
+  // Convenience for numeric cells.
+  static std::string num(double v, int precision = 2);
+  static std::string si(double v, int precision = 1);  // 14k, 3.2M, ...
+  static std::string percent(double fraction, int precision = 1);
+
+  std::string render() const;
+  void print() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Horizontal ASCII bar scaled to `width` characters at value `max`.
+std::string bar(double value, double max, int width = 40);
+
+}  // namespace geo::arch

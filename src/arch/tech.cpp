@@ -1,0 +1,57 @@
+#include "arch/tech.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace geo::arch {
+
+double area_scale(double from_nm, double to_nm) {
+  const double r = to_nm / from_nm;
+  return r * r;  // area tracks feature size squared
+}
+
+double energy_scale(double from_nm, double to_nm) {
+  // Energy per operation shrinks a little slower than linearly with feature
+  // size in the post-Dennard nodes the paper spans (65 -> 28 nm).
+  return std::pow(to_nm / from_nm, 1.3);
+}
+
+double delay_scale(double from_nm, double to_nm) {
+  return std::pow(to_nm / from_nm, 0.7);
+}
+
+double dynamic_energy_scale(double v, double v_nominal) {
+  const double r = v / v_nominal;
+  return r * r;
+}
+
+double leakage_power_scale(double v, double v_nominal) {
+  return std::pow(v / v_nominal, 3.0);
+}
+
+double gate_delay_scale(const TechParams& tech, double v) {
+  const double nominal = tech.vdd_nominal /
+                         std::pow(tech.vdd_nominal - tech.vth, tech.alpha);
+  const double at_v = v / std::pow(v - tech.vth, tech.alpha);
+  return at_v / nominal;
+}
+
+double min_vdd_for_delay(const TechParams& tech, double nominal_delay,
+                         double target_delay) {
+  if (nominal_delay >= target_delay) return tech.vdd_nominal;
+  // Binary-search the alpha-power law; the floor keeps us out of
+  // near-threshold territory the model is not meant for.
+  const double floor_v = tech.vth + 0.2;
+  double lo = floor_v, hi = tech.vdd_nominal;
+  for (int i = 0; i < 60; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    const double d = nominal_delay * gate_delay_scale(tech, mid);
+    if (d <= target_delay)
+      hi = mid;
+    else
+      lo = mid;
+  }
+  return std::max(hi, floor_v);
+}
+
+}  // namespace geo::arch

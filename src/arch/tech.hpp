@@ -1,0 +1,54 @@
+// Technology parameters and scaling models.
+//
+// The paper synthesizes blocks in a commercial 28 nm HVT library, models
+// memories with CACTI 6.5 [28], scales foreign numbers with Stillmaker-Baas
+// equations [31], and harvests pipeline timing slack as voltage scaling
+// (0.9 V -> 0.81 V at 400 MHz). We reproduce those mechanisms with a
+// gate-equivalent model whose constants are calibrated to the published
+// GEO-ULP and GEO-LP design points (see DESIGN.md "Calibration policy").
+#pragma once
+
+namespace geo::arch {
+
+struct TechParams {
+  double node_nm = 28.0;
+  double vdd_nominal = 0.9;  // V
+  double vth = 0.42;         // V (HVT)
+  double alpha = 1.35;       // alpha-power-law velocity-saturation exponent
+
+  // Gate-equivalent (NAND2) unit constants at nominal voltage.
+  double ge_area_um2 = 0.49;   // layout area per GE
+  // Switching energy per GE per active cycle, including local wiring load;
+  // calibrated so GEO ULP lands at the paper's ~48 mW / 305k frames/J point.
+  double ge_energy_fj = 3.9;
+  double ge_leak_nw = 0.55;    // HVT leakage power per GE
+  double ge_delay_ps = 32.0;   // loaded gate delay
+
+  // Block-level layout overhead (routing, clock tree, control) applied on
+  // top of raw GE area. Calibrated against the published 0.58 mm2 ULP /
+  // 9.2 mm2 LP totals.
+  double layout_overhead = 1.35;
+
+  static TechParams hvt28() { return {}; }
+};
+
+// Stillmaker-Baas-style inter-node scaling factors (ratios applied to a
+// quantity known at `from_nm` to estimate it at `to_nm`).
+double area_scale(double from_nm, double to_nm);
+double energy_scale(double from_nm, double to_nm);
+double delay_scale(double from_nm, double to_nm);
+
+// Voltage scaling at fixed frequency: dynamic energy ~ V^2; leakage power
+// drops slightly super-linearly with V (DIBL); gate delay follows the
+// alpha-power law d ~ V / (V - Vth)^alpha.
+double dynamic_energy_scale(double v, double v_nominal);
+double leakage_power_scale(double v, double v_nominal);
+double gate_delay_scale(const TechParams& tech, double v);
+
+// Largest supply voltage (>= some floor) at which logic with `nominal_delay`
+// paths still meets `target_delay`, per the alpha-power law. Returns
+// vdd_nominal when no slack exists.
+double min_vdd_for_delay(const TechParams& tech, double nominal_delay,
+                         double target_delay);
+
+}  // namespace geo::arch

@@ -1,0 +1,30 @@
+// Critical-path timing and the Sec. III-D pipeline / DVFS optimization.
+//
+// The unpipelined critical path runs LFSR -> SNG comparator -> SC MAC ->
+// partial-binary accumulation -> output counter. Inserting a pipeline stage
+// between the SC MAC and the partial-binary stage cuts it by >30%; the
+// recovered slack is spent lowering the supply voltage at a fixed 400 MHz.
+#pragma once
+
+#include "arch/hw_config.hpp"
+#include "arch/tech.hpp"
+
+namespace geo::arch {
+
+struct TimingReport {
+  double unpipelined_ns = 0;   // full path at nominal voltage
+  double stage1_ns = 0;        // LFSR..SC MAC (with pipeline stage)
+  double stage2_ns = 0;        // partial-binary acc..counter
+  double pipelined_ns = 0;     // max(stage1, stage2)
+  double critical_path_cut = 0;  // 1 - pipelined/unpipelined
+  double achievable_vdd = 0;   // lowest V meeting the clock with pipelining
+  double clock_period_ns = 0;
+};
+
+TimingReport analyze_timing(const HwConfig& hw, const TechParams& tech);
+
+// Convenience: the vdd the design point runs at (nominal without the
+// pipeline stage, DVFS-lowered with it, never below what the clock allows).
+double operating_vdd(const HwConfig& hw, const TechParams& tech);
+
+}  // namespace geo::arch

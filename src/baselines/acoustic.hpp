@@ -1,0 +1,57 @@
+// ACOUSTIC [5] comparison point: an all-OR, split-unipolar SC accelerator
+// sized to the same memory and compute as GEO, with none of GEO's
+// generation/execution optimizations and longer streams to stay close to
+// iso-accuracy (Sec. IV). Reuses the GEO performance simulator with the
+// optimizations disabled — the same methodology the paper uses ("we use the
+// same simulation framework, ensuring consistent results").
+#pragma once
+
+#include "arch/perf_sim.hpp"
+#include "nn/sc_config.hpp"
+
+namespace geo::baselines {
+
+class AcousticModel {
+ public:
+  // ULP-class instance at the given stream length (paper uses 128/256).
+  static AcousticModel ulp(int stream_len = 128) {
+    return AcousticModel(arch::HwConfig::acoustic_ulp(stream_len));
+  }
+
+  static AcousticModel lp(int stream_len = 256) {
+    return AcousticModel(arch::HwConfig::acoustic_lp(stream_len));
+  }
+
+  explicit AcousticModel(const arch::HwConfig& hw) : sim_(hw) {}
+
+  arch::PerfResult run(const arch::NetworkShape& net) const {
+    return sim_.simulate(net);
+  }
+
+  double area_mm2() const {
+    return arch::accelerator_area(sim_.hw(), arch::TechParams::hvt28())
+        .total();
+  }
+
+  double peak_gops() const { return sim_.peak_gops(); }
+  double peak_tops_per_watt() const { return sim_.peak_tops_per_watt(); }
+
+  const arch::PerfSim& sim() const { return sim_; }
+
+  // The accuracy-model configuration matching this hardware: all-OR
+  // accumulation with unshared generation (ACOUSTIC does not co-train for
+  // shared deterministic seeds).
+  nn::ScModelConfig nn_config() const {
+    nn::ScModelConfig c = nn::ScModelConfig::stochastic(
+        sim_.hw().stream_len_pool, sim_.hw().stream_len);
+    c.accum = nn::AccumMode::kOr;
+    c.sharing = sc::Sharing::kNone;
+    c.rng = sc::RngKind::kLfsr;
+    return c;
+  }
+
+ private:
+  arch::PerfSim sim_;
+};
+
+}  // namespace geo::baselines

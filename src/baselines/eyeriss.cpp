@@ -1,0 +1,85 @@
+#include "baselines/eyeriss.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace geo::baselines {
+
+double EyerissModel::area_mm2() const {
+  // Per-PE footprint (datapath + RF + NoC + control share), anchored to the
+  // real Eyeriss chip scaled to 28 nm (12.25 mm2 / 168 PEs at 65 nm ->
+  // ~13.5k um2/PE at 8 bits) with a ~(bits)^1.8 width scaling. Reproduces
+  // the paper's iso-area points: 0.59 mm2 (100 4-bit PEs + 108 KB) and
+  // 9.3 mm2 (256 8-bit PEs + 512 KB + DRAM PHY).
+  const double pe_um2 =
+      3800.0 * std::pow(static_cast<double>(cfg_.bits) / 4.0, 1.8);
+  const double logic_mm2 = cfg_.pe_count * pe_um2 * 1e-6;
+  const double buffer_mm2 =
+      arch::SramModel{static_cast<double>(cfg_.buffer_kb), 64, 4}.area_mm2();
+  const double phy = cfg_.external_memory
+                         ? arch::ExternalMemoryModel{}.phy_area_mm2
+                         : 0.0;
+  return logic_mm2 + buffer_mm2 + phy;
+}
+
+double EyerissModel::peak_gops() const {
+  return 2.0 * cfg_.pe_count * cfg_.clock_mhz * 1e6 / 1e9;
+}
+
+double EyerissModel::peak_tops_per_watt() const {
+  const double power =
+      cfg_.pe_count * mac_energy_j() * cfg_.clock_mhz * 1e6;
+  return peak_gops() / 1e3 / power;
+}
+
+double EyerissModel::utilization(const arch::ConvShape& shape) const {
+  if (shape.hin == 1 && shape.win == 1) return 0.30;  // FC underutilization
+  // Row-stationary maps kernel rows x output rows onto the array; small
+  // layers strand PEs.
+  const double work = static_cast<double>(shape.kh) * shape.hout();
+  const double array_rows = std::sqrt(static_cast<double>(cfg_.pe_count));
+  const double fit = std::min(1.0, work / array_rows);
+  return std::clamp(0.55 + 0.35 * fit, 0.3, 0.9);
+}
+
+double EyerissModel::mac_energy_j() const {
+  // Bits-squared datapath energy plus reuse-hierarchy overhead (RF, NoC,
+  // buffer). Calibrated to the paper's frames/J anchors: 115k Fr/J on
+  // CNN-4/CIFAR at 4 bits, 618 Fr/J on VGG at 8 bits (note the paper's
+  // printed power row is not consistent with its own Fr/J row; we anchor on
+  // the Fr/J values the headline ratios are computed from).
+  const double datapath_pj = 0.10 * (cfg_.bits * cfg_.bits) / 16.0;
+  const double hierarchy_pj =
+      1.1 * std::pow(static_cast<double>(cfg_.bits) / 4.0, 1.5);
+  return (datapath_pj + hierarchy_pj) * 1e-12 *
+         arch::dynamic_energy_scale(cfg_.vdd, tech_.vdd_nominal);
+}
+
+EyerissResult EyerissModel::run(const arch::NetworkShape& net) const {
+  EyerissResult r;
+  double energy = 0.0;
+  double ext_seconds = 0.0;
+  const arch::ExternalMemoryModel ext;
+  for (const auto& layer : net.layers) {
+    const double macs = static_cast<double>(layer.macs());
+    r.cycles += macs / (cfg_.pe_count * utilization(layer));
+    energy += macs * mac_energy_j();
+    if (cfg_.external_memory) {
+      const double bytes =
+          static_cast<double>(layer.weights()) * cfg_.bits / 8.0;
+      energy += ext.access_energy_pj(bytes * 8.0) * 1e-12;
+      ext_seconds += ext.transfer_seconds(bytes);
+    }
+  }
+  r.seconds =
+      std::max(r.cycles / (cfg_.clock_mhz * 1e6), ext_seconds);
+  // Leakage / static overhead: ~12% of dynamic at this design point.
+  energy *= 1.12;
+  r.frames_per_second = 1.0 / r.seconds;
+  r.energy_per_frame_j = energy;
+  r.frames_per_joule = 1.0 / energy;
+  r.average_power_w = energy / r.seconds;
+  return r;
+}
+
+}  // namespace geo::baselines

@@ -1,0 +1,72 @@
+// Eyeriss-style fixed-point baseline [25], scaled to 4/8-bit precision and
+// 28 nm, sized for iso-area comparison with GEO (Sec. IV). An analytical
+// row-stationary model: throughput from PE count and per-layer utilization,
+// energy from a bits-scaled per-MAC cost plus external-memory traffic.
+#pragma once
+
+#include "arch/compiler.hpp"
+#include "arch/memory_model.hpp"
+#include "arch/tech.hpp"
+
+namespace geo::baselines {
+
+struct EyerissConfig {
+  int pe_count = 100;
+  unsigned bits = 4;
+  int buffer_kb = 108;
+  double clock_mhz = 400.0;
+  double vdd = 0.9;
+  bool external_memory = false;
+
+  // Iso-area counterpart of GEO-ULP (paper: 0.59 mm2, 20 mW, 80 GOPS peak).
+  static EyerissConfig ulp_4bit() { return {}; }
+
+  // Iso-area counterpart of GEO-LP (paper: 9.3 mm2, 848 mW, 204 GOPS peak).
+  static EyerissConfig lp_8bit() {
+    EyerissConfig c;
+    c.pe_count = 256;
+    c.bits = 8;
+    c.buffer_kb = 512;
+    c.external_memory = true;
+    return c;
+  }
+};
+
+struct EyerissResult {
+  double cycles = 0;
+  double seconds = 0;
+  double frames_per_second = 0;
+  double energy_per_frame_j = 0;
+  double frames_per_joule = 0;
+  double average_power_w = 0;
+};
+
+class EyerissModel {
+ public:
+  explicit EyerissModel(const EyerissConfig& cfg,
+                        const arch::TechParams& tech =
+                            arch::TechParams::hvt28())
+      : cfg_(cfg), tech_(tech) {}
+
+  double area_mm2() const;
+  double peak_gops() const;  // 2 ops/MAC * PEs * f
+  double peak_tops_per_watt() const;
+
+  // Row-stationary utilization for a layer (convs map well; FC layers
+  // under-utilize the array, as in the original design).
+  double utilization(const arch::ConvShape& shape) const;
+
+  // Energy of one MAC including the local-reuse hierarchy (RF + NoC +
+  // buffer), excluding external memory.
+  double mac_energy_j() const;
+
+  EyerissResult run(const arch::NetworkShape& net) const;
+
+  const EyerissConfig& config() const { return cfg_; }
+
+ private:
+  EyerissConfig cfg_;
+  arch::TechParams tech_;
+};
+
+}  // namespace geo::baselines

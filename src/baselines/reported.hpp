@@ -1,0 +1,44 @@
+// Published numbers for comparison points we cannot re-simulate (the paper
+// also quotes these works' self-reported results): SCOPE [2], SM-SC [1],
+// Conv-RAM [32], MDL-CNN [33]. All values as printed in Tables I-III of the
+// GEO paper, already scaled to 28 nm where the paper did so.
+#pragma once
+
+namespace geo::baselines::reported {
+
+struct ReportedPoint {
+  const char* name;
+  double voltage_v;
+  double area_mm2;
+  double power_mw;
+  double clock_mhz;
+  double peak_gops;
+  double peak_tops_per_watt;
+};
+
+// Table II comparison points (mixed-signal / in-memory, ULP class).
+inline constexpr ReportedPoint kConvRam{
+    "Conv-RAM [32]", 0.9, 0.02, 0.016, 364, 10.7, 44.2};
+inline constexpr ReportedPoint kMdlCnn{
+    "MDL-CNN [33]", 0.537, 0.06, 0.02, 25, 0.365, 18.2};
+
+// Table III comparison points (LP class).
+inline constexpr ReportedPoint kSmSc{
+    "SM-SC [1]", 0.9, 0.0, 0.0, 1536, 1700, 0.92};
+inline constexpr ReportedPoint kScope{
+    "SCOPE [2]", 0.0, 273.0, 0.0, 200, 7100, 0.0};
+
+// Accuracy rows of Table I reported by the respective papers.
+inline constexpr double kScopeLenetAccuracy = 0.993;      // MNIST, 128-bit
+inline constexpr double kConvRamLenetAccuracy = 0.96;     // MNIST, 7a1w
+inline constexpr double kMdlCnnLenetAccuracy = 0.984;     // MNIST, 4a1w
+inline constexpr double kSmScCifarAccuracy = 0.80;        // CIFAR-10, 128-bit
+
+// Frame rates the paper lists for the mixed-signal points on LeNet-5-class
+// CNNs (Table II).
+inline constexpr double kConvRamLenetFps = 15e3;
+inline constexpr double kConvRamLenetFpj = 117e6;
+inline constexpr double kMdlCnnLenetFps = 1e3;
+inline constexpr double kMdlCnnLenetFpj = 50e6;
+
+}  // namespace geo::baselines::reported

@@ -1,0 +1,29 @@
+#include "core/geo.hpp"
+
+#include "nn/models.hpp"
+
+namespace geo::core {
+
+GeoAccelerator::GeoAccelerator(GeoConfig config, const arch::TechParams& tech)
+    : config_(std::move(config)), tech_(tech), sim_(config_.hw, tech_) {}
+
+arch::AreaBreakdown GeoAccelerator::area() const {
+  return arch::accelerator_area(config_.hw, tech_);
+}
+
+arch::TimingReport GeoAccelerator::timing() const {
+  return arch::analyze_timing(config_.hw, tech_);
+}
+
+double GeoAccelerator::evaluate_accuracy(const std::string& model_name,
+                                         const nn::Dataset& train_set,
+                                         const nn::Dataset& test_set,
+                                         const nn::TrainOptions& options)
+    const {
+  nn::Sequential net = nn::make_model(model_name, train_set.channels(),
+                                      train_set.num_classes,
+                                      config_.nn_config(), /*init_seed=*/42);
+  return nn::train(net, train_set, test_set, options).test_accuracy;
+}
+
+}  // namespace geo::core

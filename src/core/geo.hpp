@@ -1,0 +1,64 @@
+// GeoAccelerator: the library's top-level facade.
+//
+// One object ties together the three views the paper evaluates:
+//   * hardware estimation — area breakdown, peak throughput, timing/DVFS
+//   * performance simulation — frames/s and energy/frame for a network shape
+//   * accuracy — bit-level SC training/inference via the nn substrate
+//
+// Quickstart:
+//   geo::core::GeoAccelerator acc(geo::core::GeoConfig::ulp(32, 64));
+//   auto perf = acc.run(geo::arch::NetworkShape::cnn4_cifar());
+//   auto area = acc.area();
+//   double acc_pct = acc.evaluate_accuracy("cnn4", train_set, test_set, opts);
+#pragma once
+
+#include <string>
+
+#include "arch/area_model.hpp"
+#include "arch/perf_sim.hpp"
+#include "arch/timing_model.hpp"
+#include "core/geo_config.hpp"
+#include "nn/dataset.hpp"
+#include "nn/trainer.hpp"
+
+namespace geo::core {
+
+class GeoAccelerator {
+ public:
+  explicit GeoAccelerator(GeoConfig config,
+                          const arch::TechParams& tech =
+                              arch::TechParams::hvt28());
+
+  const GeoConfig& config() const { return config_; }
+  const std::string& name() const { return config_.name; }
+
+  // --- hardware estimation -------------------------------------------------
+  arch::AreaBreakdown area() const;
+  arch::TimingReport timing() const;
+  double peak_gops() const { return sim_.peak_gops(); }
+  double peak_tops_per_watt() const { return sim_.peak_tops_per_watt(); }
+  double operating_vdd() const { return sim_.hw().vdd; }
+
+  // --- performance ---------------------------------------------------------
+  arch::PerfResult run(const arch::NetworkShape& net) const {
+    return sim_.simulate(net);
+  }
+  const arch::PerfSim& sim() const { return sim_; }
+
+  // --- accuracy ------------------------------------------------------------
+  // Builds the named model configured the way this accelerator computes,
+  // trains it stream-aware on `train_set`, and returns test accuracy in
+  // [0, 1]. Training cost is bit-level SC simulation: size datasets/epochs
+  // accordingly.
+  double evaluate_accuracy(const std::string& model_name,
+                           const nn::Dataset& train_set,
+                           const nn::Dataset& test_set,
+                           const nn::TrainOptions& options) const;
+
+ private:
+  GeoConfig config_;
+  arch::TechParams tech_;
+  arch::PerfSim sim_;
+};
+
+}  // namespace geo::core

@@ -1,0 +1,58 @@
+#include "core/geo_config.hpp"
+
+namespace geo::core {
+
+GeoConfig GeoConfig::ulp(int sp, int s) {
+  GeoConfig c;
+  c.name = "GEO ULP-" + std::to_string(sp) + "," + std::to_string(s);
+  c.hw = arch::HwConfig::ulp();
+  c.hw.stream_len_pool = sp;
+  c.hw.stream_len = s;
+  return c;
+}
+
+GeoConfig GeoConfig::lp(int sp, int s) {
+  GeoConfig c;
+  c.name = "GEO LP-" + std::to_string(sp) + "," + std::to_string(s);
+  c.hw = arch::HwConfig::lp();
+  c.hw.stream_len_pool = sp;
+  c.hw.stream_len = s;
+  return c;
+}
+
+GeoConfig GeoConfig::base_ulp() {
+  GeoConfig c;
+  c.name = "Base-128,128";
+  c.hw = arch::HwConfig::base_ulp();
+  return c;
+}
+
+GeoConfig GeoConfig::gen_ulp() {
+  GeoConfig c;
+  c.name = "GEO-GEN-128,128";
+  c.hw = arch::HwConfig::geo_gen_ulp();
+  return c;
+}
+
+GeoConfig GeoConfig::gen_exec_ulp() {
+  GeoConfig c;
+  c.name = "GEO-GEN-EXEC-32,64";
+  c.hw = arch::HwConfig::ulp();
+  c.hw.stream_len_pool = 32;
+  c.hw.stream_len = 64;
+  return c;
+}
+
+nn::ScModelConfig GeoConfig::nn_config() const {
+  nn::ScModelConfig c =
+      nn::ScModelConfig::stochastic(hw.stream_len_pool, hw.stream_len);
+  c.accum = hw.accum;
+  c.sharing = hw.sharing;
+  // A 16-bit unshared LFSR re-seeded per pass behaves like the paper's TRNG
+  // emulation; GEO proper uses deterministic stream-length-matched LFSRs.
+  c.rng = hw.lfsr_per_sng ? sc::RngKind::kTrng : sc::RngKind::kLfsr;
+  c.progressive = hw.progressive;
+  return c;
+}
+
+}  // namespace geo::core

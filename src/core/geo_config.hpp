@@ -1,0 +1,35 @@
+// User-facing configuration of a GEO accelerator instance: a hardware
+// design point plus the matching accuracy-model (training/inference)
+// configuration, kept consistent by construction.
+#pragma once
+
+#include <string>
+
+#include "arch/hw_config.hpp"
+#include "nn/sc_config.hpp"
+
+namespace geo::core {
+
+struct GeoConfig {
+  std::string name;
+  arch::HwConfig hw;
+
+  // --- factory methods for the paper's design points ----------------------
+
+  // GEO-ULP at stream lengths {sp, s} (e.g. ulp(32, 64) = "GEO ULP-32,64").
+  static GeoConfig ulp(int sp, int s);
+
+  // GEO-LP at stream lengths {sp, s}.
+  static GeoConfig lp(int sp, int s);
+
+  // Fig. 6 design points.
+  static GeoConfig base_ulp();      // Base-128,128
+  static GeoConfig gen_ulp();       // GEO-GEN-128,128
+  static GeoConfig gen_exec_ulp();  // GEO-GEN-EXEC-32,64
+
+  // The nn-side model configuration that trains/evaluates networks the way
+  // this hardware executes them.
+  nn::ScModelConfig nn_config() const;
+};
+
+}  // namespace geo::core

@@ -1,0 +1,167 @@
+#include "nn/dataset.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+#include <stdexcept>
+
+namespace geo::nn {
+
+namespace {
+
+constexpr int kSize = 12;  // all synthetic sets are 12x12
+
+// Classic 5x7 digit font, one row per string.
+constexpr const char* kGlyphs[10][7] = {
+    {"01110", "10001", "10011", "10101", "11001", "10001", "01110"},  // 0
+    {"00100", "01100", "00100", "00100", "00100", "00100", "01110"},  // 1
+    {"01110", "10001", "00001", "00010", "00100", "01000", "11111"},  // 2
+    {"11111", "00010", "00100", "00010", "00001", "10001", "01110"},  // 3
+    {"00010", "00110", "01010", "10010", "11111", "00010", "00010"},  // 4
+    {"11111", "10000", "11110", "00001", "00001", "10001", "01110"},  // 5
+    {"00110", "01000", "10000", "11110", "10001", "10001", "01110"},  // 6
+    {"11111", "00001", "00010", "00100", "01000", "01000", "01000"},  // 7
+    {"01110", "10001", "10001", "01110", "10001", "10001", "01110"},  // 8
+    {"01110", "10001", "10001", "01111", "00001", "00010", "01100"},  // 9
+};
+
+void add_noise(Tensor& images, float sigma, std::mt19937& rng) {
+  std::normal_distribution<float> noise(0.0f, sigma);
+  for (auto& v : images.data()) v = std::clamp(v + noise(rng), 0.0f, 1.0f);
+}
+
+void stamp_glyph(Tensor& images, int n, int channel, int digit, int oy,
+                 int ox, float intensity) {
+  for (int gy = 0; gy < 7; ++gy)
+    for (int gx = 0; gx < 5; ++gx) {
+      if (kGlyphs[digit][gy][gx] != '1') continue;
+      const int y = oy + gy, x = ox + gx;
+      if (y < 0 || y >= kSize || x < 0 || x >= kSize) continue;
+      float& px = images.at(n, channel, y, x);
+      px = std::min(1.0f, px + intensity);
+    }
+}
+
+}  // namespace
+
+Dataset make_digits(int count, std::uint32_t seed) {
+  std::mt19937 rng(seed);
+  Dataset d;
+  d.name = "digits";
+  d.images = Tensor({count, 1, kSize, kSize});
+  d.labels.resize(static_cast<std::size_t>(count));
+  std::uniform_int_distribution<int> digit(0, 9);
+  // +/-1 jitter around center: enough variation to prevent pixel lookup,
+  // small enough that laptop-scale training sets generalize.
+  std::uniform_int_distribution<int> off_y(1, 3);
+  std::uniform_int_distribution<int> off_x(2, 4);
+  std::uniform_real_distribution<float> inten(0.7f, 1.0f);
+  for (int n = 0; n < count; ++n) {
+    const int label = digit(rng);
+    d.labels[static_cast<std::size_t>(n)] = label;
+    stamp_glyph(d.images, n, 0, label, off_y(rng), off_x(rng), inten(rng));
+  }
+  add_noise(d.images, 0.08f, rng);
+  return d;
+}
+
+Dataset make_svhn_syn(int count, std::uint32_t seed) {
+  std::mt19937 rng(seed);
+  Dataset d;
+  d.name = "svhn_syn";
+  d.images = Tensor({count, 3, kSize, kSize});
+  d.labels.resize(static_cast<std::size_t>(count));
+  std::uniform_int_distribution<int> digit(0, 9);
+  std::uniform_int_distribution<int> off_y(1, 3);
+  std::uniform_int_distribution<int> off_x(2, 4);
+  std::uniform_real_distribution<float> unit(0.0f, 1.0f);
+  for (int n = 0; n < count; ++n) {
+    // Cluttered background: smooth gradient plus random blobs.
+    const float gx = unit(rng) * 0.3f, gy = unit(rng) * 0.3f;
+    const float base[3] = {unit(rng) * 0.35f, unit(rng) * 0.35f,
+                           unit(rng) * 0.35f};
+    for (int c = 0; c < 3; ++c)
+      for (int y = 0; y < kSize; ++y)
+        for (int x = 0; x < kSize; ++x)
+          d.images.at(n, c, y, x) = base[c] + gx * x / kSize + gy * y / kSize;
+    const int blobs = 1 + static_cast<int>(unit(rng) * 2);
+    for (int bidx = 0; bidx < blobs; ++bidx) {
+      const int by = static_cast<int>(unit(rng) * kSize);
+      const int bx = static_cast<int>(unit(rng) * kSize);
+      const float amp = unit(rng) * 0.22f;
+      const int c = static_cast<int>(unit(rng) * 3);
+      for (int y = std::max(0, by - 2); y < std::min(kSize, by + 2); ++y)
+        for (int x = std::max(0, bx - 2); x < std::min(kSize, bx + 2); ++x)
+          d.images.at(n, c, y, x) =
+              std::min(1.0f, d.images.at(n, c, y, x) + amp);
+    }
+    // Foreground digit in a random (bright-ish) color.
+    const int label = digit(rng);
+    d.labels[static_cast<std::size_t>(n)] = label;
+    const int oy = off_y(rng), ox = off_x(rng);
+    for (int c = 0; c < 3; ++c) {
+      const float inten = 0.60f + 0.40f * unit(rng);
+      stamp_glyph(d.images, n, c, label, oy, ox, inten);
+    }
+  }
+  add_noise(d.images, 0.08f, rng);
+  return d;
+}
+
+Dataset make_cifar_syn(int count, std::uint32_t seed) {
+  std::mt19937 rng(seed);
+  Dataset d;
+  d.name = "cifar_syn";
+  d.images = Tensor({count, 3, kSize, kSize});
+  d.labels.resize(static_cast<std::size_t>(count));
+  std::uniform_int_distribution<int> cls(0, 9);
+  std::uniform_real_distribution<float> unit(0.0f, 1.0f);
+  std::uniform_int_distribution<int> jitter(-1, 1);
+  for (int n = 0; n < count; ++n) {
+    const int label = cls(rng);
+    d.labels[static_cast<std::size_t>(n)] = label;
+    const float fg[3] = {0.4f + 0.6f * unit(rng), 0.4f + 0.6f * unit(rng),
+                         0.4f + 0.6f * unit(rng)};
+    const float bg = unit(rng) * 0.3f;
+    const int cy = kSize / 2 + jitter(rng), cx = kSize / 2 + jitter(rng);
+    const float r1 = 2.5f + unit(rng) * 1.5f;
+    for (int c = 0; c < 3; ++c)
+      for (int y = 0; y < kSize; ++y)
+        for (int x = 0; x < kSize; ++x) {
+          const float dy = static_cast<float>(y - cy);
+          const float dx = static_cast<float>(x - cx);
+          const float r = std::sqrt(dy * dy + dx * dx);
+          bool on = false;
+          switch (label) {
+            case 0: on = r < r1; break;                           // disk
+            case 1: on = r < r1 + 1.2f && r > r1 - 1.2f; break;   // ring
+            case 2:                                               // cross
+              on = std::abs(dy) < 1.3f || std::abs(dx) < 1.3f;
+              break;
+            case 3: on = dy > 0 && std::abs(dx) < dy; break;      // triangle
+            case 4: on = (y / 2) % 2 == 0; break;                 // h-stripes
+            case 5: on = (x / 2) % 2 == 0; break;                 // v-stripes
+            case 6: on = ((x + y) / 2) % 2 == 0; break;           // diagonal
+            case 7: on = ((x / 2) + (y / 2)) % 2 == 0; break;     // checker
+            case 8:                                               // square
+              on = std::abs(dy) < r1 * 0.8f && std::abs(dx) < r1 * 0.8f;
+              break;
+            case 9:                                               // corners
+              on = (y < 4 || y >= kSize - 4) && (x < 4 || x >= kSize - 4);
+              break;
+          }
+          d.images.at(n, c, y, x) = on ? fg[c] : bg;
+        }
+  }
+  add_noise(d.images, 0.14f, rng);
+  return d;
+}
+
+Dataset make_dataset(const std::string& name, int count, std::uint32_t seed) {
+  if (name == "digits") return make_digits(count, seed);
+  if (name == "svhn") return make_svhn_syn(count, seed);
+  if (name == "cifar") return make_cifar_syn(count, seed);
+  throw std::invalid_argument("make_dataset: unknown dataset " + name);
+}
+
+}  // namespace geo::nn

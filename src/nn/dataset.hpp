@@ -1,0 +1,46 @@
+// Synthetic datasets standing in for MNIST / SVHN / CIFAR-10.
+//
+// The evaluation machines carry no image corpora, so each paper dataset is
+// replaced by a seeded procedural generator of matched *relative* difficulty
+// (digits < svhn_syn < cifar_syn). Every accuracy claim reproduced from the
+// paper is a delta between SC configurations, which depends on the stochastic
+// arithmetic, not on the dataset identity; see DESIGN.md "Substitutions".
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nn/tensor.hpp"
+
+namespace geo::nn {
+
+struct Dataset {
+  std::string name;
+  Tensor images;            // (N, C, H, W), values in [0, 1]
+  std::vector<int> labels;  // N entries in [0, num_classes)
+  int num_classes = 10;
+
+  int count() const { return images.dim(0); }
+  int channels() const { return images.dim(1); }
+  int height() const { return images.dim(2); }
+  int width() const { return images.dim(3); }
+};
+
+// MNIST stand-in: grayscale 12x12 digit glyphs with position jitter,
+// intensity jitter and Gaussian noise.
+Dataset make_digits(int count, std::uint32_t seed);
+
+// SVHN stand-in: 12x12 RGB digit glyphs in random colors over cluttered
+// backgrounds (gradients + blobs) with noise.
+Dataset make_svhn_syn(int count, std::uint32_t seed);
+
+// CIFAR-10 stand-in: 12x12 RGB textured-shape classes (disk, ring, cross,
+// stripes, checker, ...) with heavy appearance variation — the hardest of
+// the three.
+Dataset make_cifar_syn(int count, std::uint32_t seed);
+
+// Builds by name: "digits", "svhn", "cifar".
+Dataset make_dataset(const std::string& name, int count, std::uint32_t seed);
+
+}  // namespace geo::nn

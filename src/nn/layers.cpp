@@ -1,0 +1,377 @@
+#include "nn/layers.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace geo::nn {
+
+namespace {
+int conv_out_dim(int in, int kernel, int stride, int pad) {
+  return (in + 2 * pad - kernel) / stride + 1;
+}
+
+float quantize_sym(float v, unsigned bits, float scale) {
+  if (bits == 0 || scale <= 0.0f) return v;
+  const float levels = static_cast<float>(1 << (bits - 1));
+  const float q = std::round(v / scale * levels);
+  const float c = std::clamp(q, -levels, levels - 1.0f);
+  return c * scale / levels;
+}
+}  // namespace
+
+// ---------------------------------------------------------------- Conv2d
+
+Conv2d::Conv2d(int in_ch, int out_ch, int kernel, int stride, int pad,
+               std::mt19937& rng)
+    : in_ch_(in_ch),
+      out_ch_(out_ch),
+      kernel_(kernel),
+      stride_(stride),
+      pad_(pad),
+      weight_({out_ch, in_ch, kernel, kernel}) {
+  const float fan_in = static_cast<float>(in_ch * kernel * kernel);
+  const float bound = std::sqrt(6.0f / fan_in);
+  std::uniform_real_distribution<float> dist(-bound, bound);
+  for (auto& w : weight_.value.data()) w = dist(rng);
+}
+
+Tensor Conv2d::forward_float(const Tensor& x) const {
+  const int n = x.dim(0), h = x.dim(2), w = x.dim(3);
+  const int ho = conv_out_dim(h, kernel_, stride_, pad_);
+  const int wo = conv_out_dim(w, kernel_, stride_, pad_);
+  Tensor y({n, out_ch_, ho, wo});
+  for (int b = 0; b < n; ++b)
+    for (int oc = 0; oc < out_ch_; ++oc)
+      for (int oy = 0; oy < ho; ++oy)
+        for (int ox = 0; ox < wo; ++ox) {
+          float acc = 0.0f;
+          for (int ic = 0; ic < in_ch_; ++ic)
+            for (int ky = 0; ky < kernel_; ++ky) {
+              const int iy = oy * stride_ - pad_ + ky;
+              if (iy < 0 || iy >= h) continue;
+              for (int kx = 0; kx < kernel_; ++kx) {
+                const int ix = ox * stride_ - pad_ + kx;
+                if (ix < 0 || ix >= w) continue;
+                acc += x.at(b, ic, iy, ix) * weight_.value.at(oc, ic, ky, kx);
+              }
+            }
+          y.at(b, oc, oy, ox) = acc;
+        }
+  return y;
+}
+
+Tensor Conv2d::forward(const Tensor& x, bool /*train*/) {
+  input_ = x;
+  return forward_float(x);
+}
+
+Tensor Conv2d::backward(const Tensor& grad_out) {
+  const Tensor& x = input_;
+  const int n = x.dim(0), h = x.dim(2), w = x.dim(3);
+  const int ho = grad_out.dim(2), wo = grad_out.dim(3);
+  Tensor grad_in({n, in_ch_, h, w});
+  for (int b = 0; b < n; ++b)
+    for (int oc = 0; oc < out_ch_; ++oc)
+      for (int oy = 0; oy < ho; ++oy)
+        for (int ox = 0; ox < wo; ++ox) {
+          const float g = grad_out.at(b, oc, oy, ox);
+          if (g == 0.0f) continue;
+          for (int ic = 0; ic < in_ch_; ++ic)
+            for (int ky = 0; ky < kernel_; ++ky) {
+              const int iy = oy * stride_ - pad_ + ky;
+              if (iy < 0 || iy >= h) continue;
+              for (int kx = 0; kx < kernel_; ++kx) {
+                const int ix = ox * stride_ - pad_ + kx;
+                if (ix < 0 || ix >= w) continue;
+                weight_.grad.at(oc, ic, ky, kx) += g * x.at(b, ic, iy, ix);
+                grad_in.at(b, ic, iy, ix) +=
+                    g * weight_.value.at(oc, ic, ky, kx);
+              }
+            }
+        }
+  return grad_in;
+}
+
+// ---------------------------------------------------------------- Linear
+
+Linear::Linear(int in_features, int out_features, std::mt19937& rng)
+    : in_(in_features),
+      out_(out_features),
+      weight_({out_features, in_features}),
+      bias_({out_features}) {
+  const float bound = std::sqrt(6.0f / static_cast<float>(in_features));
+  std::uniform_real_distribution<float> dist(-bound, bound);
+  for (auto& w : weight_.value.data()) w = dist(rng);
+}
+
+Tensor Linear::forward_float(const Tensor& x) const {
+  const int n = x.dim(0);
+  Tensor y({n, out_});
+  for (int b = 0; b < n; ++b)
+    for (int o = 0; o < out_; ++o) {
+      float acc = bias_.value[static_cast<std::size_t>(o)];
+      for (int i = 0; i < in_; ++i)
+        acc += x.at(b, i) * weight_.value.at(o, i);
+      y.at(b, o) = acc;
+    }
+  return y;
+}
+
+Tensor Linear::forward(const Tensor& x, bool /*train*/) {
+  input_ = x;
+  return forward_float(x);
+}
+
+Tensor Linear::backward(const Tensor& grad_out) {
+  const int n = input_.dim(0);
+  Tensor grad_in({n, in_});
+  for (int b = 0; b < n; ++b)
+    for (int o = 0; o < out_; ++o) {
+      const float g = grad_out.at(b, o);
+      bias_.grad[static_cast<std::size_t>(o)] += g;
+      for (int i = 0; i < in_; ++i) {
+        weight_.grad.at(o, i) += g * input_.at(b, i);
+        grad_in.at(b, i) += g * weight_.value.at(o, i);
+      }
+    }
+  return grad_in;
+}
+
+// ---------------------------------------------------------------- ReLU
+
+Tensor ReLU::forward(const Tensor& x, bool /*train*/) {
+  input_ = x;
+  Tensor y = x;
+  for (auto& v : y.data()) v = std::max(v, 0.0f);
+  return y;
+}
+
+Tensor ReLU::backward(const Tensor& grad_out) {
+  Tensor g = grad_out;
+  for (std::size_t i = 0; i < g.size(); ++i)
+    if (input_[i] <= 0.0f) g[i] = 0.0f;
+  return g;
+}
+
+Tensor BoundedReLU::forward(const Tensor& x, bool /*train*/) {
+  input_ = x;
+  Tensor y = x;
+  for (auto& v : y.data()) v = std::clamp(v, 0.0f, 1.0f);
+  return y;
+}
+
+Tensor BoundedReLU::backward(const Tensor& grad_out) {
+  Tensor g = grad_out;
+  for (std::size_t i = 0; i < g.size(); ++i)
+    if (input_[i] <= 0.0f || input_[i] >= 1.0f) g[i] = 0.0f;
+  return g;
+}
+
+// ---------------------------------------------------------------- Pooling
+
+Tensor AvgPool2d::forward(const Tensor& x, bool /*train*/) {
+  in_shape_ = x.shape();
+  const int n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
+  const int ho = h / kernel_, wo = w / kernel_;
+  Tensor y({n, c, ho, wo});
+  const float inv = 1.0f / static_cast<float>(kernel_ * kernel_);
+  for (int b = 0; b < n; ++b)
+    for (int ch = 0; ch < c; ++ch)
+      for (int oy = 0; oy < ho; ++oy)
+        for (int ox = 0; ox < wo; ++ox) {
+          float acc = 0.0f;
+          for (int ky = 0; ky < kernel_; ++ky)
+            for (int kx = 0; kx < kernel_; ++kx)
+              acc += x.at(b, ch, oy * kernel_ + ky, ox * kernel_ + kx);
+          y.at(b, ch, oy, ox) = acc * inv;
+        }
+  return y;
+}
+
+Tensor AvgPool2d::backward(const Tensor& grad_out) {
+  Tensor g(in_shape_);
+  const int n = grad_out.dim(0), c = grad_out.dim(1);
+  const int ho = grad_out.dim(2), wo = grad_out.dim(3);
+  const float inv = 1.0f / static_cast<float>(kernel_ * kernel_);
+  for (int b = 0; b < n; ++b)
+    for (int ch = 0; ch < c; ++ch)
+      for (int oy = 0; oy < ho; ++oy)
+        for (int ox = 0; ox < wo; ++ox) {
+          const float v = grad_out.at(b, ch, oy, ox) * inv;
+          for (int ky = 0; ky < kernel_; ++ky)
+            for (int kx = 0; kx < kernel_; ++kx)
+              g.at(b, ch, oy * kernel_ + ky, ox * kernel_ + kx) += v;
+        }
+  return g;
+}
+
+Tensor MaxPool2d::forward(const Tensor& x, bool /*train*/) {
+  input_ = x;
+  const int n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
+  const int ho = h / kernel_, wo = w / kernel_;
+  Tensor y({n, c, ho, wo});
+  argmax_.assign(y.size(), 0);
+  std::size_t oi = 0;
+  for (int b = 0; b < n; ++b)
+    for (int ch = 0; ch < c; ++ch)
+      for (int oy = 0; oy < ho; ++oy)
+        for (int ox = 0; ox < wo; ++ox, ++oi) {
+          float best = -1e30f;
+          std::size_t best_idx = 0;
+          for (int ky = 0; ky < kernel_; ++ky)
+            for (int kx = 0; kx < kernel_; ++kx) {
+              const std::size_t idx =
+                  x.index(b, ch, oy * kernel_ + ky, ox * kernel_ + kx);
+              if (x[idx] > best) {
+                best = x[idx];
+                best_idx = idx;
+              }
+            }
+          y[oi] = best;
+          argmax_[oi] = best_idx;
+        }
+  return y;
+}
+
+Tensor MaxPool2d::backward(const Tensor& grad_out) {
+  Tensor g(input_.shape());
+  for (std::size_t i = 0; i < grad_out.size(); ++i)
+    g[argmax_[i]] += grad_out[i];
+  return g;
+}
+
+// ---------------------------------------------------------------- BatchNorm
+
+BatchNorm2d::BatchNorm2d(int channels, float momentum, float eps)
+    : channels_(channels),
+      momentum_(momentum),
+      eps_(eps),
+      gamma_({channels}),
+      beta_({channels}),
+      running_mean_({channels}),
+      running_var_({channels}, 1.0f) {
+  gamma_.value.fill(1.0f);
+}
+
+Tensor BatchNorm2d::forward(const Tensor& x, bool train) {
+  const int n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
+  assert(c == channels_);
+  const float count = static_cast<float>(n * h * w);
+  Tensor y({n, c, h, w});
+
+  if (train) {
+    input_ = x;
+    batch_mean_.assign(static_cast<std::size_t>(c), 0.0f);
+    batch_inv_std_.assign(static_cast<std::size_t>(c), 0.0f);
+    std::vector<float> var(static_cast<std::size_t>(c), 0.0f);
+    for (int b = 0; b < n; ++b)
+      for (int ch = 0; ch < c; ++ch)
+        for (int i = 0; i < h; ++i)
+          for (int j = 0; j < w; ++j)
+            batch_mean_[static_cast<std::size_t>(ch)] += x.at(b, ch, i, j);
+    for (auto& m : batch_mean_) m /= count;
+    for (int b = 0; b < n; ++b)
+      for (int ch = 0; ch < c; ++ch)
+        for (int i = 0; i < h; ++i)
+          for (int j = 0; j < w; ++j) {
+            const float d = x.at(b, ch, i, j) -
+                            batch_mean_[static_cast<std::size_t>(ch)];
+            var[static_cast<std::size_t>(ch)] += d * d;
+          }
+    for (auto& v : var) v /= count;
+    for (int ch = 0; ch < c; ++ch) {
+      batch_inv_std_[static_cast<std::size_t>(ch)] =
+          1.0f / std::sqrt(var[static_cast<std::size_t>(ch)] + eps_);
+      running_mean_[static_cast<std::size_t>(ch)] =
+          (1 - momentum_) * running_mean_[static_cast<std::size_t>(ch)] +
+          momentum_ * batch_mean_[static_cast<std::size_t>(ch)];
+      running_var_[static_cast<std::size_t>(ch)] =
+          (1 - momentum_) * running_var_[static_cast<std::size_t>(ch)] +
+          momentum_ * var[static_cast<std::size_t>(ch)];
+    }
+    xhat_ = Tensor({n, c, h, w});
+    for (int b = 0; b < n; ++b)
+      for (int ch = 0; ch < c; ++ch)
+        for (int i = 0; i < h; ++i)
+          for (int j = 0; j < w; ++j) {
+            const auto s = static_cast<std::size_t>(ch);
+            const float xh =
+                (x.at(b, ch, i, j) - batch_mean_[s]) * batch_inv_std_[s];
+            xhat_.at(b, ch, i, j) = xh;
+            y.at(b, ch, i, j) = gamma_.value[s] * xh + beta_.value[s];
+          }
+    return y;
+  }
+
+  // Inference: folded scale/shift, optionally quantized to the near-memory
+  // fixed-point precision.
+  for (int ch = 0; ch < c; ++ch) {
+    const auto s = static_cast<std::size_t>(ch);
+    const float inv_std = 1.0f / std::sqrt(running_var_[s] + eps_);
+    float scale = gamma_.value[s] * inv_std;
+    float shift = beta_.value[s] - running_mean_[s] * scale;
+    if (quant_bits_ != 0) {
+      // Fixed point with a per-channel power-of-two range (a barrel shift in
+      // hardware, as in GEO's near-memory BN MACs): pick the smallest 2^k
+      // covering the folded coefficients, then quantize the mantissas.
+      const float mag = std::max(std::abs(scale), std::abs(shift));
+      float range = 1.0f;
+      while (range < mag && range < 256.0f) range *= 2.0f;
+      scale = quantize_sym(scale, quant_bits_, range);
+      shift = quantize_sym(shift, quant_bits_, range);
+    }
+    for (int b = 0; b < n; ++b)
+      for (int i = 0; i < h; ++i)
+        for (int j = 0; j < w; ++j)
+          y.at(b, ch, i, j) = scale * x.at(b, ch, i, j) + shift;
+  }
+  return y;
+}
+
+Tensor BatchNorm2d::backward(const Tensor& grad_out) {
+  const int n = grad_out.dim(0), c = grad_out.dim(1);
+  const int h = grad_out.dim(2), w = grad_out.dim(3);
+  const float count = static_cast<float>(n * h * w);
+  Tensor grad_in({n, c, h, w});
+
+  for (int ch = 0; ch < c; ++ch) {
+    const auto s = static_cast<std::size_t>(ch);
+    float sum_g = 0.0f, sum_gx = 0.0f;
+    for (int b = 0; b < n; ++b)
+      for (int i = 0; i < h; ++i)
+        for (int j = 0; j < w; ++j) {
+          const float g = grad_out.at(b, ch, i, j);
+          sum_g += g;
+          sum_gx += g * xhat_.at(b, ch, i, j);
+        }
+    gamma_.grad[s] += sum_gx;
+    beta_.grad[s] += sum_g;
+    const float gamma = gamma_.value[s];
+    const float inv_std = batch_inv_std_[s];
+    for (int b = 0; b < n; ++b)
+      for (int i = 0; i < h; ++i)
+        for (int j = 0; j < w; ++j) {
+          const float g = grad_out.at(b, ch, i, j);
+          const float xh = xhat_.at(b, ch, i, j);
+          grad_in.at(b, ch, i, j) =
+              gamma * inv_std / count * (count * g - sum_g - xh * sum_gx);
+        }
+  }
+  return grad_in;
+}
+
+// ---------------------------------------------------------------- Flatten
+
+Tensor Flatten::forward(const Tensor& x, bool /*train*/) {
+  in_shape_ = x.shape();
+  const int n = x.dim(0);
+  return x.reshaped({n, static_cast<int>(x.size()) / n});
+}
+
+Tensor Flatten::backward(const Tensor& grad_out) {
+  return grad_out.reshaped(in_shape_);
+}
+
+}  // namespace geo::nn

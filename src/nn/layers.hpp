@@ -1,0 +1,192 @@
+// Neural-network layers with forward and backward passes.
+//
+// The float path trains the models; the SC-simulated path (sc_layers.hpp)
+// overrides the forward of Conv2d / Linear while reusing these backward
+// implementations — exactly the paper's scheme of SC forward guided by
+// floating-point backpropagation.
+#pragma once
+
+#include <memory>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "nn/tensor.hpp"
+
+namespace geo::nn {
+
+struct Param {
+  Tensor value;
+  Tensor grad;
+
+  explicit Param(std::vector<int> shape)
+      : value(shape), grad(std::move(shape)) {}
+};
+
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  // `train` selects batch statistics in BatchNorm; layers must store
+  // whatever they need for the following backward().
+  virtual Tensor forward(const Tensor& x, bool train) = 0;
+
+  // Consumes d(loss)/d(output), accumulates parameter gradients, returns
+  // d(loss)/d(input).
+  virtual Tensor backward(const Tensor& grad_out) = 0;
+
+  virtual std::vector<Param*> params() { return {}; }
+
+  // Non-trainable tensors that still belong to the model (e.g. BatchNorm
+  // running statistics); included in (de)serialization.
+  virtual std::vector<Tensor*> state() { return {}; }
+
+  virtual std::string name() const = 0;
+};
+
+class Conv2d : public Layer {
+ public:
+  // He-uniform initialized; `rng` makes initialization deterministic.
+  Conv2d(int in_ch, int out_ch, int kernel, int stride, int pad,
+         std::mt19937& rng);
+
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<Param*> params() override { return {&weight_}; }
+  std::string name() const override { return "conv2d"; }
+
+  int in_channels() const noexcept { return in_ch_; }
+  int out_channels() const noexcept { return out_ch_; }
+  int kernel() const noexcept { return kernel_; }
+  int stride() const noexcept { return stride_; }
+  int pad() const noexcept { return pad_; }
+
+  Param& weight() noexcept { return weight_; }
+  const Param& weight() const noexcept { return weight_; }
+
+ protected:
+  // Reference float convolution; also used by the SC subclass's backward.
+  Tensor forward_float(const Tensor& x) const;
+
+  int in_ch_, out_ch_, kernel_, stride_, pad_;
+  Param weight_;  // (out, in, k, k); no bias — BatchNorm follows every conv
+  Tensor input_;  // stored by forward for backward
+};
+
+class Linear : public Layer {
+ public:
+  Linear(int in_features, int out_features, std::mt19937& rng);
+
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<Param*> params() override { return {&weight_, &bias_}; }
+  std::string name() const override { return "linear"; }
+
+  int in_features() const noexcept { return in_; }
+  int out_features() const noexcept { return out_; }
+
+  Param& weight() noexcept { return weight_; }
+  Param& bias() noexcept { return bias_; }
+
+ protected:
+  Tensor forward_float(const Tensor& x) const;
+
+  int in_, out_;
+  Param weight_;  // (out, in)
+  Param bias_;    // (out)
+  Tensor input_;
+};
+
+class ReLU : public Layer {
+ public:
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string name() const override { return "relu"; }
+
+ private:
+  Tensor input_;
+};
+
+// ReLU clamped to [0, 1]: the hardware's activations are 8-bit unipolar
+// probabilities, so the training graph sees the same bound.
+class BoundedReLU : public Layer {
+ public:
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string name() const override { return "bounded_relu"; }
+
+ private:
+  Tensor input_;
+};
+
+class AvgPool2d : public Layer {
+ public:
+  explicit AvgPool2d(int kernel) : kernel_(kernel) {}
+
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string name() const override { return "avgpool2d"; }
+
+  int kernel() const noexcept { return kernel_; }
+
+ private:
+  int kernel_;
+  std::vector<int> in_shape_;
+};
+
+class MaxPool2d : public Layer {
+ public:
+  explicit MaxPool2d(int kernel) : kernel_(kernel) {}
+
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string name() const override { return "maxpool2d"; }
+
+ private:
+  int kernel_;
+  Tensor input_;
+  std::vector<std::size_t> argmax_;
+};
+
+class BatchNorm2d : public Layer {
+ public:
+  explicit BatchNorm2d(int channels, float momentum = 0.1f,
+                       float eps = 1e-5f);
+
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<Param*> params() override { return {&gamma_, &beta_}; }
+  std::vector<Tensor*> state() override {
+    return {&running_mean_, &running_var_};
+  }
+  std::string name() const override { return "batchnorm2d"; }
+
+  // GEO implements BN near-memory as an 8-bit fixed-point multiply-add
+  // (Sec. III-B); enabling this quantizes the folded scale/shift used at
+  // inference to `bits` bits.
+  void set_quantized(unsigned bits) { quant_bits_ = bits; }
+
+  int channels() const noexcept { return channels_; }
+
+ private:
+  int channels_;
+  float momentum_, eps_;
+  unsigned quant_bits_ = 0;  // 0 = float inference
+  Param gamma_, beta_;
+  Tensor running_mean_, running_var_;
+  // saved for backward
+  Tensor input_, xhat_;
+  std::vector<float> batch_mean_, batch_inv_std_;
+};
+
+class Flatten : public Layer {
+ public:
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string name() const override { return "flatten"; }
+
+ private:
+  std::vector<int> in_shape_;
+};
+
+}  // namespace geo::nn

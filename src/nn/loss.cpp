@@ -1,0 +1,56 @@
+#include "nn/loss.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace geo::nn {
+
+LossResult softmax_cross_entropy(const Tensor& logits,
+                                 std::span<const int> labels) {
+  const int n = logits.dim(0);
+  const int classes = logits.dim(1);
+  if (static_cast<std::size_t>(n) != labels.size())
+    throw std::invalid_argument("softmax_cross_entropy: batch mismatch");
+  LossResult out;
+  out.grad = Tensor({n, classes});
+  for (int b = 0; b < n; ++b) {
+    float maxv = logits.at(b, 0);
+    int argmax = 0;
+    for (int c = 1; c < classes; ++c)
+      if (logits.at(b, c) > maxv) {
+        maxv = logits.at(b, c);
+        argmax = c;
+      }
+    if (argmax == labels[static_cast<std::size_t>(b)]) ++out.correct;
+    double denom = 0.0;
+    for (int c = 0; c < classes; ++c)
+      denom += std::exp(static_cast<double>(logits.at(b, c) - maxv));
+    const int y = labels[static_cast<std::size_t>(b)];
+    const double logp =
+        static_cast<double>(logits.at(b, y) - maxv) - std::log(denom);
+    out.loss -= logp;
+    for (int c = 0; c < classes; ++c) {
+      const double p =
+          std::exp(static_cast<double>(logits.at(b, c) - maxv)) / denom;
+      out.grad.at(b, c) =
+          static_cast<float>((p - (c == y ? 1.0 : 0.0)) / n);
+    }
+  }
+  out.loss /= n;
+  return out;
+}
+
+int count_correct(const Tensor& logits, std::span<const int> labels) {
+  const int n = logits.dim(0);
+  const int classes = logits.dim(1);
+  int correct = 0;
+  for (int b = 0; b < n; ++b) {
+    int argmax = 0;
+    for (int c = 1; c < classes; ++c)
+      if (logits.at(b, c) > logits.at(b, argmax)) argmax = c;
+    if (argmax == labels[static_cast<std::size_t>(b)]) ++correct;
+  }
+  return correct;
+}
+
+}  // namespace geo::nn

@@ -1,0 +1,24 @@
+// Softmax cross-entropy loss.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "nn/tensor.hpp"
+
+namespace geo::nn {
+
+struct LossResult {
+  double loss = 0.0;      // mean over the batch
+  Tensor grad;            // d(loss)/d(logits), same shape as logits
+  int correct = 0;        // argmax hits
+};
+
+// logits: (N, classes); labels: N entries in [0, classes).
+LossResult softmax_cross_entropy(const Tensor& logits,
+                                 std::span<const int> labels);
+
+// Argmax accuracy without gradient computation.
+int count_correct(const Tensor& logits, std::span<const int> labels);
+
+}  // namespace geo::nn

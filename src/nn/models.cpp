@@ -1,0 +1,122 @@
+#include "nn/models.hpp"
+
+#include <random>
+#include <stdexcept>
+
+#include "nn/sc_layers.hpp"
+
+namespace geo::nn {
+
+namespace {
+
+// Helper that appends a conv of the right compute mode, followed by optional
+// pooling, then BN and bounded ReLU (the paper places pooling before BN and
+// activation on pooled layers, so BN sees pooled values — Sec. III-B).
+struct Builder {
+  Sequential& net;
+  const ScModelConfig& cfg;
+  std::mt19937 rng;
+  int layer_index = 0;
+
+  Builder(Sequential& net, const ScModelConfig& cfg, std::uint32_t seed)
+      : net(net), cfg(cfg), rng(seed) {}
+
+  void conv_block(int in_ch, int out_ch, int kernel, int pad, bool pool) {
+    const int stream = pool ? cfg.stream_len_pool : cfg.stream_len;
+    switch (cfg.mode) {
+      case ScModelConfig::Mode::kFloat:
+        net.add<Conv2d>(in_ch, out_ch, kernel, 1, pad, rng);
+        break;
+      case ScModelConfig::Mode::kFixedPoint:
+        net.add<QuantConv2d>(in_ch, out_ch, kernel, 1, pad, rng, cfg.fp_bits);
+        break;
+      case ScModelConfig::Mode::kStochastic:
+        net.add<ScConv2d>(in_ch, out_ch, kernel, 1, pad, rng,
+                          ScLayerConfig::from_model(cfg, stream, layer_index));
+        break;
+    }
+    ++layer_index;
+    if (pool) {
+      if (cfg.pool == ScModelConfig::PoolMode::kMax)
+        net.add<MaxPool2d>(2);
+      else
+        net.add<AvgPool2d>(2);
+    }
+    auto& bn = net.add<BatchNorm2d>(out_ch);
+    if (cfg.mode == ScModelConfig::Mode::kStochastic) bn.set_quantized(8);
+    net.add<BoundedReLU>();
+  }
+
+  // `output` marks the final classifier layer (always 128-bit streams).
+  void fc(int in, int out, bool output) {
+    const int stream = output ? cfg.stream_len_output : cfg.stream_len;
+    switch (cfg.mode) {
+      case ScModelConfig::Mode::kFloat:
+        net.add<Linear>(in, out, rng);
+        break;
+      case ScModelConfig::Mode::kFixedPoint:
+        net.add<QuantLinear>(in, out, rng, cfg.fp_bits);
+        break;
+      case ScModelConfig::Mode::kStochastic:
+        net.add<ScLinear>(in, out, rng,
+                          ScLayerConfig::from_model(cfg, stream, layer_index));
+        break;
+    }
+    ++layer_index;
+    if (!output) net.add<BoundedReLU>();
+  }
+};
+
+}  // namespace
+
+Sequential make_cnn4(int in_channels, int num_classes,
+                     const ScModelConfig& cfg, std::uint32_t init_seed) {
+  Sequential net;
+  Builder b(net, cfg, init_seed);
+  b.conv_block(in_channels, 8, 3, 1, /*pool=*/true);   // 12 -> 6
+  b.conv_block(8, 16, 3, 1, /*pool=*/true);            // 6 -> 3
+  b.conv_block(16, 32, 3, 1, /*pool=*/false);          // 3 -> 3
+  net.add<Flatten>();
+  b.fc(32 * 3 * 3, num_classes, /*output=*/true);
+  return net;
+}
+
+Sequential make_lenet5(int in_channels, int num_classes,
+                       const ScModelConfig& cfg, std::uint32_t init_seed) {
+  Sequential net;
+  Builder b(net, cfg, init_seed);
+  b.conv_block(in_channels, 6, 5, 2, /*pool=*/true);   // 12 -> 6
+  b.conv_block(6, 16, 3, 1, /*pool=*/true);            // 6 -> 3
+  net.add<Flatten>();
+  b.fc(16 * 3 * 3, 32, /*output=*/false);
+  b.fc(32, num_classes, /*output=*/true);
+  return net;
+}
+
+Sequential make_vgg_slim(int in_channels, int num_classes,
+                         const ScModelConfig& cfg, std::uint32_t init_seed) {
+  Sequential net;
+  Builder b(net, cfg, init_seed);
+  b.conv_block(in_channels, 8, 3, 1, /*pool=*/false);
+  b.conv_block(8, 8, 3, 1, /*pool=*/true);             // 12 -> 6
+  b.conv_block(8, 16, 3, 1, /*pool=*/false);
+  b.conv_block(16, 16, 3, 1, /*pool=*/true);           // 6 -> 3
+  b.conv_block(16, 32, 3, 1, /*pool=*/false);
+  b.conv_block(32, 32, 3, 1, /*pool=*/false);
+  net.add<Flatten>();
+  b.fc(32 * 3 * 3, 64, /*output=*/false);
+  b.fc(64, num_classes, /*output=*/true);
+  return net;
+}
+
+Sequential make_model(const std::string& name, int in_channels,
+                      int num_classes, const ScModelConfig& cfg,
+                      std::uint32_t init_seed) {
+  if (name == "cnn4") return make_cnn4(in_channels, num_classes, cfg, init_seed);
+  if (name == "lenet5")
+    return make_lenet5(in_channels, num_classes, cfg, init_seed);
+  if (name == "vgg") return make_vgg_slim(in_channels, num_classes, cfg, init_seed);
+  throw std::invalid_argument("make_model: unknown model " + name);
+}
+
+}  // namespace geo::nn

@@ -1,0 +1,40 @@
+// Model zoo: the paper's three topologies, scaled to the synthetic 12x12
+// datasets (the paper itself downscales VGG-16; see DESIGN.md).
+//
+// Each builder emits float, fixed-point (fake-quantized) or SC-simulated
+// compute layers according to the ScModelConfig. Stream lengths follow the
+// paper's {sp-s} convention: sp on layers followed by pooling (average
+// pooling with computation skipping), s elsewhere, and always 128 on the
+// output layer.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "nn/network.hpp"
+#include "nn/sc_config.hpp"
+
+namespace geo::nn {
+
+// CNN-4 [22]: three conv layers + one FC. Ours: conv3x3(C->8)+pool,
+// conv3x3(8->16)+pool, conv3x3(16->32), FC(288->10); BN before every ReLU.
+Sequential make_cnn4(int in_channels, int num_classes,
+                     const ScModelConfig& cfg, std::uint32_t init_seed);
+
+// LeNet-5-like [27]: conv5x5(1->6)+pool, conv3x3(6->16)+pool,
+// FC(144->32), FC(32->10).
+Sequential make_lenet5(int in_channels, int num_classes,
+                       const ScModelConfig& cfg, std::uint32_t init_seed);
+
+// VGG-16-slim [26]: six 3x3 conv layers in three blocks (8,8 / 16,16 /
+// 32,32) with pooling after each of the first two blocks, then
+// FC(288->64), FC(64->10) — the paper's downscaled-VGG spirit at our scale.
+Sequential make_vgg_slim(int in_channels, int num_classes,
+                         const ScModelConfig& cfg, std::uint32_t init_seed);
+
+// Builds by name: "cnn4", "lenet5", "vgg".
+Sequential make_model(const std::string& name, int in_channels,
+                      int num_classes, const ScModelConfig& cfg,
+                      std::uint32_t init_seed);
+
+}  // namespace geo::nn

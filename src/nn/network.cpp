@@ -1,0 +1,89 @@
+#include "nn/network.hpp"
+
+#include <cstdint>
+#include <fstream>
+
+namespace geo::nn {
+
+Tensor Sequential::forward(const Tensor& x, bool train) {
+  Tensor h = x;
+  for (auto& l : layers_) h = l->forward(h, train);
+  return h;
+}
+
+Tensor Sequential::backward(const Tensor& grad) {
+  Tensor g = grad;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it)
+    g = (*it)->backward(g);
+  return g;
+}
+
+std::vector<Param*> Sequential::params() {
+  std::vector<Param*> out;
+  for (auto& l : layers_)
+    for (Param* p : l->params()) out.push_back(p);
+  return out;
+}
+
+std::vector<Tensor*> Sequential::state() {
+  std::vector<Tensor*> out;
+  for (auto& l : layers_)
+    for (Tensor* t : l->state()) out.push_back(t);
+  return out;
+}
+
+void Sequential::zero_grad() {
+  for (Param* p : params()) p->grad.fill(0.0f);
+}
+
+namespace {
+constexpr std::uint32_t kMagic = 0x47454F4E;  // "GEON"
+}
+
+void Sequential::save(const std::string& path) const {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) return;
+  auto* self = const_cast<Sequential*>(this);
+  std::vector<const Tensor*> tensors;
+  for (const Param* p : self->params()) tensors.push_back(&p->value);
+  for (const Tensor* t : self->state()) tensors.push_back(t);
+  f.write(reinterpret_cast<const char*>(&kMagic), sizeof(kMagic));
+  const auto count = static_cast<std::uint32_t>(tensors.size());
+  f.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  for (const Tensor* t : tensors) {
+    const auto n = static_cast<std::uint64_t>(t->size());
+    f.write(reinterpret_cast<const char*>(&n), sizeof(n));
+    f.write(reinterpret_cast<const char*>(t->data().data()),
+            static_cast<std::streamsize>(n * sizeof(float)));
+  }
+}
+
+bool Sequential::load(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) return false;
+  std::uint32_t magic = 0, count = 0;
+  f.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  f.read(reinterpret_cast<char*>(&count), sizeof(count));
+  std::vector<Tensor*> tensors;
+  for (Param* p : params()) tensors.push_back(&p->value);
+  for (Tensor* t : state()) tensors.push_back(t);
+  if (!f || magic != kMagic || count != tensors.size()) return false;
+  for (Tensor* t : tensors) {
+    std::uint64_t n = 0;
+    f.read(reinterpret_cast<char*>(&n), sizeof(n));
+    if (!f || n != t->size()) return false;
+    f.read(reinterpret_cast<char*>(t->data().data()),
+           static_cast<std::streamsize>(n * sizeof(float)));
+    if (!f) return false;
+  }
+  return true;
+}
+
+std::size_t Sequential::parameter_count() const {
+  std::size_t n = 0;
+  auto* self = const_cast<Sequential*>(this);
+  for (const Param* p : self->params()) n += p->value.size();
+  return n;
+}
+
+}  // namespace geo::nn

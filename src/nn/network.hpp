@@ -1,0 +1,55 @@
+// Sequential network container with parameter (de)serialization.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/layers.hpp"
+
+namespace geo::nn {
+
+class Sequential {
+ public:
+  Sequential() = default;
+
+  template <typename L, typename... Args>
+  L& add(Args&&... args) {
+    auto layer = std::make_unique<L>(std::forward<Args>(args)...);
+    L& ref = *layer;
+    layers_.push_back(std::move(layer));
+    return ref;
+  }
+
+  void append(std::unique_ptr<Layer> layer) {
+    layers_.push_back(std::move(layer));
+  }
+
+  Tensor forward(const Tensor& x, bool train);
+
+  // Backpropagates d(loss)/d(logits); returns d(loss)/d(input).
+  Tensor backward(const Tensor& grad);
+
+  std::vector<Param*> params();
+
+  // Non-trainable model state (BatchNorm running statistics, ...).
+  std::vector<Tensor*> state();
+
+  void zero_grad();
+
+  std::size_t layer_count() const noexcept { return layers_.size(); }
+  Layer& layer(std::size_t i) { return *layers_[i]; }
+  const Layer& layer(std::size_t i) const { return *layers_[i]; }
+
+  // Binary parameter serialization (values only, shapes must match).
+  void save(const std::string& path) const;
+  bool load(const std::string& path);  // false if missing/incompatible
+
+  // Total number of trainable scalars.
+  std::size_t parameter_count() const;
+
+ private:
+  std::vector<std::unique_ptr<Layer>> layers_;
+};
+
+}  // namespace geo::nn

@@ -1,0 +1,68 @@
+#include "nn/optimizer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace geo::nn {
+
+void Optimizer::apply_clamp() {
+  if (!clamp_) return;
+  for (Param* p : params_)
+    for (auto& w : p->value.data()) w = std::clamp(w, clamp_lo_, clamp_hi_);
+}
+
+Sgd::Sgd(std::vector<Param*> params, float lr, float momentum)
+    : Optimizer(std::move(params)), lr_(lr), momentum_(momentum) {
+  velocity_.reserve(params_.size());
+  for (const Param* p : params_)
+    velocity_.emplace_back(p->value.size(), 0.0f);
+}
+
+void Sgd::step() {
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    Param& p = *params_[i];
+    auto& vel = velocity_[i];
+    for (std::size_t j = 0; j < p.value.size(); ++j) {
+      vel[j] = momentum_ * vel[j] + p.grad[j];
+      p.value[j] -= lr_ * vel[j];
+    }
+  }
+  apply_clamp();
+}
+
+Adam::Adam(std::vector<Param*> params, float lr, float beta1, float beta2,
+           float eps)
+    : Optimizer(std::move(params)),
+      lr_(lr),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const Param* p : params_) {
+    m_.emplace_back(p->value.size(), 0.0f);
+    v_.emplace_back(p->value.size(), 0.0f);
+  }
+}
+
+void Adam::step() {
+  ++t_;
+  const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
+  const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    Param& p = *params_[i];
+    auto& m = m_[i];
+    auto& v = v_[i];
+    for (std::size_t j = 0; j < p.value.size(); ++j) {
+      const float g = p.grad[j];
+      m[j] = beta1_ * m[j] + (1.0f - beta1_) * g;
+      v[j] = beta2_ * v[j] + (1.0f - beta2_) * g * g;
+      const float mhat = m[j] / bc1;
+      const float vhat = v[j] / bc2;
+      p.value[j] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+    }
+  }
+  apply_clamp();
+}
+
+}  // namespace geo::nn

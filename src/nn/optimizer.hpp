@@ -1,0 +1,57 @@
+// Optimizers. The paper trains with ADAM at an initial learning rate of 2e-3.
+#pragma once
+
+#include <vector>
+
+#include "nn/layers.hpp"
+
+namespace geo::nn {
+
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<Param*> params) : params_(std::move(params)) {}
+  virtual ~Optimizer() = default;
+
+  virtual void step() = 0;
+
+  // Clamps weights to [-lo, hi] after each step; SC values must stay in
+  // [-1, 1], so the trainers enable this for stochastic models.
+  void set_clamp(float lo, float hi) {
+    clamp_lo_ = lo;
+    clamp_hi_ = hi;
+    clamp_ = true;
+  }
+
+ protected:
+  void apply_clamp();
+
+  std::vector<Param*> params_;
+  bool clamp_ = false;
+  float clamp_lo_ = -1.0f, clamp_hi_ = 1.0f;
+};
+
+class Sgd final : public Optimizer {
+ public:
+  Sgd(std::vector<Param*> params, float lr, float momentum = 0.0f);
+  void step() override;
+
+ private:
+  float lr_, momentum_;
+  std::vector<std::vector<float>> velocity_;
+};
+
+class Adam final : public Optimizer {
+ public:
+  Adam(std::vector<Param*> params, float lr = 2e-3f, float beta1 = 0.9f,
+       float beta2 = 0.999f, float eps = 1e-8f);
+  void step() override;
+
+  void set_lr(float lr) { lr_ = lr; }
+
+ private:
+  float lr_, beta1_, beta2_, eps_;
+  long t_ = 0;
+  std::vector<std::vector<float>> m_, v_;
+};
+
+}  // namespace geo::nn

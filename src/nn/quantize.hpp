@@ -1,0 +1,32 @@
+// Fixed-point quantization helpers (the Eyeriss baselines and the SC value
+// domain both quantize to n-bit fixed point).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/tensor.hpp"
+
+namespace geo::nn {
+
+// Symmetric signed quantization of v in [-range, range] to `bits` bits:
+// round(v / range * 2^(bits-1)) clamped to [-(2^(bits-1)), 2^(bits-1)-1].
+std::int32_t quantize_signed(float v, unsigned bits, float range = 1.0f);
+
+// The float value a quantized code represents.
+float dequantize_signed(std::int32_t code, unsigned bits, float range = 1.0f);
+
+// Unsigned quantization of v in [0, range] to `bits` bits.
+std::uint32_t quantize_unsigned(float v, unsigned bits, float range = 1.0f);
+float dequantize_unsigned(std::uint32_t code, unsigned bits,
+                          float range = 1.0f);
+
+// Fake-quantization: quantize-then-dequantize every element (straight-through
+// training for the fixed-point baselines). Values are clamped to
+// [-range, range] (signed) or [0, range] (unsigned).
+Tensor fake_quantize_signed(const Tensor& t, unsigned bits,
+                            float range = 1.0f);
+Tensor fake_quantize_unsigned(const Tensor& t, unsigned bits,
+                              float range = 1.0f);
+
+}  // namespace geo::nn

@@ -1,0 +1,521 @@
+#include "nn/sc_layers.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "nn/quantize.hpp"
+#include "sc/progressive.hpp"
+#include "sc/sng.hpp"
+
+namespace geo::nn {
+
+const char* to_string(AccumMode mode) noexcept {
+  switch (mode) {
+    case AccumMode::kOr: return "or";
+    case AccumMode::kPbw: return "pbw";
+    case AccumMode::kPbhw: return "pbhw";
+    case AccumMode::kFxp: return "fxp";
+    case AccumMode::kApc: return "apc";
+  }
+  return "?";
+}
+
+std::string ScModelConfig::key() const {
+  switch (mode) {
+    case Mode::kFloat: return "float";
+    case Mode::kFixedPoint: return "fxp" + std::to_string(fp_bits);
+    case Mode::kStochastic:
+      return std::string("sc_") + sc::to_string(rng) + "_" +
+             sc::to_string(sharing) + "_" + to_string(accum) + "_" +
+             std::to_string(stream_len_pool) + "-" +
+             std::to_string(stream_len) +
+             (progressive ? "_prog" : "") + "_s" + std::to_string(seed);
+  }
+  return "?";
+}
+
+unsigned ScLayerConfig::lfsr_bits() const {
+  unsigned n = 0;
+  int l = stream_len;
+  while (l > 1) {
+    l >>= 1;
+    ++n;
+  }
+  if ((1 << n) != stream_len)
+    throw std::invalid_argument("ScLayerConfig: stream_len must be 2^n");
+  return n;
+}
+
+ScLayerConfig ScLayerConfig::from_model(const ScModelConfig& model,
+                                        int stream_len, int layer_index) {
+  ScLayerConfig cfg;
+  cfg.rng = model.rng;
+  cfg.sharing = model.sharing;
+  cfg.accum = model.accum;
+  cfg.stream_len = stream_len;
+  cfg.value_bits = model.value_bits;
+  cfg.progressive = model.progressive;
+  cfg.layer_salt = model.seed * 1000003ull + static_cast<std::uint64_t>(layer_index);
+  cfg.fc_group = model.fc_group;
+  return cfg;
+}
+
+namespace {
+
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+std::size_t popcount_words(const std::uint64_t* w, std::size_t n) {
+  std::size_t c = 0;
+  for (std::size_t i = 0; i < n; ++i)
+    c += static_cast<std::size_t>(std::popcount(w[i]));
+  return c;
+}
+
+// Flat storage for many equal-length packed streams.
+struct StreamBank {
+  std::vector<std::uint64_t> words;
+  std::size_t wpl = 1;  // words per stream
+
+  void resize(std::size_t count, std::size_t words_per_stream) {
+    wpl = words_per_stream;
+    words.assign(count * wpl, 0);
+  }
+
+  std::uint64_t* at(std::size_t i) { return &words[i * wpl]; }
+  const std::uint64_t* at(std::size_t i) const { return &words[i * wpl]; }
+};
+
+// Generates one stream into `dst` (wpl words, length bits). `q` is the
+// magnitude in the value_bits fixed-point domain.
+void generate_stream(std::uint64_t* dst, std::size_t wpl, std::size_t length,
+                     const ScLayerConfig& cfg, sc::SeedSpec spec,
+                     std::uint32_t q) {
+  std::fill(dst, dst + wpl, 0);
+  if (q == 0) return;
+  const unsigned n = spec.bits;
+  sc::Bitstream stream;
+  if (cfg.progressive) {
+    sc::ProgressiveSchedule sched;
+    sched.value_bits = cfg.value_bits;
+    sched.lfsr_bits = n;
+    sc::ProgressiveSng sng(cfg.rng, spec, sched);
+    stream = sng.generate(q, length);
+  } else {
+    const std::uint32_t vn = n >= cfg.value_bits
+                                 ? q << (n - cfg.value_bits)
+                                 : q >> (cfg.value_bits - n);
+    if (vn == 0) return;
+    sc::Sng sng(cfg.rng, spec);
+    stream = sng.generate(vn, length);
+  }
+  const auto src = stream.words();
+  std::copy(src.begin(), src.end(), dst);
+}
+
+// For TRNGs, a fresh pass must see fresh randomness while preserving the
+// sharing structure (equal base seeds stay equal). Deterministic sources
+// ignore the pass counter.
+sc::SeedSpec pass_spec(const ScLayerConfig& cfg, sc::SeedSpec spec,
+                       std::uint64_t pass) {
+  if (cfg.rng == sc::RngKind::kTrng)
+    spec.seed = static_cast<std::uint32_t>(
+        mix64(spec.seed ^ (pass * 0xD1B54A32D192ED03ull)) | 1u);
+  return spec;
+}
+
+// Streaming APC state (modeled after [24]): products are consumed in pairs,
+// merged with alternating OR / AND at weight 2, so the over-count of OR
+// merges and the under-count of AND merges cancel in expectation; see
+// sc/parallel_counter.hpp. The positive and negative channels pair
+// independently (they feed separate counter inputs in hardware).
+struct ApcState {
+  explicit ApcState(std::size_t wpl)
+      : channels_{Channel(wpl), Channel(wpl)} {}
+
+  void push(const std::uint64_t* prod, std::size_t wpl, std::int64_t sign) {
+    Channel& ch = channels_[sign > 0 ? 0 : 1];
+    if (!ch.has_pending) {
+      std::copy(prod, prod + wpl, ch.pending.begin());
+      ch.has_pending = true;
+      return;
+    }
+    std::int64_t merged = 0;
+    for (std::size_t i = 0; i < wpl; ++i) {
+      const std::uint64_t m = ch.use_or ? (ch.pending[i] | prod[i])
+                                        : (ch.pending[i] & prod[i]);
+      merged += std::popcount(m);
+    }
+    total_ += 2 * merged * sign;
+    ch.has_pending = false;
+    ch.use_or = !ch.use_or;
+  }
+
+  std::int64_t finish(std::size_t wpl) {
+    const std::int64_t signs[2] = {+1, -1};
+    for (int c = 0; c < 2; ++c) {
+      Channel& ch = channels_[c];
+      if (ch.has_pending) {
+        total_ += signs[c] * static_cast<std::int64_t>(
+                                 popcount_words(ch.pending.data(), wpl));
+        ch.has_pending = false;
+      }
+    }
+    return total_;
+  }
+
+ private:
+  struct Channel {
+    explicit Channel(std::size_t wpl) : pending(wpl, 0) {}
+    std::vector<std::uint64_t> pending;
+    bool has_pending = false;
+    bool use_or = true;
+  };
+  Channel channels_[2];
+  std::int64_t total_ = 0;
+};
+
+}  // namespace
+
+// ------------------------------------------------------------- ScConv2d
+
+ScConv2d::ScConv2d(int in_ch, int out_ch, int kernel, int stride, int pad,
+                   std::mt19937& rng, const ScLayerConfig& cfg)
+    : Conv2d(in_ch, out_ch, kernel, stride, pad, rng), cfg_(cfg) {}
+
+Tensor ScConv2d::forward(const Tensor& x, bool /*train*/) {
+  input_ = x;  // float input for the inherited backward
+  const std::uint64_t pass = forward_count_++;
+
+  const int L = cfg_.stream_len;
+  const std::size_t wpl = static_cast<std::size_t>((L + 63) / 64);
+  const unsigned n = cfg_.lfsr_bits();
+  const sc::KernelExtents ext{out_ch_, in_ch_, kernel_, kernel_};
+  const sc::SeedAllocator alloc(cfg_.sharing, n, ext, cfg_.layer_salt);
+
+  // --- weight streams (fixed for the whole batch) -----------------------
+  const std::size_t wcount =
+      static_cast<std::size_t>(out_ch_) * in_ch_ * kernel_ * kernel_;
+  StreamBank wpos, wneg;
+  wpos.resize(wcount, wpl);
+  wneg.resize(wcount, wpl);
+  {
+    std::size_t idx = 0;
+    for (int oc = 0; oc < out_ch_; ++oc)
+      for (int ic = 0; ic < in_ch_; ++ic)
+        for (int ky = 0; ky < kernel_; ++ky)
+          for (int kx = 0; kx < kernel_; ++kx, ++idx) {
+            const float w =
+                std::clamp(weight_.value.at(oc, ic, ky, kx), -1.0f, 1.0f);
+            const std::uint32_t q =
+                quantize_unsigned(std::abs(w), cfg_.value_bits);
+            const sc::SeedSpec spec =
+                pass_spec(cfg_, alloc.weight({oc, ic, ky, kx}), pass);
+            if (w >= 0.0f)
+              generate_stream(wpos.at(idx), wpl, static_cast<std::size_t>(L),
+                              cfg_, spec, q);
+            else
+              generate_stream(wneg.at(idx), wpl, static_cast<std::size_t>(L),
+                              cfg_, spec, q);
+          }
+  }
+
+  const int h = x.dim(2), w = x.dim(3), nb = x.dim(0);
+  const int ho = (h + 2 * pad_ - kernel_) / stride_ + 1;
+  const int wo = (w + 2 * pad_ - kernel_) / stride_ + 1;
+  Tensor y({nb, out_ch_, ho, wo});
+  atten_ = Tensor({nb, out_ch_, ho, wo}, 1.0f);
+
+  // Group count per output for the partial-binary accumulation mode.
+  int groups = 1;
+  switch (cfg_.accum) {
+    case AccumMode::kOr: groups = 1; break;
+    case AccumMode::kPbw: groups = kernel_; break;
+    case AccumMode::kPbhw: groups = kernel_ * kernel_; break;
+    case AccumMode::kFxp:
+    case AccumMode::kApc: groups = 0; break;  // no OR scratch needed
+  }
+  std::vector<std::uint64_t> scratch(
+      static_cast<std::size_t>(std::max(groups, 1)) * 2 * wpl);
+  std::vector<std::uint64_t> prod(2 * wpl);
+
+  StreamBank act;
+  act.resize(static_cast<std::size_t>(in_ch_) * h * w, wpl);
+  const double inv_len = 1.0 / static_cast<double>(L);
+
+  for (int b = 0; b < nb; ++b) {
+    // --- activation streams for this image ------------------------------
+    {
+      std::size_t idx = 0;
+      for (int ic = 0; ic < in_ch_; ++ic)
+        for (int iy = 0; iy < h; ++iy)
+          for (int ix = 0; ix < w; ++ix, ++idx) {
+            const float a = std::clamp(x.at(b, ic, iy, ix), 0.0f, 1.0f);
+            const std::uint32_t q = quantize_unsigned(a, cfg_.value_bits);
+            const sc::SeedSpec spec = pass_spec(
+                cfg_, alloc.activation(static_cast<int>(idx)), pass);
+            generate_stream(act.at(idx), wpl, static_cast<std::size_t>(L),
+                            cfg_, spec, q);
+          }
+    }
+
+    // --- MAC rows --------------------------------------------------------
+    for (int oc = 0; oc < out_ch_; ++oc)
+      for (int oy = 0; oy < ho; ++oy)
+        for (int ox = 0; ox < wo; ++ox) {
+          std::int64_t total = 0;
+          if (cfg_.accum == AccumMode::kOr || cfg_.accum == AccumMode::kPbw ||
+              cfg_.accum == AccumMode::kPbhw) {
+            std::fill(scratch.begin(), scratch.end(), 0);
+            for (int ic = 0; ic < in_ch_; ++ic)
+              for (int ky = 0; ky < kernel_; ++ky) {
+                const int iy = oy * stride_ - pad_ + ky;
+                if (iy < 0 || iy >= h) continue;
+                for (int kx = 0; kx < kernel_; ++kx) {
+                  const int ix = ox * stride_ - pad_ + kx;
+                  if (ix < 0 || ix >= w) continue;
+                  int g = 0;
+                  if (cfg_.accum == AccumMode::kPbw)
+                    g = kx;
+                  else if (cfg_.accum == AccumMode::kPbhw)
+                    g = ky * kernel_ + kx;
+                  const std::uint64_t* a = act.at(
+                      (static_cast<std::size_t>(ic) * h + iy) * w + ix);
+                  const std::size_t widx =
+                      ((static_cast<std::size_t>(oc) * in_ch_ + ic) *
+                           kernel_ +
+                       ky) *
+                          kernel_ +
+                      kx;
+                  const std::uint64_t* wp = wpos.at(widx);
+                  const std::uint64_t* wn = wneg.at(widx);
+                  std::uint64_t* gp = &scratch[static_cast<std::size_t>(g) *
+                                               2 * wpl];
+                  std::uint64_t* gn = gp + wpl;
+                  for (std::size_t k = 0; k < wpl; ++k) {
+                    gp[k] |= a[k] & wp[k];
+                    gn[k] |= a[k] & wn[k];
+                  }
+                }
+              }
+            const int used = std::max(groups, 1);
+            double atten = 0.0;
+            for (int g = 0; g < used; ++g) {
+              const std::uint64_t* gp =
+                  &scratch[static_cast<std::size_t>(g) * 2 * wpl];
+              const auto pos =
+                  static_cast<std::int64_t>(popcount_words(gp, wpl));
+              const auto neg =
+                  static_cast<std::int64_t>(popcount_words(gp + wpl, wpl));
+              total += pos - neg;
+              atten += 1.0 - static_cast<double>(std::max(pos, neg)) * inv_len;
+            }
+            atten_.at(b, oc, oy, ox) = static_cast<float>(
+                std::max(atten / used, 0.05));
+          } else {
+            ApcState apc(wpl);
+            for (int ic = 0; ic < in_ch_; ++ic)
+              for (int ky = 0; ky < kernel_; ++ky) {
+                const int iy = oy * stride_ - pad_ + ky;
+                if (iy < 0 || iy >= h) continue;
+                for (int kx = 0; kx < kernel_; ++kx) {
+                  const int ix = ox * stride_ - pad_ + kx;
+                  if (ix < 0 || ix >= w) continue;
+                  const std::uint64_t* a = act.at(
+                      (static_cast<std::size_t>(ic) * h + iy) * w + ix);
+                  const std::size_t widx =
+                      ((static_cast<std::size_t>(oc) * in_ch_ + ic) *
+                           kernel_ +
+                       ky) *
+                          kernel_ +
+                      kx;
+                  const std::uint64_t* wp = wpos.at(widx);
+                  const std::uint64_t* wn = wneg.at(widx);
+                  if (cfg_.accum == AccumMode::kFxp) {
+                    for (std::size_t k = 0; k < wpl; ++k) {
+                      total += std::popcount(a[k] & wp[k]);
+                      total -= std::popcount(a[k] & wn[k]);
+                    }
+                  } else {  // kApc
+                    bool has_p = false, has_n = false;
+                    for (std::size_t k = 0; k < wpl; ++k) {
+                      prod[k] = a[k] & wp[k];
+                      prod[wpl + k] = a[k] & wn[k];
+                      has_p |= prod[k] != 0;
+                      has_n |= prod[wpl + k] != 0;
+                    }
+                    if (has_p) apc.push(prod.data(), wpl, +1);
+                    if (has_n) apc.push(prod.data() + wpl, wpl, -1);
+                  }
+                }
+              }
+            if (cfg_.accum == AccumMode::kApc) total = apc.finish(wpl);
+          }
+          y.at(b, oc, oy, ox) = static_cast<float>(total * inv_len);
+        }
+  }
+  return y;
+}
+
+Tensor ScConv2d::backward(const Tensor& grad_out) {
+  if (atten_.empty()) return Conv2d::backward(grad_out);
+  Tensor g = grad_out;
+  for (std::size_t i = 0; i < g.size(); ++i) g[i] *= atten_[i];
+  return Conv2d::backward(g);
+}
+
+// ------------------------------------------------------------- ScLinear
+
+ScLinear::ScLinear(int in_features, int out_features, std::mt19937& rng,
+                   const ScLayerConfig& cfg)
+    : Linear(in_features, out_features, rng), cfg_(cfg) {}
+
+Tensor ScLinear::forward(const Tensor& x, bool /*train*/) {
+  input_ = x;
+  const std::uint64_t pass = forward_count_++;
+
+  const int L = cfg_.stream_len;
+  const std::size_t wpl = static_cast<std::size_t>((L + 63) / 64);
+  const unsigned n = cfg_.lfsr_bits();
+  // An FC layer maps onto the MAC row as a (in, 1, 1) kernel per output.
+  const sc::KernelExtents ext{out_, in_, 1, 1};
+  const sc::SeedAllocator alloc(cfg_.sharing, n, ext, cfg_.layer_salt);
+
+  StreamBank wposb, wnegb;
+  const std::size_t wcount = static_cast<std::size_t>(out_) * in_;
+  wposb.resize(wcount, wpl);
+  wnegb.resize(wcount, wpl);
+  for (int o = 0; o < out_; ++o)
+    for (int i = 0; i < in_; ++i) {
+      const std::size_t idx = static_cast<std::size_t>(o) * in_ + i;
+      const float w = std::clamp(weight_.value.at(o, i), -1.0f, 1.0f);
+      const std::uint32_t q = quantize_unsigned(std::abs(w), cfg_.value_bits);
+      const sc::SeedSpec spec = pass_spec(cfg_, alloc.weight({o, i, 0, 0}), pass);
+      if (w >= 0.0f)
+        generate_stream(wposb.at(idx), wpl, static_cast<std::size_t>(L), cfg_,
+                        spec, q);
+      else
+        generate_stream(wnegb.at(idx), wpl, static_cast<std::size_t>(L), cfg_,
+                        spec, q);
+    }
+
+  const int nb = x.dim(0);
+  Tensor y({nb, out_});
+  atten_ = Tensor({nb, out_}, 1.0f);
+  const int group_size =
+      cfg_.accum == AccumMode::kOr ? in_ : std::max(cfg_.fc_group, 1);
+  const int groups = (in_ + group_size - 1) / group_size;
+  std::vector<std::uint64_t> scratch(static_cast<std::size_t>(groups) * 2 *
+                                     wpl);
+  std::vector<std::uint64_t> prod(2 * wpl);
+  StreamBank act;
+  act.resize(static_cast<std::size_t>(in_), wpl);
+  const double inv_len = 1.0 / static_cast<double>(L);
+
+  for (int b = 0; b < nb; ++b) {
+    for (int i = 0; i < in_; ++i) {
+      const float a = std::clamp(x.at(b, i), 0.0f, 1.0f);
+      const std::uint32_t q = quantize_unsigned(a, cfg_.value_bits);
+      const sc::SeedSpec spec = pass_spec(cfg_, alloc.activation(i), pass);
+      generate_stream(act.at(static_cast<std::size_t>(i)), wpl,
+                      static_cast<std::size_t>(L), cfg_, spec, q);
+    }
+    for (int o = 0; o < out_; ++o) {
+      std::int64_t total = 0;
+      if (cfg_.accum == AccumMode::kFxp || cfg_.accum == AccumMode::kApc) {
+        ApcState apc(wpl);
+        for (int i = 0; i < in_; ++i) {
+          const std::uint64_t* a = act.at(static_cast<std::size_t>(i));
+          const std::size_t widx = static_cast<std::size_t>(o) * in_ + i;
+          const std::uint64_t* wp = wposb.at(widx);
+          const std::uint64_t* wn = wnegb.at(widx);
+          if (cfg_.accum == AccumMode::kFxp) {
+            for (std::size_t k = 0; k < wpl; ++k) {
+              total += std::popcount(a[k] & wp[k]);
+              total -= std::popcount(a[k] & wn[k]);
+            }
+          } else {
+            bool has_p = false, has_n = false;
+            for (std::size_t k = 0; k < wpl; ++k) {
+              prod[k] = a[k] & wp[k];
+              prod[wpl + k] = a[k] & wn[k];
+              has_p |= prod[k] != 0;
+              has_n |= prod[wpl + k] != 0;
+            }
+            if (has_p) apc.push(prod.data(), wpl, +1);
+            if (has_n) apc.push(prod.data() + wpl, wpl, -1);
+          }
+        }
+        if (cfg_.accum == AccumMode::kApc) total = apc.finish(wpl);
+      } else {
+        std::fill(scratch.begin(), scratch.end(), 0);
+        for (int i = 0; i < in_; ++i) {
+          const int g = i / group_size;
+          const std::uint64_t* a = act.at(static_cast<std::size_t>(i));
+          const std::size_t widx = static_cast<std::size_t>(o) * in_ + i;
+          const std::uint64_t* wp = wposb.at(widx);
+          const std::uint64_t* wn = wnegb.at(widx);
+          std::uint64_t* gp = &scratch[static_cast<std::size_t>(g) * 2 * wpl];
+          std::uint64_t* gn = gp + wpl;
+          for (std::size_t k = 0; k < wpl; ++k) {
+            gp[k] |= a[k] & wp[k];
+            gn[k] |= a[k] & wn[k];
+          }
+        }
+        double atten = 0.0;
+        for (int g = 0; g < groups; ++g) {
+          const std::uint64_t* gp =
+              &scratch[static_cast<std::size_t>(g) * 2 * wpl];
+          const auto pos =
+              static_cast<std::int64_t>(popcount_words(gp, wpl));
+          const auto neg =
+              static_cast<std::int64_t>(popcount_words(gp + wpl, wpl));
+          total += pos - neg;
+          atten += 1.0 - static_cast<double>(std::max(pos, neg)) * inv_len;
+        }
+        atten_.at(b, o) =
+            static_cast<float>(std::max(atten / groups, 0.05));
+      }
+      y.at(b, o) = static_cast<float>(total * inv_len) +
+                   bias_.value[static_cast<std::size_t>(o)];
+    }
+  }
+  return y;
+}
+
+Tensor ScLinear::backward(const Tensor& grad_out) {
+  if (atten_.empty()) return Linear::backward(grad_out);
+  Tensor g = grad_out;
+  for (std::size_t i = 0; i < g.size(); ++i) g[i] *= atten_[i];
+  return Linear::backward(g);
+}
+
+// ------------------------------------------------------------- Quantized
+
+Tensor QuantConv2d::forward(const Tensor& x, bool /*train*/) {
+  input_ = x;  // straight-through: float input for backward
+  const Tensor saved = weight_.value;
+  weight_.value = fake_quantize_signed(saved, bits_);
+  Tensor y = forward_float(fake_quantize_unsigned(x, bits_));
+  weight_.value = saved;
+  return y;
+}
+
+Tensor QuantLinear::forward(const Tensor& x, bool /*train*/) {
+  input_ = x;
+  const Tensor saved = weight_.value;
+  weight_.value = fake_quantize_signed(saved, bits_);
+  Tensor y = forward_float(fake_quantize_unsigned(x, bits_));
+  weight_.value = saved;
+  return y;
+}
+
+}  // namespace geo::nn

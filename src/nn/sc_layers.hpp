@@ -1,0 +1,118 @@
+// Bit-accurate SC-simulated convolution and fully-connected layers, plus the
+// fixed-point (fake-quantized) variants used by the Eyeriss baselines.
+//
+// The SC layers implement the paper's forward pass exactly at stream level:
+// split-unipolar streams from shared LFSR/TRNG SNGs (Sec. II-A), optional
+// progressive generation (Sec. II-B), and OR / partial-binary / fixed-point
+// accumulation (Sec. III-B). backward() is inherited from the float layers —
+// SC forward guided by floating-point backpropagation, as in the paper.
+//
+// Activations are unipolar (post-ReLU values in [0, 1]); weights are signed,
+// so each weight carries a positive or a negative channel stream and every
+// product needs two ANDs. Per-channel accumulation runs over packed 64-bit
+// words.
+#pragma once
+
+#include <cstdint>
+
+#include "nn/layers.hpp"
+#include "nn/sc_config.hpp"
+
+namespace geo::nn {
+
+// Per-layer slice of ScModelConfig (the {sp, s} stream-length choice has
+// already been made by the model builder).
+struct ScLayerConfig {
+  sc::RngKind rng = sc::RngKind::kLfsr;
+  sc::Sharing sharing = sc::Sharing::kModerate;
+  AccumMode accum = AccumMode::kPbw;
+  int stream_len = 128;
+  unsigned value_bits = 8;
+  bool progressive = false;
+  std::uint64_t layer_salt = 0;
+  int fc_group = 16;
+
+  // GEO matches LFSR width to stream length: streams of 2^n use n bits.
+  unsigned lfsr_bits() const;
+
+  // Builds the per-layer config from a model config.
+  static ScLayerConfig from_model(const ScModelConfig& model, int stream_len,
+                                  int layer_index);
+};
+
+class ScConv2d : public Conv2d {
+ public:
+  ScConv2d(int in_ch, int out_ch, int kernel, int stride, int pad,
+           std::mt19937& rng, const ScLayerConfig& cfg);
+
+  Tensor forward(const Tensor& x, bool train) override;
+
+  // Straight-through backward, scaled per output by the OR-union
+  // attenuation observed in the forward pass: for y = 1 - prod(1 - p_i),
+  // dy/dp_i = prod_{j!=i}(1 - p_j) ~ (1 - y). Without this, saturated
+  // unions receive gradients as if they were linear sums and all-OR
+  // training diverges; with it, the backward is the "floating-point guided"
+  // pass of Sec. IV. Partial-binary groups saturate less, so their
+  // attenuation stays near 1 — one mechanical reason GEO trains better
+  // than all-OR accumulation.
+  Tensor backward(const Tensor& grad_out) override;
+
+  std::string name() const override { return "sc_conv2d"; }
+
+  const ScLayerConfig& config() const noexcept { return cfg_; }
+  ScLayerConfig& config() noexcept { return cfg_; }
+
+ private:
+  ScLayerConfig cfg_;
+  std::uint64_t forward_count_ = 0;
+  Tensor atten_;  // per-output gradient attenuation, shaped like the output
+};
+
+class ScLinear : public Linear {
+ public:
+  ScLinear(int in_features, int out_features, std::mt19937& rng,
+           const ScLayerConfig& cfg);
+
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;  // see ScConv2d
+  std::string name() const override { return "sc_linear"; }
+
+  const ScLayerConfig& config() const noexcept { return cfg_; }
+  ScLayerConfig& config() noexcept { return cfg_; }
+
+ private:
+  ScLayerConfig cfg_;
+  std::uint64_t forward_count_ = 0;
+  Tensor atten_;
+};
+
+// Fixed-point baseline layers: fake-quantize weights (signed) and input
+// activations (unsigned) to `bits` bits in the forward pass,
+// straight-through gradients in backward.
+class QuantConv2d : public Conv2d {
+ public:
+  QuantConv2d(int in_ch, int out_ch, int kernel, int stride, int pad,
+              std::mt19937& rng, unsigned bits)
+      : Conv2d(in_ch, out_ch, kernel, stride, pad, rng), bits_(bits) {}
+
+  Tensor forward(const Tensor& x, bool train) override;
+  std::string name() const override { return "quant_conv2d"; }
+
+ private:
+  unsigned bits_;
+};
+
+class QuantLinear : public Linear {
+ public:
+  QuantLinear(int in_features, int out_features, std::mt19937& rng,
+              unsigned bits)
+      : Linear(in_features, out_features, rng), bits_(bits) {}
+
+  Tensor forward(const Tensor& x, bool train) override;
+  std::string name() const override { return "quant_linear"; }
+
+ private:
+  unsigned bits_;
+};
+
+}  // namespace geo::nn

@@ -1,0 +1,93 @@
+#include "nn/tensor.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace geo::nn {
+
+namespace {
+std::size_t shape_size(const std::vector<int>& shape) {
+  std::size_t n = 1;
+  for (int d : shape) {
+    if (d < 0) throw std::invalid_argument("Tensor: negative dimension");
+    n *= static_cast<std::size_t>(d);
+  }
+  return n;
+}
+}  // namespace
+
+Tensor::Tensor(std::vector<int> shape, float fill)
+    : shape_(std::move(shape)), data_(shape_size(shape_), fill) {}
+
+int Tensor::dim(int i) const {
+  if (i < 0 || i >= rank()) throw std::out_of_range("Tensor::dim");
+  return shape_[static_cast<std::size_t>(i)];
+}
+
+float& Tensor::at(int i, int j) {
+  assert(rank() == 2);
+  return data_[static_cast<std::size_t>(i) * shape_[1] + j];
+}
+
+float Tensor::at(int i, int j) const {
+  assert(rank() == 2);
+  return data_[static_cast<std::size_t>(i) * shape_[1] + j];
+}
+
+std::size_t Tensor::index(int n, int c, int h, int w) const {
+  assert(rank() == 4);
+  return ((static_cast<std::size_t>(n) * shape_[1] + c) * shape_[2] + h) *
+             shape_[3] +
+         w;
+}
+
+float& Tensor::at(int n, int c, int h, int w) { return data_[index(n, c, h, w)]; }
+
+float Tensor::at(int n, int c, int h, int w) const {
+  return data_[index(n, c, h, w)];
+}
+
+void Tensor::fill(float v) {
+  for (auto& x : data_) x = v;
+}
+
+Tensor Tensor::reshaped(std::vector<int> shape) const {
+  if (shape_size(shape) != size())
+    throw std::invalid_argument("Tensor::reshaped: size mismatch");
+  Tensor out;
+  out.shape_ = std::move(shape);
+  out.data_ = data_;
+  return out;
+}
+
+Tensor Tensor::batch_slice(int begin, int end) const {
+  if (rank() < 1 || begin < 0 || end > shape_[0] || begin > end)
+    throw std::out_of_range("Tensor::batch_slice");
+  std::vector<int> shape = shape_;
+  shape[0] = end - begin;
+  Tensor out(shape);
+  const std::size_t stride = size() / static_cast<std::size_t>(shape_[0]);
+  std::copy(data_.begin() + static_cast<std::ptrdiff_t>(begin * stride),
+            data_.begin() + static_cast<std::ptrdiff_t>(end * stride),
+            out.data_.begin());
+  return out;
+}
+
+float Tensor::max_abs() const noexcept {
+  float m = 0.0f;
+  for (float v : data_) m = std::max(m, std::abs(v));
+  return m;
+}
+
+std::string Tensor::shape_string() const {
+  std::string s = "(";
+  for (std::size_t i = 0; i < shape_.size(); ++i) {
+    if (i) s += ",";
+    s += std::to_string(shape_[i]);
+  }
+  return s + ")";
+}
+
+}  // namespace geo::nn

@@ -1,0 +1,60 @@
+// Minimal dense float tensor (NCHW convention for 4-D data).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace geo::nn {
+
+class Tensor {
+ public:
+  Tensor() = default;
+  explicit Tensor(std::vector<int> shape, float fill = 0.0f);
+
+  static Tensor zeros_like(const Tensor& other) {
+    return Tensor(other.shape_);
+  }
+
+  const std::vector<int>& shape() const noexcept { return shape_; }
+  int rank() const noexcept { return static_cast<int>(shape_.size()); }
+  int dim(int i) const;
+  std::size_t size() const noexcept { return data_.size(); }
+  bool empty() const noexcept { return data_.empty(); }
+
+  std::span<float> data() noexcept { return data_; }
+  std::span<const float> data() const noexcept { return data_; }
+
+  float& operator[](std::size_t i) { return data_[i]; }
+  float operator[](std::size_t i) const { return data_[i]; }
+
+  // 2-D accessor (rank must be 2).
+  float& at(int i, int j);
+  float at(int i, int j) const;
+
+  // 4-D NCHW accessor (rank must be 4).
+  float& at(int n, int c, int h, int w);
+  float at(int n, int c, int h, int w) const;
+
+  // Flat index of an NCHW coordinate.
+  std::size_t index(int n, int c, int h, int w) const;
+
+  void fill(float v);
+
+  // Returns a tensor with the same data and a new shape of equal size.
+  Tensor reshaped(std::vector<int> shape) const;
+
+  // Slice of the batch dimension: items [begin, end) of a rank>=1 tensor.
+  Tensor batch_slice(int begin, int end) const;
+
+  float max_abs() const noexcept;
+
+  std::string shape_string() const;
+
+ private:
+  std::vector<int> shape_;
+  std::vector<float> data_;
+};
+
+}  // namespace geo::nn

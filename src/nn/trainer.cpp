@@ -1,0 +1,98 @@
+#include "nn/trainer.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+#include <random>
+
+#include "nn/loss.hpp"
+#include "nn/optimizer.hpp"
+
+namespace geo::nn {
+
+namespace {
+std::string cache_path(const TrainOptions& o) {
+  if (o.cache_dir.empty() || o.cache_key.empty()) return {};
+  return o.cache_dir + "/" + o.cache_key + ".weights";
+}
+}  // namespace
+
+TrainResult train(Sequential& net, const Dataset& train_set,
+                  const Dataset& test_set, const TrainOptions& options) {
+  TrainResult result;
+
+  const std::string cache = cache_path(options);
+  if (!cache.empty() && net.load(cache)) {
+    result.from_cache = true;
+    result.test_accuracy = evaluate(net, test_set);
+    return result;
+  }
+
+  Adam opt(net.params(), options.lr);
+  if (options.clamp_weights)
+    opt.set_clamp(-options.clamp_limit, options.clamp_limit);
+
+  const int n = train_set.count();
+  std::vector<int> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  std::mt19937 shuffle_rng(options.shuffle_seed);
+
+  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    std::shuffle(order.begin(), order.end(), shuffle_rng);
+    int correct = 0;
+    double loss_sum = 0.0;
+    int batches = 0;
+    for (int start = 0; start < n; start += options.batch_size) {
+      const int end = std::min(n, start + options.batch_size);
+      const int bs = end - start;
+      // Gather the shuffled batch.
+      Tensor batch({bs, train_set.channels(), train_set.height(),
+                    train_set.width()});
+      std::vector<int> labels(static_cast<std::size_t>(bs));
+      const std::size_t img = batch.size() / static_cast<std::size_t>(bs);
+      for (int i = 0; i < bs; ++i) {
+        const int src = order[static_cast<std::size_t>(start + i)];
+        const auto s = train_set.images.data();
+        std::copy(s.begin() + static_cast<std::ptrdiff_t>(src * img),
+                  s.begin() + static_cast<std::ptrdiff_t>((src + 1) * img),
+                  batch.data().begin() + static_cast<std::ptrdiff_t>(i * img));
+        labels[static_cast<std::size_t>(i)] =
+            train_set.labels[static_cast<std::size_t>(src)];
+      }
+      net.zero_grad();
+      const Tensor logits = net.forward(batch, /*train=*/true);
+      const LossResult loss = softmax_cross_entropy(logits, labels);
+      net.backward(loss.grad);
+      opt.step();
+      correct += loss.correct;
+      loss_sum += loss.loss;
+      ++batches;
+    }
+    result.final_train_accuracy = static_cast<double>(correct) / n;
+    if (options.verbose)
+      std::printf("  epoch %2d  loss %.4f  train acc %.3f\n", epoch + 1,
+                  loss_sum / std::max(batches, 1),
+                  result.final_train_accuracy);
+  }
+
+  if (!cache.empty()) net.save(cache);
+  result.test_accuracy = evaluate(net, test_set);
+  return result;
+}
+
+double evaluate(Sequential& net, const Dataset& data, int batch_size) {
+  const int n = data.count();
+  int correct = 0;
+  for (int start = 0; start < n; start += batch_size) {
+    const int end = std::min(n, start + batch_size);
+    const Tensor batch = data.images.batch_slice(start, end);
+    const Tensor logits = net.forward(batch, /*train=*/false);
+    correct += count_correct(
+        logits, std::span<const int>(data.labels).subspan(
+                    static_cast<std::size_t>(start),
+                    static_cast<std::size_t>(end - start)));
+  }
+  return static_cast<double>(correct) / n;
+}
+
+}  // namespace geo::nn

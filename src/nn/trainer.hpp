@@ -1,0 +1,45 @@
+// Stream-aware training loop (Sec. II-A / IV): the forward pass runs in the
+// configured compute mode (float, fixed-point, or bit-level SC), while
+// backpropagation uses floating-point gradients through the same layers —
+// exactly the paper's training scheme, with epoch counts scaled to this
+// machine (see DESIGN.md "Substitutions").
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "nn/dataset.hpp"
+#include "nn/network.hpp"
+
+namespace geo::nn {
+
+struct TrainOptions {
+  int epochs = 12;
+  int batch_size = 32;
+  float lr = 2e-3f;  // paper: ADAM, initial LR 2e-3
+  std::uint32_t shuffle_seed = 7;
+  bool clamp_weights = true;  // keep weights in the SC value domain
+  float clamp_limit = 1.0f;   // clamp range; SC modes train best tighter
+  bool verbose = false;
+
+  // Optional directory for trained-parameter caching; empty disables.
+  // Cache key must uniquely identify (model, dataset, config, options).
+  std::string cache_dir;
+  std::string cache_key;
+};
+
+struct TrainResult {
+  double final_train_accuracy = 0.0;
+  double test_accuracy = 0.0;
+  bool from_cache = false;
+};
+
+// Trains `net` on `train` and evaluates on `test`. If a usable cache entry
+// exists the training loop is skipped and only the evaluation runs.
+TrainResult train(Sequential& net, const Dataset& train_set,
+                  const Dataset& test_set, const TrainOptions& options);
+
+// Accuracy of `net` on `data` (inference mode), in [0, 1].
+double evaluate(Sequential& net, const Dataset& data, int batch_size = 64);
+
+}  // namespace geo::nn

@@ -1,0 +1,117 @@
+#include "sc/bitstream.hpp"
+
+#include <bit>
+#include <cassert>
+#include <stdexcept>
+
+namespace geo::sc {
+
+namespace {
+constexpr std::size_t kWordBits = 64;
+
+std::size_t words_for(std::size_t length) {
+  return (length + kWordBits - 1) / kWordBits;
+}
+}  // namespace
+
+Bitstream::Bitstream(std::size_t length, bool fill)
+    : words_(words_for(length), fill ? ~std::uint64_t{0} : 0), length_(length) {
+  mask_tail();
+}
+
+Bitstream Bitstream::from_bits(const std::vector<bool>& bits) {
+  Bitstream s(bits.size());
+  for (std::size_t i = 0; i < bits.size(); ++i) s.set(i, bits[i]);
+  return s;
+}
+
+Bitstream Bitstream::from_string(const std::string& bits) {
+  Bitstream s(bits.size());
+  for (std::size_t i = 0; i < bits.size(); ++i) s.set(i, bits[i] == '1');
+  return s;
+}
+
+bool Bitstream::get(std::size_t i) const {
+  assert(i < length_);
+  return (words_[i / kWordBits] >> (i % kWordBits)) & 1u;
+}
+
+void Bitstream::set(std::size_t i, bool v) {
+  assert(i < length_);
+  const std::uint64_t mask = std::uint64_t{1} << (i % kWordBits);
+  if (v)
+    words_[i / kWordBits] |= mask;
+  else
+    words_[i / kWordBits] &= ~mask;
+}
+
+std::size_t Bitstream::popcount() const noexcept {
+  std::size_t n = 0;
+  for (std::uint64_t w : words_) n += static_cast<std::size_t>(std::popcount(w));
+  return n;
+}
+
+std::size_t Bitstream::popcount_prefix(std::size_t n) const {
+  if (n > length_) throw std::out_of_range("popcount_prefix: n > length");
+  std::size_t count = 0;
+  const std::size_t full = n / kWordBits;
+  for (std::size_t i = 0; i < full; ++i)
+    count += static_cast<std::size_t>(std::popcount(words_[i]));
+  const std::size_t rem = n % kWordBits;
+  if (rem != 0) {
+    const std::uint64_t mask = (std::uint64_t{1} << rem) - 1;
+    count += static_cast<std::size_t>(std::popcount(words_[full] & mask));
+  }
+  return count;
+}
+
+double Bitstream::value() const noexcept {
+  if (length_ == 0) return 0.0;
+  return static_cast<double>(popcount()) / static_cast<double>(length_);
+}
+
+double Bitstream::bipolar_value() const noexcept { return 2.0 * value() - 1.0; }
+
+Bitstream& Bitstream::operator&=(const Bitstream& rhs) {
+  assert(length_ == rhs.length_);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= rhs.words_[i];
+  return *this;
+}
+
+Bitstream& Bitstream::operator|=(const Bitstream& rhs) {
+  assert(length_ == rhs.length_);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= rhs.words_[i];
+  return *this;
+}
+
+Bitstream& Bitstream::operator^=(const Bitstream& rhs) {
+  assert(length_ == rhs.length_);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] ^= rhs.words_[i];
+  return *this;
+}
+
+Bitstream Bitstream::operator~() const {
+  Bitstream out(*this);
+  for (auto& w : out.words_) w = ~w;
+  out.mask_tail();
+  return out;
+}
+
+bool Bitstream::operator==(const Bitstream& rhs) const noexcept {
+  return length_ == rhs.length_ && words_ == rhs.words_;
+}
+
+std::string Bitstream::to_string() const {
+  std::string s;
+  s.reserve(length_);
+  for (std::size_t i = 0; i < length_; ++i) s.push_back(get(i) ? '1' : '0');
+  return s;
+}
+
+void Bitstream::mask_tail() noexcept {
+  const std::size_t rem = length_ % kWordBits;
+  if (rem != 0 && !words_.empty())
+    words_.back() &= (std::uint64_t{1} << rem) - 1;
+}
+
+}  // namespace geo::sc

@@ -1,0 +1,88 @@
+// Packed stochastic bitstream.
+//
+// A stochastic bitstream of length L represents the unipolar value
+// popcount / L (or the bipolar value 2*popcount/L - 1). Bits are packed
+// 64 per word, LSB-first within a word, so word-level AND/OR/XOR implement
+// the corresponding stochastic arithmetic on whole streams at once.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace geo::sc {
+
+class Bitstream {
+ public:
+  Bitstream() = default;
+
+  // Creates a stream of `length` bits, all set to `fill`.
+  explicit Bitstream(std::size_t length, bool fill = false);
+
+  // Builds a stream from individual bits (bit i of the stream = bits[i]).
+  static Bitstream from_bits(const std::vector<bool>& bits);
+
+  // Builds a stream from a "01..." string; any character other than '1' is 0.
+  static Bitstream from_string(const std::string& bits);
+
+  std::size_t length() const noexcept { return length_; }
+  bool empty() const noexcept { return length_ == 0; }
+
+  bool get(std::size_t i) const;
+  void set(std::size_t i, bool v);
+
+  // Number of ones in the whole stream.
+  std::size_t popcount() const noexcept;
+
+  // Number of ones among the first n bits (n <= length). Used for
+  // progressive-generation error analysis.
+  std::size_t popcount_prefix(std::size_t n) const;
+
+  // Unipolar value in [0, 1]: popcount / length. Zero-length streams are 0.
+  double value() const noexcept;
+
+  // Bipolar value in [-1, 1]: 2 * value - 1.
+  double bipolar_value() const noexcept;
+
+  // In-place logic; operands must have equal length.
+  Bitstream& operator&=(const Bitstream& rhs);
+  Bitstream& operator|=(const Bitstream& rhs);
+  Bitstream& operator^=(const Bitstream& rhs);
+
+  // Complement within the stream length.
+  Bitstream operator~() const;
+
+  friend Bitstream operator&(Bitstream lhs, const Bitstream& rhs) {
+    lhs &= rhs;
+    return lhs;
+  }
+  friend Bitstream operator|(Bitstream lhs, const Bitstream& rhs) {
+    lhs |= rhs;
+    return lhs;
+  }
+  friend Bitstream operator^(Bitstream lhs, const Bitstream& rhs) {
+    lhs ^= rhs;
+    return lhs;
+  }
+
+  bool operator==(const Bitstream& rhs) const noexcept;
+  bool operator!=(const Bitstream& rhs) const noexcept { return !(*this == rhs); }
+
+  // Raw word access for hot loops (the high word is masked to the length).
+  std::span<const std::uint64_t> words() const noexcept { return words_; }
+  std::span<std::uint64_t> words() noexcept { return words_; }
+  std::size_t word_count() const noexcept { return words_.size(); }
+
+  // Renders the stream as a "01..." string, bit 0 first.
+  std::string to_string() const;
+
+ private:
+  void mask_tail() noexcept;
+
+  std::vector<std::uint64_t> words_;
+  std::size_t length_ = 0;
+};
+
+}  // namespace geo::sc

@@ -1,0 +1,111 @@
+#include "sc/lfsr.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace geo::sc {
+
+namespace {
+// One known maximal-length tap mask per width (taps numbered from 1; bit i-1
+// of the mask corresponds to stage i). Sources: standard m-sequence tables
+// (e.g. Xilinx XAPP 052). Every entry is verified by tests/sc/lfsr_test.
+constexpr std::uint32_t kDefaultTaps[Lfsr::kMaxBits + 1] = {
+    0,         0,
+    0x3,       // 2: x^2+x+1
+    0x6,       // 3: x^3+x^2+1
+    0xC,       // 4: x^4+x^3+1
+    0x14,      // 5: x^5+x^3+1
+    0x30,      // 6: x^6+x^5+1
+    0x60,      // 7: x^7+x^6+1
+    0xB8,      // 8: x^8+x^6+x^5+x^4+1
+    0x110,     // 9: x^9+x^5+1
+    0x240,     // 10: x^10+x^7+1
+    0x500,     // 11: x^11+x^9+1
+    0x829,     // 12: x^12+x^6+x^4+x+1
+    0x100D,    // 13: x^13+x^4+x^3+x+1
+    0x2015,    // 14: x^14+x^5+x^3+x+1
+    0x6000,    // 15: x^15+x^14+1
+    0xD008,    // 16: x^16+x^15+x^13+x^4+1
+    0x12000,   // 17: x^17+x^14+1
+    0x20400,   // 18: x^18+x^11+1
+    0x40023,   // 19: x^19+x^6+x^2+x+1
+    0x90000,   // 20: x^20+x^17+1
+    0x140000,  // 21: x^21+x^19+1
+    0x300000,  // 22: x^22+x^21+1
+    0x420000,  // 23: x^23+x^18+1
+    0xE10000,  // 24: x^24+x^23+x^22+x^17+1
+};
+
+void check_bits(unsigned bits) {
+  if (bits < Lfsr::kMinBits || bits > Lfsr::kMaxBits)
+    throw std::invalid_argument("Lfsr: width out of range");
+}
+}  // namespace
+
+Lfsr::Lfsr(unsigned bits, std::uint32_t seed)
+    : Lfsr(bits, seed, default_taps(bits)) {}
+
+Lfsr::Lfsr(unsigned bits, std::uint32_t seed, std::uint32_t tap_mask)
+    : bits_(bits), taps_(tap_mask) {
+  check_bits(bits);
+  const std::uint32_t mask = (1u << bits_) - 1u;
+  taps_ &= mask;
+  if (taps_ == 0) throw std::invalid_argument("Lfsr: empty tap mask");
+  reseed(seed);
+}
+
+void Lfsr::reseed(std::uint32_t seed) noexcept {
+  const std::uint32_t mask = (1u << bits_) - 1u;
+  seed_ = seed & mask;
+  if (seed_ == 0) seed_ = 1;  // all-zero state is absorbing
+  state_ = seed_;
+}
+
+std::uint32_t Lfsr::next() noexcept {
+  // Fibonacci update: feedback bit = XOR of tapped stages, shifted into the
+  // LSB end; stage `bits_` (MSB) falls off.
+  const std::uint32_t fb =
+      static_cast<std::uint32_t>(std::popcount(state_ & taps_)) & 1u;
+  state_ = ((state_ << 1) | fb) & ((1u << bits_) - 1u);
+  return state_;
+}
+
+std::uint32_t Lfsr::default_taps(unsigned bits) {
+  check_bits(bits);
+  return kDefaultTaps[bits];
+}
+
+bool Lfsr::is_maximal(unsigned bits, std::uint32_t tap_mask) {
+  check_bits(bits);
+  const std::uint32_t mask = (1u << bits) - 1u;
+  tap_mask &= mask;
+  if (tap_mask == 0) return false;
+  // The MSB stage must be tapped, otherwise the register is degenerate.
+  if ((tap_mask >> (bits - 1)) == 0) return false;
+  Lfsr l(bits, 1, tap_mask);
+  const std::uint32_t period = (1u << bits) - 1u;
+  for (std::uint32_t i = 1; i < period; ++i)
+    if (l.next() == 1u) return false;  // returned to seed too early
+  return l.next() == 1u;
+}
+
+std::vector<std::uint32_t> Lfsr::find_maximal_taps(unsigned bits,
+                                                   unsigned max_count) {
+  check_bits(bits);
+  std::vector<std::uint32_t> out;
+  if (max_count == 0) return out;
+  out.push_back(default_taps(bits));
+  const std::uint32_t top = 1u << (bits - 1);
+  const std::uint32_t mask = (1u << bits) - 1u;
+  for (std::uint32_t cand = top + 1; cand <= mask && out.size() < max_count;
+       ++cand) {
+    if (cand == out.front()) continue;
+    // Primitive polynomials have an even number of taps in this convention
+    // (odd number of nonzero terms including the constant).
+    if ((std::popcount(cand) & 1) != 0) continue;
+    if (is_maximal(bits, cand)) out.push_back(cand);
+  }
+  return out;
+}
+
+}  // namespace geo::sc

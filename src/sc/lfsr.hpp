@@ -1,0 +1,87 @@
+// Maximal-length linear feedback shift registers.
+//
+// GEO uses n-bit maximal-length LFSRs as the random number source of its
+// stochastic number generators: when generating streams of length 2^n the
+// LFSR cycles through all 2^n - 1 nonzero states, which makes generation
+// deterministic, repeatable, and "almost accurate" (Sec. II-A). Multiple
+// uncorrelated streams come from varying either the seed or the
+// characteristic polynomial.
+//
+// The paper's Fig. 4 shows a fixed 8-bit maximal-length LFSR (b) and a
+// configurable 8-or-7-bit variant (c); both are modeled here.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace geo::sc {
+
+// Fibonacci-style LFSR. The tap mask has bit (i-1) set if stage i feeds the
+// XOR (so the polynomial x^8+x^6+x^5+x^4+1 is mask 0b1011'1000 = 0xB8).
+class Lfsr {
+ public:
+  // Constructs an LFSR using the default maximal-length polynomial for the
+  // given width. `bits` must be in [kMinBits, kMaxBits]; seed must be nonzero
+  // (a zero seed is silently mapped to 1, the all-zero state is absorbing).
+  Lfsr(unsigned bits, std::uint32_t seed);
+
+  // Constructs with an explicit tap mask (for polynomial diversity).
+  Lfsr(unsigned bits, std::uint32_t seed, std::uint32_t tap_mask);
+
+  unsigned bits() const noexcept { return bits_; }
+  std::uint32_t tap_mask() const noexcept { return taps_; }
+  std::uint32_t period() const noexcept { return (1u << bits_) - 1u; }
+
+  std::uint32_t state() const noexcept { return state_; }
+
+  // Advances one step and returns the *new* state (in [1, 2^bits - 1]).
+  std::uint32_t next() noexcept;
+
+  // Restarts from the original seed.
+  void reset() noexcept { state_ = seed_; }
+
+  void reseed(std::uint32_t seed) noexcept;
+
+  static constexpr unsigned kMinBits = 2;
+  static constexpr unsigned kMaxBits = 24;
+
+  // Default maximal-length tap mask for a width (verified by tests to have
+  // period 2^bits - 1).
+  static std::uint32_t default_taps(unsigned bits);
+
+  // Returns true if the tap mask yields a maximal-length sequence for the
+  // width. Cost: one full period walk (fine for bits <= ~20 in tests).
+  static bool is_maximal(unsigned bits, std::uint32_t tap_mask);
+
+  // Enumerates up to `max_count` distinct maximal tap masks for the width, in
+  // deterministic order starting from the default polynomial. Used to hand
+  // out uncorrelated generators once seeds are exhausted.
+  static std::vector<std::uint32_t> find_maximal_taps(unsigned bits,
+                                                      unsigned max_count);
+
+ private:
+  unsigned bits_;
+  std::uint32_t taps_;
+  std::uint32_t seed_;
+  std::uint32_t state_;
+};
+
+// Fig. 4(c): an LFSR whose effective width can be switched between 8 and 7
+// bits (GEO matches LFSR length to the configured stream length, so one
+// physical register serves both 256- and 128-cycle streams).
+class ConfigurableLfsr {
+ public:
+  ConfigurableLfsr(unsigned bits, std::uint32_t seed) : lfsr_(bits, seed) {}
+
+  void configure(unsigned bits, std::uint32_t seed) { lfsr_ = Lfsr(bits, seed); }
+
+  unsigned bits() const noexcept { return lfsr_.bits(); }
+  std::uint32_t next() noexcept { return lfsr_.next(); }
+  std::uint32_t state() const noexcept { return lfsr_.state(); }
+  void reset() noexcept { lfsr_.reset(); }
+
+ private:
+  Lfsr lfsr_;
+};
+
+}  // namespace geo::sc

@@ -1,0 +1,42 @@
+#include "sc/ops.hpp"
+
+#include <stdexcept>
+
+namespace geo::sc {
+
+Bitstream multiply(const Bitstream& a, const Bitstream& b) { return a & b; }
+
+Bitstream multiply_bipolar(const Bitstream& a, const Bitstream& b) {
+  return ~(a ^ b);
+}
+
+Bitstream or_accumulate(std::span<const Bitstream> streams) {
+  if (streams.empty()) return {};
+  Bitstream out = streams[0];
+  for (std::size_t i = 1; i < streams.size(); ++i) out |= streams[i];
+  return out;
+}
+
+Bitstream mux_add(const Bitstream& a, const Bitstream& b, RngSource& select) {
+  if (a.length() != b.length())
+    throw std::invalid_argument("mux_add: length mismatch");
+  const std::uint32_t half = 1u << (select.bits() - 1);
+  Bitstream out(a.length());
+  for (std::size_t i = 0; i < a.length(); ++i) {
+    const bool sel = select.next() < half;
+    out.set(i, sel ? a.get(i) : b.get(i));
+  }
+  return out;
+}
+
+Bitstream saturating_subtract(const Bitstream& a, const Bitstream& b) {
+  return a & ~b;
+}
+
+double or_accumulate_expectation(std::span<const double> probabilities) {
+  double zero = 1.0;
+  for (double p : probabilities) zero *= (1.0 - p);
+  return 1.0 - zero;
+}
+
+}  // namespace geo::sc

@@ -1,0 +1,37 @@
+// Stream-level stochastic arithmetic building blocks.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sc/bitstream.hpp"
+#include "sc/rng_source.hpp"
+
+namespace geo::sc {
+
+// Unipolar multiplication: AND of independent streams.
+Bitstream multiply(const Bitstream& a, const Bitstream& b);
+
+// Bipolar multiplication: XNOR of independent streams (provided for
+// completeness / comparison experiments; GEO itself uses split-unipolar).
+Bitstream multiply_bipolar(const Bitstream& a, const Bitstream& b);
+
+// Unscaled OR accumulation of many streams (the [5]/GEO SC adder). Exact for
+// disjoint streams, under-approximates the sum otherwise (union bound).
+Bitstream or_accumulate(std::span<const Bitstream> streams);
+
+// Scaled addition: per-cycle MUX between a and b driven by a select source
+// with p(select) = 0.5, computing (a + b) / 2 in expectation.
+Bitstream mux_add(const Bitstream& a, const Bitstream& b, RngSource& select);
+
+// Stochastic scaled saturating subtract used by some SC pipelines:
+// a AND NOT b, approximating max(a - b, 0) for correlated-free inputs.
+Bitstream saturating_subtract(const Bitstream& a, const Bitstream& b);
+
+// The analytic expectation of OR-accumulating independent unipolar streams
+// with the given probabilities: 1 - prod(1 - p_i). Used by tests and by the
+// fast functional model of the SC layers.
+double or_accumulate_expectation(std::span<const double> probabilities);
+
+}  // namespace geo::sc

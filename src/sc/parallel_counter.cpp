@@ -1,0 +1,54 @@
+#include "sc/parallel_counter.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace geo::sc {
+
+namespace {
+void check_lengths(std::span<const Bitstream> streams) {
+  for (const auto& s : streams)
+    if (s.length() != streams[0].length())
+      throw std::invalid_argument("parallel counter: length mismatch");
+}
+}  // namespace
+
+std::vector<std::uint16_t> parallel_count(std::span<const Bitstream> streams) {
+  if (streams.empty()) return {};
+  check_lengths(streams);
+  const std::size_t len = streams[0].length();
+  std::vector<std::uint16_t> out(len, 0);
+  for (const auto& s : streams)
+    for (std::size_t w = 0; w < s.word_count(); ++w) {
+      std::uint64_t bits = s.words()[w];
+      while (bits != 0) {
+        const unsigned b = static_cast<unsigned>(std::countr_zero(bits));
+        ++out[w * 64 + b];
+        bits &= bits - 1;
+      }
+    }
+  return out;
+}
+
+std::uint64_t count_total(std::span<const Bitstream> streams) {
+  std::uint64_t total = 0;
+  for (const auto& s : streams) total += s.popcount();
+  return total;
+}
+
+std::uint64_t apc_count_total(std::span<const Bitstream> streams) {
+  if (streams.empty()) return 0;
+  check_lengths(streams);
+  std::uint64_t total = 0;
+  std::size_t i = 0;
+  bool use_or = true;
+  for (; i + 1 < streams.size(); i += 2, use_or = !use_or) {
+    const Bitstream merged =
+        use_or ? (streams[i] | streams[i + 1]) : (streams[i] & streams[i + 1]);
+    total += 2 * merged.popcount();
+  }
+  if (i < streams.size()) total += streams[i].popcount();
+  return total;
+}
+
+}  // namespace geo::sc

@@ -1,0 +1,75 @@
+// Parallel counters and output converters.
+//
+// GEO's partial-binary accumulation (Sec. III-B) replaces the last levels of
+// the OR tree with a parallel counter: every cycle the counter adds the
+// popcount of its K input streams into a binary accumulator. The approximate
+// parallel counter (APC) of [24] trades exactness for area and is modeled
+// here for the Fig. 5 comparison.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sc/bitstream.hpp"
+
+namespace geo::sc {
+
+// Per-cycle popcount across K streams: out[t] = sum_k streams[k][t].
+std::vector<std::uint16_t> parallel_count(std::span<const Bitstream> streams);
+
+// Total accumulated count over all cycles (what the output-converter counter
+// holds after the stream finishes).
+std::uint64_t count_total(std::span<const Bitstream> streams);
+
+// Approximate parallel counter modeled after [24]: input pairs are merged
+// with alternating OR / AND gates, each merged stream weighted 2 in a
+// half-width exact counter. ORs over-count by P(a xor b), ANDs under-count by
+// the same amount, so the expectation error largely cancels while the adder
+// tree halves in size. An odd trailing input passes through at weight 1.
+std::uint64_t apc_count_total(std::span<const Bitstream> streams);
+
+// Accumulating up/down output converter: adds per-cycle (pos - neg) counts of
+// split-channel groups into a signed register — the paper's "Output
+// Converter" block (Fig. 4a), including the configurable neighbor-add used
+// for average pooling with computation skipping.
+class OutputConverter {
+ public:
+  OutputConverter() = default;
+
+  // Accumulates one cycle: `pos_bits` and `neg_bits` are the parallel-counter
+  // outputs of the positive and negative channel groups this cycle.
+  void accumulate(std::uint32_t pos_bits, std::uint32_t neg_bits) noexcept {
+    total_ += static_cast<std::int64_t>(pos_bits) -
+              static_cast<std::int64_t>(neg_bits);
+    ++cycles_;
+  }
+
+  // Adds a neighboring converter's result (average-pooling neighbor add).
+  void merge(const OutputConverter& other) noexcept {
+    total_ += other.total_;
+    cycles_ += other.cycles_;
+  }
+
+  std::int64_t total() const noexcept { return total_; }
+  std::uint64_t cycles() const noexcept { return cycles_; }
+
+  // Value normalized per cycle of one stream (divide by cycles to undo the
+  // stream-length scaling; group width scaling is the caller's business).
+  double value() const noexcept {
+    return cycles_ == 0 ? 0.0
+                        : static_cast<double>(total_) /
+                              static_cast<double>(cycles_);
+  }
+
+  void reset() noexcept {
+    total_ = 0;
+    cycles_ = 0;
+  }
+
+ private:
+  std::int64_t total_ = 0;
+  std::uint64_t cycles_ = 0;
+};
+
+}  // namespace geo::sc

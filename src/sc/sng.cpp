@@ -1,0 +1,47 @@
+#include "sc/sng.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace geo::sc {
+
+std::uint32_t quantize_unipolar(double p, unsigned bits) {
+  if (p < 0.0) p = 0.0;
+  if (p > 1.0) p = 1.0;
+  const double scale = static_cast<double>(1u << bits);
+  const auto q = static_cast<std::uint32_t>(std::lround(p * scale));
+  const std::uint32_t max = (1u << bits) - 1u;
+  return q > max ? max : q;
+}
+
+double dequantize_unipolar(std::uint32_t value, unsigned bits) {
+  return static_cast<double>(value) / static_cast<double>(1u << bits);
+}
+
+Sng::Sng(std::unique_ptr<RngSource> source) : source_(std::move(source)) {
+  if (!source_) throw std::invalid_argument("Sng: null source");
+}
+
+Sng::Sng(RngKind kind, const SeedSpec& spec) : Sng(make_source(kind, spec)) {}
+
+void Sng::load(std::uint32_t value) noexcept {
+  const std::uint32_t max = (1u << bits()) - 1u;
+  value_ = value > max ? max : value;
+}
+
+bool Sng::tick() { return source_->next() <= value_ && value_ != 0; }
+
+Bitstream Sng::run(std::size_t length) {
+  Bitstream out(length);
+  for (std::size_t i = 0; i < length; ++i)
+    if (tick()) out.set(i, true);
+  return out;
+}
+
+Bitstream Sng::generate(std::uint32_t value, std::size_t length) {
+  source_->reset();
+  load(value);
+  return run(length);
+}
+
+}  // namespace geo::sc

@@ -1,0 +1,58 @@
+// Stochastic number generator: RNG + comparator (classic SNG structure [12]).
+//
+// An n-bit SNG emits bit = (rng <= value) each cycle, so a value v in
+// [0, 2^n - 1] maps to probability ~ v / 2^n. With a maximal-length n-bit
+// LFSR and a window of one full period (2^n - 1 cycles), the popcount equals
+// v exactly — the "almost accurate generation" GEO relies on.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "sc/bitstream.hpp"
+#include "sc/rng_source.hpp"
+
+namespace geo::sc {
+
+// Quantizes a probability p in [0, 1] to the n-bit SNG input value,
+// round-to-nearest, saturating at 2^n - 1.
+std::uint32_t quantize_unipolar(double p, unsigned bits);
+
+// The probability realized by an n-bit SNG input value (value / 2^n).
+double dequantize_unipolar(std::uint32_t value, unsigned bits);
+
+class Sng {
+ public:
+  // Takes ownership of the random source.
+  explicit Sng(std::unique_ptr<RngSource> source);
+
+  // Convenience: builds the source internally.
+  Sng(RngKind kind, const SeedSpec& spec);
+
+  unsigned bits() const noexcept { return source_->bits(); }
+
+  // Loads a new n-bit comparator value (all bits at once — see
+  // ProgressiveSng for the progressive loading of Sec. II-B).
+  void load(std::uint32_t value) noexcept;
+
+  std::uint32_t value() const noexcept { return value_; }
+
+  // Emits one stream bit and advances the RNG.
+  bool tick();
+
+  // Emits `length` bits for the currently loaded value.
+  Bitstream run(std::size_t length);
+
+  // Resets the RNG and generates a stream for `value`. This is the
+  // one-shot generation path used throughout the accuracy experiments.
+  Bitstream generate(std::uint32_t value, std::size_t length);
+
+  RngSource& source() noexcept { return *source_; }
+  const RngSource& source() const noexcept { return *source_; }
+
+ private:
+  std::unique_ptr<RngSource> source_;
+  std::uint32_t value_ = 0;
+};
+
+}  // namespace geo::sc

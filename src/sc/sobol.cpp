@@ -1,0 +1,70 @@
+#include "sc/sobol.hpp"
+
+#include <bit>
+
+namespace geo::sc {
+
+namespace {
+
+// Primitive polynomial degree (s), encoded middle coefficients (a) and
+// initial direction integers (m) for dimensions 1..9; dimension 0 is the
+// van der Corput sequence in base 2. Values follow the classic
+// Bratley-Fox / Joe-Kuo tables.
+struct DimInit {
+  unsigned s;
+  std::uint32_t a;
+  std::array<std::uint32_t, 5> m;
+};
+
+constexpr DimInit kDims[SobolSource::kDimensions - 1] = {
+    {1, 0, {1, 0, 0, 0, 0}},   {2, 1, {1, 3, 0, 0, 0}},
+    {3, 1, {1, 3, 1, 0, 0}},   {3, 2, {1, 1, 1, 0, 0}},
+    {4, 1, {1, 1, 3, 3, 0}},   {4, 4, {1, 3, 5, 13, 0}},
+    {5, 2, {1, 1, 5, 5, 17}},  {5, 4, {1, 1, 5, 5, 5}},
+    {5, 7, {1, 1, 7, 11, 19}},
+};
+
+}  // namespace
+
+SobolSource::SobolSource(const SeedSpec& spec)
+    : bits_(spec.bits), dim_(spec.seed % kDimensions) {
+  if (dim_ == 0) {
+    // van der Corput: v_j = 2^(32-j)
+    for (unsigned j = 1; j <= 32; ++j) v_[j - 1] = 1u << (32 - j);
+    return;
+  }
+  const DimInit& d = kDims[dim_ - 1];
+  std::array<std::uint32_t, 33> m{};  // 1-indexed
+  for (unsigned j = 1; j <= d.s; ++j) m[j] = d.m[j - 1];
+  for (unsigned j = d.s + 1; j <= 32; ++j) {
+    std::uint32_t mj = m[j - d.s] ^ (m[j - d.s] << d.s);
+    for (unsigned k = 1; k < d.s; ++k)
+      if ((d.a >> (d.s - 1 - k)) & 1u) mj ^= m[j - k] << k;
+    m[j] = mj;
+  }
+  for (unsigned j = 1; j <= 32; ++j) v_[j - 1] = m[j] << (32 - j);
+}
+
+std::uint32_t SobolSource::next() {
+  const std::uint32_t out = x_ >> (32 - bits_);
+  // Gray-code advance: flip the direction number indexed by the lowest zero
+  // bit of the point index.
+  const unsigned c = static_cast<unsigned>(std::countr_one(index_));
+  x_ ^= v_[c];
+  ++index_;
+  return out;
+}
+
+void SobolSource::reset() {
+  index_ = 0;
+  x_ = 0;
+}
+
+std::unique_ptr<RngSource> SobolSource::clone() const {
+  SeedSpec spec;
+  spec.bits = bits_;
+  spec.seed = dim_;
+  return std::make_unique<SobolSource>(spec);
+}
+
+}  // namespace geo::sc

@@ -1,0 +1,42 @@
+// Sobol low-discrepancy sequence source.
+//
+// Prior SC work uses low-discrepancy (LD) sequences to speed up convergence
+// of single multiplications [23]. GEO's Sec. II-A argues LD sequences are
+// *unsuitable for OR accumulation* because it is hard to obtain many mutually
+// uncorrelated streams from them. This source exists so the benches and tests
+// can reproduce both halves of that argument: per-dimension LD convergence is
+// faster than an LFSR's, but cross-dimension correlation under OR
+// accumulation is far worse.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+
+#include "sc/rng_source.hpp"
+
+namespace geo::sc {
+
+class SobolSource final : public RngSource {
+ public:
+  // spec.seed selects the Sobol dimension (wraps modulo kDimensions);
+  // spec.bits the output width.
+  explicit SobolSource(const SeedSpec& spec);
+
+  std::uint32_t next() override;
+  unsigned bits() const noexcept override { return bits_; }
+  void reset() override;
+  bool deterministic() const noexcept override { return true; }
+  std::unique_ptr<RngSource> clone() const override;
+
+  static constexpr unsigned kDimensions = 10;
+
+ private:
+  unsigned bits_;
+  unsigned dim_;
+  std::uint32_t index_ = 0;  // number of points emitted
+  std::uint32_t x_ = 0;      // current Gray-code state (32-bit fraction)
+  std::array<std::uint32_t, 32> v_{};  // direction numbers
+};
+
+}  // namespace geo::sc

@@ -1,0 +1,45 @@
+#include "sc/split_unipolar.hpp"
+
+namespace geo::sc {
+
+SplitValue split_quantize(double v, unsigned bits) {
+  SplitValue out;
+  if (v >= 0.0)
+    out.pos = quantize_unipolar(v, bits);
+  else
+    out.neg = quantize_unipolar(-v, bits);
+  return out;
+}
+
+double split_dequantize(const SplitValue& v, unsigned bits) {
+  return dequantize_unipolar(v.pos, bits) - dequantize_unipolar(v.neg, bits);
+}
+
+SplitStream generate_split(Sng& sng, const SplitValue& v, std::size_t length) {
+  SplitStream out;
+  if (v.pos != 0) {
+    out.pos = sng.generate(v.pos, length);
+    out.neg = Bitstream(length);
+  } else if (v.neg != 0) {
+    out.neg = sng.generate(v.neg, length);
+    out.pos = Bitstream(length);
+  } else {
+    out.pos = Bitstream(length);
+    out.neg = Bitstream(length);
+  }
+  return out;
+}
+
+SplitStream split_multiply(const SplitStream& a, const SplitStream& b) {
+  SplitStream out;
+  out.pos = (a.pos & b.pos) | (a.neg & b.neg);
+  out.neg = (a.pos & b.neg) | (a.neg & b.pos);
+  return out;
+}
+
+void split_or_accumulate(SplitStream& a, const SplitStream& b) {
+  a.pos |= b.pos;
+  a.neg |= b.neg;
+}
+
+}  // namespace geo::sc

@@ -1,0 +1,59 @@
+// Split-unipolar stochastic representation.
+//
+// A signed value v in [-1, 1] is represented as two unipolar streams, a
+// positive channel carrying max(v, 0) and a negative channel carrying
+// max(-v, 0) ([5], adopted by GEO). Multiplication of split values uses four
+// ANDs; accumulation runs per-channel (OR and/or parallel counters); the two
+// channel counts are subtracted after output conversion. Because a scalar is
+// never positive and negative at once, one channel of every source operand
+// stream is all-zero, but *products and accumulated streams* generally have
+// both channels active.
+#pragma once
+
+#include <cstdint>
+
+#include "sc/bitstream.hpp"
+#include "sc/sng.hpp"
+
+namespace geo::sc {
+
+// Quantized split encoding of a signed value: channel magnitudes as n-bit
+// SNG inputs. Exactly one of pos/neg is nonzero (or both zero).
+struct SplitValue {
+  std::uint32_t pos = 0;
+  std::uint32_t neg = 0;
+};
+
+// Quantizes v in [-1, 1] (clamped) into n-bit split channels.
+SplitValue split_quantize(double v, unsigned bits);
+
+// The signed value realized by the encoding: (pos - neg) / 2^bits.
+double split_dequantize(const SplitValue& v, unsigned bits);
+
+// A pair of equal-length unipolar streams.
+struct SplitStream {
+  Bitstream pos;
+  Bitstream neg;
+
+  std::size_t length() const noexcept { return pos.length(); }
+
+  // Signed stream value: pos.value() - neg.value().
+  double value() const noexcept { return pos.value() - neg.value(); }
+};
+
+// Generates both channels from one SNG (hardware shares the comparator: at
+// most one channel is nonzero for a scalar). The SNG's source is reset first
+// so generation is repeatable for deterministic sources.
+SplitStream generate_split(Sng& sng, const SplitValue& v, std::size_t length);
+
+// Split-unipolar multiplication:
+//   pos = (a.pos & b.pos) | (a.neg & b.neg)
+//   neg = (a.pos & b.neg) | (a.neg & b.pos)
+// For scalar operands only one AND per channel is live, matching the 2-gate
+// hardware cost; the general form is used for stream-level algebra.
+SplitStream split_multiply(const SplitStream& a, const SplitStream& b);
+
+// OR-accumulates `b` into `a` per channel (the unscaled SC addition of [5]).
+void split_or_accumulate(SplitStream& a, const SplitStream& b);
+
+}  // namespace geo::sc

@@ -1,0 +1,52 @@
+#include "sc/stream_stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace geo::sc {
+
+double rms(std::span<const double> errors) {
+  if (errors.empty()) return 0.0;
+  double acc = 0.0;
+  for (double e : errors) acc += e * e;
+  return std::sqrt(acc / static_cast<double>(errors.size()));
+}
+
+double mean_abs(std::span<const double> errors) {
+  if (errors.empty()) return 0.0;
+  double acc = 0.0;
+  for (double e : errors) acc += std::abs(e);
+  return acc / static_cast<double>(errors.size());
+}
+
+double scc(const Bitstream& a, const Bitstream& b) {
+  if (a.length() != b.length() || a.length() == 0)
+    throw std::invalid_argument("scc: length mismatch");
+  const double n = static_cast<double>(a.length());
+  const double pa = a.value();
+  const double pb = b.value();
+  const double pab = static_cast<double>((a & b).popcount()) / n;
+  const double delta = pab - pa * pb;
+  if (delta > 0) {
+    const double denom = std::min(pa, pb) - pa * pb;
+    return denom <= 0 ? 0.0 : delta / denom;
+  }
+  const double denom = pa * pb - std::max(pa + pb - 1.0, 0.0);
+  return denom <= 0 ? 0.0 : delta / denom;
+}
+
+double pearson(const Bitstream& a, const Bitstream& b) {
+  if (a.length() != b.length() || a.length() == 0)
+    throw std::invalid_argument("pearson: length mismatch");
+  const double n = static_cast<double>(a.length());
+  const double pa = a.value();
+  const double pb = b.value();
+  const double pab = static_cast<double>((a & b).popcount()) / n;
+  const double va = pa * (1.0 - pa);
+  const double vb = pb * (1.0 - pb);
+  if (va <= 0.0 || vb <= 0.0) return 0.0;
+  return (pab - pa * pb) / std::sqrt(va * vb);
+}
+
+}  // namespace geo::sc

@@ -1,0 +1,24 @@
+// Stream statistics: error metrics and stochastic cross-correlation.
+#pragma once
+
+#include <span>
+
+#include "sc/bitstream.hpp"
+
+namespace geo::sc {
+
+// Root-mean-square of a set of errors.
+double rms(std::span<const double> errors);
+
+// Mean absolute value of a set of errors.
+double mean_abs(std::span<const double> errors);
+
+// Stochastic cross-correlation (SCC, Alaghi & Hayes): 0 for independent
+// streams, +1 for maximally overlapping, -1 for maximally disjoint given the
+// marginals. Returns 0 when either stream is constant.
+double scc(const Bitstream& a, const Bitstream& b);
+
+// Pearson bit-level correlation of two streams (0 when either is constant).
+double pearson(const Bitstream& a, const Bitstream& b);
+
+}  // namespace geo::sc

@@ -1,0 +1,119 @@
+#include "arch/area_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace geo::arch {
+namespace {
+
+using nn::AccumMode;
+
+TEST(AreaPrimitives, OrTree) {
+  EXPECT_DOUBLE_EQ(or_tree_ge(1), 0.0);
+  EXPECT_DOUBLE_EQ(or_tree_ge(2), ge_or2());
+  EXPECT_DOUBLE_EQ(or_tree_ge(9), 8 * ge_or2());
+}
+
+TEST(AreaPrimitives, ParallelCounterGrowsLinearly) {
+  const double pc8 = parallel_counter_ge(8, 12);
+  const double pc64 = parallel_counter_ge(64, 12);
+  EXPECT_GT(pc64, pc8);
+  EXPECT_LT(pc64, 12.0 * pc8) << "compressor tree is ~linear in inputs";
+}
+
+TEST(AreaPrimitives, ApcSmallerThanExactCounter) {
+  for (int n : {8, 32, 128}) {
+    EXPECT_LT(apc_ge(n, 12), parallel_counter_ge(n, 12)) << "n=" << n;
+  }
+}
+
+// Fig. 5 structure: SC < PBW < PBHW < APC < FXP for large kernels, with the
+// partial-binary overhead shrinking as kernels grow.
+TEST(MacUnitArea, Fig5Ordering) {
+  const int cin = 256, kh = 5, kw = 5;
+  const double sc = sc_mac_unit_ge(cin, kh, kw, AccumMode::kOr);
+  const double pbw = sc_mac_unit_ge(cin, kh, kw, AccumMode::kPbw);
+  const double pbhw = sc_mac_unit_ge(cin, kh, kw, AccumMode::kPbhw);
+  const double apc = sc_mac_unit_ge(cin, kh, kw, AccumMode::kApc);
+  const double fxp = sc_mac_unit_ge(cin, kh, kw, AccumMode::kFxp);
+  EXPECT_LT(sc, pbw);
+  EXPECT_LT(pbw, pbhw);
+  EXPECT_LT(pbhw, apc);
+  EXPECT_LT(apc, fxp);
+}
+
+TEST(MacUnitArea, PbwOverheadShrinksWithKernelSize) {
+  auto overhead = [](int cin) {
+    const double sc = sc_mac_unit_ge(cin, 5, 5, AccumMode::kOr);
+    return sc_mac_unit_ge(cin, 5, 5, AccumMode::kPbw) / sc;
+  };
+  EXPECT_GT(overhead(1), overhead(64));
+  EXPECT_LT(overhead(256), 1.15) << "paper: ~4% PBW overhead for large kernels";
+}
+
+TEST(MacUnitArea, FxpMuchLargerForMostKernels) {
+  const double sc = sc_mac_unit_ge(64, 3, 3, AccumMode::kOr);
+  const double fxp = sc_mac_unit_ge(64, 3, 3, AccumMode::kFxp);
+  EXPECT_GT(fxp / sc, 3.0) << "paper: full binary accumulation >5x for most";
+}
+
+TEST(MacUnitArea, ApcLargerThanPartialBinaryForLargeKernels) {
+  const double pbw = sc_mac_unit_ge(512, 5, 5, AccumMode::kPbw);
+  const double apc = sc_mac_unit_ge(512, 5, 5, AccumMode::kApc);
+  EXPECT_GT(apc / pbw, 2.0) << "paper: APC still >3x PBW for large kernels";
+}
+
+TEST(AcceleratorArea, UlpMatchesPublishedDesignPoint) {
+  const AreaBreakdown a = accelerator_area(HwConfig::ulp(), TechParams::hvt28());
+  EXPECT_NEAR(a.total(), 0.58, 0.58 * 0.25) << "calibrated to paper's 0.58mm2";
+  EXPECT_GT(a.act_memory + a.wgt_memory, 0.1);
+  EXPECT_GT(a.mac_array, 0.02);
+}
+
+TEST(AcceleratorArea, LpMatchesPublishedDesignPoint) {
+  const AreaBreakdown a = accelerator_area(HwConfig::lp(), TechParams::hvt28());
+  EXPECT_NEAR(a.total(), 9.2, 9.2 * 0.30) << "calibrated to paper's 9.2mm2";
+  EXPECT_GT(a.ext_mem_phy, 0.0) << "LP pays for the DRAM PHY";
+}
+
+TEST(AcceleratorArea, GenOptimizationsRoughlyAreaNeutral) {
+  // Fig. 6: shared 8-bit LFSRs + shadow buffers vs unshared 16-bit LFSRs —
+  // about a wash (paper: -1%).
+  const double base =
+      accelerator_area(HwConfig::base_ulp(), TechParams::hvt28()).total();
+  const double gen =
+      accelerator_area(HwConfig::geo_gen_ulp(), TechParams::hvt28()).total();
+  EXPECT_NEAR(gen / base, 1.0, 0.08);
+}
+
+TEST(AcceleratorArea, ShadowBuffersCostFewPercent) {
+  HwConfig with = HwConfig::ulp();
+  HwConfig without = with;
+  without.shadow_buffers = false;
+  const double a_with =
+      accelerator_area(with, TechParams::hvt28()).total();
+  const double a_without =
+      accelerator_area(without, TechParams::hvt28()).total();
+  EXPECT_GT(a_with, a_without);
+  EXPECT_LT((a_with - a_without) / a_without, 0.08)
+      << "paper: progressive shadow buffers ~4% of accelerator area";
+}
+
+TEST(AcceleratorArea, PipelineRegistersUnderOnePercent) {
+  HwConfig with = HwConfig::ulp();
+  HwConfig without = with;
+  without.pipeline_stage = false;
+  const double a_with = accelerator_area(with, TechParams::hvt28()).total();
+  const double a_without =
+      accelerator_area(without, TechParams::hvt28()).total();
+  EXPECT_LT((a_with - a_without) / a_without, 0.01);
+}
+
+TEST(AcceleratorArea, ItemsSumToTotal) {
+  const AreaBreakdown a = accelerator_area(HwConfig::ulp(), TechParams::hvt28());
+  double sum = 0;
+  for (const auto& [name, mm2] : a.items()) sum += mm2;
+  EXPECT_NEAR(sum, a.total(), 1e-9);
+}
+
+}  // namespace
+}  // namespace geo::arch

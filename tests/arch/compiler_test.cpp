@@ -1,0 +1,177 @@
+#include "arch/compiler.hpp"
+
+#include <gtest/gtest.h>
+
+namespace geo::arch {
+namespace {
+
+TEST(ConvShape, Dimensions) {
+  const ConvShape s = ConvShape::conv("c", 3, 32, 32, 5, 2, true);
+  EXPECT_EQ(s.hout(), 32);
+  EXPECT_EQ(s.wout(), 32);
+  EXPECT_EQ(s.taps(), 75);
+  EXPECT_EQ(s.outputs(), 32 * 32 * 32);
+  EXPECT_EQ(s.macs(), s.outputs() * 75);
+  EXPECT_EQ(s.weights(), 32 * 75);
+}
+
+TEST(ConvShape, FcIsOneByOne) {
+  const ConvShape s = ConvShape::fc("fc", 512, 10, true);
+  EXPECT_EQ(s.hout(), 1);
+  EXPECT_EQ(s.outputs(), 10);
+  EXPECT_EQ(s.macs(), 5120);
+  EXPECT_TRUE(s.output);
+}
+
+TEST(NetworkShape, PaperNetworksWellFormed) {
+  for (const NetworkShape& net :
+       {NetworkShape::cnn4_cifar(), NetworkShape::lenet5(),
+        NetworkShape::vgg16()}) {
+    EXPECT_FALSE(net.layers.empty()) << net.name;
+    EXPECT_GT(net.total_macs(), 0) << net.name;
+    EXPECT_TRUE(net.layers.back().output) << net.name;
+  }
+  // Network size ordering matches the paper's workloads.
+  EXPECT_GT(NetworkShape::vgg16().total_macs(),
+            NetworkShape::cnn4_cifar().total_macs());
+  EXPECT_GT(NetworkShape::cnn4_cifar().total_macs(),
+            NetworkShape::lenet5().total_macs());
+}
+
+TEST(Compiler, StreamLengthSelection) {
+  const Compiler c(HwConfig::ulp());  // sp=32, s=64, output=128
+  EXPECT_EQ(c.stream_len_for(ConvShape::conv("a", 3, 32, 32, 5, 2, true)), 32);
+  EXPECT_EQ(c.stream_len_for(ConvShape::conv("b", 3, 32, 32, 5, 2, false)),
+            64);
+  EXPECT_EQ(c.stream_len_for(ConvShape::fc("fc", 512, 10, true)), 128);
+}
+
+TEST(Compiler, KernelSlicingWhenTapsExceedRow) {
+  const Compiler c(HwConfig::ulp());  // 400 MACs per row
+  const ConvShape big = ConvShape::conv("conv", 32, 16, 16, 5, 2, false);
+  ASSERT_GT(big.taps(), 400);
+  const LayerPlan plan = c.plan_layer(big, Dataflow::kWeightStationary);
+  EXPECT_EQ(plan.kernel_slices, 2);
+  EXPECT_GT(plan.nm_psum_ops, 0) << "psums must spill to near-memory";
+  // One window per row, but idle rows (64 rows, 16 output channels) pick up
+  // further window positions.
+  EXPECT_EQ(plan.windows_per_pass, 4);
+}
+
+TEST(Compiler, SmallKernelUnrollsWindows) {
+  const Compiler c(HwConfig::ulp());
+  const ConvShape small = ConvShape::conv("conv", 3, 32, 32, 5, 2, true);
+  const LayerPlan plan = c.plan_layer(small, Dataflow::kWeightStationary);
+  EXPECT_EQ(plan.kernel_slices, 1);
+  EXPECT_GT(plan.windows_per_pass, 1);
+  EXPECT_EQ(plan.nm_psum_ops, 0);
+}
+
+TEST(Compiler, SplitUnipolarDoublesCycles) {
+  const Compiler c(HwConfig::ulp());
+  const LayerPlan plan = c.plan_layer(
+      ConvShape::conv("conv", 3, 32, 32, 5, 2, false),
+      Dataflow::kWeightStationary);
+  EXPECT_EQ(plan.stream_cycles, 2 * plan.stream_len);
+}
+
+TEST(Compiler, WeightStationaryBeatsOutputStationary) {
+  // Sec. III-C: strict output-stationary costs up to ~10x more accesses on
+  // the deep (VGG-class) layers; checked on the LP fabric the paper uses
+  // for VGG.
+  const Compiler c(HwConfig::lp());
+  const ConvShape deep = ConvShape::conv("deep", 512, 4, 512, 3, 1, false);
+  const auto ws = c.plan_layer(deep, Dataflow::kWeightStationary);
+  const auto os = c.plan_layer(deep, Dataflow::kOutputStationary);
+  const double ratio = static_cast<double>(os.accesses.total()) /
+                       static_cast<double>(ws.accesses.total());
+  EXPECT_GT(ratio, 3.0);
+  EXPECT_LT(ratio, 30.0);
+}
+
+TEST(Compiler, WeightStationaryBeatsInputStationaryOnConvs) {
+  const Compiler c(HwConfig::ulp());
+  double ws_total = 0, is_total = 0;
+  for (const auto& layer : NetworkShape::cnn4_cifar().layers) {
+    ws_total += static_cast<double>(
+        c.plan_layer(layer, Dataflow::kWeightStationary).accesses.total());
+    is_total += static_cast<double>(
+        c.plan_layer(layer, Dataflow::kInputStationary).accesses.total());
+  }
+  const double ratio = is_total / ws_total;
+  EXPECT_GT(ratio, 1.3) << "paper: WS reduces accesses up to 3.3x vs IS";
+  EXPECT_LT(ratio, 8.0);
+}
+
+TEST(Compiler, PsumFractionInPaperBand) {
+  // Sec. III-C: partial sums are 13-20% of (activation) memory accesses on
+  // the deep workloads; we accept a wider band and record the exact value
+  // in EXPERIMENTS.md.
+  const Compiler c(HwConfig::lp());
+  AccessCounts total;
+  for (const auto& plan : c.compile(NetworkShape::vgg16()))
+    total += plan.accesses;
+  const double frac =
+      static_cast<double>(total.psum_reads + total.psum_writes) /
+      static_cast<double>(total.act_memory_total());
+  EXPECT_GT(frac, 0.05);
+  EXPECT_LT(frac, 0.45);
+}
+
+TEST(Compiler, NaturalDataflowFollowsNearMemory) {
+  HwConfig hw = HwConfig::ulp();
+  EXPECT_EQ(Compiler(hw).natural_dataflow(), Dataflow::kWeightStationary);
+  hw.near_memory = false;
+  EXPECT_EQ(Compiler(hw).natural_dataflow(), Dataflow::kOutputStationary);
+}
+
+TEST(Compiler, ProgramShape) {
+  const Compiler c(HwConfig::ulp());
+  const LayerPlan plan = c.plan_layer(
+      ConvShape::conv("conv", 32, 16, 16, 5, 2, true),
+      Dataflow::kWeightStationary);
+  const auto& prog = plan.program;
+  ASSERT_GE(prog.size(), 6u);
+  EXPECT_EQ(prog[0].op, Opcode::kConfig);
+  EXPECT_EQ(prog[0].arg0, plan.stream_len);
+  bool has_gen = false, has_pool = false, has_nmacc = false;
+  for (const auto& inst : prog.instructions()) {
+    has_gen |= inst.op == Opcode::kGenExec;
+    has_pool |= inst.op == Opcode::kPool;
+    has_nmacc |= inst.op == Opcode::kNearMemAcc;
+  }
+  EXPECT_TRUE(has_gen);
+  EXPECT_TRUE(has_pool);
+  EXPECT_TRUE(has_nmacc);
+  EXPECT_EQ(prog.instructions().back().op, Opcode::kHalt);
+}
+
+TEST(Compiler, PoolingHalvesWritebacks) {
+  const Compiler c(HwConfig::ulp());
+  ConvShape shape = ConvShape::conv("conv", 3, 32, 32, 5, 2, false);
+  const auto no_pool = c.plan_layer(shape, Dataflow::kWeightStationary);
+  shape.pool = true;
+  const auto pooled = c.plan_layer(shape, Dataflow::kWeightStationary);
+  EXPECT_EQ(pooled.accesses.act_writes * 4, no_pool.accesses.act_writes);
+}
+
+TEST(Compiler, ExternalMemoryTraffic) {
+  const Compiler lp(HwConfig::lp());
+  const Compiler ulp(HwConfig::ulp());
+  const ConvShape shape = ConvShape::conv("conv", 64, 16, 128, 3, 1, false);
+  EXPECT_GT(lp.plan_layer(shape, Dataflow::kWeightStationary)
+                .accesses.ext_bytes,
+            0);
+  EXPECT_EQ(ulp.plan_layer(shape, Dataflow::kWeightStationary)
+                .accesses.ext_bytes,
+            0);
+}
+
+TEST(Compiler, CompileCoversAllLayers) {
+  const Compiler c(HwConfig::ulp());
+  const NetworkShape net = NetworkShape::cnn4_cifar();
+  EXPECT_EQ(c.compile(net).size(), net.layers.size());
+}
+
+}  // namespace
+}  // namespace geo::arch

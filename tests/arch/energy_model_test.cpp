@@ -1,0 +1,84 @@
+#include "arch/energy_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace geo::arch {
+namespace {
+
+const TechParams kTech = TechParams::hvt28();
+
+TEST(EnergyModel, ComputeCycleEnergySumsModules) {
+  const EnergyModel m(HwConfig::ulp(), kTech);
+  const double parts = m.mac_cycle_energy() + m.act_sng_cycle_energy() +
+                       m.wgt_sng_cycle_energy() + m.buffer_cycle_energy() +
+                       m.output_conv_cycle_energy();
+  EXPECT_GT(m.compute_cycle_energy(), parts * 0.999)
+      << "total includes control on top of the listed modules";
+  EXPECT_LT(m.compute_cycle_energy(), parts * 1.25);
+}
+
+TEST(EnergyModel, DvfsScalesDynamicEnergyQuadratically) {
+  HwConfig nominal = HwConfig::ulp();
+  nominal.vdd = 0.9;
+  HwConfig low = nominal;
+  low.vdd = 0.81;
+  const EnergyModel a(nominal, kTech), b(low, kTech);
+  EXPECT_NEAR(b.compute_cycle_energy() / a.compute_cycle_energy(), 0.81,
+              1e-6);
+}
+
+TEST(EnergyModel, LeakageScalesSuperlinearlyWithVoltage) {
+  HwConfig nominal = HwConfig::ulp();
+  nominal.vdd = 0.9;
+  HwConfig low = nominal;
+  low.vdd = 0.81;
+  const EnergyModel a(nominal, kTech), b(low, kTech);
+  const double ratio = b.leakage_power() / a.leakage_power();
+  EXPECT_LT(ratio, 0.81);
+  EXPECT_GT(ratio, 0.6);
+}
+
+TEST(EnergyModel, BiggerFabricBurnsMore) {
+  const EnergyModel ulp(HwConfig::ulp(), kTech);
+  const EnergyModel lp(HwConfig::lp(), kTech);
+  EXPECT_GT(lp.compute_cycle_energy(), 5.0 * ulp.compute_cycle_energy());
+  EXPECT_GT(lp.leakage_power(), ulp.leakage_power());
+}
+
+TEST(EnergyModel, MemoryAccessEnergiesOrdered) {
+  const EnergyModel m(HwConfig::ulp(), kTech);
+  EXPECT_GT(m.act_write_energy(), m.act_read_energy() * 0.999);
+  // The larger activation memory costs at least as much per access.
+  EXPECT_GE(m.act_read_energy(), m.wgt_read_energy());
+  // External DRAM dwarfs on-chip SRAM per bit.
+  const double sram_per_bit = m.act_read_energy() / 64.0;
+  EXPECT_GT(m.ext_energy_per_bit(), 5.0 * sram_per_bit);
+}
+
+TEST(EnergyModel, BufferLoadScalesWithBits) {
+  const EnergyModel m(HwConfig::ulp(), kTech);
+  EXPECT_NEAR(m.buffer_load_energy(8) / m.buffer_load_energy(2), 4.0, 1e-9);
+}
+
+TEST(EnergyModel, ActivityFactorsMatter) {
+  ActivityFactors busy;
+  busy.mac_array = 0.5;
+  const EnergyModel quiet(HwConfig::ulp(), kTech);
+  const EnergyModel loud(HwConfig::ulp(), kTech, busy);
+  EXPECT_GT(loud.mac_cycle_energy(), quiet.mac_cycle_energy() * 2.0);
+}
+
+TEST(EnergyBreakdown, ItemsMatchTotal) {
+  EnergyBreakdown e;
+  e.mac_array = 1;
+  e.act_memory = 2;
+  e.leakage = 3;
+  e.external_memory = 4;
+  double sum = 0;
+  for (const auto& [name, j] : e.items()) sum += j;
+  EXPECT_DOUBLE_EQ(sum, e.total());
+  EXPECT_DOUBLE_EQ(e.total(), 10.0);
+}
+
+}  // namespace
+}  // namespace geo::arch

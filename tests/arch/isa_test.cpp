@@ -1,0 +1,94 @@
+#include "arch/isa.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace geo::arch {
+namespace {
+
+TEST(Instruction, EncodeDecodeRoundTrip) {
+  const Instruction insts[] = {
+      {Opcode::kNop, 0, 0, 0},
+      {Opcode::kConfig, 64, 6, 1},
+      {Opcode::kGenExec, 256, 512, 0},
+      {Opcode::kNearMemAcc, 512, 0, 0},
+      {Opcode::kLoadWgt, 32767, -32768, 5},
+      {Opcode::kHalt, 0, 0, 0},
+  };
+  for (const Instruction& i : insts) {
+    EXPECT_EQ(Instruction::decode(i.encode()), i) << i.to_string();
+  }
+}
+
+TEST(Instruction, EncodeRejectsWideOperands) {
+  const Instruction bad{Opcode::kLoadAct, 40000, 0, 0};
+  EXPECT_THROW(bad.encode(), std::out_of_range);
+}
+
+TEST(Instruction, DecodeRejectsBadOpcode) {
+  EXPECT_THROW(Instruction::decode(0xFFull << 56), std::invalid_argument);
+}
+
+TEST(Instruction, ParsePrintRoundTrip) {
+  for (const char* text :
+       {"genexec 256 512", "loadwgt 50", "barrier", "halt",
+        "config 64 6 1", "nmacc 512"}) {
+    const Instruction i = Instruction::parse(text);
+    EXPECT_EQ(i.to_string(), text);
+  }
+}
+
+TEST(Instruction, ParseRejectsGarbage) {
+  EXPECT_THROW(Instruction::parse("frobnicate 3"), std::invalid_argument);
+  EXPECT_THROW(Instruction::parse(""), std::invalid_argument);
+}
+
+TEST(Program, TextRoundTrip) {
+  Program p;
+  p.push(Opcode::kConfig, 128, 7, 1);
+  p.push(Opcode::kLoadWgt, 50);
+  p.push(Opcode::kLoadAct, 480);
+  p.push(Opcode::kBarrier);
+  p.push(Opcode::kGenExec, 256, 512);
+  p.push(Opcode::kHalt);
+  const Program q = Program::from_text(p.to_text());
+  ASSERT_EQ(q.size(), p.size());
+  for (std::size_t i = 0; i < p.size(); ++i) EXPECT_EQ(q[i], p[i]);
+}
+
+TEST(Program, TextIgnoresCommentsAndBlanks) {
+  const Program p = Program::from_text(
+      "# GEO layer kernel\n\n  genexec 64 8  # run\nhalt\n");
+  ASSERT_EQ(p.size(), 2u);
+  EXPECT_EQ(p[0].op, Opcode::kGenExec);
+  EXPECT_EQ(p[1].op, Opcode::kHalt);
+}
+
+TEST(Program, BinaryRoundTrip) {
+  Program p;
+  p.push(Opcode::kGenExec, 256, 128);
+  p.push(Opcode::kNearMemBn, 1024 % 32768);
+  p.push(Opcode::kHalt);
+  const Program q = Program::decode(p.encode());
+  ASSERT_EQ(q.size(), p.size());
+  for (std::size_t i = 0; i < p.size(); ++i) EXPECT_EQ(q[i], p[i]);
+}
+
+TEST(Program, Append) {
+  Program a, b;
+  a.push(Opcode::kLoadWgt, 1);
+  b.push(Opcode::kHalt);
+  a.append(b);
+  EXPECT_EQ(a.size(), 2u);
+  EXPECT_EQ(a[1].op, Opcode::kHalt);
+}
+
+TEST(Mnemonics, AllDistinct) {
+  std::set<std::string> names;
+  for (int op = 0; op <= static_cast<int>(Opcode::kHalt); ++op)
+    EXPECT_TRUE(names.insert(mnemonic(static_cast<Opcode>(op))).second);
+}
+
+}  // namespace
+}  // namespace geo::arch

@@ -1,0 +1,187 @@
+#include "arch/machine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "nn/sc_layers.hpp"
+
+namespace geo::arch {
+namespace {
+
+// Builds matching operands for the machine and the nn reference layer.
+struct Fixture {
+  ConvShape shape;
+  std::vector<float> weights;
+  std::vector<float> input;
+  std::vector<float> ones, zeros;
+
+  Fixture(int cin, int hw_dim, int cout, int kernel, unsigned seed) {
+    shape = ConvShape::conv("t", cin, hw_dim, cout, kernel,
+                            /*pad=*/kernel / 2, /*pool=*/false);
+    std::mt19937 rng(seed);
+    std::uniform_real_distribution<float> wdist(-0.8f, 0.8f);
+    std::uniform_real_distribution<float> adist(0.0f, 1.0f);
+    weights.resize(static_cast<std::size_t>(shape.weights()));
+    for (auto& w : weights) w = wdist(rng);
+    input.resize(static_cast<std::size_t>(shape.activations()));
+    for (auto& a : input) a = adist(rng);
+    ones.assign(static_cast<std::size_t>(cout), 1.0f);
+    zeros.assign(static_cast<std::size_t>(cout), 0.0f);
+  }
+};
+
+HwConfig small_hw(nn::AccumMode accum, int stream) {
+  HwConfig hw = HwConfig::ulp();
+  hw.accum = accum;
+  hw.stream_len = stream;
+  hw.stream_len_pool = stream;
+  hw.stream_len_output = stream;
+  return hw;
+}
+
+// The core contract: mapping a layer onto rows/windows/passes must not
+// change the arithmetic — machine counters equal the bit-level nn layer.
+class MachineEquivalence : public ::testing::TestWithParam<nn::AccumMode> {};
+
+TEST_P(MachineEquivalence, MatchesScConv2dBitExactly) {
+  const nn::AccumMode accum = GetParam();
+  const Fixture f(4, 6, 5, 3, 77);
+  const HwConfig hw = small_hw(accum, 64);
+  GeoMachine machine(hw);
+  const std::uint64_t salt = 9;
+  const MachineResult r = machine.run_conv(f.shape, f.weights, f.input,
+                                           f.ones, f.zeros, salt);
+
+  // Reference: nn::ScConv2d with the identical configuration.
+  std::mt19937 rng(1);
+  nn::ScConv2d ref(f.shape.cin, f.shape.cout, f.shape.kh, 1, f.shape.pad,
+                   rng, machine.layer_config(f.shape, salt));
+  std::copy(f.weights.begin(), f.weights.end(),
+            ref.weight().value.data().begin());
+  nn::Tensor x({1, f.shape.cin, f.shape.hin, f.shape.win});
+  std::copy(f.input.begin(), f.input.end(), x.data().begin());
+  const nn::Tensor y = ref.forward(x, false);
+
+  ASSERT_EQ(r.counters.size(), y.size());
+  const double L = hw.stream_len;
+  for (std::size_t i = 0; i < y.size(); ++i)
+    EXPECT_NEAR(r.counters[i] / L, y[i], 1e-6) << "output " << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(Accum, MachineEquivalence,
+                         ::testing::Values(nn::AccumMode::kOr,
+                                           nn::AccumMode::kPbw,
+                                           nn::AccumMode::kPbhw,
+                                           nn::AccumMode::kFxp));
+
+TEST(Machine, PassCountMatchesCompilerPlan) {
+  const Fixture f(8, 8, 12, 3, 3);
+  const HwConfig hw = small_hw(nn::AccumMode::kPbw, 32);
+  GeoMachine machine(hw);
+  const MachineResult r = machine.run_conv(f.shape, f.weights, f.input,
+                                           f.ones, f.zeros, 1);
+  const Compiler c(hw);
+  const LayerPlan plan = c.plan_layer(f.shape, c.natural_dataflow());
+  EXPECT_EQ(r.stats.passes, plan.passes);
+  EXPECT_EQ(r.stats.total_cycles, r.stats.compute_cycles +
+                                      r.stats.stall_cycles +
+                                      r.stats.nearmem_cycles);
+}
+
+TEST(Machine, KernelSlicingSpillsPsums) {
+  // taps = 32*5*5 = 800 > 400 MACs/row: two slices, psum traffic.
+  const Fixture f(32, 6, 4, 5, 5);
+  const HwConfig hw = small_hw(nn::AccumMode::kPbw, 32);
+  GeoMachine machine(hw);
+  const MachineResult r = machine.run_conv(f.shape, f.weights, f.input,
+                                           f.ones, f.zeros, 2);
+  EXPECT_GT(r.stats.psum_ops, 0);
+}
+
+TEST(Machine, SlicedOrAccumulationRecoversUnionLoss) {
+  // Splitting a kernel across passes converts the OR union into two unions
+  // added in fixed point — never less than the single big union.
+  Fixture f(32, 6, 2, 5, 11);
+  for (auto& w : f.weights) w = std::abs(w);  // all-positive: counts ordered
+  const HwConfig hw = small_hw(nn::AccumMode::kOr, 64);
+  GeoMachine machine(hw);
+  const MachineResult sliced = machine.run_conv(f.shape, f.weights, f.input,
+                                                f.ones, f.zeros, 3);
+
+  std::mt19937 rng(1);
+  nn::ScConv2d whole(f.shape.cin, f.shape.cout, f.shape.kh, 1, f.shape.pad,
+                     rng, machine.layer_config(f.shape, 3));
+  std::copy(f.weights.begin(), f.weights.end(),
+            whole.weight().value.data().begin());
+  nn::Tensor x({1, f.shape.cin, f.shape.hin, f.shape.win});
+  std::copy(f.input.begin(), f.input.end(), x.data().begin());
+  const nn::Tensor y = whole.forward(x, false);
+
+  const double L = hw.stream_len;
+  double sliced_sum = 0, whole_sum = 0;
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    sliced_sum += sliced.counters[i] / L;
+    whole_sum += y[i];
+  }
+  EXPECT_GE(sliced_sum, whole_sum - 1e-6);
+}
+
+TEST(Machine, BnAndReluProduceUnipolarBytes) {
+  const Fixture f(4, 6, 3, 3, 13);
+  std::vector<float> scale(3, 2.0f), shift(3, -0.2f);
+  GeoMachine machine(small_hw(nn::AccumMode::kPbw, 64));
+  const MachineResult r =
+      machine.run_conv(f.shape, f.weights, f.input, scale, shift, 4);
+  bool any_nonzero = false;
+  for (std::uint8_t a : r.activations) any_nonzero |= a != 0;
+  EXPECT_TRUE(any_nonzero);
+  EXPECT_GT(r.stats.bn_ops, 0);
+}
+
+TEST(Machine, ShadowBufferingReducesStalls) {
+  const Fixture f(8, 10, 8, 3, 17);
+  // Same generation scheme (so the arithmetic is identical), shadow
+  // buffering toggled.
+  HwConfig with = small_hw(nn::AccumMode::kPbw, 128);
+  with.progressive = false;
+  HwConfig without = with;
+  without.shadow_buffers = false;
+  const MachineResult a =
+      GeoMachine(with).run_conv(f.shape, f.weights, f.input, f.ones,
+                                f.zeros, 5);
+  const MachineResult b =
+      GeoMachine(without).run_conv(f.shape, f.weights, f.input, f.ones,
+                                   f.zeros, 5);
+  EXPECT_LT(a.stats.stall_cycles, b.stats.stall_cycles);
+  // Identical arithmetic regardless of buffering policy.
+  EXPECT_EQ(a.counters, b.counters);
+}
+
+TEST(Machine, RejectsBadOperands) {
+  const Fixture f(2, 4, 2, 3, 19);
+  GeoMachine machine(small_hw(nn::AccumMode::kPbw, 32));
+  std::vector<float> short_weights(3, 0.0f);
+  EXPECT_THROW(machine.run_conv(f.shape, short_weights, f.input, f.ones,
+                                f.zeros, 1),
+               std::invalid_argument);
+  std::vector<float> short_bn(1, 1.0f);
+  EXPECT_THROW(machine.run_conv(f.shape, f.weights, f.input, short_bn,
+                                short_bn, 1),
+               std::invalid_argument);
+}
+
+TEST(Machine, StatsScaleWithWork) {
+  const Fixture small(2, 4, 2, 3, 21);
+  const Fixture big(8, 8, 8, 3, 23);
+  GeoMachine machine(small_hw(nn::AccumMode::kPbw, 32));
+  const auto rs = machine.run_conv(small.shape, small.weights, small.input,
+                                   small.ones, small.zeros, 1);
+  const auto rb = machine.run_conv(big.shape, big.weights, big.input,
+                                   big.ones, big.zeros, 1);
+  EXPECT_GT(rb.stats.total_cycles, rs.stats.total_cycles);
+  EXPECT_GT(rb.stats.act_buffer_fills, rs.stats.act_buffer_fills);
+}
+
+}  // namespace
+}  // namespace geo::arch

@@ -1,0 +1,69 @@
+#include "arch/memory_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace geo::arch {
+namespace {
+
+TEST(Sram, AreaScalesLinearly) {
+  const SramModel small{64, 64, 2};
+  const SramModel big{256, 64, 2};
+  EXPECT_NEAR(big.area_mm2() / small.area_mm2(), 4.0, 0.1);
+}
+
+TEST(Sram, AccessEnergyGrowsSubLinearly) {
+  const SramModel small{16, 64, 2};
+  const SramModel big{256, 64, 2};
+  const double ratio = big.read_energy_pj() / small.read_energy_pj();
+  EXPECT_GT(ratio, 1.0);
+  EXPECT_LT(ratio, 16.0) << "CACTI shape: sqrt-ish growth per access";
+}
+
+TEST(Sram, BankingReducesAccessEnergy) {
+  const SramModel mono{256, 64, 1};
+  const SramModel banked{256, 64, 4};
+  EXPECT_LT(banked.read_energy_pj(), mono.read_energy_pj());
+  EXPECT_GT(banked.area_mm2(), mono.area_mm2());
+}
+
+TEST(Sram, WideWordCostsMore) {
+  const SramModel narrow{128, 32, 2};
+  const SramModel wide{128, 128, 2};
+  EXPECT_GT(wide.read_energy_pj(), narrow.read_energy_pj());
+}
+
+TEST(Sram, WritesSlightlyAboveReads) {
+  const SramModel m{128, 64, 2};
+  EXPECT_GT(m.write_energy_pj(), m.read_energy_pj());
+  EXPECT_LT(m.write_energy_pj(), 1.5 * m.read_energy_pj());
+}
+
+TEST(Sram, LeakageProportionalToCapacity) {
+  const SramModel a{100, 64, 2}, b{200, 64, 2};
+  EXPECT_NEAR(b.leakage_mw() / a.leakage_mw(), 2.0, 1e-9);
+}
+
+TEST(Sram, PlausibleAbsoluteNumbers) {
+  // 150 KB at 28nm: a fraction of a mm2; reads a few pJ per 64-bit word.
+  const SramModel geo_ulp{150, 64, 2};
+  EXPECT_GT(geo_ulp.area_mm2(), 0.1);
+  EXPECT_LT(geo_ulp.area_mm2(), 0.6);
+  EXPECT_GT(geo_ulp.read_energy_pj(), 1.0);
+  EXPECT_LT(geo_ulp.read_energy_pj(), 20.0);
+}
+
+TEST(ExternalMemory, Hbm2ClassNumbers) {
+  const ExternalMemoryModel m;
+  EXPECT_NEAR(m.energy_pj_per_bit, 3.9, 1.0);  // O'Connor et al. ballpark
+  EXPECT_DOUBLE_EQ(m.access_energy_pj(1000), m.energy_pj_per_bit * 1000);
+}
+
+TEST(ExternalMemory, TransferTime) {
+  ExternalMemoryModel m;
+  m.bandwidth_gbytes = 32.0;
+  EXPECT_NEAR(m.transfer_seconds(32e9), 1.0, 1e-9);
+  EXPECT_NEAR(m.transfer_seconds(16e6), 0.5e-3, 1e-6);
+}
+
+}  // namespace
+}  // namespace geo::arch

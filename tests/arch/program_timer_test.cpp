@@ -1,0 +1,99 @@
+#include "arch/program_timer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "arch/compiler.hpp"
+#include "arch/perf_sim.hpp"
+
+namespace geo::arch {
+namespace {
+
+Program simple_pass(int loads, int gen_cycles) {
+  Program p;
+  p.push(Opcode::kConfig, 64, 6, 1);
+  p.push(Opcode::kLoadAct, loads);
+  p.push(Opcode::kBarrier);
+  p.push(Opcode::kGenExec, gen_cycles, 64);
+  p.push(Opcode::kHalt);
+  return p;
+}
+
+TEST(ProgramTimer, SerialLoadFullyExposed) {
+  HwConfig hw = HwConfig::base_ulp();  // no shadow, no progressive
+  const ProgramTimer timer(hw);
+  const ProgramTiming t = timer.time(simple_pass(400, 256));
+  // 400 values * 8 bits / 32 bits-per-cycle = 100 load cycles, all stalled.
+  EXPECT_EQ(t.load_cycles, 100);
+  EXPECT_GE(t.stall_cycles, 99);
+  EXPECT_EQ(t.compute_cycles, 256);  // no pipeline stage in the baseline
+}
+
+TEST(ProgramTimer, ShadowHidesLoadsAcrossIterations) {
+  HwConfig hw = HwConfig::ulp();
+  const ProgramTimer timer(hw);
+  const ProgramTiming once = timer.time(simple_pass(400, 256), 1);
+  const ProgramTiming many = timer.time(simple_pass(400, 256), 8);
+  // After the first pass the loads ride under compute: the marginal cost of
+  // a pass is just its compute time (+ small fixed overhead).
+  const std::int64_t marginal = (many.cycles - once.cycles) / 7;
+  EXPECT_LT(marginal, 275);
+  EXPECT_GE(marginal, 257);
+}
+
+TEST(ProgramTimer, ProgressiveCutsFirstStall) {
+  HwConfig prog = HwConfig::ulp();  // progressive + shadow
+  HwConfig full = prog;
+  full.progressive = false;  // shadow only: first pass waits the full load
+  const ProgramTiming a = ProgramTimer(prog).time(simple_pass(800, 256));
+  const ProgramTiming b = ProgramTimer(full).time(simple_pass(800, 256));
+  EXPECT_LT(a.stall_cycles, b.stall_cycles);
+  // Roughly the 4x start-latency factor (2 of 8 bits, minus truncation).
+  EXPECT_NEAR(static_cast<double>(b.stall_cycles) /
+                  std::max<std::int64_t>(a.stall_cycles, 1),
+              4.0, 1.8);
+}
+
+TEST(ProgramTimer, NearMemCostScalesWithLanes) {
+  HwConfig hw = HwConfig::ulp();
+  Program p;
+  p.push(Opcode::kNearMemAcc, 512);
+  p.push(Opcode::kHalt);
+  const ProgramTiming t = ProgramTimer(hw).time(p);
+  // 512 psums * 2 cycles / (64/16 = 4 lanes) = 256 cycles.
+  EXPECT_EQ(t.nearmem_cycles, 256);
+}
+
+TEST(ProgramTimer, ExternalStreamingOverlapsCompute) {
+  HwConfig hw = HwConfig::lp();
+  Program p;
+  p.push(Opcode::kLoadExt, 32000);
+  p.push(Opcode::kGenExec, 256, 64);
+  p.push(Opcode::kHalt);
+  const ProgramTiming t = ProgramTimer(hw).time(p);
+  EXPECT_GT(t.ext_cycles, 0);
+  // The iteration ends no earlier than the external transfer.
+  EXPECT_GE(t.cycles, t.ext_cycles);
+}
+
+TEST(ProgramTimer, AgreesWithAnalyticalPerfSimOnCompiledLayer) {
+  // The instruction-level timing of `passes` iterations of the compiled
+  // per-pass program must land near the analytical per-layer model.
+  const HwConfig hw = HwConfig::ulp();
+  const Compiler compiler(hw);
+  const ConvShape layer = ConvShape::conv("conv2", 32, 16, 16, 5, 2, true);
+  const LayerPlan plan = compiler.plan_layer(layer,
+                                             Dataflow::kWeightStationary);
+
+  const ProgramTiming t = ProgramTimer(hw).time(plan.program, plan.passes);
+
+  // Analytical: passes * (stream cycles + pipeline) + stalls + near-mem.
+  const PerfSim sim(hw);
+  const double analytic =
+      plan.passes * (plan.stream_cycles + 1 + sim.pass_stall_cycles(plan));
+  EXPECT_NEAR(static_cast<double>(t.compute_cycles + t.stall_cycles),
+              analytic, analytic * 0.35)
+      << "instruction-level and analytical timing must agree";
+}
+
+}  // namespace
+}  // namespace geo::arch

@@ -1,0 +1,49 @@
+#include "arch/report.hpp"
+
+#include <gtest/gtest.h>
+
+namespace geo::arch {
+namespace {
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22222"});
+  const std::string s = t.render();
+  EXPECT_NE(s.find("| name  | value |"), std::string::npos);
+  EXPECT_NE(s.find("| alpha | 1     |"), std::string::npos);
+  EXPECT_NE(s.find("|-------|-------|"), std::string::npos);
+}
+
+TEST(Table, ShortRowsPadded) {
+  Table t({"a", "b", "c"});
+  t.add_row({"x"});
+  EXPECT_NE(t.render().find("| x |"), std::string::npos);
+}
+
+TEST(Table, NumFormatting) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(2.0, 0), "2");
+}
+
+TEST(Table, SiFormatting) {
+  EXPECT_EQ(Table::si(14000.0), "14.0k");
+  EXPECT_EQ(Table::si(3.2e6), "3.2M");
+  EXPECT_EQ(Table::si(1.8e9), "1.8G");
+  EXPECT_EQ(Table::si(42.0), "42.0");
+}
+
+TEST(Table, PercentFormatting) {
+  EXPECT_EQ(Table::percent(0.821), "82.1%");
+}
+
+TEST(Bar, ScalesToWidth) {
+  EXPECT_EQ(bar(1.0, 1.0, 10), "##########");
+  EXPECT_EQ(bar(0.5, 1.0, 10), "#####");
+  EXPECT_EQ(bar(0.0, 1.0, 10), "");
+  EXPECT_EQ(bar(2.0, 1.0, 10), "##########") << "clamped at full width";
+  EXPECT_EQ(bar(1.0, 0.0, 10), "") << "degenerate max";
+}
+
+}  // namespace
+}  // namespace geo::arch

@@ -1,0 +1,60 @@
+#include "arch/tech.hpp"
+
+#include <gtest/gtest.h>
+
+namespace geo::arch {
+namespace {
+
+TEST(Tech, AreaScaleQuadratic) {
+  EXPECT_NEAR(area_scale(28, 14), 0.25, 1e-9);
+  EXPECT_NEAR(area_scale(28, 28), 1.0, 1e-9);
+  EXPECT_GT(area_scale(28, 65), 1.0);
+}
+
+TEST(Tech, EnergyAndDelayShrinkWithNode) {
+  EXPECT_LT(energy_scale(65, 28), 1.0);
+  EXPECT_LT(delay_scale(65, 28), 1.0);
+  EXPECT_GT(energy_scale(28, 65), 1.0);
+}
+
+TEST(Tech, DynamicEnergyIsVSquared) {
+  EXPECT_NEAR(dynamic_energy_scale(0.81, 0.9), 0.81, 1e-9);
+  EXPECT_NEAR(dynamic_energy_scale(0.9, 0.9), 1.0, 1e-9);
+}
+
+TEST(Tech, LeakageDropsWithVoltage) {
+  EXPECT_LT(leakage_power_scale(0.81, 0.9), 1.0);
+  EXPECT_NEAR(leakage_power_scale(0.9, 0.9), 1.0, 1e-9);
+}
+
+TEST(Tech, GateDelayGrowsAsVoltageDrops) {
+  const TechParams t = TechParams::hvt28();
+  EXPECT_NEAR(gate_delay_scale(t, t.vdd_nominal), 1.0, 1e-9);
+  EXPECT_GT(gate_delay_scale(t, 0.7), 1.0);
+  EXPECT_GT(gate_delay_scale(t, 0.6), gate_delay_scale(t, 0.7));
+}
+
+TEST(Tech, MinVddNoSlackReturnsNominal) {
+  const TechParams t = TechParams::hvt28();
+  EXPECT_DOUBLE_EQ(min_vdd_for_delay(t, 2.5, 2.5), t.vdd_nominal);
+  EXPECT_DOUBLE_EQ(min_vdd_for_delay(t, 3.0, 2.5), t.vdd_nominal);
+}
+
+TEST(Tech, MinVddUsesSlack) {
+  const TechParams t = TechParams::hvt28();
+  const double v = min_vdd_for_delay(t, 1.5, 2.5);
+  EXPECT_LT(v, t.vdd_nominal);
+  EXPECT_GT(v, t.vth);
+  // The lowered voltage must still meet timing.
+  EXPECT_LE(1.5 * gate_delay_scale(t, v), 2.5 * 1.001);
+}
+
+TEST(Tech, MinVddMonotoneInSlack) {
+  const TechParams t = TechParams::hvt28();
+  const double little = min_vdd_for_delay(t, 2.2, 2.5);
+  const double lots = min_vdd_for_delay(t, 1.2, 2.5);
+  EXPECT_LT(lots, little);
+}
+
+}  // namespace
+}  // namespace geo::arch

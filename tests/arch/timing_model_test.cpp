@@ -1,0 +1,49 @@
+#include "arch/timing_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace geo::arch {
+namespace {
+
+TEST(Timing, PipelineCutsCriticalPathOver30Percent) {
+  const TimingReport r = analyze_timing(HwConfig::ulp(), TechParams::hvt28());
+  EXPECT_GT(r.critical_path_cut, 0.30) << "paper: >30% cut (Sec. III-D)";
+  EXPECT_LT(r.critical_path_cut, 0.60);
+  EXPECT_DOUBLE_EQ(r.pipelined_ns, std::max(r.stage1_ns, r.stage2_ns));
+  EXPECT_LT(r.pipelined_ns, r.unpipelined_ns);
+}
+
+TEST(Timing, DvfsLandsNearPaperVoltage) {
+  const TimingReport r = analyze_timing(HwConfig::ulp(), TechParams::hvt28());
+  EXPECT_NEAR(r.achievable_vdd, 0.81, 0.05) << "paper runs GEO at 0.81V";
+}
+
+TEST(Timing, NoPipelineNoVoltageDrop) {
+  HwConfig hw = HwConfig::ulp();
+  hw.pipeline_stage = false;
+  EXPECT_DOUBLE_EQ(operating_vdd(hw, TechParams::hvt28()),
+                   TechParams::hvt28().vdd_nominal);
+}
+
+TEST(Timing, PipelineEnablesVoltageDrop) {
+  const double v = operating_vdd(HwConfig::ulp(), TechParams::hvt28());
+  EXPECT_LT(v, 0.9);
+  EXPECT_GT(v, 0.6);
+}
+
+TEST(Timing, WiderLfsrLengthensPath) {
+  HwConfig narrow = HwConfig::ulp();
+  HwConfig wide = HwConfig::ulp();
+  wide.lfsr_bits = 16;
+  const TechParams t = TechParams::hvt28();
+  EXPECT_GT(analyze_timing(wide, t).unpipelined_ns,
+            analyze_timing(narrow, t).unpipelined_ns);
+}
+
+TEST(Timing, ClockPeriodMatchesFrequency) {
+  const TimingReport r = analyze_timing(HwConfig::ulp(), TechParams::hvt28());
+  EXPECT_DOUBLE_EQ(r.clock_period_ns, 2.5);  // 400 MHz
+}
+
+}  // namespace
+}  // namespace geo::arch

@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include "baselines/acoustic.hpp"
+#include "baselines/eyeriss.hpp"
+#include "baselines/reported.hpp"
+
+namespace geo::baselines {
+namespace {
+
+using arch::NetworkShape;
+
+TEST(Eyeriss, Ulp4BitDesignPoint) {
+  const EyerissModel m(EyerissConfig::ulp_4bit());
+  // Paper: 0.59 mm2, 80 GOPS peak.
+  EXPECT_NEAR(m.area_mm2(), 0.59, 0.59 * 0.3);
+  EXPECT_NEAR(m.peak_gops(), 80.0, 0.5);
+}
+
+TEST(Eyeriss, Lp8BitDesignPoint) {
+  const EyerissModel m(EyerissConfig::lp_8bit());
+  // Paper: 9.3 mm2, 204 GOPS peak.
+  EXPECT_NEAR(m.area_mm2(), 9.3, 9.3 * 0.35);
+  EXPECT_NEAR(m.peak_gops(), 204.8, 1.0);
+}
+
+TEST(Eyeriss, CnnFrameRateBallpark) {
+  // Paper: 5.2k frames/s on CNN-4/CIFAR at 4 bits.
+  const EyerissModel m(EyerissConfig::ulp_4bit());
+  const EyerissResult r = m.run(NetworkShape::cnn4_cifar());
+  EXPECT_GT(r.frames_per_second, 2e3);
+  EXPECT_LT(r.frames_per_second, 12e3);
+}
+
+TEST(Eyeriss, PowerBallpark) {
+  // Paper: ~20 mW at the 4-bit ULP-class point.
+  const EyerissModel m(EyerissConfig::ulp_4bit());
+  const EyerissResult r = m.run(NetworkShape::cnn4_cifar());
+  EXPECT_GT(r.average_power_w, 0.005);
+  EXPECT_LT(r.average_power_w, 0.080);
+}
+
+TEST(Eyeriss, EightBitCostsMoreThanFourBit) {
+  EyerissConfig c8 = EyerissConfig::ulp_4bit();
+  c8.bits = 8;
+  const EyerissModel m4(EyerissConfig::ulp_4bit()), m8(c8);
+  EXPECT_GT(m8.mac_energy_j(), m4.mac_energy_j());
+  EXPECT_GT(m8.area_mm2(), m4.area_mm2());
+}
+
+TEST(Eyeriss, FcUnderutilizes) {
+  const EyerissModel m(EyerissConfig::ulp_4bit());
+  const auto conv = arch::ConvShape::conv("c", 32, 16, 32, 5, 2, false);
+  const auto fc = arch::ConvShape::fc("fc", 512, 10, true);
+  EXPECT_GT(m.utilization(conv), m.utilization(fc));
+}
+
+TEST(Eyeriss, ExternalMemoryAddsTimeAndEnergy) {
+  EyerissConfig no_ext = EyerissConfig::lp_8bit();
+  no_ext.external_memory = false;
+  const EyerissResult with_ext =
+      EyerissModel(EyerissConfig::lp_8bit()).run(NetworkShape::vgg16());
+  const EyerissResult without =
+      EyerissModel(no_ext).run(NetworkShape::vgg16());
+  EXPECT_GE(with_ext.seconds, without.seconds);
+  EXPECT_GT(with_ext.energy_per_frame_j, without.energy_per_frame_j);
+}
+
+TEST(Acoustic, UlpSizedLikeGeo) {
+  const AcousticModel m = AcousticModel::ulp(128);
+  // Paper: ACOUSTIC ULP at 0.57 mm2 (GEO is 0.58).
+  EXPECT_NEAR(m.area_mm2(), 0.57, 0.57 * 0.3);
+}
+
+TEST(Acoustic, SlowerThanGeoAtIsoAccuracyStreams) {
+  // ACOUSTIC needs 128-bit streams where GEO-32,64 holds accuracy: the
+  // paper's 4.4x throughput claim comes from this gap plus dataflow.
+  const auto geo = arch::PerfSim(arch::HwConfig::ulp())
+                       .simulate(NetworkShape::cnn4_cifar());
+  const auto aco = AcousticModel::ulp(128).run(NetworkShape::cnn4_cifar());
+  const double speedup = geo.frames_per_second / aco.frames_per_second;
+  EXPECT_GT(speedup, 2.5);
+  EXPECT_LT(speedup, 8.0);
+}
+
+TEST(Acoustic, MoreEnergyPerFrameThanGeo) {
+  const auto geo = arch::PerfSim(arch::HwConfig::ulp())
+                       .simulate(NetworkShape::cnn4_cifar());
+  const auto aco = AcousticModel::ulp(128).run(NetworkShape::cnn4_cifar());
+  EXPECT_GT(aco.energy_per_frame_j / geo.energy_per_frame_j, 2.0)
+      << "paper: GEO is up to 5.3x more energy efficient";
+}
+
+TEST(Acoustic, NnConfigIsAllOrUnshared) {
+  const auto cfg = AcousticModel::ulp(128).nn_config();
+  EXPECT_EQ(cfg.accum, nn::AccumMode::kOr);
+  EXPECT_EQ(cfg.sharing, sc::Sharing::kNone);
+  EXPECT_EQ(cfg.stream_len, 128);
+}
+
+TEST(Reported, ConstantsMatchPaperTables) {
+  EXPECT_DOUBLE_EQ(reported::kConvRam.area_mm2, 0.02);
+  EXPECT_DOUBLE_EQ(reported::kMdlCnn.peak_tops_per_watt, 18.2);
+  EXPECT_DOUBLE_EQ(reported::kScope.area_mm2, 273.0);
+  EXPECT_DOUBLE_EQ(reported::kSmSc.clock_mhz, 1536.0);
+  EXPECT_DOUBLE_EQ(reported::kScopeLenetAccuracy, 0.993);
+}
+
+}  // namespace
+}  // namespace geo::baselines

@@ -1,0 +1,97 @@
+#include "core/geo.hpp"
+
+#include <gtest/gtest.h>
+
+namespace geo::core {
+namespace {
+
+TEST(GeoConfig, UlpFactoryNamesAndStreams) {
+  const GeoConfig c = GeoConfig::ulp(32, 64);
+  EXPECT_EQ(c.name, "GEO ULP-32,64");
+  EXPECT_EQ(c.hw.stream_len_pool, 32);
+  EXPECT_EQ(c.hw.stream_len, 64);
+  EXPECT_EQ(c.hw.total_macs(), 25600);
+  EXPECT_FALSE(c.hw.external_memory);
+}
+
+TEST(GeoConfig, LpFactory) {
+  const GeoConfig c = GeoConfig::lp(64, 128);
+  EXPECT_EQ(c.hw.total_macs(), 294912);
+  EXPECT_TRUE(c.hw.external_memory);
+}
+
+TEST(GeoConfig, Fig6DesignPoints) {
+  const GeoConfig base = GeoConfig::base_ulp();
+  EXPECT_TRUE(base.hw.lfsr_per_sng);
+  EXPECT_FALSE(base.hw.progressive);
+  EXPECT_FALSE(base.hw.near_memory);
+  EXPECT_EQ(base.hw.stream_len, 128);
+
+  const GeoConfig gen = GeoConfig::gen_ulp();
+  EXPECT_TRUE(gen.hw.progressive);
+  EXPECT_TRUE(gen.hw.shadow_buffers);
+  EXPECT_FALSE(gen.hw.near_memory) << "GEN point has no execution opts";
+
+  const GeoConfig full = GeoConfig::gen_exec_ulp();
+  EXPECT_TRUE(full.hw.near_memory);
+  EXPECT_TRUE(full.hw.pipeline_stage);
+  EXPECT_EQ(full.hw.stream_len_pool, 32);
+}
+
+TEST(GeoConfig, NnConfigMirrorsHardware) {
+  const auto cfg = GeoConfig::ulp(32, 64).nn_config();
+  EXPECT_EQ(cfg.mode, nn::ScModelConfig::Mode::kStochastic);
+  EXPECT_EQ(cfg.stream_len_pool, 32);
+  EXPECT_EQ(cfg.stream_len, 64);
+  EXPECT_EQ(cfg.accum, nn::AccumMode::kPbw);
+  EXPECT_EQ(cfg.sharing, sc::Sharing::kModerate);
+  EXPECT_EQ(cfg.rng, sc::RngKind::kLfsr);
+  EXPECT_TRUE(cfg.progressive);
+
+  const auto base_cfg = GeoConfig::base_ulp().nn_config();
+  EXPECT_EQ(base_cfg.rng, sc::RngKind::kTrng)
+      << "unshared 16-bit LFSR baseline emulates a TRNG";
+  EXPECT_EQ(base_cfg.accum, nn::AccumMode::kOr);
+}
+
+TEST(GeoAccelerator, EstimationPipelineWorks) {
+  const GeoAccelerator acc(GeoConfig::ulp(32, 64));
+  EXPECT_GT(acc.area().total(), 0.0);
+  EXPECT_GT(acc.peak_gops(), 0.0);
+  EXPECT_LT(acc.operating_vdd(), 0.9);
+  EXPECT_GT(acc.timing().critical_path_cut, 0.3);
+}
+
+TEST(GeoAccelerator, RunsPaperNetworks) {
+  const GeoAccelerator acc(GeoConfig::ulp(32, 64));
+  for (const auto& net :
+       {arch::NetworkShape::cnn4_cifar(), arch::NetworkShape::lenet5()}) {
+    const arch::PerfResult r = acc.run(net);
+    EXPECT_GT(r.frames_per_second, 0.0) << net.name;
+    EXPECT_GT(r.energy_per_frame_j, 0.0) << net.name;
+  }
+}
+
+TEST(GeoAccelerator, LenetFasterThanCnn4) {
+  const GeoAccelerator acc(GeoConfig::ulp(32, 64));
+  EXPECT_GT(acc.run(arch::NetworkShape::lenet5()).frames_per_second,
+            acc.run(arch::NetworkShape::cnn4_cifar()).frames_per_second);
+}
+
+TEST(GeoAccelerator, EvaluateAccuracySmoke) {
+  // Tiny end-to-end accuracy evaluation through the facade (bit-level SC).
+  GeoConfig cfg = GeoConfig::ulp(32, 32);
+  const GeoAccelerator acc(cfg);
+  const nn::Dataset train_set = nn::make_digits(128, 1);
+  const nn::Dataset test_set = nn::make_digits(48, 2);
+  nn::TrainOptions opts;
+  opts.epochs = 12;
+  opts.batch_size = 16;
+  const double accuracy =
+      acc.evaluate_accuracy("lenet5", train_set, test_set, opts);
+  EXPECT_GT(accuracy, 0.3) << "facade training should clear chance easily";
+  EXPECT_LE(accuracy, 1.0);
+}
+
+}  // namespace
+}  // namespace geo::core

@@ -1,0 +1,123 @@
+// End-to-end hardware equivalence: a two-layer SC network executed entirely
+// on the GeoMachine (quantized activations handed from layer to layer
+// through the modeled activation memory) must match the nn-level SC layers
+// with the same per-layer BN folding — byte-for-byte.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+
+#include "arch/machine.hpp"
+#include "nn/quantize.hpp"
+#include "nn/sc_layers.hpp"
+
+namespace geo {
+namespace {
+
+using arch::ConvShape;
+using arch::GeoMachine;
+using arch::HwConfig;
+
+std::vector<float> random_vec(std::size_t n, float lo, float hi,
+                              unsigned seed) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<float> dist(lo, hi);
+  std::vector<float> v(n);
+  for (auto& x : v) x = dist(rng);
+  return v;
+}
+
+// nn-side reference for one machine layer: SC conv, then the same BN fold,
+// clamp, and 8-bit quantization the machine's near-memory units apply.
+std::vector<std::uint8_t> reference_layer(const GeoMachine& machine,
+                                          const ConvShape& shape,
+                                          const std::vector<float>& weights,
+                                          const std::vector<float>& input,
+                                          const std::vector<float>& scale,
+                                          const std::vector<float>& shift,
+                                          std::uint64_t salt) {
+  std::mt19937 rng(1);
+  nn::ScConv2d conv(shape.cin, shape.cout, shape.kh, 1, shape.pad, rng,
+                    machine.layer_config(shape, salt));
+  std::copy(weights.begin(), weights.end(),
+            conv.weight().value.data().begin());
+  nn::Tensor x({1, shape.cin, shape.hin, shape.win});
+  std::copy(input.begin(), input.end(), x.data().begin());
+  const nn::Tensor y = conv.forward(x, false);
+
+  std::vector<std::uint8_t> out(y.size());
+  const int xy = shape.hout() * shape.wout();
+  for (int oc = 0; oc < shape.cout; ++oc)
+    for (int i = 0; i < xy; ++i) {
+      const std::size_t idx = static_cast<std::size_t>(oc) * xy + i;
+      const float bn = scale[static_cast<std::size_t>(oc)] * y[idx] +
+                       shift[static_cast<std::size_t>(oc)];
+      out[idx] = static_cast<std::uint8_t>(
+          nn::quantize_unsigned(std::clamp(bn, 0.0f, 1.0f), 8));
+    }
+  return out;
+}
+
+TEST(MachineNetwork, TwoLayerPipelineMatchesReferenceExactly) {
+  HwConfig hw = HwConfig::ulp();
+  hw.stream_len = 64;
+  hw.stream_len_pool = 64;
+  hw.stream_len_output = 64;
+  GeoMachine machine(hw);
+
+  // Layer shapes sized so kernels fit one row (no slicing: the reference
+  // computes whole-kernel unions).
+  const ConvShape l1 = ConvShape::conv("l1", 3, 8, 6, 3, 1, false);
+  const ConvShape l2 = ConvShape::conv("l2", 6, 8, 4, 3, 1, false);
+
+  const auto w1 = random_vec(static_cast<std::size_t>(l1.weights()), -0.7f,
+                             0.7f, 11);
+  const auto w2 = random_vec(static_cast<std::size_t>(l2.weights()), -0.7f,
+                             0.7f, 12);
+  const auto input =
+      random_vec(static_cast<std::size_t>(l1.activations()), 0.0f, 1.0f, 13);
+  const std::vector<float> scale1(6, 1.5f), shift1(6, 0.1f);
+  const std::vector<float> scale2(4, 2.0f), shift2(4, -0.05f);
+
+  // ---- machine path -------------------------------------------------------
+  const arch::MachineResult m1 =
+      machine.run_conv(l1, w1, input, scale1, shift1, /*salt=*/100);
+  std::vector<float> act1(m1.activations.size());
+  for (std::size_t i = 0; i < act1.size(); ++i)
+    act1[i] = nn::dequantize_unsigned(m1.activations[i], 8);
+  const arch::MachineResult m2 =
+      machine.run_conv(l2, w2, act1, scale2, shift2, /*salt=*/200);
+
+  // ---- nn reference path --------------------------------------------------
+  const auto r1 =
+      reference_layer(machine, l1, w1, input, scale1, shift1, 100);
+  ASSERT_EQ(m1.activations, r1) << "layer 1 bytes must match";
+
+  std::vector<float> ref_act1(r1.size());
+  for (std::size_t i = 0; i < r1.size(); ++i)
+    ref_act1[i] = nn::dequantize_unsigned(r1[i], 8);
+  const auto r2 =
+      reference_layer(machine, l2, w2, ref_act1, scale2, shift2, 200);
+  EXPECT_EQ(m2.activations, r2) << "layer 2 bytes must match";
+}
+
+TEST(MachineNetwork, DifferentSaltsDecorrelateLayers) {
+  HwConfig hw = HwConfig::ulp();
+  hw.stream_len = 64;
+  hw.stream_len_pool = 64;
+  GeoMachine machine(hw);
+  const ConvShape shape = ConvShape::conv("l", 3, 6, 4, 3, 1, false);
+  const auto w = random_vec(static_cast<std::size_t>(shape.weights()), -0.7f,
+                            0.7f, 21);
+  const auto in =
+      random_vec(static_cast<std::size_t>(shape.activations()), 0.0f, 1.0f,
+                 22);
+  const std::vector<float> one(4, 1.0f), zero(4, 0.0f);
+  const auto a = machine.run_conv(shape, w, in, one, zero, 1);
+  const auto b = machine.run_conv(shape, w, in, one, zero, 2);
+  EXPECT_NE(a.counters, b.counters)
+      << "layer salt must rotate the generator assignment";
+}
+
+}  // namespace
+}  // namespace geo

@@ -1,0 +1,75 @@
+#include "nn/dataset.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace geo::nn {
+namespace {
+
+class DatasetShape : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(DatasetShape, WellFormed) {
+  const Dataset d = make_dataset(GetParam(), 100, 7);
+  EXPECT_EQ(d.count(), 100);
+  EXPECT_EQ(d.height(), 12);
+  EXPECT_EQ(d.width(), 12);
+  EXPECT_EQ(d.num_classes, 10);
+  EXPECT_EQ(d.labels.size(), 100u);
+  for (int label : d.labels) {
+    EXPECT_GE(label, 0);
+    EXPECT_LT(label, 10);
+  }
+  for (float v : d.images.data()) {
+    EXPECT_GE(v, 0.0f);
+    EXPECT_LE(v, 1.0f);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Names, DatasetShape,
+                         ::testing::Values("digits", "svhn", "cifar"));
+
+TEST(Dataset, ChannelCounts) {
+  EXPECT_EQ(make_digits(4, 1).channels(), 1);
+  EXPECT_EQ(make_svhn_syn(4, 1).channels(), 3);
+  EXPECT_EQ(make_cifar_syn(4, 1).channels(), 3);
+}
+
+TEST(Dataset, SeededDeterminism) {
+  const Dataset a = make_digits(20, 5);
+  const Dataset b = make_digits(20, 5);
+  EXPECT_EQ(a.labels, b.labels);
+  for (std::size_t i = 0; i < a.images.size(); ++i)
+    EXPECT_FLOAT_EQ(a.images[i], b.images[i]);
+}
+
+TEST(Dataset, DifferentSeedsDiffer) {
+  const Dataset a = make_digits(20, 5);
+  const Dataset b = make_digits(20, 6);
+  EXPECT_NE(a.labels, b.labels);
+}
+
+TEST(Dataset, AllClassesPresent) {
+  for (const char* name : {"digits", "svhn", "cifar"}) {
+    const Dataset d = make_dataset(name, 300, 3);
+    std::set<int> classes(d.labels.begin(), d.labels.end());
+    EXPECT_EQ(classes.size(), 10u) << name;
+  }
+}
+
+TEST(Dataset, DigitsHaveSignal) {
+  // A glyph pixel region must be brighter than the background on average.
+  const Dataset d = make_digits(50, 9);
+  double mean = 0;
+  for (float v : d.images.data()) mean += v;
+  mean /= static_cast<double>(d.images.size());
+  EXPECT_GT(mean, 0.02);
+  EXPECT_LT(mean, 0.6);
+}
+
+TEST(Dataset, UnknownNameThrows) {
+  EXPECT_THROW(make_dataset("imagenet", 10, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace geo::nn

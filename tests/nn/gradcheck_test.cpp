@@ -1,0 +1,139 @@
+// Numerical gradient checks: every float layer's backward() must match a
+// central-difference estimate of its forward(). The SC layers inherit these
+// backward implementations, so this is what makes stream-aware training
+// trustworthy.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "nn/layers.hpp"
+#include "nn/loss.hpp"
+
+namespace geo::nn {
+namespace {
+
+// Scalar loss: sum of squares of the layer output (grad = 2 * y).
+double loss_of(Layer& layer, const Tensor& x, Tensor* grad_out = nullptr) {
+  const Tensor y = layer.forward(x, /*train=*/true);
+  double loss = 0;
+  for (float v : y.data()) loss += static_cast<double>(v) * v;
+  if (grad_out) {
+    *grad_out = y;
+    for (auto& v : grad_out->data()) v *= 2.0f;
+  }
+  return loss;
+}
+
+void check_input_gradient(Layer& layer, Tensor x, double tol = 2e-2) {
+  Tensor grad_out;
+  loss_of(layer, x, &grad_out);
+  const Tensor grad_in = layer.backward(grad_out);
+  const float eps = 1e-3f;
+  for (std::size_t i = 0; i < x.size(); i += std::max<std::size_t>(1, x.size() / 24)) {
+    const float saved = x[i];
+    x[i] = saved + eps;
+    const double up = loss_of(layer, x);
+    x[i] = saved - eps;
+    const double down = loss_of(layer, x);
+    x[i] = saved;
+    const double numeric = (up - down) / (2.0 * eps);
+    EXPECT_NEAR(grad_in[i], numeric,
+                tol * std::max(1.0, std::abs(numeric)))
+        << "input index " << i;
+  }
+}
+
+void check_param_gradient(Layer& layer, const Tensor& x, double tol = 2e-2) {
+  Tensor grad_out;
+  loss_of(layer, x, &grad_out);
+  for (Param* p : layer.params()) p->grad.fill(0.0f);
+  layer.backward(grad_out);
+  const float eps = 1e-3f;
+  for (Param* p : layer.params()) {
+    for (std::size_t i = 0; i < p->value.size();
+         i += std::max<std::size_t>(1, p->value.size() / 16)) {
+      const float saved = p->value[i];
+      p->value[i] = saved + eps;
+      const double up = loss_of(layer, x);
+      p->value[i] = saved - eps;
+      const double down = loss_of(layer, x);
+      p->value[i] = saved;
+      const double numeric = (up - down) / (2.0 * eps);
+      EXPECT_NEAR(p->grad[i], numeric,
+                  tol * std::max(1.0, std::abs(numeric)))
+          << "param index " << i;
+    }
+  }
+}
+
+Tensor random_input(std::vector<int> shape, unsigned seed) {
+  Tensor x(std::move(shape));
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<float> dist(-1.0f, 1.0f);
+  for (auto& v : x.data()) v = dist(rng);
+  return x;
+}
+
+TEST(GradCheck, Conv2d) {
+  std::mt19937 rng(1);
+  Conv2d conv(2, 3, 3, 1, 1, rng);
+  const Tensor x = random_input({2, 2, 5, 5}, 2);
+  check_input_gradient(conv, x);
+  check_param_gradient(conv, x);
+}
+
+TEST(GradCheck, Conv2dStride2) {
+  std::mt19937 rng(3);
+  Conv2d conv(1, 2, 3, 2, 1, rng);
+  const Tensor x = random_input({1, 1, 6, 6}, 4);
+  check_input_gradient(conv, x);
+  check_param_gradient(conv, x);
+}
+
+TEST(GradCheck, Linear) {
+  std::mt19937 rng(5);
+  Linear lin(6, 4, rng);
+  const Tensor x = random_input({3, 6}, 6);
+  check_input_gradient(lin, x);
+  check_param_gradient(lin, x);
+}
+
+TEST(GradCheck, AvgPool) {
+  AvgPool2d pool(2);
+  const Tensor x = random_input({2, 2, 4, 4}, 7);
+  check_input_gradient(pool, x);
+}
+
+TEST(GradCheck, MaxPool) {
+  MaxPool2d pool(2);
+  const Tensor x = random_input({2, 2, 4, 4}, 8);
+  check_input_gradient(pool, x, /*tol=*/5e-2);
+}
+
+TEST(GradCheck, BatchNorm) {
+  BatchNorm2d bn(3);
+  const Tensor x = random_input({4, 3, 3, 3}, 9);
+  check_input_gradient(bn, x, /*tol=*/5e-2);
+  check_param_gradient(bn, x, /*tol=*/5e-2);
+}
+
+TEST(GradCheck, SoftmaxCrossEntropy) {
+  const Tensor logits = random_input({4, 5}, 10);
+  const std::vector<int> labels = {1, 0, 4, 2};
+  const LossResult base = softmax_cross_entropy(logits, labels);
+  const float eps = 1e-3f;
+  Tensor probe = logits;
+  for (std::size_t i = 0; i < probe.size(); ++i) {
+    const float saved = probe[i];
+    probe[i] = saved + eps;
+    const double up = softmax_cross_entropy(probe, labels).loss;
+    probe[i] = saved - eps;
+    const double down = softmax_cross_entropy(probe, labels).loss;
+    probe[i] = saved;
+    EXPECT_NEAR(base.grad[i], (up - down) / (2 * eps), 1e-3);
+  }
+}
+
+}  // namespace
+}  // namespace geo::nn

@@ -1,0 +1,186 @@
+#include "nn/layers.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace geo::nn {
+namespace {
+
+std::mt19937 rng_for(unsigned seed) { return std::mt19937(seed); }
+
+TEST(Conv2d, IdentityKernelPassesThrough) {
+  auto rng = rng_for(1);
+  Conv2d conv(1, 1, 3, 1, 1, rng);
+  conv.weight().value.fill(0.0f);
+  conv.weight().value.at(0, 0, 1, 1) = 1.0f;  // center tap
+  Tensor x({1, 1, 4, 4});
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] = static_cast<float>(i);
+  const Tensor y = conv.forward(x, false);
+  ASSERT_EQ(y.shape(), x.shape());
+  for (std::size_t i = 0; i < x.size(); ++i) EXPECT_FLOAT_EQ(y[i], x[i]);
+}
+
+TEST(Conv2d, KnownValue) {
+  auto rng = rng_for(1);
+  Conv2d conv(1, 1, 2, 1, 0, rng);
+  conv.weight().value.fill(1.0f);
+  Tensor x({1, 1, 2, 2});
+  x[0] = 1;
+  x[1] = 2;
+  x[2] = 3;
+  x[3] = 4;
+  const Tensor y = conv.forward(x, false);
+  ASSERT_EQ(y.size(), 1u);
+  EXPECT_FLOAT_EQ(y[0], 10.0f);
+}
+
+TEST(Conv2d, StrideAndPaddingShapes) {
+  auto rng = rng_for(2);
+  Conv2d conv(3, 8, 3, 2, 1, rng);
+  const Tensor y = conv.forward(Tensor({2, 3, 12, 12}), false);
+  EXPECT_EQ(y.shape(), (std::vector<int>{2, 8, 6, 6}));
+}
+
+TEST(Linear, KnownValue) {
+  auto rng = rng_for(3);
+  Linear lin(2, 1, rng);
+  lin.weight().value.at(0, 0) = 2.0f;
+  lin.weight().value.at(0, 1) = -1.0f;
+  lin.bias().value[0] = 0.5f;
+  Tensor x({1, 2});
+  x[0] = 3.0f;
+  x[1] = 4.0f;
+  EXPECT_FLOAT_EQ(lin.forward(x, false)[0], 2.5f);
+}
+
+TEST(ReLU, ForwardBackward) {
+  ReLU relu;
+  Tensor x({1, 4});
+  x[0] = -1;
+  x[1] = 0;
+  x[2] = 2;
+  x[3] = -3;
+  const Tensor y = relu.forward(x, true);
+  EXPECT_FLOAT_EQ(y[0], 0);
+  EXPECT_FLOAT_EQ(y[2], 2);
+  Tensor g({1, 4}, 1.0f);
+  const Tensor gx = relu.backward(g);
+  EXPECT_FLOAT_EQ(gx[0], 0);
+  EXPECT_FLOAT_EQ(gx[2], 1);
+}
+
+TEST(BoundedReLU, ClampsToUnitInterval) {
+  BoundedReLU r;
+  Tensor x({1, 3});
+  x[0] = -0.5f;
+  x[1] = 0.5f;
+  x[2] = 1.5f;
+  const Tensor y = r.forward(x, true);
+  EXPECT_FLOAT_EQ(y[0], 0.0f);
+  EXPECT_FLOAT_EQ(y[1], 0.5f);
+  EXPECT_FLOAT_EQ(y[2], 1.0f);
+  Tensor g({1, 3}, 1.0f);
+  const Tensor gx = r.backward(g);
+  EXPECT_FLOAT_EQ(gx[0], 0.0f);
+  EXPECT_FLOAT_EQ(gx[1], 1.0f);
+  EXPECT_FLOAT_EQ(gx[2], 0.0f) << "gradient blocked above the clamp";
+}
+
+TEST(AvgPool2d, AveragesWindows) {
+  AvgPool2d pool(2);
+  Tensor x({1, 1, 2, 2});
+  x[0] = 1;
+  x[1] = 3;
+  x[2] = 5;
+  x[3] = 7;
+  const Tensor y = pool.forward(x, false);
+  ASSERT_EQ(y.size(), 1u);
+  EXPECT_FLOAT_EQ(y[0], 4.0f);
+  Tensor g({1, 1, 1, 1}, 1.0f);
+  const Tensor gx = pool.backward(g);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(gx[i], 0.25f);
+}
+
+TEST(MaxPool2d, PicksMaxAndRoutesGradient) {
+  MaxPool2d pool(2);
+  Tensor x({1, 1, 2, 2});
+  x[0] = 1;
+  x[1] = 9;
+  x[2] = 5;
+  x[3] = 7;
+  const Tensor y = pool.forward(x, false);
+  EXPECT_FLOAT_EQ(y[0], 9.0f);
+  Tensor g({1, 1, 1, 1}, 2.0f);
+  const Tensor gx = pool.backward(g);
+  EXPECT_FLOAT_EQ(gx[1], 2.0f);
+  EXPECT_FLOAT_EQ(gx[0], 0.0f);
+}
+
+TEST(BatchNorm2d, NormalizesBatchStatistics) {
+  BatchNorm2d bn(2);
+  Tensor x({4, 2, 3, 3});
+  std::mt19937 rng(7);
+  std::normal_distribution<float> dist(3.0f, 2.0f);
+  for (auto& v : x.data()) v = dist(rng);
+  const Tensor y = bn.forward(x, true);
+  // Per-channel mean ~0, var ~1 after training-mode normalization.
+  for (int c = 0; c < 2; ++c) {
+    double mean = 0, var = 0;
+    int n = 0;
+    for (int b = 0; b < 4; ++b)
+      for (int i = 0; i < 3; ++i)
+        for (int j = 0; j < 3; ++j) {
+          mean += y.at(b, c, i, j);
+          ++n;
+        }
+    mean /= n;
+    for (int b = 0; b < 4; ++b)
+      for (int i = 0; i < 3; ++i)
+        for (int j = 0; j < 3; ++j)
+          var += (y.at(b, c, i, j) - mean) * (y.at(b, c, i, j) - mean);
+    var /= n;
+    EXPECT_NEAR(mean, 0.0, 1e-4);
+    EXPECT_NEAR(var, 1.0, 1e-2);
+  }
+}
+
+TEST(BatchNorm2d, InferenceUsesRunningStats) {
+  BatchNorm2d bn(1);
+  Tensor x({8, 1, 2, 2}, 0.0f);
+  std::mt19937 rng(9);
+  std::normal_distribution<float> dist(5.0f, 1.0f);
+  for (auto& v : x.data()) v = dist(rng);
+  for (int i = 0; i < 50; ++i) bn.forward(x, true);  // converge running stats
+  const Tensor y = bn.forward(x, false);
+  double mean = 0;
+  for (float v : y.data()) mean += v;
+  mean /= static_cast<double>(y.size());
+  EXPECT_NEAR(mean, 0.0, 0.1);
+}
+
+TEST(BatchNorm2d, QuantizedInferenceCloseToFloat) {
+  BatchNorm2d bn(1);
+  Tensor x({8, 1, 2, 2});
+  std::mt19937 rng(11);
+  std::normal_distribution<float> dist(1.0f, 0.5f);
+  for (auto& v : x.data()) v = dist(rng);
+  for (int i = 0; i < 30; ++i) bn.forward(x, true);
+  const Tensor yf = bn.forward(x, false);
+  bn.set_quantized(8);
+  const Tensor yq = bn.forward(x, false);
+  for (std::size_t i = 0; i < yf.size(); ++i)
+    EXPECT_NEAR(yq[i], yf[i], 0.2f);
+}
+
+TEST(Flatten, RoundTrips) {
+  Flatten f;
+  Tensor x({2, 3, 2, 2});
+  const Tensor y = f.forward(x, false);
+  EXPECT_EQ(y.shape(), (std::vector<int>{2, 12}));
+  const Tensor gx = f.backward(Tensor({2, 12}));
+  EXPECT_EQ(gx.shape(), x.shape());
+}
+
+}  // namespace
+}  // namespace geo::nn

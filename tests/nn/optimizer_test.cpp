@@ -1,0 +1,72 @@
+#include "nn/optimizer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace geo::nn {
+namespace {
+
+// Minimize f(w) = (w - 3)^2 with each optimizer.
+template <typename Opt, typename... Args>
+float minimize(int steps, Args&&... args) {
+  Param p({1});
+  p.value[0] = 0.0f;
+  Opt opt({&p}, std::forward<Args>(args)...);
+  for (int i = 0; i < steps; ++i) {
+    p.grad[0] = 2.0f * (p.value[0] - 3.0f);
+    opt.step();
+  }
+  return p.value[0];
+}
+
+TEST(Sgd, ConvergesOnQuadratic) {
+  EXPECT_NEAR(minimize<Sgd>(200, 0.1f, 0.0f), 3.0f, 1e-3);
+}
+
+TEST(Sgd, MomentumConverges) {
+  EXPECT_NEAR(minimize<Sgd>(200, 0.05f, 0.9f), 3.0f, 1e-2);
+}
+
+TEST(Adam, ConvergesOnQuadratic) {
+  EXPECT_NEAR(minimize<Adam>(2000, 0.05f), 3.0f, 1e-2);
+}
+
+TEST(Adam, FirstStepIsLrSized) {
+  Param p({1});
+  p.value[0] = 0.0f;
+  Adam opt({&p}, 0.01f);
+  p.grad[0] = 123.0f;  // Adam normalizes magnitude away
+  opt.step();
+  EXPECT_NEAR(p.value[0], -0.01f, 1e-4);
+}
+
+TEST(Optimizer, ClampKeepsScDomain) {
+  Param p({2});
+  p.value[0] = 0.9f;
+  p.value[1] = -0.9f;
+  Sgd opt({&p}, 1.0f);
+  opt.set_clamp(-1.0f, 1.0f);
+  p.grad[0] = -5.0f;  // would push to 5.9
+  p.grad[1] = 5.0f;
+  opt.step();
+  EXPECT_FLOAT_EQ(p.value[0], 1.0f);
+  EXPECT_FLOAT_EQ(p.value[1], -1.0f);
+}
+
+TEST(Adam, MultipleParams) {
+  Param a({1}), b({1});
+  a.value[0] = -1.0f;
+  b.value[0] = 4.0f;
+  Adam opt({&a, &b}, 0.05f);
+  for (int i = 0; i < 2000; ++i) {
+    a.grad[0] = 2.0f * (a.value[0] - 1.0f);
+    b.grad[0] = 2.0f * (b.value[0] - 2.0f);
+    opt.step();
+  }
+  EXPECT_NEAR(a.value[0], 1.0f, 1e-2);
+  EXPECT_NEAR(b.value[0], 2.0f, 1e-2);
+}
+
+}  // namespace
+}  // namespace geo::nn

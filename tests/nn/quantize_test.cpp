@@ -1,0 +1,87 @@
+#include "nn/quantize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+
+namespace geo::nn {
+namespace {
+
+TEST(QuantizeSigned, Extremes) {
+  EXPECT_EQ(quantize_signed(1.0f, 8), 127);  // clamped below +2^7
+  EXPECT_EQ(quantize_signed(-1.0f, 8), -128);
+  EXPECT_EQ(quantize_signed(0.0f, 8), 0);
+  EXPECT_EQ(quantize_signed(10.0f, 8), 127);
+  EXPECT_EQ(quantize_signed(-10.0f, 8), -128);
+}
+
+TEST(QuantizeSigned, FourBit) {
+  EXPECT_EQ(quantize_signed(0.5f, 4), 4);
+  EXPECT_EQ(quantize_signed(-0.5f, 4), -4);
+  EXPECT_FLOAT_EQ(dequantize_signed(4, 4), 0.5f);
+}
+
+TEST(QuantizeSigned, RoundTripErrorBounded) {
+  for (unsigned bits : {4u, 8u}) {
+    const float step = 1.0f / static_cast<float>(1 << (bits - 1));
+    const float max_code = 1.0f - step;  // symmetric quant: top code < +1
+    for (float v = -0.99f; v < 0.99f; v += 0.07f) {
+      const float r = dequantize_signed(quantize_signed(v, bits), bits);
+      const float expected = std::min(v, max_code);
+      EXPECT_NEAR(r, expected, step / 2 + 1e-6)
+          << "bits=" << bits << " v=" << v;
+    }
+  }
+}
+
+TEST(QuantizeUnsigned, Basics) {
+  EXPECT_EQ(quantize_unsigned(0.0f, 8), 0u);
+  EXPECT_EQ(quantize_unsigned(1.0f, 8), 255u);
+  EXPECT_EQ(quantize_unsigned(0.5f, 8), 128u);
+  EXPECT_EQ(quantize_unsigned(-0.5f, 8), 0u);
+  EXPECT_FLOAT_EQ(dequantize_unsigned(128, 8), 0.5f);
+}
+
+TEST(FakeQuantize, PreservesShapeAndRange) {
+  Tensor t({2, 3});
+  t[0] = 0.33f;
+  t[1] = -0.77f;
+  t[2] = 2.0f;
+  t[3] = -2.0f;
+  const Tensor q = fake_quantize_signed(t, 4);
+  EXPECT_EQ(q.shape(), t.shape());
+  for (float v : q.data()) {
+    EXPECT_GE(v, -1.0f);
+    EXPECT_LE(v, 1.0f);
+  }
+  EXPECT_NEAR(q[0], 0.33f, 1.0f / 16);
+}
+
+TEST(FakeQuantize, FewerBitsMoreError) {
+  Tensor t({64});
+  std::mt19937 rng(4);
+  std::uniform_real_distribution<float> dist(-1.0f, 1.0f);
+  for (auto& v : t.data()) v = dist(rng);
+  auto err = [&](unsigned bits) {
+    const Tensor q = fake_quantize_signed(t, bits);
+    double e = 0;
+    for (std::size_t i = 0; i < t.size(); ++i)
+      e += std::abs(q[i] - t[i]);
+    return e;
+  };
+  EXPECT_GT(err(2), err(4));
+  EXPECT_GT(err(4), err(8));
+}
+
+TEST(FakeQuantize, UnsignedClampsNegatives) {
+  Tensor t({2});
+  t[0] = -0.4f;
+  t[1] = 0.6f;
+  const Tensor q = fake_quantize_unsigned(t, 8);
+  EXPECT_FLOAT_EQ(q[0], 0.0f);
+  EXPECT_NEAR(q[1], 0.6f, 1.0f / 256);
+}
+
+}  // namespace
+}  // namespace geo::nn

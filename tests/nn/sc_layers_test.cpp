@@ -1,0 +1,239 @@
+#include "nn/sc_layers.hpp"
+
+#include "nn/quantize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace geo::nn {
+namespace {
+
+Tensor random_acts(std::vector<int> shape, unsigned seed, float lo = 0.0f,
+                   float hi = 1.0f) {
+  Tensor x(std::move(shape));
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<float> dist(lo, hi);
+  for (auto& v : x.data()) v = dist(rng);
+  return x;
+}
+
+ScLayerConfig cfg(AccumMode accum, int stream_len,
+                  sc::Sharing sharing = sc::Sharing::kModerate,
+                  sc::RngKind rng = sc::RngKind::kLfsr) {
+  ScLayerConfig c;
+  c.accum = accum;
+  c.stream_len = stream_len;
+  c.sharing = sharing;
+  c.rng = rng;
+  c.layer_salt = 12;
+  return c;
+}
+
+double mean_abs_diff(const Tensor& a, const Tensor& b) {
+  double acc = 0;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    acc += std::abs(a[i] - b[i]);
+  return acc / static_cast<double>(a.size());
+}
+
+TEST(ScLayerConfig, LfsrBitsMatchStreamLength) {
+  EXPECT_EQ(cfg(AccumMode::kPbw, 32).lfsr_bits(), 5u);
+  EXPECT_EQ(cfg(AccumMode::kPbw, 128).lfsr_bits(), 7u);
+  EXPECT_THROW(cfg(AccumMode::kPbw, 100).lfsr_bits(), std::invalid_argument);
+}
+
+TEST(ScConv2d, FxpAccumulationApproximatesFloatConv) {
+  // With per-product fixed-point accumulation the SC conv is an unbiased
+  // estimate of the float conv (up to quantization + stream noise).
+  std::mt19937 rng(1);
+  ScConv2d conv(2, 3, 3, 1, 1, rng, cfg(AccumMode::kFxp, 256));
+  // Small weights keep products in the accurate SC regime.
+  for (auto& w : conv.weight().value.data()) w *= 0.5f;
+  const Tensor x = random_acts({1, 2, 5, 5}, 2, 0.0f, 0.8f);
+
+  std::mt19937 rng2(1);
+  Conv2d ref(2, 3, 3, 1, 1, rng2);
+  ref.weight().value = conv.weight().value;
+
+  const Tensor y_sc = conv.forward(x, false);
+  const Tensor y_ref = ref.forward(x, false);
+  ASSERT_EQ(y_sc.shape(), y_ref.shape());
+  EXPECT_LT(mean_abs_diff(y_sc, y_ref), 0.12)
+      << "FXP-accumulated SC conv should track float conv";
+}
+
+TEST(ScConv2d, OrAccumulationUnderestimatesLargeSums) {
+  std::mt19937 rng(3);
+  ScConv2d or_conv(4, 2, 3, 1, 1, rng, cfg(AccumMode::kOr, 128));
+  std::mt19937 rng2(3);
+  ScConv2d fxp_conv(4, 2, 3, 1, 1, rng2, cfg(AccumMode::kFxp, 128));
+  // All-positive weights make the OR-union loss visible.
+  or_conv.weight().value.fill(0.35f);
+  fxp_conv.weight().value.fill(0.35f);
+  const Tensor x = random_acts({1, 4, 6, 6}, 4, 0.3f, 0.9f);
+  const Tensor y_or = or_conv.forward(x, false);
+  const Tensor y_fxp = fxp_conv.forward(x, false);
+  double or_sum = 0, fxp_sum = 0;
+  for (std::size_t i = 0; i < y_or.size(); ++i) {
+    or_sum += y_or[i];
+    fxp_sum += y_fxp[i];
+  }
+  EXPECT_LT(or_sum, 0.7 * fxp_sum)
+      << "OR accumulation saturates well below the true sum";
+}
+
+TEST(ScConv2d, PbwSitsBetweenOrAndFxp) {
+  // Partial binary accumulation recovers part of the OR loss (Sec. III-B).
+  auto run = [](AccumMode mode) {
+    std::mt19937 rng(5);
+    ScConv2d conv(4, 2, 3, 1, 1, rng, cfg(mode, 128));
+    conv.weight().value.fill(0.3f);
+    const Tensor x = random_acts({1, 4, 6, 6}, 6, 0.3f, 0.9f);
+    const Tensor y = conv.forward(x, false);
+    double sum = 0;
+    for (float v : y.data()) sum += v;
+    return sum;
+  };
+  const double or_sum = run(AccumMode::kOr);
+  const double pbw_sum = run(AccumMode::kPbw);
+  const double pbhw_sum = run(AccumMode::kPbhw);
+  const double fxp_sum = run(AccumMode::kFxp);
+  EXPECT_LT(or_sum, pbw_sum);
+  EXPECT_LT(pbw_sum, pbhw_sum);
+  EXPECT_LE(pbhw_sum, fxp_sum * 1.02);
+}
+
+TEST(ScConv2d, ApcTracksFxp) {
+  auto run = [](AccumMode mode) {
+    std::mt19937 rng(7);
+    ScConv2d conv(2, 2, 3, 1, 1, rng, cfg(mode, 128));
+    const Tensor x = random_acts({1, 2, 5, 5}, 8, 0.0f, 0.9f);
+    return conv.forward(x, false);
+  };
+  const Tensor apc = run(AccumMode::kApc);
+  const Tensor fxp = run(AccumMode::kFxp);
+  EXPECT_LT(mean_abs_diff(apc, fxp), 0.25);
+}
+
+TEST(ScConv2d, DeterministicWithLfsr) {
+  std::mt19937 rng(9);
+  ScConv2d conv(2, 2, 3, 1, 1, rng, cfg(AccumMode::kPbw, 64));
+  const Tensor x = random_acts({1, 2, 5, 5}, 10);
+  const Tensor a = conv.forward(x, false);
+  const Tensor b = conv.forward(x, false);
+  for (std::size_t i = 0; i < a.size(); ++i)
+    EXPECT_FLOAT_EQ(a[i], b[i]) << "LFSR forward must replay exactly";
+}
+
+TEST(ScConv2d, TrngVariesBetweenPasses) {
+  std::mt19937 rng(9);
+  ScConv2d conv(2, 2, 3, 1, 1, rng,
+                cfg(AccumMode::kPbw, 64, sc::Sharing::kModerate,
+                    sc::RngKind::kTrng));
+  const Tensor x = random_acts({1, 2, 5, 5}, 10);
+  const Tensor a = conv.forward(x, false);
+  const Tensor b = conv.forward(x, false);
+  EXPECT_GT(mean_abs_diff(a, b), 1e-4)
+      << "TRNG passes draw fresh randomness";
+}
+
+TEST(ScConv2d, ExtremeSharingDistortsOutputs) {
+  auto run = [](sc::Sharing sharing) {
+    std::mt19937 rng(11);
+    ScConv2d conv(8, 2, 3, 1, 1, rng, cfg(AccumMode::kOr, 128, sharing));
+    const Tensor x = random_acts({1, 8, 6, 6}, 12, 0.2f, 0.8f);
+    std::mt19937 rng2(11);
+    Conv2d ref(8, 2, 3, 1, 1, rng2);
+    ref.weight().value = conv.weight().value;
+    // Compare against float conv clipped through the same OR expectation is
+    // overkill; relative distortion between sharing levels is the point.
+    return mean_abs_diff(conv.forward(x, false), ref.forward(x, false));
+  };
+  const double moderate = run(sc::Sharing::kModerate);
+  const double extreme = run(sc::Sharing::kExtreme);
+  EXPECT_GT(extreme, moderate)
+      << "extreme sharing correlates streams inside the dot product";
+}
+
+TEST(ScConv2d, StoresFloatInputForBackward) {
+  std::mt19937 rng(13);
+  ScConv2d conv(1, 1, 3, 1, 1, rng, cfg(AccumMode::kPbw, 64));
+  const Tensor x = random_acts({1, 1, 4, 4}, 14);
+  conv.forward(x, true);
+  Tensor g({1, 1, 4, 4}, 1.0f);
+  const Tensor gx = conv.backward(g);  // must not throw; float path
+  EXPECT_EQ(gx.shape(), x.shape());
+}
+
+TEST(ScLinear, ApproximatesFloatLinear) {
+  std::mt19937 rng(15);
+  ScLayerConfig c = cfg(AccumMode::kFxp, 256);
+  ScLinear lin(8, 3, rng, c);
+  for (auto& w : lin.weight().value.data()) w *= 0.5f;
+  std::mt19937 rng2(15);
+  Linear ref(8, 3, rng2);
+  ref.weight().value = lin.weight().value;
+  ref.bias().value = lin.bias().value;
+  const Tensor x = random_acts({2, 8}, 16, 0.0f, 0.9f);
+  EXPECT_LT(mean_abs_diff(lin.forward(x, false), ref.forward(x, false)),
+            0.15);
+}
+
+TEST(ScLinear, OrModeUsesSingleGroup) {
+  std::mt19937 rng(17);
+  ScLinear lin(16, 2, rng, cfg(AccumMode::kOr, 128));
+  lin.weight().value.fill(0.4f);
+  lin.bias().value.fill(0.0f);
+  Tensor x({1, 16}, 0.8f);
+  const Tensor y = lin.forward(x, false);
+  // One OR group saturates at ~1.0 despite the true sum being ~5.1.
+  EXPECT_LT(y[0], 1.1f);
+}
+
+TEST(QuantConv2d, MatchesManualFakeQuant) {
+  std::mt19937 rng(19);
+  QuantConv2d qconv(2, 2, 3, 1, 1, rng, 4);
+  std::mt19937 rng2(19);
+  Conv2d ref(2, 2, 3, 1, 1, rng2);
+  ref.weight().value = fake_quantize_signed(qconv.weight().value, 4);
+  const Tensor x = random_acts({1, 2, 5, 5}, 20);
+  const Tensor yq = qconv.forward(x, false);
+  const Tensor yr = ref.forward(fake_quantize_unsigned(x, 4), false);
+  for (std::size_t i = 0; i < yq.size(); ++i)
+    EXPECT_NEAR(yq[i], yr[i], 1e-5);
+}
+
+TEST(QuantConv2d, WeightsRestoredAfterForward) {
+  std::mt19937 rng(21);
+  QuantConv2d qconv(1, 1, 3, 1, 1, rng, 4);
+  const Tensor before = qconv.weight().value;
+  qconv.forward(random_acts({1, 1, 4, 4}, 22), false);
+  for (std::size_t i = 0; i < before.size(); ++i)
+    EXPECT_FLOAT_EQ(qconv.weight().value[i], before[i]);
+}
+
+TEST(QuantLinear, LowerBitsHigherError) {
+  const Tensor x = random_acts({4, 16}, 23);
+  auto err = [&](unsigned bits) {
+    std::mt19937 rng(25);
+    QuantLinear q(16, 4, rng, bits);
+    std::mt19937 rng2(25);
+    Linear ref(16, 4, rng2);
+    return mean_abs_diff(q.forward(x, false), ref.forward(x, false));
+  };
+  EXPECT_GT(err(2), err(8));
+}
+
+TEST(ScModelConfig, KeyDistinguishesConfigs) {
+  ScModelConfig a = ScModelConfig::stochastic(32, 64);
+  ScModelConfig b = ScModelConfig::stochastic(64, 128);
+  EXPECT_NE(a.key(), b.key());
+  b = a;
+  b.sharing = sc::Sharing::kExtreme;
+  EXPECT_NE(a.key(), b.key());
+  EXPECT_EQ(ScModelConfig::fixed_point(4).key(), "fxp4");
+}
+
+}  // namespace
+}  // namespace geo::nn

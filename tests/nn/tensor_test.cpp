@@ -1,0 +1,82 @@
+#include "nn/tensor.hpp"
+
+#include <gtest/gtest.h>
+
+namespace geo::nn {
+namespace {
+
+TEST(Tensor, ShapeAndSize) {
+  const Tensor t({2, 3, 4, 5});
+  EXPECT_EQ(t.rank(), 4);
+  EXPECT_EQ(t.size(), 120u);
+  EXPECT_EQ(t.dim(0), 2);
+  EXPECT_EQ(t.dim(3), 5);
+  EXPECT_THROW(t.dim(4), std::out_of_range);
+}
+
+TEST(Tensor, FillConstructor) {
+  const Tensor t({3, 3}, 2.5f);
+  for (float v : t.data()) EXPECT_FLOAT_EQ(v, 2.5f);
+}
+
+TEST(Tensor, At4dUsesNchwStrides) {
+  Tensor t({2, 3, 4, 5});
+  t.at(1, 2, 3, 4) = 7.0f;
+  EXPECT_FLOAT_EQ(t[t.index(1, 2, 3, 4)], 7.0f);
+  EXPECT_EQ(t.index(1, 2, 3, 4), t.size() - 1);
+  EXPECT_EQ(t.index(0, 0, 0, 1), 1u);
+  EXPECT_EQ(t.index(0, 0, 1, 0), 5u);
+  EXPECT_EQ(t.index(0, 1, 0, 0), 20u);
+}
+
+TEST(Tensor, At2d) {
+  Tensor t({2, 3});
+  t.at(1, 2) = 9.0f;
+  EXPECT_FLOAT_EQ(t[5], 9.0f);
+}
+
+TEST(Tensor, Reshaped) {
+  Tensor t({2, 6});
+  t.at(1, 0) = 3.0f;
+  const Tensor r = t.reshaped({2, 3, 2, 1});
+  EXPECT_EQ(r.rank(), 4);
+  EXPECT_FLOAT_EQ(r[6], 3.0f);
+  EXPECT_THROW(t.reshaped({5}), std::invalid_argument);
+}
+
+TEST(Tensor, BatchSlice) {
+  Tensor t({4, 2});
+  for (std::size_t i = 0; i < t.size(); ++i) t[i] = static_cast<float>(i);
+  const Tensor s = t.batch_slice(1, 3);
+  EXPECT_EQ(s.dim(0), 2);
+  EXPECT_FLOAT_EQ(s[0], 2.0f);
+  EXPECT_FLOAT_EQ(s[3], 5.0f);
+  EXPECT_THROW(t.batch_slice(3, 5), std::out_of_range);
+}
+
+TEST(Tensor, MaxAbs) {
+  Tensor t({3});
+  t[0] = -4.0f;
+  t[1] = 2.0f;
+  EXPECT_FLOAT_EQ(t.max_abs(), 4.0f);
+}
+
+TEST(Tensor, ZerosLikeAndFill) {
+  Tensor t({2, 2}, 1.0f);
+  Tensor z = Tensor::zeros_like(t);
+  EXPECT_EQ(z.shape(), t.shape());
+  EXPECT_FLOAT_EQ(z[0], 0.0f);
+  z.fill(3.0f);
+  EXPECT_FLOAT_EQ(z[3], 3.0f);
+}
+
+TEST(Tensor, ShapeString) {
+  EXPECT_EQ(Tensor({2, 3}).shape_string(), "(2,3)");
+}
+
+TEST(Tensor, NegativeDimThrows) {
+  EXPECT_THROW(Tensor({2, -1}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace geo::nn

@@ -1,0 +1,137 @@
+// End-to-end training integration: float, fixed-point, and bit-level SC
+// models must all learn the synthetic digits task well above chance, and the
+// model cache must round-trip. Sizes are kept small — these are smoke-level
+// integration tests; the benches run the paper-scale sweeps.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "nn/dataset.hpp"
+#include "nn/models.hpp"
+#include "nn/trainer.hpp"
+
+namespace geo::nn {
+namespace {
+
+TrainOptions quick_options(int epochs) {
+  TrainOptions o;
+  o.epochs = epochs;
+  o.batch_size = 16;
+  o.verbose = false;
+  return o;
+}
+
+TEST(Training, FloatLenetLearnsDigits) {
+  const Dataset train_set = make_digits(192, 1);
+  const Dataset test_set = make_digits(96, 2);
+  Sequential net = make_lenet5(1, 10, ScModelConfig::float_model(), 7);
+  const TrainResult r = train(net, train_set, test_set, quick_options(10));
+  EXPECT_GT(r.test_accuracy, 0.6) << "float LeNet should beat chance easily";
+}
+
+TEST(Training, FixedPoint8BitTracksFloat) {
+  const Dataset train_set = make_digits(192, 3);
+  const Dataset test_set = make_digits(96, 4);
+  Sequential f = make_lenet5(1, 10, ScModelConfig::float_model(), 7);
+  Sequential q = make_lenet5(1, 10, ScModelConfig::fixed_point(8), 7);
+  const double fa = train(f, train_set, test_set, quick_options(10)).test_accuracy;
+  const double qa = train(q, train_set, test_set, quick_options(10)).test_accuracy;
+  EXPECT_GT(qa, 0.5);
+  EXPECT_GT(qa, fa - 0.25) << "8-bit should track float closely";
+}
+
+TEST(Training, StochasticLenetLearns) {
+  // Bit-level SC training (GEO config, short streams to stay fast).
+  const Dataset train_set = make_digits(128, 5);
+  const Dataset test_set = make_digits(64, 6);
+  ScModelConfig cfg = ScModelConfig::stochastic(32, 32);
+  Sequential net = make_lenet5(1, 10, cfg, 7);
+  const TrainResult r = train(net, train_set, test_set, quick_options(8));
+  EXPECT_GT(r.test_accuracy, 0.4)
+      << "stream-aware training should learn well above 10% chance";
+}
+
+TEST(Training, EvaluateIsDeterministicForLfsr) {
+  const Dataset test_set = make_digits(32, 8);
+  ScModelConfig cfg = ScModelConfig::stochastic(32, 32);
+  Sequential net = make_lenet5(1, 10, cfg, 7);
+  const double a = evaluate(net, test_set);
+  const double b = evaluate(net, test_set);
+  EXPECT_DOUBLE_EQ(a, b);
+}
+
+TEST(Training, CacheRoundTrip) {
+  const Dataset train_set = make_digits(96, 9);
+  const Dataset test_set = make_digits(48, 10);
+  const std::string dir = ::testing::TempDir();
+  TrainOptions o = quick_options(4);
+  o.cache_dir = dir;
+  o.cache_key = "cache_test_lenet";
+  Sequential a = make_lenet5(1, 10, ScModelConfig::float_model(), 7);
+  const TrainResult first = train(a, train_set, test_set, o);
+  EXPECT_FALSE(first.from_cache);
+  Sequential b = make_lenet5(1, 10, ScModelConfig::float_model(), 7);
+  const TrainResult second = train(b, train_set, test_set, o);
+  EXPECT_TRUE(second.from_cache);
+  EXPECT_NEAR(second.test_accuracy, first.test_accuracy, 1e-9);
+  std::filesystem::remove(dir + "/cache_test_lenet.weights");
+}
+
+TEST(Training, SequentialSaveLoad) {
+  Sequential a = make_cnn4(1, 10, ScModelConfig::float_model(), 3);
+  const std::string path = ::testing::TempDir() + "/seq_roundtrip.weights";
+  a.save(path);
+  Sequential b = make_cnn4(1, 10, ScModelConfig::float_model(), 99);
+  ASSERT_TRUE(b.load(path));
+  const Dataset d = make_digits(16, 11);
+  const Tensor ya = a.forward(d.images, false);
+  const Tensor yb = b.forward(d.images, false);
+  for (std::size_t i = 0; i < ya.size(); ++i) EXPECT_FLOAT_EQ(ya[i], yb[i]);
+  std::filesystem::remove(path);
+}
+
+TEST(Training, LoadRejectsMismatchedModel) {
+  Sequential a = make_lenet5(1, 10, ScModelConfig::float_model(), 3);
+  const std::string path = ::testing::TempDir() + "/mismatch.weights";
+  a.save(path);
+  Sequential b = make_cnn4(1, 10, ScModelConfig::float_model(), 3);
+  EXPECT_FALSE(b.load(path));
+  std::filesystem::remove(path);
+}
+
+TEST(Training, ParameterCountsDifferByModel) {
+  Sequential lenet = make_lenet5(1, 10, ScModelConfig::float_model(), 1);
+  Sequential cnn4 = make_cnn4(3, 10, ScModelConfig::float_model(), 1);
+  Sequential vgg = make_vgg_slim(3, 10, ScModelConfig::float_model(), 1);
+  EXPECT_GT(lenet.parameter_count(), 0u);
+  EXPECT_GT(vgg.parameter_count(), cnn4.parameter_count());
+}
+
+TEST(Training, MaxPoolVariantTrains) {
+  // The paper notes max pooling is possible (avg+skipping is just cheaper);
+  // the model builder supports it as an extension.
+  const Dataset train_set = make_digits(128, 21);
+  const Dataset test_set = make_digits(64, 22);
+  ScModelConfig cfg = ScModelConfig::float_model();
+  cfg.pool = ScModelConfig::PoolMode::kMax;
+  Sequential net = make_lenet5(1, 10, cfg, 7);
+  bool has_maxpool = false;
+  for (std::size_t i = 0; i < net.layer_count(); ++i)
+    has_maxpool |= net.layer(i).name() == "maxpool2d";
+  EXPECT_TRUE(has_maxpool);
+  const TrainResult r = train(net, train_set, test_set, quick_options(10));
+  EXPECT_GT(r.test_accuracy, 0.4);
+}
+
+TEST(Training, MakeModelByName) {
+  for (const char* name : {"cnn4", "lenet5", "vgg"}) {
+    Sequential net = make_model(name, 3, 10, ScModelConfig::float_model(), 1);
+    EXPECT_GT(net.layer_count(), 0u) << name;
+  }
+  EXPECT_THROW(make_model("resnet", 3, 10, ScModelConfig::float_model(), 1),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace geo::nn

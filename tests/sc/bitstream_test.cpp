@@ -1,0 +1,117 @@
+#include "sc/bitstream.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace geo::sc {
+namespace {
+
+TEST(Bitstream, DefaultIsEmpty) {
+  Bitstream s;
+  EXPECT_EQ(s.length(), 0u);
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.popcount(), 0u);
+  EXPECT_DOUBLE_EQ(s.value(), 0.0);
+}
+
+TEST(Bitstream, FillConstructor) {
+  Bitstream zeros(100, false);
+  EXPECT_EQ(zeros.popcount(), 0u);
+  Bitstream ones(100, true);
+  EXPECT_EQ(ones.popcount(), 100u);
+  EXPECT_DOUBLE_EQ(ones.value(), 1.0);
+}
+
+TEST(Bitstream, FillMasksTail) {
+  // A filled stream must not have set bits beyond its length in the last
+  // word; popcount would otherwise overcount.
+  Bitstream s(70, true);
+  EXPECT_EQ(s.popcount(), 70u);
+  EXPECT_EQ(s.words().back() >> 6, 0u);
+}
+
+TEST(Bitstream, SetGetRoundTrip) {
+  Bitstream s(130);
+  s.set(0, true);
+  s.set(64, true);
+  s.set(129, true);
+  EXPECT_TRUE(s.get(0));
+  EXPECT_TRUE(s.get(64));
+  EXPECT_TRUE(s.get(129));
+  EXPECT_FALSE(s.get(1));
+  EXPECT_EQ(s.popcount(), 3u);
+  s.set(64, false);
+  EXPECT_FALSE(s.get(64));
+  EXPECT_EQ(s.popcount(), 2u);
+}
+
+TEST(Bitstream, FromBitsAndToString) {
+  const Bitstream s = Bitstream::from_bits({true, false, true, true});
+  EXPECT_EQ(s.to_string(), "1011");
+  EXPECT_EQ(Bitstream::from_string("1011"), s);
+}
+
+TEST(Bitstream, LogicOps) {
+  const Bitstream a = Bitstream::from_string("1100");
+  const Bitstream b = Bitstream::from_string("1010");
+  EXPECT_EQ((a & b).to_string(), "1000");
+  EXPECT_EQ((a | b).to_string(), "1110");
+  EXPECT_EQ((a ^ b).to_string(), "0110");
+  EXPECT_EQ((~a).to_string(), "0011");
+}
+
+TEST(Bitstream, ComplementMasksTail) {
+  const Bitstream a(65, false);
+  const Bitstream na = ~a;
+  EXPECT_EQ(na.popcount(), 65u);
+  EXPECT_EQ(na.words().back() >> 1, 0u);
+}
+
+TEST(Bitstream, BipolarValue) {
+  EXPECT_DOUBLE_EQ(Bitstream::from_string("1111").bipolar_value(), 1.0);
+  EXPECT_DOUBLE_EQ(Bitstream::from_string("0000").bipolar_value(), -1.0);
+  EXPECT_DOUBLE_EQ(Bitstream::from_string("1100").bipolar_value(), 0.0);
+}
+
+TEST(Bitstream, PopcountPrefix) {
+  Bitstream s(200);
+  for (std::size_t i = 0; i < 200; i += 3) s.set(i, true);
+  for (std::size_t n : {0u, 1u, 63u, 64u, 65u, 128u, 199u, 200u}) {
+    std::size_t expected = 0;
+    for (std::size_t i = 0; i < n; ++i)
+      if (s.get(i)) ++expected;
+    EXPECT_EQ(s.popcount_prefix(n), expected) << "n=" << n;
+  }
+  EXPECT_THROW(s.popcount_prefix(201), std::out_of_range);
+}
+
+// Property: word-level ops agree with bit-level reference on random streams.
+class BitstreamProperty : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BitstreamProperty, WordOpsMatchBitOps) {
+  const std::size_t len = GetParam();
+  std::mt19937 rng(static_cast<unsigned>(len));
+  std::bernoulli_distribution bit(0.4);
+  Bitstream a(len), b(len);
+  for (std::size_t i = 0; i < len; ++i) {
+    a.set(i, bit(rng));
+    b.set(i, bit(rng));
+  }
+  const Bitstream and_s = a & b, or_s = a | b, xor_s = a ^ b;
+  std::size_t and_pc = 0;
+  for (std::size_t i = 0; i < len; ++i) {
+    EXPECT_EQ(and_s.get(i), a.get(i) && b.get(i));
+    EXPECT_EQ(or_s.get(i), a.get(i) || b.get(i));
+    EXPECT_EQ(xor_s.get(i), a.get(i) != b.get(i));
+    if (a.get(i) && b.get(i)) ++and_pc;
+  }
+  EXPECT_EQ(and_s.popcount(), and_pc);
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, BitstreamProperty,
+                         ::testing::Values(1, 7, 32, 63, 64, 65, 127, 128,
+                                           200, 1024));
+
+}  // namespace
+}  // namespace geo::sc

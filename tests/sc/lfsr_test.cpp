@@ -1,0 +1,108 @@
+#include "sc/lfsr.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace geo::sc {
+namespace {
+
+// Core invariant: every default polynomial is maximal-length — the register
+// visits all 2^n - 1 nonzero states exactly once per period.
+class LfsrMaximal : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(LfsrMaximal, DefaultPolynomialHasFullPeriod) {
+  const unsigned bits = GetParam();
+  Lfsr l(bits, 1);
+  std::set<std::uint32_t> seen;
+  const std::uint32_t period = l.period();
+  for (std::uint32_t i = 0; i < period; ++i) {
+    const std::uint32_t s = l.next();
+    EXPECT_NE(s, 0u);
+    EXPECT_LT(s, 1u << bits);
+    EXPECT_TRUE(seen.insert(s).second) << "state repeated: " << s;
+  }
+  EXPECT_EQ(seen.size(), period);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, LfsrMaximal,
+                         ::testing::Range(2u, 17u));  // 17..24 cost too much
+
+TEST(Lfsr, WideDefaultsAreMaximalViaChecker) {
+  // Spot-check the wider entries with the cheaper orbit checker.
+  for (unsigned bits : {17u, 18u, 20u}) {
+    EXPECT_TRUE(Lfsr::is_maximal(bits, Lfsr::default_taps(bits)))
+        << "bits=" << bits;
+  }
+}
+
+TEST(Lfsr, ZeroSeedMapsToOne) {
+  Lfsr l(8, 0);
+  EXPECT_EQ(l.state(), 1u);
+}
+
+TEST(Lfsr, SeedIsMasked) {
+  Lfsr l(4, 0xF3);
+  EXPECT_EQ(l.state(), 0x3u);
+}
+
+TEST(Lfsr, ResetReplaysSequence) {
+  Lfsr l(8, 37);
+  std::vector<std::uint32_t> first;
+  for (int i = 0; i < 50; ++i) first.push_back(l.next());
+  l.reset();
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(l.next(), first[static_cast<std::size_t>(i)]);
+}
+
+TEST(Lfsr, DifferentSeedsAreShiftedSequences) {
+  // Two seeds of the same polynomial generate the same m-sequence at
+  // different phases: their state sets over a full period are identical.
+  Lfsr a(6, 1), b(6, 33);
+  std::set<std::uint32_t> sa, sb;
+  for (std::uint32_t i = 0; i < a.period(); ++i) {
+    sa.insert(a.next());
+    sb.insert(b.next());
+  }
+  EXPECT_EQ(sa, sb);
+}
+
+TEST(Lfsr, RejectsBadWidth) {
+  EXPECT_THROW(Lfsr(1, 1), std::invalid_argument);
+  EXPECT_THROW(Lfsr(25, 1), std::invalid_argument);
+}
+
+TEST(Lfsr, RejectsEmptyTapMask) {
+  EXPECT_THROW(Lfsr(8, 1, 0), std::invalid_argument);
+}
+
+TEST(Lfsr, IsMaximalRejectsNonMaximal) {
+  // x^4 + x^2 + 1 = (x^2+x+1)^2 is not primitive.
+  EXPECT_FALSE(Lfsr::is_maximal(4, 0b1010));
+}
+
+class FindTaps : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(FindTaps, FindsDistinctMaximalPolynomials) {
+  const unsigned bits = GetParam();
+  const auto taps = Lfsr::find_maximal_taps(bits, 4);
+  EXPECT_GE(taps.size(), 2u) << "need polynomial diversity at " << bits;
+  std::set<std::uint32_t> unique(taps.begin(), taps.end());
+  EXPECT_EQ(unique.size(), taps.size());
+  for (std::uint32_t t : taps)
+    EXPECT_TRUE(Lfsr::is_maximal(bits, t)) << "taps=" << t;
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, FindTaps, ::testing::Values(4u, 5u, 6u, 7u, 8u));
+
+TEST(ConfigurableLfsr, SwitchesWidth) {
+  // Fig. 4(c): the same physical generator serves 8- and 7-bit streams.
+  ConfigurableLfsr l(8, 5);
+  EXPECT_EQ(l.bits(), 8u);
+  for (int i = 0; i < 10; ++i) l.next();
+  l.configure(7, 5);
+  EXPECT_EQ(l.bits(), 7u);
+  for (int i = 0; i < 200; ++i) EXPECT_LT(l.next(), 128u);
+}
+
+}  // namespace
+}  // namespace geo::sc

@@ -1,0 +1,116 @@
+#include "sc/ops.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sc/sng.hpp"
+
+namespace geo::sc {
+namespace {
+
+Bitstream gen(RngKind kind, std::uint32_t seed, double p, std::size_t len,
+              unsigned bits = 8) {
+  Sng sng(kind, SeedSpec{.bits = bits, .seed = seed});
+  return sng.generate(quantize_unipolar(p, bits), len);
+}
+
+TEST(Ops, MultiplyIsAnd) {
+  const Bitstream a = Bitstream::from_string("1101");
+  const Bitstream b = Bitstream::from_string("1011");
+  EXPECT_EQ(multiply(a, b).to_string(), "1001");
+}
+
+TEST(Ops, MultiplyApproximatesProduct) {
+  // Independent streams (distinct seeds): AND approximates the product.
+  const std::size_t len = 4096;
+  for (double pa : {0.2, 0.5, 0.8}) {
+    for (double pb : {0.3, 0.7}) {
+      const Bitstream a = gen(RngKind::kLfsr, 11, pa, len);
+      const Bitstream b = gen(RngKind::kLfsr, 97, pb, len);
+      EXPECT_NEAR(multiply(a, b).value(), pa * pb, 0.05)
+          << "pa=" << pa << " pb=" << pb;
+    }
+  }
+}
+
+TEST(Ops, BipolarMultiplyIsXnor) {
+  const std::size_t len = 8192;
+  // bipolar(a)=0.6, bipolar(b)=-0.4 -> product -0.24
+  const Bitstream a = gen(RngKind::kLfsr, 5, 0.8, len);   // bipolar 0.6
+  const Bitstream b = gen(RngKind::kLfsr, 111, 0.3, len); // bipolar -0.4
+  EXPECT_NEAR(multiply_bipolar(a, b).bipolar_value(), -0.24, 0.06);
+}
+
+TEST(Ops, OrAccumulateExactForDisjoint) {
+  const Bitstream a = Bitstream::from_string("1000");
+  const Bitstream b = Bitstream::from_string("0100");
+  const Bitstream c = Bitstream::from_string("0010");
+  const Bitstream streams[] = {a, b, c};
+  EXPECT_EQ(or_accumulate(streams).popcount(), 3u);
+}
+
+TEST(Ops, OrAccumulateUnderApproximatesSum) {
+  // The OR union never exceeds the true sum — the loss GEO's partial binary
+  // accumulation recovers.
+  const std::size_t len = 2048;
+  std::vector<Bitstream> streams;
+  double sum = 0.0;
+  for (int i = 0; i < 8; ++i) {
+    const double p = 0.12;
+    streams.push_back(gen(RngKind::kLfsr, 31 + 7u * static_cast<unsigned>(i),
+                          p, len));
+    sum += p;
+  }
+  const double or_value = or_accumulate(streams).value();
+  EXPECT_LE(or_value, sum + 1e-9);
+  // And matches the independence expectation 1 - (1-p)^8.
+  std::vector<double> ps(8, 0.12);
+  EXPECT_NEAR(or_value, or_accumulate_expectation(ps), 0.05);
+}
+
+TEST(Ops, OrAccumulateEmpty) {
+  EXPECT_TRUE(or_accumulate({}).empty());
+}
+
+TEST(Ops, OrExpectationBasics) {
+  const double one[] = {0.4};
+  EXPECT_DOUBLE_EQ(or_accumulate_expectation(one), 0.4);
+  const double two[] = {0.5, 0.5};
+  EXPECT_DOUBLE_EQ(or_accumulate_expectation(two), 0.75);
+  EXPECT_DOUBLE_EQ(or_accumulate_expectation({}), 0.0);
+}
+
+TEST(Ops, MuxAddHalvesSum) {
+  const std::size_t len = 8192;
+  const Bitstream a = gen(RngKind::kLfsr, 13, 0.8, len);
+  const Bitstream b = gen(RngKind::kLfsr, 77, 0.2, len);
+  auto sel = make_source(RngKind::kLfsr, SeedSpec{.bits = 8, .seed = 201});
+  EXPECT_NEAR(mux_add(a, b, *sel).value(), 0.5, 0.05);
+}
+
+TEST(Ops, MuxAddLengthMismatchThrows) {
+  auto sel = make_source(RngKind::kLfsr, SeedSpec{.bits = 8, .seed = 1});
+  EXPECT_THROW(mux_add(Bitstream(8), Bitstream(16), *sel),
+               std::invalid_argument);
+}
+
+TEST(Ops, SaturatingSubtract) {
+  const Bitstream a = Bitstream::from_string("1110");
+  const Bitstream b = Bitstream::from_string("0110");
+  EXPECT_EQ(saturating_subtract(a, b).to_string(), "1000");
+}
+
+// Property: OR of correlated (same-seed) streams degenerates to max — the
+// failure mode behind extreme sharing.
+TEST(Ops, CorrelatedOrIsMaxNotSum) {
+  const std::size_t len = 1024;
+  const Bitstream a = gen(RngKind::kLfsr, 42, 0.3, len);
+  const Bitstream b = gen(RngKind::kLfsr, 42, 0.4, len);  // same seed!
+  const Bitstream streams[] = {a, b};
+  EXPECT_NEAR(or_accumulate(streams).value(), 0.4, 0.02)
+      << "nested streams: union equals the larger operand";
+}
+
+}  // namespace
+}  // namespace geo::sc

@@ -1,0 +1,131 @@
+#include "sc/parallel_counter.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace geo::sc {
+namespace {
+
+std::vector<Bitstream> random_streams(int count, std::size_t len,
+                                      unsigned seed, double p = 0.4) {
+  std::mt19937 rng(seed);
+  std::bernoulli_distribution bit(p);
+  std::vector<Bitstream> out;
+  for (int i = 0; i < count; ++i) {
+    Bitstream s(len);
+    for (std::size_t j = 0; j < len; ++j) s.set(j, bit(rng));
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+TEST(ParallelCount, MatchesPerCycleSum) {
+  const auto streams = random_streams(5, 100, 1);
+  const auto counts = parallel_count(streams);
+  ASSERT_EQ(counts.size(), 100u);
+  for (std::size_t t = 0; t < 100; ++t) {
+    std::uint16_t expected = 0;
+    for (const auto& s : streams) expected += s.get(t) ? 1 : 0;
+    EXPECT_EQ(counts[t], expected) << "cycle " << t;
+  }
+}
+
+TEST(ParallelCount, EmptyInput) {
+  EXPECT_TRUE(parallel_count({}).empty());
+  EXPECT_EQ(count_total({}), 0u);
+}
+
+TEST(ParallelCount, LengthMismatchThrows) {
+  std::vector<Bitstream> bad;
+  bad.emplace_back(10);
+  bad.emplace_back(20);
+  EXPECT_THROW(parallel_count(bad), std::invalid_argument);
+}
+
+TEST(CountTotal, IsExactSum) {
+  const auto streams = random_streams(9, 257, 2);
+  std::uint64_t expected = 0;
+  for (const auto& s : streams) expected += s.popcount();
+  EXPECT_EQ(count_total(streams), expected);
+}
+
+// The exact parallel counter equals the sum of per-cycle counts — that is
+// what makes partial-binary accumulation lossless past the OR stage.
+TEST(CountTotal, EqualsAccumulatedParallelCounts) {
+  const auto streams = random_streams(7, 128, 3);
+  const auto per_cycle = parallel_count(streams);
+  std::uint64_t acc = 0;
+  for (auto c : per_cycle) acc += c;
+  EXPECT_EQ(acc, count_total(streams));
+}
+
+class ApcError : public ::testing::TestWithParam<int> {};
+
+TEST_P(ApcError, BoundedRelativeError) {
+  // The alternating OR/AND APC over- and under-counts in compensating
+  // directions; the residual error stays small relative to the total.
+  const int n = GetParam();
+  double worst = 0.0;
+  for (unsigned seed = 1; seed <= 10; ++seed) {
+    const auto streams = random_streams(n, 512, seed, 0.35);
+    const double exact = static_cast<double>(count_total(streams));
+    const double apc = static_cast<double>(apc_count_total(streams));
+    if (exact > 0) worst = std::max(worst, std::abs(apc - exact) / exact);
+  }
+  EXPECT_LT(worst, 0.25) << "APC error should stay bounded";
+}
+
+// n = 2 is excluded: a lone OR pair has no compensating AND pair, so the
+// alternation cannot cancel — checked separately below.
+INSTANTIATE_TEST_SUITE_P(Widths, ApcError, ::testing::Values(4, 8, 9, 16, 25));
+
+TEST(Apc, TwoInputsOverestimate) {
+  const auto streams = random_streams(2, 512, 11, 0.35);
+  EXPECT_GE(apc_count_total(streams), count_total(streams))
+      << "a single OR merge can only over-count";
+}
+
+TEST(Apc, SingleStreamPassesThrough) {
+  const auto streams = random_streams(1, 64, 4);
+  EXPECT_EQ(apc_count_total(streams), streams[0].popcount());
+}
+
+TEST(Apc, IdenticalStreamsExact) {
+  // a == b: both OR and AND merges are exact for identical pairs.
+  auto streams = random_streams(1, 128, 5);
+  streams.push_back(streams[0]);
+  EXPECT_EQ(apc_count_total(streams), count_total(streams));
+}
+
+TEST(OutputConverter, AccumulatesSignedCounts) {
+  OutputConverter oc;
+  oc.accumulate(3, 1);
+  oc.accumulate(0, 2);
+  EXPECT_EQ(oc.total(), 0);
+  EXPECT_EQ(oc.cycles(), 2u);
+  oc.accumulate(5, 0);
+  EXPECT_EQ(oc.total(), 5);
+  EXPECT_DOUBLE_EQ(oc.value(), 5.0 / 3.0);
+}
+
+TEST(OutputConverter, MergeModelsPoolingNeighborAdd) {
+  OutputConverter a, b;
+  a.accumulate(4, 0);
+  b.accumulate(2, 1);
+  a.merge(b);
+  EXPECT_EQ(a.total(), 5);
+  EXPECT_EQ(a.cycles(), 2u);
+}
+
+TEST(OutputConverter, Reset) {
+  OutputConverter oc;
+  oc.accumulate(7, 2);
+  oc.reset();
+  EXPECT_EQ(oc.total(), 0);
+  EXPECT_EQ(oc.cycles(), 0u);
+  EXPECT_DOUBLE_EQ(oc.value(), 0.0);
+}
+
+}  // namespace
+}  // namespace geo::sc

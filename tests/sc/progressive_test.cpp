@@ -1,0 +1,134 @@
+#include "sc/progressive.hpp"
+
+#include <gtest/gtest.h>
+
+namespace geo::sc {
+namespace {
+
+TEST(ProgressiveSchedule, LoadRamp) {
+  // 8-bit value, 8-bit LFSR, 2 bits / 2 cycles: 2,2,4,4,6,6,8,...
+  const ProgressiveSchedule s{.value_bits = 8, .lfsr_bits = 8};
+  EXPECT_EQ(s.loaded_bits(0), 2u);
+  EXPECT_EQ(s.loaded_bits(1), 2u);
+  EXPECT_EQ(s.loaded_bits(2), 4u);
+  EXPECT_EQ(s.loaded_bits(4), 6u);
+  EXPECT_EQ(s.loaded_bits(6), 8u);
+  EXPECT_EQ(s.loaded_bits(100), 8u);
+  EXPECT_EQ(s.full_load_cycle(), 6u);
+}
+
+TEST(ProgressiveSchedule, TruncatesToLfsrLength) {
+  // 7-bit LFSR (128-bit streams): only 7 bits ever load; full by cycle < 8 —
+  // the paper's "error in at most 8 cycles when using 7-bit LFSR".
+  const ProgressiveSchedule s{.value_bits = 8, .lfsr_bits = 7};
+  EXPECT_EQ(s.bits_to_load(), 7u);
+  EXPECT_EQ(s.loaded_bits(6), 7u);
+  EXPECT_LT(s.full_load_cycle(), 8u);
+  EXPECT_EQ(s.beats(), 4u);  // 2+2+2+1
+}
+
+TEST(ProgressiveSchedule, ReloadLatencyGainIs4x) {
+  // Generation starts after 1 beat instead of after all 4 beats of an 8-bit
+  // value: the paper's 4x reload-latency reduction.
+  const ProgressiveSchedule s{.value_bits = 8, .lfsr_bits = 8};
+  EXPECT_EQ(s.normal_start_beats(), 4u);
+  EXPECT_DOUBLE_EQ(s.reload_latency_gain(), 4.0);
+}
+
+TEST(ProgressiveSng, MatchesNormalAfterFullLoad) {
+  // Once the value is fully loaded the progressive stream is bit-identical
+  // to the normal stream (same LFSR phase).
+  const ProgressiveSchedule sched{.value_bits = 8, .lfsr_bits = 8};
+  ProgressiveSng sng(RngKind::kLfsr, SeedSpec{.bits = 8, .seed = 19}, sched);
+  for (std::uint32_t v : {1u, 77u, 200u, 255u}) {
+    const Bitstream prog = sng.generate(v, 256);
+    const Bitstream norm = sng.generate_normal(v, 256);
+    for (std::size_t t = sched.full_load_cycle(); t < 256; ++t)
+      EXPECT_EQ(prog.get(t), norm.get(t)) << "v=" << v << " t=" << t;
+  }
+}
+
+TEST(ProgressiveSng, EarlyBitsOnlyUnderFire) {
+  // Zero-padded low bits can only make the comparator value smaller, so a
+  // progressive stream is a subset of the normal stream everywhere.
+  const ProgressiveSchedule sched{.value_bits = 8, .lfsr_bits = 8};
+  ProgressiveSng sng(RngKind::kLfsr, SeedSpec{.bits = 8, .seed = 91}, sched);
+  for (std::uint32_t v : {13u, 130u, 251u}) {
+    const Bitstream prog = sng.generate(v, 256);
+    const Bitstream norm = sng.generate_normal(v, 256);
+    EXPECT_EQ(prog & norm, prog) << "v=" << v;
+  }
+}
+
+TEST(ProgressiveSng, MsbOnlyValueIsExactImmediately) {
+  // A value whose low 6 bits are zero is fully described by its 2 MSBs:
+  // progressive generation is exact from cycle 0.
+  const ProgressiveSchedule sched{.value_bits = 8, .lfsr_bits = 8};
+  ProgressiveSng sng(RngKind::kLfsr, SeedSpec{.bits = 8, .seed = 5}, sched);
+  const Bitstream prog = sng.generate(0xC0, 255);
+  const Bitstream norm = sng.generate_normal(0xC0, 255);
+  EXPECT_EQ(prog, norm);
+}
+
+TEST(ProgressiveSng, FullPeriodCountCloseToValue) {
+  // The handful of early under-fired cycles bound the popcount error.
+  const ProgressiveSchedule sched{.value_bits = 8, .lfsr_bits = 8};
+  ProgressiveSng sng(RngKind::kLfsr, SeedSpec{.bits = 8, .seed = 33}, sched);
+  for (std::uint32_t v : {9u, 100u, 237u}) {
+    const Bitstream s = sng.generate(v, 255);
+    EXPECT_LE(s.popcount(), static_cast<std::size_t>(v));
+    EXPECT_GE(s.popcount() + sched.full_load_cycle(),
+              static_cast<std::size_t>(v))
+        << "error bounded by the load ramp";
+  }
+}
+
+TEST(ProgressiveSng, ShortLfsrTruncatesValue) {
+  // 5-bit LFSR / 32-bit streams: the value's low 3 bits never load —
+  // matching the non-progressive truncation exactly.
+  const ProgressiveSchedule sched{.value_bits = 8, .lfsr_bits = 5};
+  ProgressiveSng sng(RngKind::kLfsr, SeedSpec{.bits = 5, .seed = 11}, sched);
+  const Bitstream a = sng.generate(0b10110101, 31);
+  const Bitstream b = sng.generate(0b10110111, 31);  // same top 5 bits
+  EXPECT_EQ(a, b);
+}
+
+TEST(ProgressiveSng, MismatchedWidthThrows) {
+  const ProgressiveSchedule sched{.value_bits = 8, .lfsr_bits = 7};
+  EXPECT_THROW(
+      ProgressiveSng(RngKind::kLfsr, SeedSpec{.bits = 8, .seed = 1}, sched),
+      std::invalid_argument);
+}
+
+// Parameterized multiplication-error property backing Fig. 2: progressive
+// multiplication converges to normal multiplication within the load ramp.
+class ProgressiveMul : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(ProgressiveMul, ConvergesToNormal) {
+  const unsigned lfsr_bits = GetParam();
+  const auto len = static_cast<std::size_t>(1) << lfsr_bits;
+  const ProgressiveSchedule sched{.value_bits = 8, .lfsr_bits = lfsr_bits};
+  ProgressiveSng sa(RngKind::kLfsr, SeedSpec{.bits = lfsr_bits, .seed = 3},
+                    sched);
+  ProgressiveSng sb(RngKind::kLfsr, SeedSpec{.bits = lfsr_bits, .seed = 59},
+                    sched);
+  double worst = 0.0;
+  for (std::uint32_t va = 32; va < 256; va += 64)
+    for (std::uint32_t vb = 16; vb < 256; vb += 48) {
+      const Bitstream pp = sa.generate(va, len) & sb.generate(vb, len);
+      const Bitstream nn = sa.generate_normal(va, len) &
+                           sb.generate_normal(vb, len);
+      const double diff = std::abs(pp.value() - nn.value());
+      worst = std::max(worst, diff);
+    }
+  // At most full_load_cycle() early cycles can differ.
+  const double bound =
+      static_cast<double>(sched.full_load_cycle() + 1) / static_cast<double>(len);
+  EXPECT_LE(worst, bound);
+}
+
+INSTANTIATE_TEST_SUITE_P(LfsrWidths, ProgressiveMul,
+                         ::testing::Values(5u, 6u, 7u, 8u));
+
+}  // namespace
+}  // namespace geo::sc

@@ -1,0 +1,109 @@
+#include "sc/rng_source.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sc/sobol.hpp"
+
+namespace geo::sc {
+namespace {
+
+TEST(LfsrSource, DeterministicReplay) {
+  SeedSpec spec{.bits = 8, .seed = 11};
+  LfsrSource src(spec);
+  EXPECT_TRUE(src.deterministic());
+  std::vector<std::uint32_t> first;
+  for (int i = 0; i < 32; ++i) first.push_back(src.next());
+  src.reset();
+  for (int i = 0; i < 32; ++i)
+    EXPECT_EQ(src.next(), first[static_cast<std::size_t>(i)]);
+}
+
+TEST(LfsrSource, CloneReproduces) {
+  SeedSpec spec{.bits = 6, .seed = 5};
+  LfsrSource a(spec);
+  auto b = a.clone();
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(a.next(), b->next());
+}
+
+TEST(TrngSource, ResetGivesFreshSequence) {
+  SeedSpec spec{.bits = 8, .seed = 3};
+  TrngSource src(spec);
+  EXPECT_FALSE(src.deterministic());
+  std::vector<std::uint32_t> first;
+  for (int i = 0; i < 64; ++i) first.push_back(src.next());
+  src.reset();
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (src.next() == first[static_cast<std::size_t>(i)]) ++same;
+  EXPECT_LT(same, 16) << "TRNG reset must not replay";
+}
+
+TEST(TrngSource, SameSeedSameInitialSequence) {
+  // Sharing a TRNG source means sharing its output within a pass.
+  SeedSpec spec{.bits = 8, .seed = 9};
+  TrngSource a(spec), b(spec);
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(TrngSource, ValuesInRange) {
+  SeedSpec spec{.bits = 5, .seed = 1};
+  TrngSource src(spec);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(src.next(), 32u);
+}
+
+TEST(CounterSource, RampsAndWraps) {
+  SeedSpec spec{.bits = 3, .seed = 6};
+  CounterSource src(spec);
+  const std::uint32_t expect[] = {6, 7, 0, 1, 2, 3, 4, 5, 6};
+  for (std::uint32_t e : expect) EXPECT_EQ(src.next(), e);
+}
+
+TEST(MakeSource, BuildsEveryKind) {
+  SeedSpec spec{.bits = 8, .seed = 2};
+  for (RngKind kind : {RngKind::kLfsr, RngKind::kTrng, RngKind::kCounter,
+                       RngKind::kSobol}) {
+    auto src = make_source(kind, spec);
+    ASSERT_NE(src, nullptr) << to_string(kind);
+    EXPECT_EQ(src->bits(), 8u);
+    src->next();
+  }
+}
+
+TEST(SobolSource, FirstDimensionIsVanDerCorput) {
+  SeedSpec spec{.bits = 8, .seed = 0};
+  SobolSource src(spec);
+  // First points of the base-2 van der Corput sequence scaled to 8 bits:
+  // 0, 1/2, 1/4, 3/4, ...
+  EXPECT_EQ(src.next(), 0u);
+  EXPECT_EQ(src.next(), 128u);
+  EXPECT_EQ(src.next(), 192u);
+  EXPECT_EQ(src.next(), 64u);
+}
+
+TEST(SobolSource, LowDiscrepancyCoverage) {
+  // Any 2^k consecutive points of a Sobol dimension hit each of the 2^k
+  // equal bins exactly once — the property that makes single-stream SC
+  // generation converge fast [23].
+  for (unsigned dim = 0; dim < SobolSource::kDimensions; ++dim) {
+    SeedSpec spec{.bits = 8, .seed = dim};
+    SobolSource src(spec);
+    std::vector<int> bins(16, 0);
+    for (int i = 0; i < 16; ++i) ++bins[src.next() >> 4];
+    for (int b = 0; b < 16; ++b)
+      EXPECT_EQ(bins[static_cast<std::size_t>(b)], 1)
+          << "dim " << dim << " bin " << b;
+  }
+}
+
+TEST(SobolSource, ResetRestarts) {
+  SeedSpec spec{.bits = 8, .seed = 3};
+  SobolSource src(spec);
+  std::vector<std::uint32_t> first;
+  for (int i = 0; i < 16; ++i) first.push_back(src.next());
+  src.reset();
+  for (int i = 0; i < 16; ++i)
+    EXPECT_EQ(src.next(), first[static_cast<std::size_t>(i)]);
+}
+
+}  // namespace
+}  // namespace geo::sc

@@ -1,0 +1,152 @@
+#include "sc/seed_sharing.hpp"
+
+#include "sc/ops.hpp"
+#include "sc/sng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace geo::sc {
+namespace {
+
+constexpr KernelExtents kExt{/*cout=*/16, /*cin=*/8, /*kh=*/3, /*kw=*/3};
+
+TEST(SeedAllocator, ModerateSharesAcrossKernels) {
+  const SeedAllocator alloc(Sharing::kModerate, 7, kExt, 5);
+  const SeedSpec a = alloc.weight({0, 2, 1, 2});
+  const SeedSpec b = alloc.weight({9, 2, 1, 2});  // different kernel
+  EXPECT_EQ(a, b) << "moderate sharing: same position, any kernel, same seed";
+  const SeedSpec c = alloc.weight({0, 2, 1, 1});
+  EXPECT_NE(a, c) << "different intra-kernel position, different seed";
+}
+
+TEST(SeedAllocator, NoneDistinguishesKernels) {
+  const SeedAllocator alloc(Sharing::kNone, 7, kExt, 5);
+  const SeedSpec a = alloc.weight({0, 2, 1, 2});
+  const SeedSpec b = alloc.weight({9, 2, 1, 2});
+  EXPECT_NE(a, b);
+}
+
+TEST(SeedAllocator, ExtremeSharesAcrossRows) {
+  const SeedAllocator alloc(Sharing::kExtreme, 7, kExt, 5);
+  const SeedSpec a = alloc.weight({0, 2, 1, 2});
+  const SeedSpec b = alloc.weight({7, 5, 0, 2});  // same kw only
+  EXPECT_EQ(a, b) << "extreme sharing keys on row position alone";
+  EXPECT_NE(a, alloc.weight({0, 2, 1, 0}));
+}
+
+TEST(SeedAllocator, ModerateKernelSeedsDistinctWithinCapacity) {
+  // One kernel's 72 generators must all differ while the seed space holds.
+  const SeedAllocator alloc(Sharing::kModerate, 7, kExt, 9);
+  std::set<std::pair<std::uint32_t, std::uint32_t>> seen;
+  for (int cin = 0; cin < kExt.cin; ++cin)
+    for (int kh = 0; kh < kExt.kh; ++kh)
+      for (int kw = 0; kw < kExt.kw; ++kw) {
+        const SeedSpec s = alloc.weight({0, cin, kh, kw});
+        EXPECT_TRUE(seen.insert({s.seed, s.taps}).second)
+            << "collision at (" << cin << "," << kh << "," << kw << ")";
+      }
+}
+
+TEST(SeedAllocator, SeedsAreNonZeroAndInRange) {
+  const SeedAllocator alloc(Sharing::kNone, 5, kExt, 1);
+  for (int k = 0; k < kExt.cout; ++k)
+    for (int c = 0; c < kExt.cin; ++c) {
+      const SeedSpec s = alloc.weight({k, c, 0, 0});
+      EXPECT_GE(s.seed, 1u);
+      EXPECT_LT(s.seed, 32u);
+      EXPECT_TRUE(Lfsr::is_maximal(5, s.taps));
+    }
+}
+
+TEST(SeedAllocator, CapacityExhaustionWrapsDeterministically) {
+  // 4-bit space: 15 seeds x (#polys). A big layer must wrap — the paper's
+  // "limit of availability of unique RNG seeds" — but deterministically.
+  const KernelExtents big{64, 32, 3, 3};
+  const SeedAllocator alloc(Sharing::kNone, 4, big, 2);
+  EXPECT_GT(alloc.weight_ids(), alloc.capacity());
+  const SeedSpec a = alloc.weight({63, 31, 2, 2});
+  const SeedSpec b = alloc.weight({63, 31, 2, 2});
+  EXPECT_EQ(a, b);
+}
+
+TEST(SeedAllocator, ActivationsAvoidWeightSeeds) {
+  const SeedAllocator alloc(Sharing::kModerate, 8, kExt, 3);
+  std::set<std::pair<std::uint32_t, std::uint32_t>> wgt;
+  for (int cin = 0; cin < kExt.cin; ++cin)
+    for (int kh = 0; kh < kExt.kh; ++kh)
+      for (int kw = 0; kw < kExt.kw; ++kw) {
+        const SeedSpec s = alloc.weight({0, cin, kh, kw});
+        wgt.insert({s.seed, s.taps});
+      }
+  int collisions = 0;
+  for (int i = 0; i < 72; ++i) {
+    const SeedSpec s = alloc.activation(i);
+    if (wgt.count({s.seed, s.taps})) ++collisions;
+  }
+  EXPECT_EQ(collisions, 0)
+      << "weights and activations allocate from opposite ends";
+}
+
+TEST(SeedAllocator, LayerSaltRotatesSeeds) {
+  const SeedAllocator l0(Sharing::kModerate, 7, kExt, 0);
+  const SeedAllocator l1(Sharing::kModerate, 7, kExt, 1);
+  int same = 0;
+  for (int i = 0; i < 9; ++i)
+    if (l0.weight({0, 0, 0, i % 3}) == l1.weight({0, 0, 0, i % 3})) ++same;
+  EXPECT_LT(same, 9) << "different layers must not reuse identical seed maps";
+}
+
+TEST(SeedAllocator, WeightIdCounts) {
+  const SeedAllocator none(Sharing::kNone, 7, kExt, 0);
+  const SeedAllocator mod(Sharing::kModerate, 7, kExt, 0);
+  const SeedAllocator ext(Sharing::kExtreme, 7, kExt, 0);
+  EXPECT_EQ(none.weight_ids(), 16u * 8 * 3 * 3);
+  EXPECT_EQ(mod.weight_ids(), 8u * 3 * 3);
+  EXPECT_EQ(ext.weight_ids(), 3u);
+  EXPECT_GT(none.weight_ids(), mod.weight_ids());
+  EXPECT_GT(mod.weight_ids(), ext.weight_ids());
+}
+
+TEST(SeedAllocator, AdjacentGeneratorsUseDifferentPolynomials) {
+  // Phase shifts of one m-sequence do not decorrelate comparator outputs,
+  // so the allocator interleaves characteristic polynomials first: within a
+  // kernel, neighboring positions never share taps (unless the width only
+  // admits one polynomial).
+  const SeedAllocator alloc(Sharing::kModerate, 7, kExt, 4);
+  int same_taps = 0, pairs = 0;
+  SeedSpec prev = alloc.weight({0, 0, 0, 0});
+  for (int i = 1; i < 9; ++i) {
+    const SeedSpec cur = alloc.weight({0, 0, i / 3, i % 3});
+    if (cur.taps == prev.taps) ++same_taps;
+    ++pairs;
+    prev = cur;
+  }
+  EXPECT_EQ(same_taps, 0) << "neighbors must rotate polynomials";
+}
+
+TEST(SeedAllocator, ProductsOfAllocatedSeedsNearIndependent) {
+  // End-to-end correlation check: streams from an allocated kernel's seeds
+  // OR-accumulate close to the independence expectation.
+  const SeedAllocator alloc(Sharing::kModerate, 8, kExt, 6);
+  std::vector<Bitstream> streams;
+  std::vector<double> ps;
+  for (int i = 0; i < 12; ++i) {
+    Sng sng(RngKind::kLfsr, alloc.weight({0, i % 8, (i / 8) % 3, 0}));
+    streams.push_back(sng.generate(64, 256));
+    ps.push_back(streams.back().value());
+  }
+  const double expectation = or_accumulate_expectation(ps);
+  const double measured = or_accumulate(streams).value();
+  EXPECT_NEAR(measured, expectation, 0.12);
+}
+
+TEST(SharingToString, Names) {
+  EXPECT_STREQ(to_string(Sharing::kNone), "none");
+  EXPECT_STREQ(to_string(Sharing::kModerate), "moderate");
+  EXPECT_STREQ(to_string(Sharing::kExtreme), "extreme");
+}
+
+}  // namespace
+}  // namespace geo::sc

@@ -1,0 +1,102 @@
+#include "sc/sng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace geo::sc {
+namespace {
+
+TEST(Quantize, RoundTripBounds) {
+  EXPECT_EQ(quantize_unipolar(0.0, 8), 0u);
+  EXPECT_EQ(quantize_unipolar(1.0, 8), 255u);  // saturates below 2^8
+  EXPECT_EQ(quantize_unipolar(0.5, 8), 128u);
+  EXPECT_EQ(quantize_unipolar(-0.3, 8), 0u);
+  EXPECT_EQ(quantize_unipolar(2.0, 8), 255u);
+  EXPECT_DOUBLE_EQ(dequantize_unipolar(128, 8), 0.5);
+}
+
+// The paper's "almost accurate generation": over one full LFSR period the
+// stream carries exactly `value` ones.
+class SngExact : public ::testing::TestWithParam<std::tuple<unsigned, int>> {};
+
+TEST_P(SngExact, FullPeriodPopcountEqualsValue) {
+  const auto [bits, value] = GetParam();
+  Sng sng(RngKind::kLfsr, SeedSpec{.bits = bits, .seed = 17});
+  const std::size_t period = (1u << bits) - 1u;
+  const Bitstream s =
+      sng.generate(static_cast<std::uint32_t>(value), period);
+  EXPECT_EQ(s.popcount(), static_cast<std::size_t>(value));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ValuesAndWidths, SngExact,
+    ::testing::Combine(::testing::Values(4u, 6u, 8u),
+                       ::testing::Values(0, 1, 3, 7, 10, 15)));
+
+TEST(Sng, StreamLengthPowerOfTwoIsNearExact) {
+  // Streams of length 2^n repeat one LFSR state: popcount within +/-1.
+  Sng sng(RngKind::kLfsr, SeedSpec{.bits = 7, .seed = 3});
+  for (std::uint32_t v : {5u, 50u, 100u, 127u}) {
+    const Bitstream s = sng.generate(v, 128);
+    EXPECT_NEAR(static_cast<double>(s.popcount()), static_cast<double>(v), 1.0)
+        << "value " << v;
+  }
+}
+
+TEST(Sng, GenerateIsRepeatable) {
+  Sng sng(RngKind::kLfsr, SeedSpec{.bits = 8, .seed = 99});
+  const Bitstream a = sng.generate(77, 256);
+  const Bitstream b = sng.generate(77, 256);
+  EXPECT_EQ(a, b) << "deterministic generation must replay exactly";
+}
+
+TEST(Sng, TrngGenerateIsNotRepeatable) {
+  Sng sng(RngKind::kTrng, SeedSpec{.bits = 8, .seed = 99});
+  const Bitstream a = sng.generate(128, 256);
+  const Bitstream b = sng.generate(128, 256);
+  EXPECT_NE(a, b);
+  // But both should still be unbiased estimates of 0.5.
+  EXPECT_NEAR(a.value(), 0.5, 0.15);
+  EXPECT_NEAR(b.value(), 0.5, 0.15);
+}
+
+TEST(Sng, ZeroValueGivesEmptyStream) {
+  for (RngKind kind : {RngKind::kLfsr, RngKind::kTrng}) {
+    Sng sng(kind, SeedSpec{.bits = 8, .seed = 5});
+    EXPECT_EQ(sng.generate(0, 128).popcount(), 0u) << to_string(kind);
+  }
+}
+
+TEST(Sng, MonotoneInValue) {
+  // With a shared source, the stream for a smaller value is a subset of the
+  // stream for a larger one (nested streams — the root of extreme-sharing
+  // correlation).
+  Sng sng(RngKind::kLfsr, SeedSpec{.bits = 8, .seed = 7});
+  const Bitstream lo = sng.generate(60, 256);
+  const Bitstream hi = sng.generate(180, 256);
+  EXPECT_EQ((lo & hi), lo) << "smaller-value stream must nest inside larger";
+}
+
+TEST(Sng, TrngVarianceShrinksWithLength) {
+  // TRNG error falls as 1/sqrt(L) [13]; check RMS at two lengths.
+  auto rms_at = [](std::size_t len) {
+    double acc = 0;
+    int n = 0;
+    for (std::uint32_t seed = 1; seed <= 40; ++seed) {
+      Sng sng(RngKind::kTrng, SeedSpec{.bits = 8, .seed = seed});
+      const double err = sng.generate(128, len).value() - 0.5;
+      acc += err * err;
+      ++n;
+    }
+    return std::sqrt(acc / n);
+  };
+  EXPECT_GT(rms_at(64), rms_at(1024) * 2.0);
+}
+
+TEST(Sng, NullSourceThrows) {
+  EXPECT_THROW(Sng(nullptr), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace geo::sc

@@ -1,0 +1,89 @@
+#include "sc/split_unipolar.hpp"
+
+#include <gtest/gtest.h>
+
+namespace geo::sc {
+namespace {
+
+TEST(SplitValue, QuantizeSigns) {
+  const SplitValue pos = split_quantize(0.5, 8);
+  EXPECT_EQ(pos.pos, 128u);
+  EXPECT_EQ(pos.neg, 0u);
+  const SplitValue neg = split_quantize(-0.25, 8);
+  EXPECT_EQ(neg.pos, 0u);
+  EXPECT_EQ(neg.neg, 64u);
+  const SplitValue zero = split_quantize(0.0, 8);
+  EXPECT_EQ(zero.pos, 0u);
+  EXPECT_EQ(zero.neg, 0u);
+}
+
+TEST(SplitValue, DequantizeRoundTrip) {
+  for (double v : {-1.0, -0.5, -0.125, 0.0, 0.25, 0.75}) {
+    EXPECT_NEAR(split_dequantize(split_quantize(v, 8), 8), v, 1.0 / 128)
+        << "v=" << v;
+  }
+}
+
+TEST(SplitStream, GenerateMatchesValue) {
+  Sng sng(RngKind::kLfsr, SeedSpec{.bits = 8, .seed = 21});
+  const SplitStream s = generate_split(sng, split_quantize(-0.5, 8), 256);
+  EXPECT_EQ(s.length(), 256u);
+  EXPECT_EQ(s.pos.popcount(), 0u);
+  EXPECT_NEAR(s.value(), -0.5, 0.02);
+}
+
+TEST(SplitStream, ZeroValue) {
+  Sng sng(RngKind::kLfsr, SeedSpec{.bits = 8, .seed = 21});
+  const SplitStream s = generate_split(sng, SplitValue{}, 64);
+  EXPECT_EQ(s.pos.popcount(), 0u);
+  EXPECT_EQ(s.neg.popcount(), 0u);
+}
+
+// Property: split multiplication carries the sign rule of arithmetic.
+class SplitMulSigns
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(SplitMulSigns, SignAndMagnitude) {
+  const auto [va, vb] = GetParam();
+  Sng sa(RngKind::kLfsr, SeedSpec{.bits = 8, .seed = 3});
+  Sng sb(RngKind::kLfsr, SeedSpec{.bits = 8, .seed = 157});
+  const std::size_t len = 4096;
+  const SplitStream a = generate_split(sa, split_quantize(va, 8), len);
+  const SplitStream b = generate_split(sb, split_quantize(vb, 8), len);
+  const SplitStream prod = split_multiply(a, b);
+  EXPECT_NEAR(prod.value(), va * vb, 0.06)
+      << "va=" << va << " vb=" << vb;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Quadrants, SplitMulSigns,
+    ::testing::Values(std::make_tuple(0.6, 0.7), std::make_tuple(0.6, -0.7),
+                      std::make_tuple(-0.6, 0.7), std::make_tuple(-0.6, -0.7),
+                      std::make_tuple(0.0, 0.9), std::make_tuple(-1.0, 1.0)));
+
+TEST(SplitStream, OrAccumulateBothChannels) {
+  Sng s1(RngKind::kLfsr, SeedSpec{.bits = 8, .seed = 3});
+  Sng s2(RngKind::kLfsr, SeedSpec{.bits = 8, .seed = 91});
+  SplitStream acc = generate_split(s1, split_quantize(0.3, 8), 512);
+  const SplitStream b = generate_split(s2, split_quantize(-0.4, 8), 512);
+  split_or_accumulate(acc, b);
+  EXPECT_NEAR(acc.pos.value(), 0.3, 0.05);
+  EXPECT_NEAR(acc.neg.value(), 0.4, 0.05);
+  EXPECT_NEAR(acc.value(), -0.1, 0.08);
+}
+
+TEST(SplitStream, AccumulationNeverExceedsOne) {
+  // OR accumulation saturates at probability 1 per channel, by construction.
+  std::vector<Sng> sngs;
+  SplitStream acc{Bitstream(256), Bitstream(256)};
+  for (unsigned i = 0; i < 16; ++i) {
+    Sng sng(RngKind::kLfsr, SeedSpec{.bits = 8, .seed = 7 + i * 13});
+    const SplitStream s = generate_split(sng, split_quantize(0.4, 8), 256);
+    split_or_accumulate(acc, s);
+  }
+  EXPECT_LE(acc.pos.value(), 1.0);
+  EXPECT_GE(acc.pos.value(), 0.95) << "16 streams of 0.4 nearly saturate";
+}
+
+}  // namespace
+}  // namespace geo::sc

@@ -1,0 +1,79 @@
+#include "sc/stream_stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sc/sng.hpp"
+
+namespace geo::sc {
+namespace {
+
+TEST(Rms, Basics) {
+  const double e[] = {3.0, 4.0};
+  EXPECT_NEAR(rms(e), std::sqrt(12.5), 1e-12);
+  EXPECT_DOUBLE_EQ(rms({}), 0.0);
+  const double zero[] = {0.0, 0.0};
+  EXPECT_DOUBLE_EQ(rms(zero), 0.0);
+}
+
+TEST(MeanAbs, Basics) {
+  const double e[] = {-2.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean_abs(e), 3.0);
+  EXPECT_DOUBLE_EQ(mean_abs({}), 0.0);
+}
+
+TEST(Scc, IdenticalStreamsFullyCorrelated) {
+  Sng sng(RngKind::kLfsr, SeedSpec{.bits = 8, .seed = 7});
+  const Bitstream a = sng.generate(100, 512);
+  EXPECT_NEAR(scc(a, a), 1.0, 1e-9);
+}
+
+TEST(Scc, DisjointStreamsNegative) {
+  const Bitstream a = Bitstream::from_string("11110000");
+  const Bitstream b = Bitstream::from_string("00001111");
+  EXPECT_NEAR(scc(a, b), -1.0, 1e-9);
+}
+
+TEST(Scc, IndependentSeedsNearZero) {
+  Sng sa(RngKind::kLfsr, SeedSpec{.bits = 8, .seed = 7});
+  Sng sb(RngKind::kLfsr, SeedSpec{.bits = 8, .seed = 201});
+  const Bitstream a = sa.generate(128, 2048);
+  const Bitstream b = sb.generate(128, 2048);
+  EXPECT_LT(std::abs(scc(a, b)), 0.15);
+}
+
+TEST(Scc, NestedSameSeedStreamsFullyCorrelated) {
+  // The extreme-sharing pathology: same seed, different values.
+  Sng sng(RngKind::kLfsr, SeedSpec{.bits = 8, .seed = 7});
+  const Bitstream lo = sng.generate(60, 512);
+  const Bitstream hi = sng.generate(200, 512);
+  EXPECT_NEAR(scc(lo, hi), 1.0, 0.05);
+}
+
+TEST(Scc, ConstantStreamIsZero) {
+  const Bitstream ones(64, true);
+  const Bitstream mixed = Bitstream::from_string(
+      "1010101010101010101010101010101010101010101010101010101010101010");
+  EXPECT_DOUBLE_EQ(scc(ones, mixed), 0.0);
+}
+
+TEST(Scc, LengthMismatchThrows) {
+  EXPECT_THROW(scc(Bitstream(4), Bitstream(8)), std::invalid_argument);
+}
+
+TEST(Pearson, MatchesSignOfScc) {
+  Sng sng(RngKind::kLfsr, SeedSpec{.bits = 8, .seed = 3});
+  const Bitstream a = sng.generate(120, 1024);
+  const Bitstream b = sng.generate(140, 1024);  // nested -> positive
+  EXPECT_GT(pearson(a, b), 0.5);
+  EXPECT_GT(scc(a, b), 0.5);
+}
+
+TEST(Pearson, ConstantStreamIsZero) {
+  const Bitstream zeros(32, false);
+  const Bitstream other = Bitstream::from_string(
+      "10101010101010101010101010101010");
+  EXPECT_DOUBLE_EQ(pearson(zeros, other), 0.0);
+}
+
+}  // namespace
+}  // namespace geo::sc
