@@ -8,6 +8,7 @@
 
 #include "arch/compiler.hpp"
 #include "arch/report.hpp"
+#include "bench_util.hpp"
 
 int main() {
   using namespace geo::arch;
@@ -17,6 +18,7 @@ int main() {
                                NetworkShape::vgg16(),
                                NetworkShape::lenet5()};
 
+  geo::bench::BenchReport report("ablation_dataflow");
   for (const NetworkShape& net : nets) {
     const HwConfig hw =
         net.name == "vgg16" ? HwConfig::lp() : HwConfig::ulp();
@@ -69,10 +71,15 @@ int main() {
         "worst layer: OS/WS %.1fx (paper: up to 10.3x), IS/WS %.1fx "
         "(paper: up to 3.3x)\n\n",
         worst_os, worst_is);
+    report.add_table("accesses_" + net.name, t);
+    report.set("worst_os_ratio_" + net.name, worst_os);
+    report.set("worst_is_ratio_" + net.name, worst_is);
+    report.set("psum_fraction_" + net.name, psum_net);
   }
   std::printf(
       "paper: WS+near-memory wins on virtually every conv layer; psums are "
       "13-20%% of\nactivation-memory accesses, so near-memory accumulation "
       "is not energy-critical.\n");
+  report.write();
   return 0;
 }

@@ -82,5 +82,12 @@ int main() {
   }
   acc.print();
   std::printf("\npaper: -0.42%% at 32-bit, -0.16%% at 64-bit streams\n");
+
+  bench::BenchReport report("ablation_generation");
+  report.add_table("pipeline_policies", t);
+  report.add_table("fill_bandwidth", bw);
+  report.add_table("progressive_accuracy", acc);
+  report.set("serial_total_cycles", static_cast<double>(serial.total_cycles));
+  report.write();
   return 0;
 }

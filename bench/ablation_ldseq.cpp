@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "arch/report.hpp"
+#include "bench_util.hpp"
 #include "sc/ops.hpp"
 #include "sc/sng.hpp"
 #include "sc/sobol.hpp"
@@ -120,5 +121,13 @@ int main() {
     t3.add_row({to_string(kind), Table::num(acc / count, 3)});
   }
   t3.print();
+
+  geo::bench::BenchReport report("ablation_ldseq");
+  report.add_table("mul_rmse", t1);
+  report.add_table("or_accumulation", t2);
+  report.add_table("cross_correlation", t3);
+  report.set("sobol_dimensions",
+             static_cast<double>(SobolSource::kDimensions));
+  report.write();
   return 0;
 }

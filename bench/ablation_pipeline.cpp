@@ -6,6 +6,7 @@
 #include "arch/area_model.hpp"
 #include "arch/report.hpp"
 #include "arch/timing_model.hpp"
+#include "bench_util.hpp"
 
 int main() {
   using namespace geo::arch;
@@ -52,5 +53,14 @@ int main() {
   a.add_row({"pipeline registers",
              Table::percent((a_full - a_no_pipe) / a_no_pipe), "<1%"});
   a.print();
+
+  geo::bench::BenchReport report("ablation_pipeline");
+  report.add_table("timing", t);
+  report.add_table("area_overheads", a);
+  report.set("critical_path_cut", r.critical_path_cut);
+  report.set("achievable_vdd", r.achievable_vdd);
+  report.set("shadow_area_cost", (a_full - a_no_shadow) / a_no_shadow);
+  report.set("pipeline_reg_area_cost", (a_full - a_no_pipe) / a_no_pipe);
+  report.write();
   return 0;
 }

@@ -1,22 +1,29 @@
-// Shared helpers for the bench harnesses: environment-sized workloads and a
-// trained-model cache so re-running benches is cheap.
+// Shared helpers for the bench harnesses: environment-sized workloads, a
+// trained-model cache so re-running benches is cheap, and the machine-
+// readable BENCH_<name>.json emitter every harness writes alongside its
+// ASCII tables.
 //
-// Environment knobs:
-//   GEO_BENCH_TRAIN   training-set size          (default 256)
-//   GEO_BENCH_TEST    test-set size              (default 128)
-//   GEO_BENCH_EPOCHS  training epochs            (default 8)
-//   GEO_BENCH_FULL    =1 adds the slow sweeps (VGG accuracy rows, ...)
-//   GEO_CACHE_DIR     trained-weight cache dir   (default .geo_cache)
+// Environment knobs (see docs/OBSERVABILITY.md):
+//   GEO_BENCH_TRAIN     training-set size          (default 320)
+//   GEO_BENCH_TEST      test-set size              (default 128)
+//   GEO_BENCH_EPOCHS    training epochs            (default 12)
+//   GEO_BENCH_FULL      =1 adds the slow sweeps (VGG accuracy rows, ...)
+//   GEO_CACHE_DIR       trained-weight cache dir   (default .geo_cache)
+//   GEO_BENCH_JSON_DIR  where BENCH_*.json lands   (default .)
+//   GEO_BENCH_JSON      =0 disables the JSON artifacts
 #pragma once
 
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <string>
+#include <utility>
 
+#include "arch/report.hpp"
 #include "nn/dataset.hpp"
 #include "nn/models.hpp"
 #include "nn/trainer.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace geo::bench {
 
@@ -77,5 +84,80 @@ inline double accuracy_percent(const std::string& model_name,
   }
   return nn::train(net, train_set, test_set, opts).test_accuracy * 100.0;
 }
+
+// Machine-readable companion to the ASCII output: each bench builds one
+// BenchReport, mirrors its tables/scalars into it, and writes
+// BENCH_<name>.json on exit so the perf trajectory can be tracked across
+// runs without scraping stdout. Tables are embedded cell-for-cell (the same
+// strings the ASCII table prints), plus a telemetry metrics snapshot.
+class BenchReport {
+ public:
+  explicit BenchReport(std::string name)
+      : name_(std::move(name)), root_(telemetry::Json::object()) {
+    root_.set("bench", name_);
+    root_.set("schema", "geo-bench-v1");
+  }
+
+  telemetry::Json& root() { return root_; }
+
+  BenchReport& set(const std::string& key, telemetry::Json value) {
+    root_.set(key, std::move(value));
+    return *this;
+  }
+  BenchReport& set(const std::string& key, double value) {
+    return set(key, telemetry::Json(value));
+  }
+  BenchReport& set(const std::string& key, const std::string& value) {
+    return set(key, telemetry::Json(value));
+  }
+
+  // Embeds `table` as {"header": [...], "rows": [[...], ...]} under `key`,
+  // cell-for-cell identical to what Table::render() prints.
+  BenchReport& add_table(const std::string& key, const arch::Table& table) {
+    telemetry::Json header = telemetry::Json::array();
+    for (const auto& cell : table.header())
+      header.push(telemetry::Json(cell));
+    telemetry::Json rows = telemetry::Json::array();
+    for (const auto& row : table.rows()) {
+      telemetry::Json r = telemetry::Json::array();
+      for (const auto& cell : row) r.push(telemetry::Json(cell));
+      rows.push(std::move(r));
+    }
+    telemetry::Json t = telemetry::Json::object();
+    t.set("header", std::move(header));
+    t.set("rows", std::move(rows));
+    root_.set(key, std::move(t));
+    return *this;
+  }
+
+  std::string path() const {
+    const char* dir = std::getenv("GEO_BENCH_JSON_DIR");
+    const std::string d = (dir != nullptr && dir[0] != '\0') ? dir : ".";
+    return d + "/BENCH_" + name_ + ".json";
+  }
+
+  // Attaches the metrics snapshot and writes the artifact. Honors
+  // GEO_BENCH_JSON=0. Returns success (disabled counts as success).
+  bool write() {
+    if (env_int("GEO_BENCH_JSON", 1) == 0) return true;
+    const std::string file = path();
+    {
+      std::error_code ec;
+      std::filesystem::create_directories(
+          std::filesystem::path(file).parent_path(), ec);
+    }
+    root_.set("metrics",
+              telemetry::metrics_to_json(
+                  telemetry::MetricsRegistry::instance()));
+    const bool ok = root_.write_file(file);
+    std::printf("\n[bench] %s %s\n", ok ? "wrote" : "FAILED to write",
+                file.c_str());
+    return ok;
+  }
+
+ private:
+  std::string name_;
+  telemetry::Json root_;
+};
 
 }  // namespace geo::bench

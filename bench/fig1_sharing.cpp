@@ -97,5 +97,14 @@ int main() {
   std::printf(
       "\npaper: no gain from moderate sharing without co-training; extreme "
       "sharing drops to ~20%%\n");
+
+  bench::BenchReport report("fig1_sharing");
+  report.add_table("accuracy_vs_sharing", table);
+  report.add_table("trng_train_lfsr_validate", ab);
+  report.set("lfsr_moderate_minus_trng_none_at_32",
+             lfsr_moderate[0] - trng_none[0]);
+  report.set("lfsr_moderate_minus_trng_none_at_128",
+             lfsr_moderate[1] - trng_none[1]);
+  report.write();
   return 0;
 }

@@ -8,6 +8,7 @@
 
 #include "arch/gen_pipeline_sim.hpp"
 #include "arch/report.hpp"
+#include "bench_util.hpp"
 #include "sc/progressive.hpp"
 #include "sc/stream_stats.hpp"
 
@@ -55,6 +56,8 @@ int main() {
       "Fig. 2 | RMS multiplication error vs cycle, normal vs progressive\n"
       "         (uniform 8-bit operands, error vs 8-bit integer product)\n\n");
 
+  geo::bench::BenchReport report("fig2_progressive");
+
   const int pairs = 400;
   struct Config {
     unsigned lfsr_bits;
@@ -75,6 +78,9 @@ int main() {
     }
     t.print();
     std::printf("\n");
+    report.add_table("rms_lfsr" + std::to_string(cfg.lfsr_bits) + "_stream" +
+                         std::to_string(cfg.stream_len),
+                     t);
   }
   std::printf(
       "paper: progressive error converges to normal within <=8 cycles; full\n"
@@ -97,6 +103,14 @@ int main() {
                 static_cast<long long>(r.total_cycles),
                 static_cast<long long>(r.stall_cycles),
                 static_cast<long long>(r.reload_start_latency));
+    geo::telemetry::Json pipe = geo::telemetry::Json::object();
+    pipe.set("total_cycles", geo::telemetry::Json(r.total_cycles));
+    pipe.set("stall_cycles", geo::telemetry::Json(r.stall_cycles));
+    pipe.set("reload_start_latency",
+             geo::telemetry::Json(r.reload_start_latency));
+    report.set(progressive ? "pipeline_progressive_shadow" : "pipeline_normal",
+               std::move(pipe));
   }
+  report.write();
   return 0;
 }

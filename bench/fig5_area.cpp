@@ -5,6 +5,7 @@
 
 #include "arch/area_model.hpp"
 #include "arch/report.hpp"
+#include "bench_util.hpp"
 
 int main() {
   using namespace geo::arch;
@@ -56,5 +57,13 @@ int main() {
       "         APC >3x PBW/PBHW for larger kernels\n",
       (pbw_small - 1.0) * 100.0, (pbw_large - 1.0) * 100.0, fxp_large,
       apc_vs_pbw);
+
+  geo::bench::BenchReport report("fig5_area");
+  report.add_table("mac_unit_area", t);
+  report.set("pbw_overhead_small", pbw_small - 1.0);
+  report.set("pbw_overhead_large", pbw_large - 1.0);
+  report.set("fxp_vs_or_large", fxp_large);
+  report.set("apc_vs_pbw_large", apc_vs_pbw);
+  report.write();
   return 0;
 }

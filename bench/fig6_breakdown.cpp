@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "arch/report.hpp"
+#include "bench_util.hpp"
 #include "core/geo.hpp"
 
 int main() {
@@ -73,5 +74,23 @@ int main() {
   std::printf(
       "\npaper: GEN -1%% area, 1.7x speedup, 1.6x energy; GEN-EXEC +2%% "
       "area,\n       4.3x speedup, 5.2x energy vs base\n");
+
+  bench::BenchReport report("fig6_breakdown");
+  report.add_table("area_breakdown", ta);
+  report.add_table("energy_breakdown", te);
+  report.add_table("summary", s);
+  telemetry::Json raw = telemetry::Json::array();
+  for (const auto& p : points) {
+    telemetry::Json row = telemetry::Json::object();
+    row.set("name", telemetry::Json(p.name));
+    row.set("area_mm2", telemetry::Json(p.area.total()));
+    row.set("energy_per_frame_j", telemetry::Json(p.perf.energy_per_frame_j));
+    row.set("seconds_per_frame", telemetry::Json(p.perf.seconds));
+    row.set("frames_per_second", telemetry::Json(p.perf.frames_per_second));
+    row.set("vdd", telemetry::Json(p.perf.vdd));
+    raw.push(std::move(row));
+  }
+  report.set("configurations", std::move(raw));
+  report.write();
   return 0;
 }

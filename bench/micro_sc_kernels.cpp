@@ -3,8 +3,14 @@
 // MAC/OR kernels, parallel counting, and a full SC conv layer forward.
 #include <benchmark/benchmark.h>
 
+#include <filesystem>
+#include <fstream>
 #include <random>
+#include <sstream>
+#include <string>
+#include <vector>
 
+#include "bench_util.hpp"
 #include "nn/sc_layers.hpp"
 #include "sc/ops.hpp"
 #include "sc/parallel_counter.hpp"
@@ -100,4 +106,41 @@ BENCHMARK(BM_ScConvForward)->Arg(32)->Arg(128)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Route the library's JSON reporter to a side file (unless the caller
+  // already chose one) so BENCH_micro_sc_kernels.json can embed the raw
+  // google-benchmark results alongside the metrics snapshot.
+  bool caller_out = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::string(argv[i]).rfind("--benchmark_out", 0) == 0)
+      caller_out = true;
+  const std::string raw_path =
+      (std::filesystem::temp_directory_path() / "geo_micro_sc_kernels.json")
+          .string();
+  std::string out_flag = "--benchmark_out=" + raw_path;
+  std::string fmt_flag = "--benchmark_out_format=json";
+  std::vector<char*> args(argv, argv + argc);
+  if (!caller_out) {
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
+  int args_count = static_cast<int>(args.size());
+  benchmark::Initialize(&args_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_count, args.data()))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  geo::bench::BenchReport report("micro_sc_kernels");
+  if (!caller_out) {
+    std::ifstream in(raw_path);
+    std::stringstream raw;
+    raw << in.rdbuf();
+    if (geo::telemetry::json_valid(raw.str()))
+      report.set("benchmarks", geo::telemetry::Json::raw(raw.str()));
+    std::error_code ec;
+    std::filesystem::remove(raw_path, ec);
+  }
+  report.write();
+  return 0;
+}

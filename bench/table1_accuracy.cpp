@@ -115,5 +115,13 @@ int main() {
   std::printf(
       "\npaper shape: GEO > all-OR > all-OR+TRNG (90.8 > 79.6 > 73.7 on real "
       "SVHN)\n");
+
+  bench::BenchReport report("table1_accuracy");
+  report.add_table("accuracy", table);
+  report.add_table("ablation_svhn_32_64", ab);
+  report.set("train", static_cast<double>(sizes.train));
+  report.set("test", static_cast<double>(sizes.test));
+  report.set("epochs", static_cast<double>(sizes.epochs));
+  report.write();
   return 0;
 }

@@ -7,6 +7,7 @@
 #include "baselines/acoustic.hpp"
 #include "baselines/eyeriss.hpp"
 #include "baselines/reported.hpp"
+#include "bench_util.hpp"
 #include "core/geo.hpp"
 
 int main() {
@@ -97,5 +98,17 @@ int main() {
       geo3264_cnn.frames_per_joule / eye_cnn.frames_per_joule,
       geo3264_cnn.frames_per_second / aco_cnn.frames_per_second,
       geo3264_cnn.frames_per_joule / aco_cnn.frames_per_joule);
+
+  bench::BenchReport report("table2_ulp");
+  report.add_table("table2", t);
+  report.set("geo3264_vs_eyeriss_fps",
+             geo3264_cnn.frames_per_second / eye_cnn.frames_per_second);
+  report.set("geo3264_vs_eyeriss_fpj",
+             geo3264_cnn.frames_per_joule / eye_cnn.frames_per_joule);
+  report.set("geo3264_vs_acoustic_fps",
+             geo3264_cnn.frames_per_second / aco_cnn.frames_per_second);
+  report.set("geo3264_vs_acoustic_fpj",
+             geo3264_cnn.frames_per_joule / aco_cnn.frames_per_joule);
+  report.write();
   return 0;
 }

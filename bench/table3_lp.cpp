@@ -6,6 +6,7 @@
 #include "baselines/acoustic.hpp"
 #include "baselines/eyeriss.hpp"
 #include "baselines/reported.hpp"
+#include "bench_util.hpp"
 #include "core/geo.hpp"
 
 int main() {
@@ -89,5 +90,21 @@ int main() {
       geo32_vgg.frames_per_second / aco_vgg.frames_per_second,
       geo32_vgg.frames_per_joule / aco_vgg.frames_per_joule,
       geo64.area().total() / scope.area_mm2 * 100.0);
+
+  bench::BenchReport report("table3_lp");
+  report.add_table("table3", t);
+  report.set("geo64_vs_eyeriss_fps",
+             geo64_vgg.frames_per_second / eye_vgg.frames_per_second);
+  report.set("geo64_vs_eyeriss_fpj",
+             geo64_vgg.frames_per_joule / eye_vgg.frames_per_joule);
+  report.set("geo64_vs_eyeriss_fpj_no_ext",
+             geo_no_ext.frames_per_joule / eye_no_ext.frames_per_joule);
+  report.set("geo32_vs_acoustic_fps",
+             geo32_vgg.frames_per_second / aco_vgg.frames_per_second);
+  report.set("geo32_vs_acoustic_fpj",
+             geo32_vgg.frames_per_joule / aco_vgg.frames_per_joule);
+  report.set("geo_lp_area_fraction_of_scope",
+             geo64.area().total() / scope.area_mm2);
+  report.write();
   return 0;
 }

@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Local gate: the tier-1 build + test pass, then (optionally) a sanitizer
+# configuration. Usage:
+#
+#   scripts/check.sh                # tier-1 only
+#   scripts/check.sh address        # tier-1 + ASan build/test
+#   scripts/check.sh undefined      # tier-1 + UBSan build/test
+#   scripts/check.sh all            # tier-1 + both sanitizers
+set -euo pipefail
+
+repo="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+jobs="$(nproc 2>/dev/null || echo 4)"
+
+run_config() {
+  local build_dir="$1"
+  shift
+  echo "== configure ${build_dir} ($*)"
+  cmake -B "${build_dir}" -S "${repo}" "$@"
+  echo "== build ${build_dir}"
+  cmake --build "${build_dir}" -j "${jobs}"
+  echo "== test ${build_dir}"
+  ctest --test-dir "${build_dir}" --output-on-failure -j "${jobs}"
+}
+
+run_config "${repo}/build"
+
+case "${1:-}" in
+  "") ;;
+  address|undefined)
+    run_config "${repo}/build-${1}" "-DGEO_SANITIZE=${1}"
+    ;;
+  all)
+    run_config "${repo}/build-address" -DGEO_SANITIZE=address
+    run_config "${repo}/build-undefined" -DGEO_SANITIZE=undefined
+    ;;
+  *)
+    echo "usage: $0 [address|undefined|all]" >&2
+    exit 2
+    ;;
+esac
+
+echo "== all checks passed"

@@ -4,6 +4,8 @@
 #include <bit>
 #include <stdexcept>
 
+#include "telemetry/telemetry.hpp"
+
 namespace geo::arch {
 
 namespace {
@@ -128,6 +130,10 @@ int Compiler::stream_len_for(const ConvShape& shape) const {
 }
 
 LayerPlan Compiler::plan_layer(const ConvShape& shape, Dataflow df) const {
+  telemetry::ScopedTimer timer("compiler.plan_layer", "compiler");
+  telemetry::MetricsRegistry::instance()
+      .counter("compiler.layers_planned")
+      .add(1);
   LayerPlan plan;
   plan.shape = shape;
   plan.dataflow = df;
@@ -258,6 +264,12 @@ LayerPlan Compiler::plan_layer(const ConvShape& shape, Dataflow df) const {
 }
 
 std::vector<LayerPlan> Compiler::compile(const NetworkShape& net) const {
+  telemetry::ScopedTimer timer(
+      "compiler.compile", "compiler",
+      {{"layers", static_cast<double>(net.layers.size())}});
+  telemetry::MetricsRegistry::instance()
+      .counter("compiler.networks_compiled")
+      .add(1);
   std::vector<LayerPlan> plans;
   plans.reserve(net.layers.size());
   for (const auto& layer : net.layers)

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <cassert>
 #include <cmath>
 #include <stdexcept>
 
@@ -9,6 +10,7 @@
 #include "sc/progressive.hpp"
 #include "sc/seed_sharing.hpp"
 #include "sc/sng.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace geo::arch {
 
@@ -72,6 +74,7 @@ MachineResult GeoMachine::run_conv(const ConvShape& shape,
                                    std::span<const float> bn_scale,
                                    std::span<const float> bn_shift,
                                    std::uint64_t layer_salt) {
+  telemetry::ScopedTimer run_timer("machine.run_conv", "machine");
   const Compiler compiler(hw_);
   const LayerPlan plan = compiler.plan_layer(shape,
                                              compiler.natural_dataflow());
@@ -99,6 +102,9 @@ MachineResult GeoMachine::run_conv(const ConvShape& shape,
   std::vector<std::uint64_t> wpos(weights.size() * wpl, 0);
   std::vector<std::uint64_t> wneg(weights.size() * wpl, 0);
   {
+    telemetry::ScopedTimer t("machine.weight_streams", "machine",
+                             {{"streams", static_cast<double>(
+                                   weights.size())}});
     std::size_t idx = 0;
     for (int oc = 0; oc < shape.cout; ++oc)
       for (int ic = 0; ic < shape.cin; ++ic)
@@ -115,10 +121,14 @@ MachineResult GeoMachine::run_conv(const ConvShape& shape,
   }
 
   // ---- activation streams, generated lazily per buffer slot -------------
+  auto& metrics = telemetry::MetricsRegistry::instance();
+  telemetry::Counter& act_gen_counter =
+      metrics.counter("machine.act_streams_generated");
   std::vector<std::uint64_t> act(input.size() * wpl, 0);
   std::vector<char> act_ready(input.size(), 0);
   auto act_stream = [&](std::size_t idx) -> const std::uint64_t* {
     if (!act_ready[idx]) {
+      act_gen_counter.add(1);
       const float a = std::clamp(input[idx], 0.0f, 1.0f);
       const std::uint32_t q = nn::quantize_unsigned(a, cfg.value_bits);
       generate_stream(act.data() + idx * wpl, wpl,
@@ -156,10 +166,19 @@ MachineResult GeoMachine::run_conv(const ConvShape& shape,
   const double bits_per_value =
       hw_.progressive ? static_cast<double>(n) : hw_.sng_value_bits;
 
+  telemetry::Histogram& pass_hist = metrics.histogram("machine.pass");
+  telemetry::Histogram& mac_hist = metrics.histogram("machine.mac_rows");
   MachineStats& st = result.stats;
   for (int cg = 0; cg * R < shape.cout; ++cg) {
     for (std::int64_t wg = 0; wg * windows_per_pass < xy; ++wg) {
       for (int p = 0; p < slices; ++p) {
+        telemetry::ScopedTimer pass_timer(
+            pass_hist, "machine.pass", "machine",
+            {{"channel_group", static_cast<double>(cg)},
+             {"window_group", static_cast<double>(wg)},
+             {"kernel_slice", static_cast<double>(p)},
+             {"act_fills", static_cast<double>(plan.act_loads_per_pass)},
+             {"wgt_fills", static_cast<double>(plan.wgt_loads_per_pass)}});
         ++st.passes;
         // -- reload accounting (the functional fills below are exact; the
         //    stall model matches PerfSim::pass_stall_cycles).
@@ -182,6 +201,8 @@ MachineResult GeoMachine::run_conv(const ConvShape& shape,
             plan.stream_cycles + (hw_.pipeline_stage ? 1 : 0);
 
         // -- bit-exact computation of this pass's outputs.
+        telemetry::ScopedTimer mac_timer(mac_hist, "machine.mac_rows",
+                                         "machine");
         const int tap_lo = static_cast<int>(p * M);
         const int tap_hi = static_cast<int>(
             std::min<std::int64_t>(K, (p + 1) * M));
@@ -262,6 +283,7 @@ MachineResult GeoMachine::run_conv(const ConvShape& shape,
   }
 
   // ---- near-memory BN + bounded ReLU + write-back ------------------------
+  telemetry::ScopedTimer bn_timer("machine.bn_relu", "machine");
   const double inv_len = 1.0 / static_cast<double>(L);
   const double lanes = std::max(1, hw_.mem_port_bits / 16);
   for (int oc = 0; oc < shape.cout; ++oc)
@@ -279,6 +301,24 @@ MachineResult GeoMachine::run_conv(const ConvShape& shape,
   st.nearmem_cycles = static_cast<std::int64_t>(
       2.0 * (st.psum_ops + st.bn_ops) / lanes);
   st.total_cycles = st.compute_cycles + st.stall_cycles + st.nearmem_cycles;
+  // The cycle ledger must balance: every total cycle is attributed to
+  // exactly one of compute / stall / near-memory.
+  assert(st.total_cycles ==
+         st.compute_cycles + st.stall_cycles + st.nearmem_cycles);
+
+  // Mirror the per-run stats into the process-wide registry so telemetry
+  // consumers see the same ledger MachineStats reports (the machine_test
+  // reconciliation assertion depends on these staying in lockstep).
+  metrics.counter("machine.passes").add(st.passes);
+  metrics.counter("machine.compute_cycles").add(st.compute_cycles);
+  metrics.counter("machine.stall_cycles").add(st.stall_cycles);
+  metrics.counter("machine.nearmem_cycles").add(st.nearmem_cycles);
+  metrics.counter("machine.total_cycles").add(st.total_cycles);
+  metrics.counter("machine.act_buffer_fills").add(st.act_buffer_fills);
+  metrics.counter("machine.wgt_buffer_fills").add(st.wgt_buffer_fills);
+  metrics.counter("machine.psum_ops").add(st.psum_ops);
+  metrics.counter("machine.bn_ops").add(st.bn_ops);
+  metrics.counter("machine.layers_executed").add(1);
   return result;
 }
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "telemetry/telemetry.hpp"
+
 namespace geo::arch {
 
 namespace {
@@ -57,6 +59,12 @@ PerfResult PerfSim::simulate(const NetworkShape& net) const {
 }
 
 PerfResult PerfSim::simulate(const std::vector<LayerPlan>& plans) const {
+  telemetry::ScopedTimer sim_timer(
+      "perfsim.simulate", "perfsim",
+      {{"layers", static_cast<double>(plans.size())}});
+  auto& metrics = telemetry::MetricsRegistry::instance();
+  telemetry::Histogram& layer_hist = metrics.histogram("perfsim.layer");
+
   PerfResult result;
   result.vdd = hw_.vdd;
   const double lanes = std::max(1, hw_.mem_port_bits / 16);
@@ -64,7 +72,13 @@ PerfResult PerfSim::simulate(const std::vector<LayerPlan>& plans) const {
 
   EnergyBreakdown& e = result.energy;
 
-  for (const auto& plan : plans) {
+  for (std::size_t li = 0; li < plans.size(); ++li) {
+    const auto& plan = plans[li];
+    telemetry::ScopedTimer layer_timer(
+        layer_hist, "perfsim.layer", "perfsim",
+        {{"index", static_cast<double>(li)},
+         {"passes", static_cast<double>(plan.passes)},
+         {"macs", static_cast<double>(plan.shape.macs())}});
     LayerPerf lp;
     lp.name = plan.shape.name;
 
@@ -151,6 +165,20 @@ PerfResult PerfSim::simulate(const std::vector<LayerPlan>& plans) const {
       result.energy_per_frame_j > 0 ? 1.0 / result.energy_per_frame_j : 0.0;
   result.average_power_w =
       result.seconds > 0 ? result.energy_per_frame_j / result.seconds : 0.0;
+
+  // Energy / access telemetry for the whole simulated inference.
+  metrics.counter("perfsim.layers_simulated")
+      .add(static_cast<std::int64_t>(plans.size()));
+  metrics.counter("perfsim.act_reads").add(result.accesses.act_reads);
+  metrics.counter("perfsim.act_writes").add(result.accesses.act_writes);
+  metrics.counter("perfsim.wgt_reads").add(result.accesses.wgt_reads);
+  metrics.counter("perfsim.psum_reads").add(result.accesses.psum_reads);
+  metrics.counter("perfsim.psum_writes").add(result.accesses.psum_writes);
+  metrics.counter("perfsim.ext_bytes").add(result.accesses.ext_bytes);
+  metrics.gauge("perfsim.cycles").set(result.cycles);
+  metrics.gauge("perfsim.energy_per_frame_j").set(result.energy_per_frame_j);
+  metrics.gauge("perfsim.frames_per_second").set(result.frames_per_second);
+  metrics.gauge("perfsim.average_power_w").set(result.average_power_w);
   return result;
 }
 

@@ -10,7 +10,7 @@ namespace geo::arch {
 Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
 
 void Table::add_row(std::vector<std::string> row) {
-  row.resize(header_.size());
+  if (row.size() < header_.size()) row.resize(header_.size());
   rows_.push_back(std::move(row));
 }
 
@@ -21,6 +21,7 @@ std::string Table::num(double v, int precision) {
 }
 
 std::string Table::si(double v, int precision) {
+  if (!std::isfinite(v)) return v > 0 ? "inf" : (v < 0 ? "-inf" : "nan");
   const char* suffix = "";
   double scaled = v;
   if (std::abs(v) >= 1e9) {
@@ -45,7 +46,10 @@ std::string Table::percent(double fraction, int precision) {
 }
 
 std::string Table::render() const {
-  std::vector<std::size_t> widths(header_.size());
+  std::size_t columns = header_.size();
+  for (const auto& row : rows_) columns = std::max(columns, row.size());
+
+  std::vector<std::size_t> widths(columns, 0);
   for (std::size_t c = 0; c < header_.size(); ++c)
     widths[c] = header_[c].size();
   for (const auto& row : rows_)
@@ -53,17 +57,19 @@ std::string Table::render() const {
       widths[c] = std::max(widths[c], row[c].size());
 
   std::ostringstream os;
+  static const std::string kEmpty;
   auto emit = [&](const std::vector<std::string>& row) {
-    for (std::size_t c = 0; c < row.size(); ++c) {
+    for (std::size_t c = 0; c < columns; ++c) {
+      const std::string& cell = c < row.size() ? row[c] : kEmpty;
       os << (c == 0 ? "| " : " | ");
-      os << row[c];
-      os << std::string(widths[c] - row[c].size(), ' ');
+      os << cell;
+      os << std::string(widths[c] - cell.size(), ' ');
     }
     os << " |\n";
   };
   emit(header_);
   os << '|';
-  for (std::size_t c = 0; c < header_.size(); ++c)
+  for (std::size_t c = 0; c < columns; ++c)
     os << std::string(widths[c] + 2, '-') << '|';
   os << '\n';
   for (const auto& row : rows_) emit(row);
@@ -73,8 +79,12 @@ std::string Table::render() const {
 void Table::print() const { std::fputs(render().c_str(), stdout); }
 
 std::string bar(double value, double max, int width) {
-  if (max <= 0) return {};
-  const int n = static_cast<int>(std::lround(value / max * width));
+  if (width <= 0 || !std::isfinite(max) || max <= 0) return {};
+  if (!std::isfinite(value) || value <= 0) return {};
+  const double scaled = value / max * width;
+  const int n = scaled >= static_cast<double>(width)
+                    ? width
+                    : static_cast<int>(std::lround(scaled));
   return std::string(static_cast<std::size_t>(std::clamp(n, 0, width)), '#');
 }
 

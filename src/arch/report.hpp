@@ -11,6 +11,9 @@ class Table {
  public:
   explicit Table(std::vector<std::string> header);
 
+  // Ragged rows are tolerated: rows shorter than the header are padded with
+  // empty cells, rows longer than the header keep their extra cells (the
+  // header gains unnamed columns when rendering).
   void add_row(std::vector<std::string> row);
 
   // Convenience for numeric cells.
@@ -21,12 +24,19 @@ class Table {
   std::string render() const;
   void print() const;
 
+  // Structured access (used by the bench JSON emitters, which mirror the
+  // exact strings the ASCII table prints).
+  const std::vector<std::string>& header() const { return header_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
  private:
   std::vector<std::string> header_;
   std::vector<std::vector<std::string>> rows_;
 };
 
 // Horizontal ASCII bar scaled to `width` characters at value `max`.
+// Degenerate inputs (max <= 0, non-finite, negative value) render empty
+// rather than misleading glyphs.
 std::string bar(double value, double max, int width = 40);
 
 }  // namespace geo::arch

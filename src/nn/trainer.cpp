@@ -7,6 +7,7 @@
 
 #include "nn/loss.hpp"
 #include "nn/optimizer.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace geo::nn {
 
@@ -37,7 +38,14 @@ TrainResult train(Sequential& net, const Dataset& train_set,
   std::iota(order.begin(), order.end(), 0);
   std::mt19937 shuffle_rng(options.shuffle_seed);
 
+  auto& metrics = telemetry::MetricsRegistry::instance();
+  telemetry::Histogram& epoch_hist = metrics.histogram("train.epoch");
+  telemetry::Counter& batch_counter = metrics.counter("train.batches");
+
   for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    telemetry::ScopedTimer epoch_timer(
+        epoch_hist, "train.epoch", "train",
+        {{"epoch", static_cast<double>(epoch)}});
     std::shuffle(order.begin(), order.end(), shuffle_rng);
     int correct = 0;
     double loss_sum = 0.0;
@@ -69,6 +77,9 @@ TrainResult train(Sequential& net, const Dataset& train_set,
       ++batches;
     }
     result.final_train_accuracy = static_cast<double>(correct) / n;
+    batch_counter.add(batches);
+    metrics.gauge("train.loss").set(loss_sum / std::max(batches, 1));
+    metrics.gauge("train.accuracy").set(result.final_train_accuracy);
     if (options.verbose)
       std::printf("  epoch %2d  loss %.4f  train acc %.3f\n", epoch + 1,
                   loss_sum / std::max(batches, 1),
@@ -81,6 +92,9 @@ TrainResult train(Sequential& net, const Dataset& train_set,
 }
 
 double evaluate(Sequential& net, const Dataset& data, int batch_size) {
+  telemetry::ScopedTimer timer(
+      "train.evaluate", "train",
+      {{"samples", static_cast<double>(data.count())}});
   const int n = data.count();
   int correct = 0;
   for (int start = 0; start < n; start += batch_size) {

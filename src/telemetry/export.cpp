@@ -1,0 +1,104 @@
+#include "telemetry/export.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+namespace geo::telemetry {
+
+namespace {
+
+Json histogram_json(const Histogram::Snapshot& h) {
+  Json obj = Json::object();
+  obj.set("count", Json(h.count));
+  obj.set("sum", Json(h.sum));
+  obj.set("min", Json(h.min));
+  obj.set("max", Json(h.max));
+  obj.set("mean", Json(h.mean));
+  obj.set("p50", Json(h.p50));
+  obj.set("p95", Json(h.p95));
+  obj.set("p99", Json(h.p99));
+  return obj;
+}
+
+std::string csv_cell(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+}  // namespace
+
+Json metrics_to_json(const MetricsRegistry& registry) {
+  Json counters = Json::object();
+  Json gauges = Json::object();
+  Json histograms = Json::object();
+  for (const MetricSnapshot& m : registry.snapshot()) {
+    switch (m.kind) {
+      case MetricKind::kCounter:
+        counters.set(m.name, Json(static_cast<std::int64_t>(m.value)));
+        break;
+      case MetricKind::kGauge:
+        gauges.set(m.name, Json(m.value));
+        break;
+      case MetricKind::kHistogram:
+        histograms.set(m.name, histogram_json(m.hist));
+        break;
+    }
+  }
+  Json root = Json::object();
+  root.set("counters", std::move(counters));
+  root.set("gauges", std::move(gauges));
+  root.set("histograms", std::move(histograms));
+  return root;
+}
+
+std::string metrics_to_csv(const MetricsRegistry& registry) {
+  std::string out = "name,kind,value,count,sum,min,max,mean,p50,p95,p99\n";
+  for (const MetricSnapshot& m : registry.snapshot()) {
+    out += m.name;
+    switch (m.kind) {
+      case MetricKind::kCounter:
+        out += ",counter," + csv_cell(m.value) + ",,,,,,,,";
+        break;
+      case MetricKind::kGauge:
+        out += ",gauge," + csv_cell(m.value) + ",,,,,,,,";
+        break;
+      case MetricKind::kHistogram: {
+        const Histogram::Snapshot& h = m.hist;
+        out += ",histogram,," + std::to_string(h.count) + ',' +
+               csv_cell(h.sum) + ',' + csv_cell(h.min) + ',' +
+               csv_cell(h.max) + ',' + csv_cell(h.mean) + ',' +
+               csv_cell(h.p50) + ',' + csv_cell(h.p95) + ',' +
+               csv_cell(h.p99);
+        break;
+      }
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+bool write_metrics_json(const MetricsRegistry& registry,
+                        const std::string& path) {
+  return metrics_to_json(registry).write_file(path);
+}
+
+bool write_metrics_csv(const MetricsRegistry& registry,
+                       const std::string& path) {
+  std::ofstream os(path);
+  if (!os) return false;
+  os << metrics_to_csv(registry);
+  return static_cast<bool>(os);
+}
+
+bool export_metrics_if_requested(const MetricsRegistry& registry) {
+  const char* path = std::getenv("GEO_METRICS");
+  if (path == nullptr || path[0] == '\0') return true;
+  const std::string p(path);
+  if (p.size() >= 4 && p.compare(p.size() - 4, 4, ".csv") == 0)
+    return write_metrics_csv(registry, p);
+  return write_metrics_json(registry, p);
+}
+
+}  // namespace geo::telemetry

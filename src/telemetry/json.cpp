@@ -1,0 +1,303 @@
+#include "telemetry/json.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+namespace geo::telemetry {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Validator: a tolerant recursive-descent syntax checker.
+
+namespace {
+
+struct Parser {
+  std::string_view s;
+  std::size_t i = 0;
+  int depth = 0;
+
+  void skip_ws() {
+    while (i < s.size() && (s[i] == ' ' || s[i] == '\t' || s[i] == '\n' ||
+                            s[i] == '\r'))
+      ++i;
+  }
+  bool eat(char c) {
+    if (i < s.size() && s[i] == c) {
+      ++i;
+      return true;
+    }
+    return false;
+  }
+  bool literal(std::string_view word) {
+    if (s.substr(i, word.size()) != word) return false;
+    i += word.size();
+    return true;
+  }
+  bool string() {
+    if (!eat('"')) return false;
+    while (i < s.size()) {
+      const char c = s[i];
+      if (c == '"') {
+        ++i;
+        return true;
+      }
+      if (c == '\\') {
+        ++i;
+        if (i >= s.size()) return false;
+        const char e = s[i];
+        if (e == 'u') {
+          for (int k = 1; k <= 4; ++k)
+            if (i + static_cast<std::size_t>(k) >= s.size() ||
+                !std::isxdigit(static_cast<unsigned char>(
+                    s[i + static_cast<std::size_t>(k)])))
+              return false;
+          i += 4;
+        } else if (e != '"' && e != '\\' && e != '/' && e != 'b' &&
+                   e != 'f' && e != 'n' && e != 'r' && e != 't') {
+          return false;
+        }
+      }
+      ++i;
+    }
+    return false;
+  }
+  bool number() {
+    const std::size_t start = i;
+    if (eat('-')) {}
+    while (i < s.size() && std::isdigit(static_cast<unsigned char>(s[i]))) ++i;
+    if (i == start || (i == start + 1 && s[start] == '-')) return false;
+    if (eat('.')) {
+      const std::size_t frac = i;
+      while (i < s.size() && std::isdigit(static_cast<unsigned char>(s[i])))
+        ++i;
+      if (i == frac) return false;
+    }
+    if (i < s.size() && (s[i] == 'e' || s[i] == 'E')) {
+      ++i;
+      if (i < s.size() && (s[i] == '+' || s[i] == '-')) ++i;
+      const std::size_t ex = i;
+      while (i < s.size() && std::isdigit(static_cast<unsigned char>(s[i])))
+        ++i;
+      if (i == ex) return false;
+    }
+    return true;
+  }
+  bool value() {
+    if (++depth > 256) return false;
+    skip_ws();
+    bool ok = false;
+    if (i >= s.size()) {
+      ok = false;
+    } else if (s[i] == '{') {
+      ++i;
+      skip_ws();
+      if (eat('}')) {
+        ok = true;
+      } else {
+        ok = true;
+        while (ok) {
+          skip_ws();
+          ok = string();
+          if (!ok) break;
+          skip_ws();
+          ok = eat(':') && value();
+          if (!ok) break;
+          skip_ws();
+          if (eat(',')) continue;
+          ok = eat('}');
+          break;
+        }
+      }
+    } else if (s[i] == '[') {
+      ++i;
+      skip_ws();
+      if (eat(']')) {
+        ok = true;
+      } else {
+        ok = true;
+        while (ok) {
+          ok = value();
+          if (!ok) break;
+          skip_ws();
+          if (eat(',')) continue;
+          ok = eat(']');
+          break;
+        }
+      }
+    } else if (s[i] == '"') {
+      ok = string();
+    } else if (s[i] == 't') {
+      ok = literal("true");
+    } else if (s[i] == 'f') {
+      ok = literal("false");
+    } else if (s[i] == 'n') {
+      ok = literal("null");
+    } else {
+      ok = number();
+    }
+    --depth;
+    return ok;
+  }
+};
+
+std::string format_double(double v) {
+  if (!std::isfinite(v)) return "null";  // JSON has no NaN/Inf
+  char buf[64];
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  if (ec != std::errc{}) return "0";
+  return std::string(buf, end);
+}
+
+}  // namespace
+
+bool json_valid(std::string_view text) {
+  Parser p{text};
+  if (!p.value()) return false;
+  p.skip_ws();
+  return p.i == text.size();
+}
+
+// ---------------------------------------------------------------------------
+// Json value tree.
+
+Json Json::object() {
+  Json j;
+  j.kind_ = Kind::kObject;
+  return j;
+}
+
+Json Json::array() {
+  Json j;
+  j.kind_ = Kind::kArray;
+  return j;
+}
+
+Json Json::raw(std::string text) {
+  Json j;
+  j.kind_ = Kind::kRaw;
+  j.str_ = std::move(text);
+  return j;
+}
+
+Json& Json::set(std::string key, Json value) {
+  kind_ = Kind::kObject;  // setting a key on a fresh value makes it an object
+  object_.emplace_back(std::move(key), std::move(value));
+  return *this;
+}
+
+Json& Json::push(Json value) {
+  kind_ = Kind::kArray;
+  array_.push_back(std::move(value));
+  return *this;
+}
+
+std::size_t Json::size() const {
+  if (kind_ == Kind::kObject) return object_.size();
+  if (kind_ == Kind::kArray) return array_.size();
+  return 0;
+}
+
+void Json::dump_to(std::string& out, int indent, int depth) const {
+  const std::string pad =
+      indent > 0 ? std::string(static_cast<std::size_t>(indent * (depth + 1)),
+                               ' ')
+                 : std::string();
+  const std::string close_pad =
+      indent > 0 ? std::string(static_cast<std::size_t>(indent * depth), ' ')
+                 : std::string();
+  const char* nl = indent > 0 ? "\n" : "";
+  const char* colon = indent > 0 ? ": " : ":";
+
+  switch (kind_) {
+    case Kind::kNull: out += "null"; break;
+    case Kind::kBool: out += bool_ ? "true" : "false"; break;
+    case Kind::kNumber: out += format_double(num_); break;
+    case Kind::kInt: out += std::to_string(int_); break;
+    case Kind::kString:
+      out += '"';
+      out += json_escape(str_);
+      out += '"';
+      break;
+    case Kind::kRaw:
+      out += json_valid(str_) ? str_ : "null";
+      break;
+    case Kind::kObject: {
+      if (object_.empty()) {
+        out += "{}";
+        break;
+      }
+      out += '{';
+      out += nl;
+      for (std::size_t k = 0; k < object_.size(); ++k) {
+        out += pad;
+        out += '"';
+        out += json_escape(object_[k].first);
+        out += '"';
+        out += colon;
+        object_[k].second.dump_to(out, indent, depth + 1);
+        if (k + 1 < object_.size()) out += ',';
+        out += nl;
+      }
+      out += close_pad;
+      out += '}';
+      break;
+    }
+    case Kind::kArray: {
+      if (array_.empty()) {
+        out += "[]";
+        break;
+      }
+      out += '[';
+      out += nl;
+      for (std::size_t k = 0; k < array_.size(); ++k) {
+        out += pad;
+        array_[k].dump_to(out, indent, depth + 1);
+        if (k + 1 < array_.size()) out += ',';
+        out += nl;
+      }
+      out += close_pad;
+      out += ']';
+      break;
+    }
+  }
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  dump_to(out, indent, 0);
+  return out;
+}
+
+bool Json::write_file(const std::string& path, int indent) const {
+  std::ofstream os(path);
+  if (!os) return false;
+  os << dump(indent) << '\n';
+  return static_cast<bool>(os);
+}
+
+}  // namespace geo::telemetry

@@ -1,0 +1,133 @@
+// Process-wide metrics registry: counters, gauges, and fixed-bucket
+// histograms with percentile estimation. All mutation paths are lock-free
+// atomics, cheap enough to stay enabled in production builds; the registry
+// map itself is mutex-protected, so hot loops should hoist the
+// `Counter&`/`Histogram&` lookup out of the loop.
+//
+// Metrics are always collected; whether they are *exported* is gated by
+// `GEO_METRICS=<path>` (see export.hpp), so the no-export path costs a few
+// relaxed atomic ops per event and nothing else.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace geo::telemetry {
+
+class Counter {
+ public:
+  void add(std::int64_t delta = 1) noexcept {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::int64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+class Gauge {
+ public:
+  void set(double v) noexcept { value_.store(v, std::memory_order_relaxed); }
+  void add(double delta) noexcept {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+// Log2-spaced fixed buckets: values sharing a binary exponent share a
+// bucket, so percentile estimates carry ~±41 % worst-case bucket error —
+// plenty for p50/p95/p99 latency attribution — while `observe` stays one
+// frexp plus three relaxed atomic ops. Estimates are clamped to the
+// observed [min, max], which makes constant-valued series exact.
+class Histogram {
+ public:
+  static constexpr int kBuckets = 128;
+
+  void observe(double v) noexcept;
+
+  std::int64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  double sum() const noexcept { return sum_.load(std::memory_order_relaxed); }
+  double min() const noexcept;
+  double max() const noexcept;
+  double mean() const noexcept;
+
+  // `p` in [0, 100]. Returns 0 for an empty histogram.
+  double percentile(double p) const noexcept;
+
+  struct Snapshot {
+    std::int64_t count = 0;
+    double sum = 0, min = 0, max = 0, mean = 0;
+    double p50 = 0, p95 = 0, p99 = 0;
+  };
+  Snapshot snapshot() const noexcept;
+
+  void reset() noexcept;
+
+ private:
+  static int bucket_of(double v) noexcept;
+  double bucket_value(int bucket) const noexcept;
+
+  std::array<std::atomic<std::int64_t>, kBuckets> buckets_{};
+  std::atomic<std::int64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{0.0};  // valid only when count_ > 0
+  std::atomic<double> max_{0.0};
+};
+
+enum class MetricKind { kCounter, kGauge, kHistogram };
+
+struct MetricSnapshot {
+  std::string name;
+  MetricKind kind = MetricKind::kCounter;
+  double value = 0;  // counter/gauge value (histograms use `hist`)
+  Histogram::Snapshot hist{};
+};
+
+class MetricsRegistry {
+ public:
+  // Process-wide registry. On destruction (process exit) the contents are
+  // exported if GEO_METRICS is set — see export.hpp.
+  static MetricsRegistry& instance();
+
+  // Lookup-or-create; returned references remain valid for the registry's
+  // lifetime, so callers may cache them across calls.
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  // Sorted by name, counters/gauges/histograms interleaved.
+  std::vector<MetricSnapshot> snapshot() const;
+
+  // Zeroes every metric (keeps registrations). Test/bench-boundary hook.
+  void reset();
+
+  ~MetricsRegistry();
+
+ private:
+  MetricsRegistry() = default;
+
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace geo::telemetry

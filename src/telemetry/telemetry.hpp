@@ -1,0 +1,14 @@
+// Umbrella header for the telemetry subsystem.
+//
+//   MetricsRegistry  process-wide counters / gauges / histograms, always on
+//   ScopedTimer      RAII span: histogram timing + Chrome-trace B/E events
+//   Tracer           Chrome trace-event buffer, gated by GEO_TRACE=<path>
+//   exporters        JSON/CSV metric dumps, gated by GEO_METRICS=<path>
+//
+// See docs/OBSERVABILITY.md for the environment knobs and file formats.
+#pragma once
+
+#include "telemetry/export.hpp"
+#include "telemetry/json.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"

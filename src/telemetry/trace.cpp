@@ -1,0 +1,183 @@
+#include "telemetry/trace.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include "telemetry/export.hpp"
+#include "telemetry/json.hpp"
+
+namespace geo::telemetry {
+
+namespace {
+
+std::uint32_t current_tid() {
+  static std::atomic<std::uint32_t> next{1};
+  thread_local const std::uint32_t id =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+std::string args_to_json(std::initializer_list<TraceArg> args) {
+  if (args.size() == 0) return {};
+  Json obj = Json::object();
+  for (const TraceArg& a : args) obj.set(a.key, Json(a.value));
+  return obj.dump(0);
+}
+
+}  // namespace
+
+Tracer& Tracer::instance() {
+  static Tracer tracer;
+  return tracer;
+}
+
+Tracer::Tracer() : epoch_(std::chrono::steady_clock::now()) {
+  if (const char* path = std::getenv("GEO_TRACE");
+      path != nullptr && path[0] != '\0')
+    enable(path);
+}
+
+Tracer::~Tracer() { flush(); }
+
+void Tracer::enable(std::string path) {
+  std::lock_guard lock(mutex_);
+  path_ = std::move(path);
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void Tracer::disable() {
+  std::lock_guard lock(mutex_);
+  enabled_.store(false, std::memory_order_relaxed);
+  events_.clear();
+  dirty_ = false;
+  path_.clear();
+}
+
+double Tracer::now_us() const {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+void Tracer::record(char phase, std::string_view name,
+                    std::string_view category,
+                    std::initializer_list<TraceArg> args) {
+  const double ts = now_us();
+  const std::uint32_t tid = current_tid();
+  std::lock_guard lock(mutex_);
+  if (!enabled_.load(std::memory_order_relaxed)) return;  // raced a disable
+  events_.push_back(Event{ts, tid, phase, std::string(name),
+                          std::string(category), args_to_json(args)});
+  dirty_ = true;
+}
+
+void Tracer::begin(std::string_view name, std::string_view category,
+                   std::initializer_list<TraceArg> args) {
+  if (!enabled()) return;
+  record('B', name, category, args);
+}
+
+void Tracer::end(std::string_view name, std::string_view category) {
+  if (!enabled()) return;
+  record('E', name, category, {});
+}
+
+void Tracer::instant(std::string_view name, std::string_view category,
+                     std::initializer_list<TraceArg> args) {
+  if (!enabled()) return;
+  record('i', name, category, args);
+}
+
+void Tracer::counter(std::string_view name, double value) {
+  if (!enabled()) return;
+  record('C', name, "counter", {{"value", value}});
+}
+
+std::size_t Tracer::event_count() const {
+  std::lock_guard lock(mutex_);
+  return events_.size();
+}
+
+std::string Tracer::render() const {
+  std::lock_guard lock(mutex_);
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    const Event& e = events_[i];
+    if (i > 0) out += ',';
+    out += "\n{\"name\":\"";
+    out += json_escape(e.name);
+    out += "\",\"cat\":\"";
+    out += json_escape(e.category);
+    out += "\",\"ph\":\"";
+    out += e.phase;
+    out += "\",\"pid\":1,\"tid\":";
+    out += std::to_string(e.tid);
+    out += ",\"ts\":";
+    {
+      char buf[48];
+      std::snprintf(buf, sizeof(buf), "%.3f", e.ts_us);
+      out += buf;
+    }
+    if (!e.args_json.empty()) {
+      out += ",\"args\":";
+      out += e.args_json;
+    }
+    out += '}';
+  }
+  out += "\n]}";
+  return out;
+}
+
+bool Tracer::flush() {
+  std::string path;
+  std::string doc;
+  {
+    std::lock_guard lock(mutex_);
+    if (!dirty_ || path_.empty()) return true;
+  }
+  doc = render();
+  {
+    std::lock_guard lock(mutex_);
+    path = path_;
+    events_.clear();
+    dirty_ = false;
+  }
+  std::ofstream os(path);
+  if (!os) return false;
+  os << doc << '\n';
+  return static_cast<bool>(os);
+}
+
+// ---------------------------------------------------------------------------
+
+ScopedTimer::ScopedTimer(const char* name, const char* category,
+                         std::initializer_list<TraceArg> args)
+    : ScopedTimer(MetricsRegistry::instance().histogram(name), name, category,
+                  args) {}
+
+ScopedTimer::ScopedTimer(Histogram& histogram, const char* name,
+                         const char* category,
+                         std::initializer_list<TraceArg> args)
+    : name_(name),
+      category_(category),
+      histogram_(&histogram),
+      tracing_(Tracer::instance().enabled()),
+      start_(std::chrono::steady_clock::now()) {
+  if (tracing_) Tracer::instance().begin(name_, category_, args);
+}
+
+ScopedTimer::~ScopedTimer() {
+  const auto stop = std::chrono::steady_clock::now();
+  histogram_->observe(
+      std::chrono::duration<double>(stop - start_).count());
+  if (tracing_) Tracer::instance().end(name_, category_);
+}
+
+void shutdown() {
+  Tracer::instance().flush();
+  export_metrics_if_requested(MetricsRegistry::instance());
+}
+
+}  // namespace geo::telemetry

@@ -1,0 +1,115 @@
+// Chrome trace-event emission (chrome://tracing / Perfetto "JSON object
+// format") plus the ScopedTimer span API the instrumented layers use.
+//
+// Tracing is OFF unless `GEO_TRACE=<path>` is set in the environment (or a
+// test calls `Tracer::instance().enable(path)`); the disabled path is a
+// single relaxed atomic load per span, so instrumentation can stay in hot
+// code unconditionally. Buffered events are written at process exit, or
+// earlier via `flush()` / `telemetry::shutdown()`.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <initializer_list>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "telemetry/metrics.hpp"
+
+namespace geo::telemetry {
+
+// One numeric span argument, rendered into the trace event's "args" object.
+struct TraceArg {
+  const char* key;
+  double value;
+};
+
+class Tracer {
+ public:
+  static Tracer& instance();
+
+  bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  // Starts (or redirects) recording to `path`. Buffered events are kept.
+  void enable(std::string path);
+  // Stops recording and drops any buffered events.
+  void disable();
+
+  // Duration-begin / duration-end ("B"/"E") events on the calling thread.
+  void begin(std::string_view name, std::string_view category,
+             std::initializer_list<TraceArg> args = {});
+  void end(std::string_view name, std::string_view category);
+  // Instant ("i") event.
+  void instant(std::string_view name, std::string_view category,
+               std::initializer_list<TraceArg> args = {});
+  // Counter ("C") event: one sampled series value.
+  void counter(std::string_view name, double value);
+
+  std::size_t event_count() const;
+
+  // Renders the buffered events as a Chrome-trace JSON document.
+  std::string render() const;
+
+  // Writes render() to the configured path and clears the buffer.
+  // No-op (returns true) when there is nothing new to write.
+  bool flush();
+
+  ~Tracer();
+
+ private:
+  Tracer();  // reads GEO_TRACE
+
+  struct Event {
+    double ts_us;
+    std::uint32_t tid;
+    char phase;
+    std::string name;
+    std::string category;
+    std::string args_json;  // pre-rendered "args" object, may be empty
+  };
+
+  void record(char phase, std::string_view name, std::string_view category,
+              std::initializer_list<TraceArg> args);
+  double now_us() const;
+
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mutex_;
+  std::string path_;
+  std::vector<Event> events_;
+  bool dirty_ = false;  // events recorded since the last flush
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+// RAII span: observes elapsed seconds into `MetricsRegistry` histogram
+// `name` and, when tracing is enabled, brackets the scope with B/E events.
+// For hot loops, pre-fetch the histogram once and use the second overload.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(const char* name, const char* category = "geo",
+                       std::initializer_list<TraceArg> args = {});
+  ScopedTimer(Histogram& histogram, const char* name,
+              const char* category = "geo",
+              std::initializer_list<TraceArg> args = {});
+  ~ScopedTimer();
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  const char* name_;
+  const char* category_;
+  Histogram* histogram_;
+  bool tracing_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+// Flushes the trace buffer (if tracing) and exports metrics (if
+// GEO_METRICS is set). Safe to call multiple times; also runs implicitly
+// at process exit.
+void shutdown();
+
+}  // namespace geo::telemetry

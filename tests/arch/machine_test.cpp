@@ -5,6 +5,7 @@
 #include <random>
 
 #include "nn/sc_layers.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace geo::arch {
 namespace {
@@ -169,6 +170,44 @@ TEST(Machine, RejectsBadOperands) {
   EXPECT_THROW(machine.run_conv(f.shape, f.weights, f.input, short_bn,
                                 short_bn, 1),
                std::invalid_argument);
+}
+
+TEST(Machine, TelemetryCountersReconcileWithStats) {
+  auto& metrics = telemetry::MetricsRegistry::instance();
+  const std::int64_t passes0 = metrics.counter("machine.passes").value();
+  const std::int64_t compute0 =
+      metrics.counter("machine.compute_cycles").value();
+  const std::int64_t stall0 = metrics.counter("machine.stall_cycles").value();
+  const std::int64_t nearmem0 =
+      metrics.counter("machine.nearmem_cycles").value();
+  const std::int64_t total0 = metrics.counter("machine.total_cycles").value();
+  const std::int64_t psum0 = metrics.counter("machine.psum_ops").value();
+  const std::int64_t layers0 =
+      metrics.counter("machine.layers_executed").value();
+
+  const Fixture f(4, 6, 5, 3, 31);
+  GeoMachine machine(small_hw(nn::AccumMode::kPbw, 32));
+  const MachineResult r = machine.run_conv(f.shape, f.weights, f.input,
+                                           f.ones, f.zeros, 6);
+
+  // The telemetry mirror advances by exactly what MachineStats reports.
+  EXPECT_EQ(metrics.counter("machine.passes").value() - passes0,
+            r.stats.passes);
+  EXPECT_EQ(metrics.counter("machine.compute_cycles").value() - compute0,
+            r.stats.compute_cycles);
+  EXPECT_EQ(metrics.counter("machine.stall_cycles").value() - stall0,
+            r.stats.stall_cycles);
+  EXPECT_EQ(metrics.counter("machine.nearmem_cycles").value() - nearmem0,
+            r.stats.nearmem_cycles);
+  EXPECT_EQ(metrics.counter("machine.total_cycles").value() - total0,
+            r.stats.total_cycles);
+  EXPECT_EQ(metrics.counter("machine.psum_ops").value() - psum0,
+            r.stats.psum_ops);
+  EXPECT_EQ(metrics.counter("machine.layers_executed").value() - layers0, 1);
+  // The cycle identity the debug assertion in run_conv enforces.
+  EXPECT_EQ(r.stats.total_cycles, r.stats.compute_cycles +
+                                      r.stats.stall_cycles +
+                                      r.stats.nearmem_cycles);
 }
 
 TEST(Machine, StatsScaleWithWork) {

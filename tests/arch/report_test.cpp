@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 namespace geo::arch {
 namespace {
 
@@ -21,6 +23,24 @@ TEST(Table, ShortRowsPadded) {
   EXPECT_NE(t.render().find("| x |"), std::string::npos);
 }
 
+TEST(Table, LongRowsPreservedAndRendered) {
+  Table t({"a", "b"});
+  t.add_row({"1", "2", "extra"});
+  ASSERT_EQ(t.rows()[0].size(), 3u);
+  const std::string s = t.render();
+  // The ragged cell is rendered; the header gains a blank column.
+  EXPECT_NE(s.find("extra"), std::string::npos);
+  EXPECT_NE(s.find("| a | b |       |"), std::string::npos);
+}
+
+TEST(Table, AccessorsExposeExactCells) {
+  Table t({"h1", "h2"});
+  t.add_row({"v1", "v2"});
+  EXPECT_EQ(t.header(), (std::vector<std::string>{"h1", "h2"}));
+  ASSERT_EQ(t.rows().size(), 1u);
+  EXPECT_EQ(t.rows()[0], (std::vector<std::string>{"v1", "v2"}));
+}
+
 TEST(Table, NumFormatting) {
   EXPECT_EQ(Table::num(3.14159, 2), "3.14");
   EXPECT_EQ(Table::num(2.0, 0), "2");
@@ -33,8 +53,24 @@ TEST(Table, SiFormatting) {
   EXPECT_EQ(Table::si(42.0), "42.0");
 }
 
+TEST(Table, SiEdgeCases) {
+  EXPECT_EQ(Table::si(0.0), "0.0");
+  EXPECT_EQ(Table::si(-14000.0), "-14.0k");
+  EXPECT_EQ(Table::si(-3.2e6), "-3.2M");
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_EQ(Table::si(inf), "inf");
+  EXPECT_EQ(Table::si(-inf), "-inf");
+  EXPECT_EQ(Table::si(std::numeric_limits<double>::quiet_NaN()), "nan");
+}
+
 TEST(Table, PercentFormatting) {
   EXPECT_EQ(Table::percent(0.821), "82.1%");
+}
+
+TEST(Table, PercentEdgeCases) {
+  EXPECT_EQ(Table::percent(0.0), "0.0%");
+  EXPECT_EQ(Table::percent(-0.25), "-25.0%");
+  EXPECT_EQ(Table::percent(1.5), "150.0%");
 }
 
 TEST(Bar, ScalesToWidth) {
@@ -43,6 +79,19 @@ TEST(Bar, ScalesToWidth) {
   EXPECT_EQ(bar(0.0, 1.0, 10), "");
   EXPECT_EQ(bar(2.0, 1.0, 10), "##########") << "clamped at full width";
   EXPECT_EQ(bar(1.0, 0.0, 10), "") << "degenerate max";
+}
+
+TEST(Bar, DegenerateInputs) {
+  const double inf = std::numeric_limits<double>::infinity();
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_EQ(bar(1.0, -2.0, 10), "") << "negative max";
+  EXPECT_EQ(bar(-1.0, 1.0, 10), "") << "negative value";
+  EXPECT_EQ(bar(1.0, 1.0, 0), "") << "zero width";
+  EXPECT_EQ(bar(1.0, 1.0, -3), "") << "negative width";
+  EXPECT_EQ(bar(inf, 1.0, 10), "") << "non-finite value";
+  EXPECT_EQ(bar(nan, 1.0, 10), "") << "nan value";
+  EXPECT_EQ(bar(1.0, inf, 10), "") << "non-finite max";
+  EXPECT_EQ(bar(1.0, nan, 10), "") << "nan max";
 }
 
 }  // namespace
