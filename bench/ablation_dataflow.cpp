@@ -80,6 +80,5 @@ int main() {
       "paper: WS+near-memory wins on virtually every conv layer; psums are "
       "13-20%% of\nactivation-memory accesses, so near-memory accumulation "
       "is not energy-critical.\n");
-  report.write();
-  return 0;
+  return report.write() ? 0 : 1;
 }

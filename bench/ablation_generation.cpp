@@ -88,6 +88,5 @@ int main() {
   report.add_table("fill_bandwidth", bw);
   report.add_table("progressive_accuracy", acc);
   report.set("serial_total_cycles", static_cast<double>(serial.total_cycles));
-  report.write();
-  return 0;
+  return report.write() ? 0 : 1;
 }

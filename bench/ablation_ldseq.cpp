@@ -128,6 +128,5 @@ int main() {
   report.add_table("cross_correlation", t3);
   report.set("sobol_dimensions",
              static_cast<double>(SobolSource::kDimensions));
-  report.write();
-  return 0;
+  return report.write() ? 0 : 1;
 }

@@ -61,6 +61,5 @@ int main() {
   report.set("achievable_vdd", r.achievable_vdd);
   report.set("shadow_area_cost", (a_full - a_no_shadow) / a_no_shadow);
   report.set("pipeline_reg_area_cost", (a_full - a_no_pipe) / a_no_pipe);
-  report.write();
-  return 0;
+  return report.write() ? 0 : 1;
 }

@@ -11,6 +11,7 @@
 //   GEO_CACHE_DIR       trained-weight cache dir   (default .geo_cache)
 //   GEO_BENCH_JSON_DIR  where BENCH_*.json lands   (default .)
 //   GEO_BENCH_JSON      =0 disables the JSON artifacts
+//   GEO_SEED            master seed; reseeds bench model init coherently
 #pragma once
 
 #include <cstdio>
@@ -20,6 +21,7 @@
 #include <utility>
 
 #include "arch/report.hpp"
+#include "core/env.hpp"
 #include "nn/dataset.hpp"
 #include "nn/models.hpp"
 #include "nn/trainer.hpp"
@@ -56,8 +58,11 @@ inline double accuracy_percent(const std::string& model_name,
                                const nn::ScModelConfig& cfg,
                                const BenchSizes& sizes,
                                bool cache = true) {
+  // GEO_SEED reseeds the model initializer; unset keeps the historical 42.
+  const auto model_seed = static_cast<unsigned>(
+      core::seed_or(42, "bench.model") & 0x7FFFFFFFu);
   nn::Sequential net =
-      nn::make_model(model_name, train_set.channels(), 10, cfg, 42);
+      nn::make_model(model_name, train_set.channels(), 10, cfg, model_seed);
   nn::TrainOptions opts;
   opts.epochs = sizes.epochs;
   if (cfg.mode == nn::ScModelConfig::Mode::kStochastic) {
@@ -81,6 +86,9 @@ inline double accuracy_percent(const std::string& model_name,
     opts.cache_key = model_name + "_" + train_set.name + "_" + cfg.key() +
                      "_n" + std::to_string(train_set.count()) + "_e" +
                      std::to_string(sizes.epochs);
+    // A reseeded run must not collide with the default-seed cache entries.
+    if (core::global_seed().has_value())
+      opts.cache_key += "_gs" + std::to_string(*core::global_seed());
   }
   return nn::train(net, train_set, test_set, opts).test_accuracy * 100.0;
 }
@@ -136,8 +144,18 @@ class BenchReport {
     return d + "/BENCH_" + name_ + ".json";
   }
 
-  // Attaches the metrics snapshot and writes the artifact. Honors
-  // GEO_BENCH_JSON=0. Returns success (disabled counts as success).
+  // Validates a rendered report document: structurally parseable JSON that
+  // carries the geo-bench-v1 schema marker. Split out so tests can feed it
+  // arbitrary text.
+  static bool validate(const std::string& text) {
+    return telemetry::json_valid(text) &&
+           text.find("\"schema\": \"geo-bench-v1\"") != std::string::npos;
+  }
+
+  // Attaches the metrics snapshot, validates the rendered document with the
+  // telemetry JSON validator, and writes the artifact. A report that fails
+  // validation is not written and fails the bench (callers exit nonzero on
+  // false). Honors GEO_BENCH_JSON=0; disabled counts as success.
   bool write() {
     if (env_int("GEO_BENCH_JSON", 1) == 0) return true;
     const std::string file = path();
@@ -149,6 +167,11 @@ class BenchReport {
     root_.set("metrics",
               telemetry::metrics_to_json(
                   telemetry::MetricsRegistry::instance()));
+    if (!validate(root_.dump())) {
+      std::fprintf(stderr, "[bench] %s failed JSON validation; not written\n",
+                   file.c_str());
+      return false;
+    }
     const bool ok = root_.write_file(file);
     std::printf("\n[bench] %s %s\n", ok ? "wrote" : "FAILED to write",
                 file.c_str());

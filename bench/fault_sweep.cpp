@@ -1,0 +1,178 @@
+// Fault-injection sweep: accuracy and cycle overhead of one GeoMachine
+// convolution layer as a function of injected fault rate.
+//
+//   Table 1  stream-bit flip rate sweep, SC (kPbw) vs fixed-point (kFxp)
+//   Table 2  SRAM read-error rate sweep under each ECC mode
+//
+// Emits BENCH_fault_sweep.json with two machine-checkable scalars:
+//   stream_accuracy_monotonic  1 if accuracy degrades monotonically with
+//                              the stream flip rate in both accum modes
+//   ecc_on_more_accurate       1 if SECDED beats ecc=none at every swept
+//                              SRAM error rate
+//
+//   ./bench/fault_sweep
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "arch/machine.hpp"
+#include "arch/report.hpp"
+#include "bench_util.hpp"
+#include "fault/fault_model.hpp"
+
+namespace {
+
+using geo::arch::ConvShape;
+using geo::arch::GeoMachine;
+using geo::arch::HwConfig;
+using geo::arch::MachineResult;
+using geo::fault::EccMode;
+using geo::fault::FaultConfig;
+using geo::fault::ScopedFaultInjection;
+
+struct Workload {
+  ConvShape shape = ConvShape::conv("fsweep", 8, 8, 8, 3, 1, false);
+  std::vector<float> weights, input, scale, shift;
+
+  Workload() {
+    const auto seed = static_cast<unsigned>(
+        geo::core::seed_or(7, "bench.fault_sweep") & 0x7FFFFFFFu);
+    std::mt19937 rng(seed);
+    std::uniform_real_distribution<float> wdist(-0.6f, 0.6f);
+    std::uniform_real_distribution<float> adist(0.0f, 1.0f);
+    weights.resize(static_cast<std::size_t>(shape.weights()));
+    for (auto& w : weights) w = wdist(rng);
+    input.resize(static_cast<std::size_t>(shape.activations()));
+    for (auto& a : input) a = adist(rng);
+    scale.assign(static_cast<std::size_t>(shape.cout), 1.0f);
+    shift.assign(static_cast<std::size_t>(shape.cout), 0.0f);
+  }
+
+  MachineResult run(const HwConfig& hw) const {
+    GeoMachine machine(hw);
+    return machine.run_conv(shape, weights, input, scale, shift, /*salt=*/3);
+  }
+};
+
+// Mean |counter delta| per output, normalized by stream length, expressed as
+// an accuracy percentage (100 = bit-identical to the clean run).
+double accuracy_vs(const MachineResult& clean, const MachineResult& faulty,
+                   double stream_len) {
+  double err = 0.0;
+  for (std::size_t i = 0; i < clean.counters.size(); ++i)
+    err += std::abs(static_cast<double>(faulty.counters[i]) -
+                    static_cast<double>(clean.counters[i]));
+  err /= static_cast<double>(clean.counters.size()) * stream_len;
+  return 100.0 * (1.0 - std::min(1.0, err));
+}
+
+std::string fmt(double v, const char* spec = "%.3f") {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, spec, v);
+  return buf;
+}
+
+}  // namespace
+
+int main() {
+  using geo::arch::Table;
+  geo::bench::BenchReport report("fault_sweep");
+  const Workload wl;
+
+  const double rates[] = {0.0, 1e-3, 1e-2, 5e-2, 0.1};
+  const struct {
+    const char* name;
+    geo::nn::AccumMode accum;
+  } modes[] = {{"sc-pbw", geo::nn::AccumMode::kPbw},
+               {"fxp", geo::nn::AccumMode::kFxp}};
+
+  std::printf("Fault sweep | conv %dx%dx%d k%d, %lld outputs\n\n",
+              wl.shape.cin, wl.shape.hin, wl.shape.win, wl.shape.kh,
+              static_cast<long long>(wl.shape.outputs()));
+
+  // --- stream-bit flips: SC vs fixed-point accumulation ---------------------
+  Table stream_table(
+      {"accum", "flip rate", "accuracy %", "flipped bits", "cycles",
+       "overhead %"});
+  bool monotonic = true;
+  for (const auto& mode : modes) {
+    HwConfig hw = HwConfig::ulp();
+    hw.accum = mode.accum;
+    const ScopedFaultInjection off(nullptr);  // clean reference
+    const MachineResult clean = wl.run(hw);
+    double prev_acc = 101.0;
+    for (const double rate : rates) {
+      double acc = 100.0;
+      long long flipped = 0;
+      long long cycles = clean.stats.total_cycles;
+      if (rate > 0.0) {
+        FaultConfig cfg;
+        cfg.stream_flip_rate = rate;
+        cfg.rng_seed = 99;
+        ScopedFaultInjection inject(cfg);
+        const MachineResult faulty = wl.run(hw);
+        acc = accuracy_vs(clean, faulty, hw.stream_len);
+        const auto st = inject.model().stats();
+        flipped = st.stream_bits_flipped;
+        cycles = faulty.stats.total_cycles;
+      }
+      if (acc > prev_acc + 1e-12) monotonic = false;
+      prev_acc = acc;
+      const double overhead =
+          100.0 * (static_cast<double>(cycles) / clean.stats.total_cycles -
+                   1.0);
+      stream_table.add_row({mode.name, fmt(rate, "%.0e"), fmt(acc),
+                            std::to_string(flipped), std::to_string(cycles),
+                            fmt(overhead, "%.2f")});
+    }
+  }
+  std::printf("stream-bit flips (SC vs fixed-point accumulation)\n");
+  stream_table.print();
+  report.add_table("stream_flips", stream_table);
+  report.set("stream_accuracy_monotonic", monotonic ? 1.0 : 0.0);
+
+  // --- SRAM read errors under each ECC mode ---------------------------------
+  Table sram_table({"ecc", "error rate", "accuracy %", "detected",
+                    "corrected", "silent", "retry cyc", "cycles"});
+  bool ecc_wins = true;
+  {
+    HwConfig hw = HwConfig::ulp();
+    const ScopedFaultInjection off(nullptr);
+    const MachineResult clean = wl.run(hw);
+    for (const double rate : {1e-3, 5e-3, 2e-2}) {
+      double acc_none = 0.0, acc_secded = 0.0;
+      for (const EccMode ecc :
+           {EccMode::kNone, EccMode::kParity, EccMode::kSecded}) {
+        FaultConfig cfg;
+        cfg.sram_error_rate = rate;
+        cfg.ecc = ecc;
+        cfg.rng_seed = 99;
+        ScopedFaultInjection inject(cfg);
+        const MachineResult faulty = wl.run(hw);
+        const double acc = accuracy_vs(clean, faulty, hw.stream_len);
+        const auto st = inject.model().stats();
+        sram_table.add_row(
+            {geo::fault::to_string(ecc), fmt(rate, "%.0e"), fmt(acc),
+             std::to_string(st.sram_errors_detected),
+             std::to_string(st.sram_errors_corrected),
+             std::to_string(st.sram_silent_corruptions),
+             std::to_string(st.sram_retry_cycles),
+             std::to_string(faulty.stats.total_cycles)});
+        if (ecc == EccMode::kNone) acc_none = acc;
+        if (ecc == EccMode::kSecded) acc_secded = acc;
+      }
+      if (acc_secded <= acc_none) ecc_wins = false;
+    }
+  }
+  std::printf("\nSRAM read errors vs ECC mode\n");
+  sram_table.print();
+  report.add_table("sram_ecc", sram_table);
+  report.set("ecc_on_more_accurate", ecc_wins ? 1.0 : 0.0);
+
+  std::printf("\nstream_accuracy_monotonic=%d ecc_on_more_accurate=%d\n",
+              monotonic ? 1 : 0, ecc_wins ? 1 : 0);
+  return report.write() ? 0 : 1;
+}

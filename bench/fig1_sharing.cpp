@@ -105,6 +105,5 @@ int main() {
              lfsr_moderate[0] - trng_none[0]);
   report.set("lfsr_moderate_minus_trng_none_at_128",
              lfsr_moderate[1] - trng_none[1]);
-  report.write();
-  return 0;
+  return report.write() ? 0 : 1;
 }

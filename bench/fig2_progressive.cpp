@@ -111,6 +111,5 @@ int main() {
     report.set(progressive ? "pipeline_progressive_shadow" : "pipeline_normal",
                std::move(pipe));
   }
-  report.write();
-  return 0;
+  return report.write() ? 0 : 1;
 }

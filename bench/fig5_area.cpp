@@ -64,6 +64,5 @@ int main() {
   report.set("pbw_overhead_large", pbw_large - 1.0);
   report.set("fxp_vs_or_large", fxp_large);
   report.set("apc_vs_pbw_large", apc_vs_pbw);
-  report.write();
-  return 0;
+  return report.write() ? 0 : 1;
 }

@@ -91,6 +91,5 @@ int main() {
     raw.push(std::move(row));
   }
   report.set("configurations", std::move(raw));
-  report.write();
-  return 0;
+  return report.write() ? 0 : 1;
 }

@@ -141,6 +141,5 @@ int main(int argc, char** argv) {
     std::error_code ec;
     std::filesystem::remove(raw_path, ec);
   }
-  report.write();
-  return 0;
+  return report.write() ? 0 : 1;
 }

@@ -122,6 +122,5 @@ int main() {
   report.set("train", static_cast<double>(sizes.train));
   report.set("test", static_cast<double>(sizes.test));
   report.set("epochs", static_cast<double>(sizes.epochs));
-  report.write();
-  return 0;
+  return report.write() ? 0 : 1;
 }

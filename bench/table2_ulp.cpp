@@ -109,6 +109,5 @@ int main() {
              geo3264_cnn.frames_per_second / aco_cnn.frames_per_second);
   report.set("geo3264_vs_acoustic_fpj",
              geo3264_cnn.frames_per_joule / aco_cnn.frames_per_joule);
-  report.write();
-  return 0;
+  return report.write() ? 0 : 1;
 }

@@ -105,6 +105,5 @@ int main() {
              geo32_vgg.frames_per_joule / aco_vgg.frames_per_joule);
   report.set("geo_lp_area_fraction_of_scope",
              geo64.area().total() / scope.area_mm2);
-  report.write();
-  return 0;
+  return report.write() ? 0 : 1;
 }

@@ -15,6 +15,7 @@ set(GEO_BENCHES
   ablation_ldseq
   ablation_pipeline
   micro_sc_kernels
+  fault_sweep
 )
 
 foreach(name ${GEO_BENCHES})

@@ -1,6 +1,7 @@
 #include "arch/isa.hpp"
 
 #include <array>
+#include <charconv>
 #include <sstream>
 #include <stdexcept>
 
@@ -53,10 +54,11 @@ Instruction Instruction::decode(std::uint64_t word) {
   return inst;
 }
 
-Instruction Instruction::parse(const std::string& line) {
+geo::StatusOr<Instruction> Instruction::try_parse(const std::string& line) {
   std::istringstream is(line);
   std::string m;
-  if (!(is >> m)) throw std::invalid_argument("Instruction::parse: empty");
+  if (!(is >> m))
+    return geo::Status::invalid_argument("Instruction::parse: empty line");
   Instruction inst;
   bool found = false;
   for (std::size_t i = 0; i < kMnemonics.size(); ++i)
@@ -66,9 +68,34 @@ Instruction Instruction::parse(const std::string& line) {
       break;
     }
   if (!found)
-    throw std::invalid_argument("Instruction::parse: unknown mnemonic " + m);
-  is >> inst.arg0 >> inst.arg1 >> inst.arg2;
+    return geo::Status::invalid_argument(
+        "Instruction::parse: unknown mnemonic '" + m + "'");
+  std::int32_t* const args[3] = {&inst.arg0, &inst.arg1, &inst.arg2};
+  std::string tok;
+  int count = 0;
+  while (is >> tok) {
+    if (count >= 3)
+      return geo::Status::invalid_argument(
+          "Instruction::parse: more than 3 operands in '" + line + "'");
+    std::int32_t v = 0;
+    const char* first = tok.data();
+    const char* last = tok.data() + tok.size();
+    const auto [ptr, ec] = std::from_chars(first, last, v);
+    if (ec != std::errc() || ptr != last)
+      return geo::Status::invalid_argument(
+          "Instruction::parse: operand '" + tok + "' is not an integer");
+    if (v < -32768 || v > 32767)
+      return geo::Status::out_of_range(
+          "Instruction::parse: operand '" + tok + "' exceeds 16 bits");
+    *args[count++] = v;
+  }
   return inst;
+}
+
+Instruction Instruction::parse(const std::string& line) {
+  auto inst = try_parse(line);
+  if (!inst.ok()) throw std::invalid_argument(inst.status().to_string());
+  return *inst;
 }
 
 std::string Program::to_text() const {

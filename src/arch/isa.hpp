@@ -11,6 +11,8 @@
 #include <string>
 #include <vector>
 
+#include "core/status.hpp"
+
 namespace geo::arch {
 
 enum class Opcode : std::uint8_t {
@@ -46,8 +48,12 @@ struct Instruction {
   std::uint64_t encode() const;
   static Instruction decode(std::uint64_t word);
 
-  // Parses one assembly line, e.g. "genexec 256 512". Throws on malformed
-  // input.
+  // Parses one assembly line, e.g. "genexec 256 512". Rejects unknown
+  // mnemonics, non-numeric or out-of-16-bit-range operands, and more than
+  // three operands.
+  static geo::StatusOr<Instruction> try_parse(const std::string& line);
+
+  // Throwing wrapper around try_parse (std::invalid_argument).
   static Instruction parse(const std::string& line);
 };
 

@@ -5,7 +5,9 @@
 #include <cassert>
 #include <cmath>
 #include <stdexcept>
+#include <string>
 
+#include "fault/fault_model.hpp"
 #include "nn/quantize.hpp"
 #include "sc/progressive.hpp"
 #include "sc/seed_sharing.hpp"
@@ -24,30 +26,45 @@ std::size_t popcount_words(const std::uint64_t* w, std::size_t n) {
 }
 
 // Generates one magnitude stream exactly like the nn SC layers do (shared
-// code path requirement for the bit-exactness contract).
+// code path requirement for the bit-exactness contract). `fm` may be null;
+// when set, seed upsets hit the SNG before generation and stream bit flips
+// hit the buffer after — keyed by (domain, site) so the nn reference injects
+// the identical faults into the identical slots.
 void generate_stream(std::uint64_t* dst, std::size_t wpl, std::size_t length,
-                     const nn::ScLayerConfig& cfg, const sc::SeedSpec& spec,
-                     std::uint32_t q) {
+                     const nn::ScLayerConfig& cfg, sc::SeedSpec spec,
+                     std::uint32_t q, fault::FaultModel* fm,
+                     fault::FaultModel::Site domain, std::uint64_t site) {
   std::fill(dst, dst + wpl, 0);
-  if (q == 0) return;
-  const unsigned n = spec.bits;
-  sc::Bitstream stream;
-  if (cfg.progressive) {
-    sc::ProgressiveSchedule sched;
-    sched.value_bits = cfg.value_bits;
-    sched.lfsr_bits = n;
-    sc::ProgressiveSng sng(cfg.rng, spec, sched);
-    stream = sng.generate(q, length);
-  } else {
-    const std::uint32_t vn = n >= cfg.value_bits
-                                 ? q << (n - cfg.value_bits)
-                                 : q >> (cfg.value_bits - n);
-    if (vn == 0) return;
-    sc::Sng sng(cfg.rng, spec);
-    stream = sng.generate(vn, length);
+  if (fm != nullptr) spec = fm->corrupt_seed(spec, site);
+  const bool generate = q != 0;
+  if (generate) {
+    const unsigned n = spec.bits;
+    sc::Bitstream stream;
+    bool have = true;
+    if (cfg.progressive) {
+      sc::ProgressiveSchedule sched;
+      sched.value_bits = cfg.value_bits;
+      sched.lfsr_bits = n;
+      sc::ProgressiveSng sng(cfg.rng, spec, sched);
+      stream = sng.generate(q, length);
+    } else {
+      const std::uint32_t vn = n >= cfg.value_bits
+                                   ? q << (n - cfg.value_bits)
+                                   : q >> (cfg.value_bits - n);
+      if (vn == 0) {
+        have = false;
+      } else {
+        sc::Sng sng(cfg.rng, spec);
+        stream = sng.generate(vn, length);
+      }
+    }
+    if (have) {
+      const auto src = stream.words();
+      std::copy(src.begin(), src.end(), dst);
+    }
   }
-  const auto src = stream.words();
-  std::copy(src.begin(), src.end(), dst);
+  // A defective buffer cell flips bits even in an all-zero stream.
+  if (fm != nullptr) fm->corrupt_stream(dst, length, domain, site);
 }
 
 }  // namespace
@@ -68,17 +85,74 @@ nn::ScLayerConfig GeoMachine::layer_config(const ConvShape& shape,
   return cfg;
 }
 
+geo::Status GeoMachine::validate_conv(const ConvShape& shape,
+                                      std::span<const float> weights,
+                                      std::span<const float> input,
+                                      std::span<const float> bn_scale,
+                                      std::span<const float> bn_shift) const {
+  auto fail = [](const std::string& msg) {
+    return geo::Status::invalid_argument("GeoMachine: " + msg);
+  };
+  if (shape.cin < 1 || shape.cout < 1 || shape.hin < 1 || shape.win < 1 ||
+      shape.kh < 1 || shape.kw < 1)
+    return fail("shape '" + shape.name + "' has non-positive dimensions");
+  if (shape.stride < 1)
+    return fail("shape '" + shape.name + "' has stride < 1");
+  if (shape.pad < 0)
+    return fail("shape '" + shape.name + "' has negative padding");
+  if (shape.kh > shape.hin + 2 * shape.pad ||
+      shape.kw > shape.win + 2 * shape.pad)
+    return fail("shape '" + shape.name + "' kernel exceeds padded input");
+  if (shape.hout() < 1 || shape.wout() < 1)
+    return fail("shape '" + shape.name + "' yields an empty output");
+  if (weights.size() != static_cast<std::size_t>(shape.weights()))
+    return fail("weight count mismatch: got " +
+                std::to_string(weights.size()) + ", shape wants " +
+                std::to_string(shape.weights()));
+  if (input.size() != static_cast<std::size_t>(shape.activations()))
+    return fail("input size mismatch: got " + std::to_string(input.size()) +
+                ", shape wants " + std::to_string(shape.activations()));
+  if (bn_scale.size() != static_cast<std::size_t>(shape.cout) ||
+      bn_shift.size() != bn_scale.size())
+    return fail("BN coefficient count mismatch: got " +
+                std::to_string(bn_scale.size()) + "/" +
+                std::to_string(bn_shift.size()) + ", shape wants " +
+                std::to_string(shape.cout));
+  return geo::Status();
+}
+
 MachineResult GeoMachine::run_conv(const ConvShape& shape,
                                    std::span<const float> weights,
                                    std::span<const float> input,
                                    std::span<const float> bn_scale,
                                    std::span<const float> bn_shift,
                                    std::uint64_t layer_salt) {
+  auto result = try_run_conv(shape, weights, input, bn_scale, bn_shift,
+                             layer_salt);
+  if (!result.ok()) throw std::invalid_argument(result.status().to_string());
+  return std::move(result).value();
+}
+
+geo::StatusOr<MachineResult> GeoMachine::try_run_conv(
+    const ConvShape& shape, std::span<const float> weights,
+    std::span<const float> input, std::span<const float> bn_scale,
+    std::span<const float> bn_shift, std::uint64_t layer_salt) {
+  // Fail closed: reject malformed layers before any buffer is allocated or
+  // any telemetry is emitted.
+  if (geo::Status s =
+          validate_conv(shape, weights, input, bn_scale, bn_shift);
+      !s.ok())
+    return s;
+
   telemetry::ScopedTimer run_timer("machine.run_conv", "machine");
   const Compiler compiler(hw_);
   const LayerPlan plan = compiler.plan_layer(shape,
                                              compiler.natural_dataflow());
   const nn::ScLayerConfig cfg = layer_config(shape, layer_salt);
+
+  fault::FaultModel* const fm = fault::active();
+  const std::int64_t fault_retry0 =
+      fm != nullptr ? fm->stats().sram_retry_cycles : 0;
 
   const int L = cfg.stream_len;
   const std::size_t wpl = static_cast<std::size_t>((L + 63) / 64);
@@ -86,14 +160,6 @@ MachineResult GeoMachine::run_conv(const ConvShape& shape,
   const int K = shape.taps();
   const int ho = shape.hout(), wo = shape.wout();
   const std::int64_t outputs = shape.outputs();
-
-  if (weights.size() != static_cast<std::size_t>(shape.weights()))
-    throw std::invalid_argument("GeoMachine: weight count mismatch");
-  if (input.size() != static_cast<std::size_t>(shape.activations()))
-    throw std::invalid_argument("GeoMachine: input size mismatch");
-  if (bn_scale.size() != static_cast<std::size_t>(shape.cout) ||
-      bn_shift.size() != bn_scale.size())
-    throw std::invalid_argument("GeoMachine: BN coefficient count mismatch");
 
   const sc::KernelExtents ext{shape.cout, shape.cin, shape.kh, shape.kw};
   const sc::SeedAllocator alloc(cfg.sharing, n, ext, layer_salt);
@@ -111,12 +177,16 @@ MachineResult GeoMachine::run_conv(const ConvShape& shape,
         for (int ky = 0; ky < shape.kh; ++ky)
           for (int kx = 0; kx < shape.kw; ++kx, ++idx) {
             const float w = std::clamp(weights[idx], -1.0f, 1.0f);
-            const std::uint32_t q =
+            std::uint32_t q =
                 nn::quantize_unsigned(std::abs(w), cfg.value_bits);
+            if (fm != nullptr)
+              q = fm->sram_read(q, cfg.value_bits,
+                                fault::FaultModel::Site::kWeightSram, idx);
             const sc::SeedSpec spec = alloc.weight({oc, ic, ky, kx});
             generate_stream(
                 (w >= 0.0f ? &wpos : &wneg)->data() + idx * wpl, wpl,
-                static_cast<std::size_t>(L), cfg, spec, q);
+                static_cast<std::size_t>(L), cfg, spec, q, fm,
+                fault::FaultModel::Site::kWeightStream, idx);
           }
   }
 
@@ -130,10 +200,14 @@ MachineResult GeoMachine::run_conv(const ConvShape& shape,
     if (!act_ready[idx]) {
       act_gen_counter.add(1);
       const float a = std::clamp(input[idx], 0.0f, 1.0f);
-      const std::uint32_t q = nn::quantize_unsigned(a, cfg.value_bits);
+      std::uint32_t q = nn::quantize_unsigned(a, cfg.value_bits);
+      if (fm != nullptr)
+        q = fm->sram_read(q, cfg.value_bits,
+                          fault::FaultModel::Site::kActSram, idx);
       generate_stream(act.data() + idx * wpl, wpl,
                       static_cast<std::size_t>(L), cfg,
-                      alloc.activation(static_cast<int>(idx)), q);
+                      alloc.activation(static_cast<int>(idx)), q, fm,
+                      fault::FaultModel::Site::kActStream, idx);
       act_ready[idx] = 1;
     }
     return act.data() + idx * wpl;
@@ -161,6 +235,18 @@ MachineResult GeoMachine::run_conv(const ConvShape& shape,
   }
   std::vector<std::uint64_t> scratch(static_cast<std::size_t>(groups) * 2 *
                                      wpl);
+
+  // Fault-path scratch (allocated only when a model is active; the clean
+  // path never touches these).
+  const bool direct_accum = cfg.accum == nn::AccumMode::kFxp ||
+                            cfg.accum == nn::AccumMode::kApc;
+  const bool accum_faults = fm != nullptr && fm->accum_active();
+  const bool stuck_faults = fm != nullptr && fm->stuck_enabled();
+  std::vector<std::uint64_t> prod;  // corrupted pos/neg product streams
+  std::vector<std::uint32_t> cyc;   // per-cycle counts for the stuck column
+  if (accum_faults || (stuck_faults && direct_accum)) prod.resize(2 * wpl);
+  if (stuck_faults && direct_accum)
+    cyc.resize(2 * static_cast<std::size_t>(L));
 
   const double fill = hw_.buffer_fill_bits;
   const double bits_per_value =
@@ -214,8 +300,11 @@ MachineResult GeoMachine::run_conv(const ConvShape& shape,
             if (pos >= xy) break;
             const int oy = static_cast<int>(pos) / wo;
             const int ox = static_cast<int>(pos) % wo;
+            const std::size_t oidx =
+                (static_cast<std::size_t>(oc) * ho + oy) * wo + ox;
 
             std::fill(scratch.begin(), scratch.end(), 0);
+            if (!cyc.empty()) std::fill(cyc.begin(), cyc.end(), 0);
             std::int64_t direct = 0;  // kFxp / kApc path
             for (int t = tap_lo; t < tap_hi; ++t) {
               const int kx = t % shape.kw;
@@ -234,14 +323,58 @@ MachineResult GeoMachine::run_conv(const ConvShape& shape,
                   (static_cast<std::size_t>(oc) * K + t) * wpl;
               const std::uint64_t* wp = &wpos[widx];
               const std::uint64_t* wn = &wneg[widx];
+              if (!prod.empty()) {
+                // The product streams are the accumulator inputs; faults on
+                // the OR-tree / parallel-counter input wires hit here. Site
+                // ids are per (output, tap, channel) wire, mirrored by the
+                // nn reference path.
+                for (std::size_t k = 0; k < wpl; ++k) {
+                  prod[k] = a[k] & wp[k];
+                  prod[wpl + k] = a[k] & wn[k];
+                }
+                if (accum_faults) {
+                  const std::uint64_t asite =
+                      (static_cast<std::uint64_t>(oidx) * K + t) * 2;
+                  fm->corrupt_accum_input(prod.data(),
+                                          static_cast<std::size_t>(L), asite);
+                  fm->corrupt_accum_input(prod.data() + wpl,
+                                          static_cast<std::size_t>(L),
+                                          asite + 1);
+                }
+                wp = prod.data();
+                wn = prod.data() + wpl;
+                a = nullptr;  // products already formed
+              }
+              auto prod_word = [&](const std::uint64_t* ch, std::size_t k) {
+                return a != nullptr ? (a[k] & ch[k]) : ch[k];
+              };
               if (cfg.accum == nn::AccumMode::kFxp ||
                   cfg.accum == nn::AccumMode::kApc) {
                 // The machine's APC reduces to exact counting per product
                 // pair order; we model kApc == kFxp at machine level (the
                 // area model carries the difference).
-                for (std::size_t k = 0; k < wpl; ++k) {
-                  direct += std::popcount(a[k] & wp[k]);
-                  direct -= std::popcount(a[k] & wn[k]);
+                if (!cyc.empty()) {
+                  // Stuck-at needs per-cycle counter values, so scatter the
+                  // product bits into per-cycle pos/neg histograms.
+                  for (std::size_t k = 0; k < wpl; ++k) {
+                    std::uint64_t bp = prod_word(wp, k);
+                    while (bp != 0) {
+                      ++cyc[k * 64 +
+                            static_cast<unsigned>(std::countr_zero(bp))];
+                      bp &= bp - 1;
+                    }
+                    std::uint64_t bn = prod_word(wn, k);
+                    while (bn != 0) {
+                      ++cyc[static_cast<std::size_t>(L) + k * 64 +
+                            static_cast<unsigned>(std::countr_zero(bn))];
+                      bn &= bn - 1;
+                    }
+                  }
+                } else {
+                  for (std::size_t k = 0; k < wpl; ++k) {
+                    direct += std::popcount(prod_word(wp, k));
+                    direct -= std::popcount(prod_word(wn, k));
+                  }
                 }
               } else {
                 int g = 0;
@@ -253,27 +386,50 @@ MachineResult GeoMachine::run_conv(const ConvShape& shape,
                     &scratch[static_cast<std::size_t>(g) * 2 * wpl];
                 std::uint64_t* gn = gp + wpl;
                 for (std::size_t k = 0; k < wpl; ++k) {
-                  gp[k] |= a[k] & wp[k];
-                  gn[k] |= a[k] & wn[k];
+                  gp[k] |= prod_word(wp, k);
+                  gn[k] |= prod_word(wn, k);
                 }
               }
             }
             std::int64_t total = direct;
+            if (!cyc.empty()) {
+              // Direct path under a stuck parallel-counter column: run each
+              // per-cycle count through the defective counter.
+              for (int t = 0; t < L; ++t) {
+                total += fm->apply_stuck(cyc[static_cast<std::size_t>(t)]);
+                total -= fm->apply_stuck(
+                    cyc[static_cast<std::size_t>(L) + t]);
+              }
+            }
             if (cfg.accum == nn::AccumMode::kOr ||
                 cfg.accum == nn::AccumMode::kPbw ||
                 cfg.accum == nn::AccumMode::kPbhw) {
               for (int g = 0; g < groups; ++g) {
                 const std::uint64_t* gp =
                     &scratch[static_cast<std::size_t>(g) * 2 * wpl];
-                total += static_cast<std::int64_t>(popcount_words(gp, wpl));
-                total -= static_cast<std::int64_t>(
-                    popcount_words(gp + wpl, wpl));
+                const std::uint64_t* gn = gp + wpl;
+                if (stuck_faults) {
+                  // Each group's OR output is a 1-bit/cycle count into its
+                  // output-converter counter; the stuck column corrupts it
+                  // cycle by cycle.
+                  for (int t = 0; t < L; ++t) {
+                    const std::uint32_t bp =
+                        static_cast<std::uint32_t>((gp[t >> 6] >> (t & 63)) &
+                                                   1u);
+                    const std::uint32_t bn =
+                        static_cast<std::uint32_t>((gn[t >> 6] >> (t & 63)) &
+                                                   1u);
+                    total += fm->apply_stuck(bp);
+                    total -= fm->apply_stuck(bn);
+                  }
+                } else {
+                  total += static_cast<std::int64_t>(popcount_words(gp, wpl));
+                  total -= static_cast<std::int64_t>(popcount_words(gn, wpl));
+                }
               }
             }
             // Near-memory read-add-write of the partial sum (first slice
             // writes, later slices accumulate).
-            const std::size_t oidx =
-                (static_cast<std::size_t>(oc) * ho + oy) * wo + ox;
             result.counters[oidx] += static_cast<std::int32_t>(total);
             if (slices > 1 && p > 0) ++st.psum_ops;
           }
@@ -300,11 +456,22 @@ MachineResult GeoMachine::run_conv(const ConvShape& shape,
 
   st.nearmem_cycles = static_cast<std::int64_t>(
       2.0 * (st.psum_ops + st.bn_ops) / lanes);
+  // ECC retries on faulty SRAM reads stall the fill network.
+  if (fm != nullptr)
+    st.stall_cycles += fm->stats().sram_retry_cycles - fault_retry0;
   st.total_cycles = st.compute_cycles + st.stall_cycles + st.nearmem_cycles;
   // The cycle ledger must balance: every total cycle is attributed to
-  // exactly one of compute / stall / near-memory.
-  assert(st.total_cycles ==
-         st.compute_cycles + st.stall_cycles + st.nearmem_cycles);
+  // exactly one of compute / stall / near-memory and no bucket may go
+  // negative (a negative bucket means an accounting bug or overflow). This
+  // check is always on — in release builds a violation marks the stats
+  // invalid and bumps machine.ledger_mismatch instead of aborting.
+  st.ledger_ok =
+      st.compute_cycles >= 0 && st.stall_cycles >= 0 &&
+      st.nearmem_cycles >= 0 && st.total_cycles >= 0 &&
+      st.total_cycles ==
+          st.compute_cycles + st.stall_cycles + st.nearmem_cycles;
+  if (!st.ledger_ok) metrics.counter("machine.ledger_mismatch").add(1);
+  assert(st.ledger_ok && "machine cycle ledger must reconcile");
 
   // Mirror the per-run stats into the process-wide registry so telemetry
   // consumers see the same ledger MachineStats reports (the machine_test

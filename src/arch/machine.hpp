@@ -23,6 +23,7 @@
 
 #include "arch/compiler.hpp"
 #include "arch/hw_config.hpp"
+#include "core/status.hpp"
 #include "nn/sc_layers.hpp"
 
 namespace geo::arch {
@@ -37,6 +38,11 @@ struct MachineStats {
   std::int64_t wgt_buffer_fills = 0;
   std::int64_t psum_ops = 0;
   std::int64_t bn_ops = 0;
+  // False when the cycle ledger failed to reconcile (every total cycle must
+  // be attributed to exactly one of compute / stall / near-memory and no
+  // bucket may go negative). Checked always, not just in debug builds; a
+  // mismatch also bumps the machine.ledger_mismatch telemetry counter.
+  bool ledger_ok = true;
 };
 
 // One layer's execution result: quantized output activations (after BN +
@@ -59,12 +65,32 @@ class GeoMachine {
   //   input    : (cin, hin, win) unipolar values in [0, 1]
   //   bn_scale / bn_shift : per-output-channel folded BN coefficients
   //   layer_salt : seed-space rotation, must match the reference model
+  // Throws std::invalid_argument on shape/operand mismatch (legacy API;
+  // implemented on top of try_run_conv).
   MachineResult run_conv(const ConvShape& shape,
                          std::span<const float> weights,
                          std::span<const float> input,
                          std::span<const float> bn_scale,
                          std::span<const float> bn_shift,
                          std::uint64_t layer_salt);
+
+  // Non-throwing variant: pre-flight validates the shape and operand sizes
+  // and returns a structured error instead of crashing or throwing. On
+  // success the MachineResult is identical to run_conv's.
+  geo::StatusOr<MachineResult> try_run_conv(const ConvShape& shape,
+                                            std::span<const float> weights,
+                                            std::span<const float> input,
+                                            std::span<const float> bn_scale,
+                                            std::span<const float> bn_shift,
+                                            std::uint64_t layer_salt);
+
+  // The pre-flight validation used by try_run_conv, exposed for callers that
+  // want to reject bad layers before allocating stream buffers.
+  geo::Status validate_conv(const ConvShape& shape,
+                            std::span<const float> weights,
+                            std::span<const float> input,
+                            std::span<const float> bn_scale,
+                            std::span<const float> bn_shift) const;
 
   const HwConfig& hw() const { return hw_; }
 

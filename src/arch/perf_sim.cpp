@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "fault/fault_model.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace geo::arch {
@@ -87,6 +88,20 @@ PerfResult PerfSim::simulate(const std::vector<LayerPlan>& plans) const {
         static_cast<double>(plan.passes) *
         (plan.stream_cycles + (hw_.pipeline_stage ? 1 : 0));
     lp.stall_cycles = static_cast<double>(plan.passes) * stall;
+    // Analytic counterpart of the machine's ECC retry accounting: SECDED
+    // re-reads every detected-faulty SRAM word (2 cycles each), in
+    // expectation p_word = 1 - (1 - rate)^bits per value read.
+    if (fault::FaultModel* fm = fault::active();
+        fm != nullptr && fm->sram_active() &&
+        fm->config().ecc == fault::EccMode::kSecded) {
+      const double p_word =
+          1.0 - std::pow(1.0 - fm->config().sram_error_rate,
+                         static_cast<double>(hw_.sng_value_bits));
+      lp.stall_cycles +=
+          2.0 * p_word *
+          static_cast<double>(plan.accesses.act_reads +
+                              plan.accesses.wgt_reads);
+    }
     lp.nearmem_cycles =
         2.0 * (plan.nm_psum_ops + plan.nm_bn_ops) / lanes;
     lp.total_cycles = lp.compute_cycles + lp.stall_cycles + lp.nearmem_cycles;

@@ -1,0 +1,96 @@
+#include "arch/program_validator.hpp"
+
+#include <bit>
+#include <string>
+
+namespace geo::arch {
+
+namespace {
+
+geo::Status at(std::size_t index, const Instruction& inst,
+               const std::string& why) {
+  return geo::Status::invalid_argument(
+      "program[" + std::to_string(index) + "] " + mnemonic(inst.op) + ": " +
+      why);
+}
+
+bool fits16(std::int32_t v) { return v >= -32768 && v <= 32767; }
+
+}  // namespace
+
+geo::Status validate_program(const Program& program) {
+  if (program.empty())
+    return geo::Status::invalid_argument("program is empty");
+
+  bool configured = false;
+  bool executed = false;
+  bool halted = false;
+  const auto& code = program.instructions();
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    const Instruction& inst = code[i];
+    if (halted) return at(i, inst, "instruction after halt");
+    if (!fits16(inst.arg0) || !fits16(inst.arg1) || !fits16(inst.arg2))
+      return at(i, inst, "operand exceeds the 16-bit encoding");
+
+    switch (inst.op) {
+      case Opcode::kNop:
+      case Opcode::kBarrier:
+        break;
+      case Opcode::kConfig: {
+        const std::int32_t len = inst.arg0;
+        if (len < 2 || len > 32768 ||
+            !std::has_single_bit(static_cast<std::uint32_t>(len)))
+          return at(i, inst,
+                    "stream length " + std::to_string(len) +
+                        " is not a power of two in [2, 32768]");
+        if (inst.arg1 < 2 || inst.arg1 > 24)
+          return at(i, inst,
+                    "LFSR width " + std::to_string(inst.arg1) +
+                        " outside [2, 24]");
+        if (inst.arg2 < 0 || inst.arg2 > 4)
+          return at(i, inst,
+                    "unknown accumulation mode " + std::to_string(inst.arg2));
+        configured = true;
+        break;
+      }
+      case Opcode::kGenExec:
+        if (!configured)
+          return at(i, inst, "genexec before any config");
+        if (inst.arg0 < 1)
+          return at(i, inst, "stream cycle count must be >= 1");
+        if (inst.arg1 < 1)
+          return at(i, inst, "output count must be >= 1");
+        executed = true;
+        break;
+      case Opcode::kNearMemAcc:
+        if (!executed)
+          return at(i, inst, "near-memory accumulate before any genexec");
+        if (inst.arg0 < 0) return at(i, inst, "negative lane count");
+        break;
+      case Opcode::kStoreOut:
+        if (!executed)
+          return at(i, inst, "store before any genexec produced outputs");
+        if (inst.arg0 < 0) return at(i, inst, "negative store count");
+        break;
+      case Opcode::kLoadWgt:
+      case Opcode::kLoadAct:
+      case Opcode::kNearMemBn:
+      case Opcode::kPool:
+      case Opcode::kLoadExt:
+        if (inst.arg0 < 0) return at(i, inst, "negative count operand");
+        break;
+      case Opcode::kHalt:
+        halted = true;
+        break;
+      default:
+        return at(i, inst, "unknown opcode");
+    }
+  }
+  if (!halted)
+    return geo::Status::invalid_argument(
+        "program does not end with halt (last is '" +
+        std::string(mnemonic(code.back().op)) + "')");
+  return geo::Status();
+}
+
+}  // namespace geo::arch

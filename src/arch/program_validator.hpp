@@ -1,0 +1,27 @@
+// Static validation of GEO instruction sequences.
+//
+// The compiler only emits well-formed programs; this pass exists for
+// everything else that can produce one — hand-written assembly fed through
+// Program::from_text, binary images through Program::decode, or test
+// fuzzing. GeoMachine-style executors call validate_program up front and
+// fail closed with a diagnostic naming the offending instruction index
+// instead of crashing mid-execution.
+//
+// Rules enforced:
+//   * the program is non-empty and ends with kHalt; nothing follows a halt
+//   * operands fit the 16-bit encoding and counts are non-negative
+//   * kConfig carries a power-of-two stream length in [2, 32768], LFSR
+//     width in [2, 24] and a known accumulation mode, and appears before
+//     the first kGenExec
+//   * kGenExec runs at least one cycle and produces at least one output
+//   * kNearMemAcc and kStoreOut only appear after a kGenExec produced data
+#pragma once
+
+#include "arch/isa.hpp"
+#include "core/status.hpp"
+
+namespace geo::arch {
+
+geo::Status validate_program(const Program& program);
+
+}  // namespace geo::arch

@@ -1,0 +1,46 @@
+#include "core/env.hpp"
+
+#include <charconv>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace geo::core {
+
+std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+std::optional<std::uint64_t> global_seed() {
+  static const std::optional<std::uint64_t> seed = []() -> std::optional<std::uint64_t> {
+    const char* v = std::getenv("GEO_SEED");
+    if (v == nullptr || v[0] == '\0') return std::nullopt;
+    std::uint64_t parsed = 0;
+    const char* end = v + std::strlen(v);
+    const auto [ptr, ec] = std::from_chars(v, end, parsed);
+    if (ec != std::errc() || ptr != end) {
+      std::fprintf(stderr, "[geo] GEO_SEED='%s' is not a uint64; ignored\n",
+                   v);
+      return std::nullopt;
+    }
+    return parsed;
+  }();
+  return seed;
+}
+
+std::uint64_t seed_or(std::uint64_t fallback, std::string_view domain) {
+  const std::optional<std::uint64_t> master = global_seed();
+  if (!master.has_value()) return fallback;
+  // FNV-1a over the domain, folded with the master seed.
+  std::uint64_t h = 0xCBF29CE484222325ull;
+  for (const char c : domain) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001B3ull;
+  }
+  return mix64(*master ^ h);
+}
+
+}  // namespace geo::core

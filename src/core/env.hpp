@@ -1,0 +1,33 @@
+// Process-wide RNG seeding (GEO_SEED).
+//
+// Every stochastic knob in the stack — the trainer's shuffle order, the
+// bench model initializers, and the fault model's per-site RNG — derives its
+// state through `seed_or`, so one documented environment variable reseeds
+// the whole pipeline coherently:
+//
+//   GEO_SEED=<uint64>   master seed; unset keeps each component's historical
+//                       default (bit-identical to builds before this knob)
+//
+// Components pass a `domain` string so different consumers of the same
+// master seed stay decorrelated.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace geo::core {
+
+// The GEO_SEED value, parsed once per process (empty/garbage counts as
+// unset; a parse failure is reported once on stderr).
+std::optional<std::uint64_t> global_seed();
+
+// `fallback` when GEO_SEED is unset; otherwise a 64-bit value derived
+// deterministically from (GEO_SEED, domain).
+std::uint64_t seed_or(std::uint64_t fallback, std::string_view domain);
+
+// Stateless 64-bit mix (splitmix64 finalizer) — shared by the seed
+// derivation and the fault model's per-site RNG.
+std::uint64_t mix64(std::uint64_t x) noexcept;
+
+}  // namespace geo::core

@@ -1,0 +1,25 @@
+#include "core/status.hpp"
+
+namespace geo {
+
+const char* to_string(StatusCode code) noexcept {
+  switch (code) {
+    case StatusCode::kOk: return "ok";
+    case StatusCode::kInvalidArgument: return "invalid-argument";
+    case StatusCode::kFailedPrecondition: return "failed-precondition";
+    case StatusCode::kOutOfRange: return "out-of-range";
+    case StatusCode::kDataLoss: return "data-loss";
+    case StatusCode::kInternal: return "internal";
+  }
+  return "?";
+}
+
+std::string Status::to_string() const {
+  if (ok()) return "ok";
+  std::string out = geo::to_string(code_);
+  out += ": ";
+  out += message_;
+  return out;
+}
+
+}  // namespace geo

@@ -1,0 +1,412 @@
+#include "fault/fault_model.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/env.hpp"
+#include "sc/lfsr.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace geo::fault {
+
+namespace {
+
+// Telemetry mirrors, hoisted once (registry lookups take a mutex).
+struct FaultCounters {
+  telemetry::Counter& stream;
+  telemetry::Counter& accum;
+  telemetry::Counter& seeds;
+  telemetry::Counter& sram_corrupted;
+  telemetry::Counter& sram_detected;
+  telemetry::Counter& sram_corrected;
+  telemetry::Counter& sram_silent;
+  telemetry::Counter& sram_retry;
+  telemetry::Counter& stuck;
+};
+
+FaultCounters& counters() {
+  auto& m = telemetry::MetricsRegistry::instance();
+  static FaultCounters c{m.counter("fault.stream_bits_flipped"),
+                         m.counter("fault.accum_bits_flipped"),
+                         m.counter("fault.seed_upsets"),
+                         m.counter("fault.sram_words_corrupted"),
+                         m.counter("fault.sram_errors_detected"),
+                         m.counter("fault.sram_errors_corrected"),
+                         m.counter("fault.sram_silent_corruptions"),
+                         m.counter("fault.sram_retry_cycles"),
+                         m.counter("fault.stuck_column_events")};
+  return c;
+}
+
+bool parse_double(std::string_view tok, double& out) {
+  const auto [ptr, ec] =
+      std::from_chars(tok.data(), tok.data() + tok.size(), out);
+  return ec == std::errc() && ptr == tok.data() + tok.size();
+}
+
+bool parse_u64(std::string_view tok, std::uint64_t& out) {
+  const auto [ptr, ec] =
+      std::from_chars(tok.data(), tok.data() + tok.size(), out);
+  return ec == std::errc() && ptr == tok.data() + tok.size();
+}
+
+}  // namespace
+
+const char* to_string(EccMode mode) noexcept {
+  switch (mode) {
+    case EccMode::kNone: return "none";
+    case EccMode::kParity: return "parity";
+    case EccMode::kSecded: return "secded";
+  }
+  return "?";
+}
+
+bool FaultConfig::any() const noexcept {
+  return stream_flip_rate > 0.0 || accum_flip_rate > 0.0 ||
+         seed_upset_rate > 0.0 || sram_error_rate > 0.0 || stuck.enabled();
+}
+
+geo::StatusOr<FaultConfig> FaultConfig::parse(std::string_view spec) {
+  FaultConfig cfg;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t comma = spec.find(',', pos);
+    if (comma == std::string_view::npos) comma = spec.size();
+    const std::string_view item = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (item.empty()) continue;
+    const std::size_t eq = item.find('=');
+    if (eq == std::string_view::npos)
+      return geo::Status::invalid_argument(
+          "GEO_FAULTS: '" + std::string(item) + "' is not key=value");
+    const std::string_view key = item.substr(0, eq);
+    const std::string_view val = item.substr(eq + 1);
+    auto rate = [&](double& field) -> geo::Status {
+      double r = 0.0;
+      if (!parse_double(val, r) || r < 0.0 || r > 1.0)
+        return geo::Status::out_of_range(
+            "GEO_FAULTS: " + std::string(key) + "='" + std::string(val) +
+            "' must be a rate in [0,1]");
+      field = r;
+      return geo::Status();
+    };
+    if (key == "stream") {
+      if (auto s = rate(cfg.stream_flip_rate); !s.ok()) return s;
+    } else if (key == "accum") {
+      if (auto s = rate(cfg.accum_flip_rate); !s.ok()) return s;
+    } else if (key == "seed") {
+      if (auto s = rate(cfg.seed_upset_rate); !s.ok()) return s;
+    } else if (key == "sram") {
+      if (auto s = rate(cfg.sram_error_rate); !s.ok()) return s;
+    } else if (key == "burst") {
+      std::uint64_t b = 0;
+      if (!parse_u64(val, b) || b < 1 || b > 32)
+        return geo::Status::out_of_range(
+            "GEO_FAULTS: burst='" + std::string(val) +
+            "' must be an integer in [1,32]");
+      cfg.sram_burst = static_cast<int>(b);
+    } else if (key == "ecc") {
+      if (val == "none")
+        cfg.ecc = EccMode::kNone;
+      else if (val == "parity")
+        cfg.ecc = EccMode::kParity;
+      else if (val == "secded")
+        cfg.ecc = EccMode::kSecded;
+      else
+        return geo::Status::invalid_argument(
+            "GEO_FAULTS: ecc='" + std::string(val) +
+            "' (want none|parity|secded)");
+    } else if (key == "stuck") {
+      const std::size_t colon = val.find(':');
+      const std::string_view col = val.substr(0, colon);
+      std::uint64_t c = 0;
+      if (!parse_u64(col, c) || c > 31)
+        return geo::Status::out_of_range(
+            "GEO_FAULTS: stuck='" + std::string(val) +
+            "' must be <col>[:<0|1>] with col in [0,31]");
+      cfg.stuck.column = static_cast<int>(c);
+      cfg.stuck.value = false;
+      if (colon != std::string_view::npos) {
+        const std::string_view v = val.substr(colon + 1);
+        if (v == "1")
+          cfg.stuck.value = true;
+        else if (v != "0")
+          return geo::Status::invalid_argument(
+              "GEO_FAULTS: stuck value '" + std::string(v) + "' (want 0|1)");
+      }
+    } else if (key == "rng") {
+      std::uint64_t r = 0;
+      if (!parse_u64(val, r))
+        return geo::Status::invalid_argument(
+            "GEO_FAULTS: rng='" + std::string(val) + "' is not a uint64");
+      cfg.rng_seed = r;
+    } else {
+      return geo::Status::invalid_argument(
+          "GEO_FAULTS: unknown key '" + std::string(key) +
+          "' (want stream|accum|seed|sram|burst|ecc|stuck|rng)");
+    }
+  }
+  return cfg;
+}
+
+std::optional<FaultConfig> FaultConfig::from_env() {
+  const char* v = std::getenv("GEO_FAULTS");
+  if (v == nullptr || v[0] == '\0') return std::nullopt;
+  auto parsed = parse(v);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "[geo] fault injection disabled: %s\n",
+                 parsed.status().to_string().c_str());
+    return std::nullopt;
+  }
+  return *parsed;
+}
+
+std::string FaultConfig::to_string() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "stream=%g,accum=%g,seed=%g,sram=%g,burst=%d,ecc=%s",
+                stream_flip_rate, accum_flip_rate, seed_upset_rate,
+                sram_error_rate, sram_burst, fault::to_string(ecc));
+  std::string out = buf;
+  if (stuck.enabled()) {
+    std::snprintf(buf, sizeof(buf), ",stuck=%d:%d", stuck.column,
+                  stuck.value ? 1 : 0);
+    out += buf;
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------- FaultModel
+
+// Splitmix64 stream; the initial state is the per-site key, so the sequence
+// is a pure function of (model seed, domain, site).
+struct FaultModel::SiteRng {
+  std::uint64_t state;
+
+  std::uint64_t next() noexcept { return core::mix64(state += 1); }
+  double uniform() noexcept {  // [0, 1)
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+};
+
+FaultModel::FaultModel(const FaultConfig& cfg) : cfg_(cfg) {
+  if (cfg_.rng_seed == 0)
+    cfg_.rng_seed = core::seed_or(0x6A09E667F3BCC909ull, "fault.model");
+  if (cfg_.sram_burst < 1) cfg_.sram_burst = 1;
+}
+
+FaultModel::SiteRng FaultModel::rng_for(Site domain,
+                                        std::uint64_t site) const {
+  const std::uint64_t key =
+      core::mix64(cfg_.rng_seed ^ core::mix64(site) ^
+                  (static_cast<std::uint64_t>(domain) << 56));
+  return SiteRng{key};
+}
+
+int FaultModel::flip_bits(std::uint64_t* words, std::size_t length,
+                          double rate, SiteRng& rng) {
+  if (rate <= 0.0 || length == 0) return 0;
+  int flipped = 0;
+  if (rate >= 1.0) {
+    for (std::size_t i = 0; i < length; ++i) words[i >> 6] ^= 1ull << (i & 63);
+    return static_cast<int>(length);
+  }
+  // Geometric skip sampling: the gap to the next flipped bit is
+  // floor(log(1-u) / log(1-rate)).
+  const double denom = std::log1p(-rate);
+  std::size_t idx = 0;
+  while (true) {
+    const double u = rng.uniform();
+    const double skip = std::floor(std::log1p(-u) / denom);
+    if (skip >= static_cast<double>(length)) break;  // also guards overflow
+    idx += static_cast<std::size_t>(skip);
+    if (idx >= length) break;
+    words[idx >> 6] ^= 1ull << (idx & 63);
+    ++flipped;
+    ++idx;
+  }
+  return flipped;
+}
+
+int FaultModel::corrupt_stream(std::uint64_t* words, std::size_t length,
+                               Site domain, std::uint64_t site) {
+  if (cfg_.stream_flip_rate <= 0.0) return 0;
+  SiteRng rng = rng_for(domain, site);
+  const int n = flip_bits(words, length, cfg_.stream_flip_rate, rng);
+  if (n > 0) {
+    stream_flips_.fetch_add(n, std::memory_order_relaxed);
+    counters().stream.add(n);
+  }
+  return n;
+}
+
+int FaultModel::corrupt_stream(sc::Bitstream& stream, Site domain,
+                               std::uint64_t site) {
+  return corrupt_stream(stream.words().data(), stream.length(), domain, site);
+}
+
+int FaultModel::corrupt_accum_input(std::uint64_t* words, std::size_t length,
+                                    std::uint64_t site) {
+  if (cfg_.accum_flip_rate <= 0.0) return 0;
+  SiteRng rng = rng_for(Site::kAccumInput, site);
+  const int n = flip_bits(words, length, cfg_.accum_flip_rate, rng);
+  if (n > 0) {
+    accum_flips_.fetch_add(n, std::memory_order_relaxed);
+    counters().accum.add(n);
+  }
+  return n;
+}
+
+sc::SeedSpec FaultModel::corrupt_seed(const sc::SeedSpec& spec,
+                                      std::uint64_t site) {
+  if (cfg_.seed_upset_rate <= 0.0) return spec;
+  SiteRng rng = rng_for(Site::kSeed, site);
+  if (rng.uniform() >= cfg_.seed_upset_rate) return spec;
+  seed_upsets_.fetch_add(1, std::memory_order_relaxed);
+  counters().seeds.add(1);
+  sc::SeedSpec out = spec;
+  const std::uint32_t r = static_cast<std::uint32_t>(rng.next());
+  const unsigned bits = spec.bits;
+  // One in four upsets hits the polynomial configuration instead of the seed
+  // register (the Lee et al. generator-defect class): a tap bit below the
+  // MSB flips, turning the maximal-length polynomial into a short-cycle one
+  // while keeping the mask legal for the LFSR.
+  if ((r & 3u) == 0 && bits >= sc::Lfsr::kMinBits &&
+      bits <= sc::Lfsr::kMaxBits && bits >= 3) {
+    const std::uint32_t base =
+        out.taps != 0 ? out.taps : sc::Lfsr::default_taps(bits);
+    out.taps = base ^ (1u << ((r >> 2) % (bits - 1)));
+  } else {
+    out.seed = spec.seed ^ (1u << (r % std::max(bits, 1u)));
+  }
+  return out;
+}
+
+std::uint32_t FaultModel::sram_read(std::uint32_t word, unsigned bits,
+                                    Site domain, std::uint64_t site) {
+  if (cfg_.sram_error_rate <= 0.0 || bits == 0) return word;
+  SiteRng rng = rng_for(domain, site);
+  std::uint32_t flips = 0;
+  for (unsigned b = 0; b < bits; ++b) {
+    if (rng.uniform() >= cfg_.sram_error_rate) continue;
+    for (int k = 0; k < cfg_.sram_burst && b + static_cast<unsigned>(k) < bits;
+         ++k)
+      flips |= 1u << (b + static_cast<unsigned>(k));
+  }
+  if (flips == 0) return word;
+  sram_corrupted_.fetch_add(1, std::memory_order_relaxed);
+  counters().sram_corrupted.add(1);
+  const int weight = std::popcount(flips);
+  switch (cfg_.ecc) {
+    case EccMode::kNone:
+      sram_silent_.fetch_add(1, std::memory_order_relaxed);
+      counters().sram_silent.add(1);
+      return word ^ flips;
+    case EccMode::kParity:
+      if (weight % 2 == 1) {
+        // Detected: the word is invalidated (detect-and-zero).
+        sram_detected_.fetch_add(1, std::memory_order_relaxed);
+        counters().sram_detected.add(1);
+        return 0;
+      }
+      sram_silent_.fetch_add(1, std::memory_order_relaxed);
+      counters().sram_silent.add(1);
+      return word ^ flips;
+    case EccMode::kSecded:
+      // Detected either way; the retry (re-read through the correction path)
+      // costs two memory cycles, charged to the caller's stall ledger.
+      sram_retry_cycles_.fetch_add(2, std::memory_order_relaxed);
+      counters().sram_retry.add(2);
+      if (weight == 1) {
+        sram_corrected_.fetch_add(1, std::memory_order_relaxed);
+        counters().sram_corrected.add(1);
+        return word;  // corrected
+      }
+      sram_detected_.fetch_add(1, std::memory_order_relaxed);
+      counters().sram_detected.add(1);
+      return 0;  // uncorrectable: detect-and-zero
+  }
+  return word;
+}
+
+std::uint32_t FaultModel::apply_stuck(std::uint32_t count) {
+  if (!cfg_.stuck.enabled()) return count;
+  const std::uint32_t bit = 1u << cfg_.stuck.column;
+  const std::uint32_t forced =
+      cfg_.stuck.value ? (count | bit) : (count & ~bit);
+  if (forced != count) {
+    stuck_events_.fetch_add(1, std::memory_order_relaxed);
+    counters().stuck.add(1);
+  }
+  return forced;
+}
+
+FaultStats FaultModel::stats() const {
+  FaultStats s;
+  s.stream_bits_flipped = stream_flips_.load(std::memory_order_relaxed);
+  s.accum_bits_flipped = accum_flips_.load(std::memory_order_relaxed);
+  s.seed_upsets = seed_upsets_.load(std::memory_order_relaxed);
+  s.sram_words_corrupted = sram_corrupted_.load(std::memory_order_relaxed);
+  s.sram_errors_detected = sram_detected_.load(std::memory_order_relaxed);
+  s.sram_errors_corrected = sram_corrected_.load(std::memory_order_relaxed);
+  s.sram_silent_corruptions = sram_silent_.load(std::memory_order_relaxed);
+  s.sram_retry_cycles = sram_retry_cycles_.load(std::memory_order_relaxed);
+  s.stuck_column_events = stuck_events_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void FaultModel::reset_stats() {
+  stream_flips_.store(0, std::memory_order_relaxed);
+  accum_flips_.store(0, std::memory_order_relaxed);
+  seed_upsets_.store(0, std::memory_order_relaxed);
+  sram_corrupted_.store(0, std::memory_order_relaxed);
+  sram_detected_.store(0, std::memory_order_relaxed);
+  sram_corrected_.store(0, std::memory_order_relaxed);
+  sram_silent_.store(0, std::memory_order_relaxed);
+  sram_retry_cycles_.store(0, std::memory_order_relaxed);
+  stuck_events_.store(0, std::memory_order_relaxed);
+}
+
+// ------------------------------------------------------------ active model
+
+namespace {
+
+// Scoped override. The sentinel distinguishes "no override" from
+// "ScopedFaultInjection(nullptr) disabled faults in this scope".
+FaultModel* const kNoOverride = reinterpret_cast<FaultModel*>(-1);
+std::atomic<FaultModel*> g_override{kNoOverride};
+
+FaultModel* env_model() {
+  static FaultModel* model = []() -> FaultModel* {
+    const std::optional<FaultConfig> cfg = FaultConfig::from_env();
+    if (!cfg.has_value() || !cfg->any()) return nullptr;
+    return new FaultModel(*cfg);  // lives for the process
+  }();
+  return model;
+}
+
+}  // namespace
+
+FaultModel* active() noexcept {
+  FaultModel* scoped = g_override.load(std::memory_order_acquire);
+  if (scoped != kNoOverride) return scoped;
+  return env_model();
+}
+
+ScopedFaultInjection::ScopedFaultInjection(const FaultConfig& cfg)
+    : model_(std::make_unique<FaultModel>(cfg)),
+      prev_(g_override.exchange(model_.get(), std::memory_order_acq_rel)) {}
+
+ScopedFaultInjection::ScopedFaultInjection(std::nullptr_t)
+    : model_(nullptr),
+      prev_(g_override.exchange(nullptr, std::memory_order_acq_rel)) {}
+
+ScopedFaultInjection::~ScopedFaultInjection() {
+  g_override.store(prev_, std::memory_order_release);
+}
+
+}  // namespace geo::fault

@@ -1,0 +1,201 @@
+// Fault-injection subsystem.
+//
+// A seeded, deterministic FaultModel that corrupts the stack at the points
+// real GEO silicon can fail (see docs/FAULT_INJECTION.md):
+//
+//   stream  per-bit flip probability applied to SC bitstreams at generation
+//   accum   per-bit flip probability at the OR-tree / parallel-counter inputs
+//   seed    LFSR seed / characteristic-polynomial upsets in the SNG banks
+//   sram    single- and multi-bit errors on activation/weight memory reads,
+//           with an optional ECC model (parity detect-and-zero, SECDED-style
+//           correct-single/zero-multi with a retry-cycle cost)
+//   stuck   a stuck-at fault on one parallel-counter output column
+//
+// Determinism: every injection site is keyed by a (domain, site) pair hashed
+// with the model seed, so runs are reproducible, independent of call order,
+// and a given hardware slot (SNG buffer, SRAM word, counter column) misbehaves
+// the same way every time it is exercised — the defect model, not the
+// cosmic-ray model.
+//
+// Activation: `fault::active()` returns the installed model or nullptr. With
+// `GEO_FAULTS` unset and no ScopedFaultInjection alive it is nullptr and
+// every hook reduces to one pointer load — the default path is bit-identical
+// to a build without this subsystem. `GEO_FAULTS=<spec>` installs a
+// process-wide model (spec format in FaultConfig::parse).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "core/status.hpp"
+#include "sc/bitstream.hpp"
+#include "sc/rng_source.hpp"
+
+namespace geo::fault {
+
+enum class EccMode {
+  kNone,    // raw corrupted word reaches the datapath
+  kParity,  // odd-weight errors detected and zeroed; even-weight slip through
+  kSecded,  // single-bit corrected via a 2-cycle retry; multi-bit zeroed
+};
+
+const char* to_string(EccMode mode) noexcept;
+
+// Stuck-at fault on one parallel-counter output column.
+struct StuckAtSpec {
+  int column = -1;  // output bit index; -1 disables
+  bool value = false;
+
+  bool enabled() const noexcept { return column >= 0; }
+};
+
+struct FaultConfig {
+  double stream_flip_rate = 0.0;  // per generated stream bit
+  double accum_flip_rate = 0.0;   // per accumulation-input bit
+  double seed_upset_rate = 0.0;   // per SNG (seed or polynomial upset)
+  double sram_error_rate = 0.0;   // per stored bit per read
+  int sram_burst = 1;             // adjacent bits flipped per SRAM event
+  EccMode ecc = EccMode::kNone;
+  StuckAtSpec stuck;
+  std::uint64_t rng_seed = 0;     // 0 = derive from GEO_SEED / default
+
+  // True if any injection is configured (an all-zero config is inert and is
+  // treated like "no model installed").
+  bool any() const noexcept;
+
+  // Parses a comma-separated spec, e.g.
+  //   "stream=1e-3,accum=5e-4,seed=0.01,sram=1e-4,burst=2,ecc=secded,
+  //    stuck=3:1,rng=42"
+  // Keys: stream|accum|seed|sram (rates in [0,1]), burst (int >= 1),
+  // ecc (none|parity|secded), stuck (<col>[:<0|1>], col in [0,31]),
+  // rng (uint64). Unknown keys and out-of-range values are rejected with a
+  // diagnostic.
+  static geo::StatusOr<FaultConfig> parse(std::string_view spec);
+
+  // GEO_FAULTS, parsed fresh on each call. Unset/empty -> nullopt; a
+  // malformed spec warns once per call on stderr and returns nullopt (faults
+  // off), never aborts the host program.
+  static std::optional<FaultConfig> from_env();
+
+  std::string to_string() const;
+};
+
+// Injection/detection/correction ledger (mirrored into the telemetry
+// registry under the fault.* counters).
+struct FaultStats {
+  std::int64_t stream_bits_flipped = 0;
+  std::int64_t accum_bits_flipped = 0;
+  std::int64_t seed_upsets = 0;
+  std::int64_t sram_words_corrupted = 0;
+  std::int64_t sram_errors_detected = 0;
+  std::int64_t sram_errors_corrected = 0;
+  std::int64_t sram_silent_corruptions = 0;
+  std::int64_t sram_retry_cycles = 0;
+  std::int64_t stuck_column_events = 0;
+};
+
+class FaultModel {
+ public:
+  // Injection-site domains: the same site index means different hardware in
+  // different domains, so each gets an independent fault pattern.
+  enum class Site : std::uint64_t {
+    kWeightStream = 1,
+    kActStream,
+    kAccumInput,
+    kWeightSram,
+    kActSram,
+    kSeed,
+    kGeneric,
+  };
+
+  explicit FaultModel(const FaultConfig& cfg);
+
+  const FaultConfig& config() const noexcept { return cfg_; }
+
+  // --- stream-generation faults -------------------------------------------
+  // Flips bits of a packed `length`-bit stream in place at the configured
+  // stream rate. Returns the number of bits flipped.
+  int corrupt_stream(std::uint64_t* words, std::size_t length, Site domain,
+                     std::uint64_t site);
+  int corrupt_stream(sc::Bitstream& stream, Site domain, std::uint64_t site);
+
+  // Same, at the accumulation-input rate (OR tree / parallel-counter inputs).
+  int corrupt_accum_input(std::uint64_t* words, std::size_t length,
+                          std::uint64_t site);
+  bool accum_active() const noexcept { return cfg_.accum_flip_rate > 0.0; }
+
+  // --- generator faults ----------------------------------------------------
+  // Possibly upsets the SNG's seed (bit flip) or its LFSR characteristic
+  // polynomial (tap flip away from the maximal-length mask, keeping the mask
+  // legal). Deterministic per site.
+  sc::SeedSpec corrupt_seed(const sc::SeedSpec& spec, std::uint64_t site);
+
+  // --- memory faults -------------------------------------------------------
+  // Models reading a `bits`-wide word from SRAM: injects bit errors at the
+  // configured rate (bursts of `sram_burst` adjacent bits) and applies the
+  // ECC policy. May return the corrupted word (kNone / parity-even), the
+  // original word (kSecded corrected, charging retry cycles), or zero
+  // (detect-and-zero).
+  std::uint32_t sram_read(std::uint32_t word, unsigned bits, Site domain,
+                          std::uint64_t site);
+  bool sram_active() const noexcept { return cfg_.sram_error_rate > 0.0; }
+
+  // --- parallel-counter faults --------------------------------------------
+  // Forces the stuck-at column on one parallel-counter output count.
+  std::uint32_t apply_stuck(std::uint32_t count);
+  bool stuck_enabled() const noexcept { return cfg_.stuck.enabled(); }
+
+  FaultStats stats() const;
+  void reset_stats();
+
+ private:
+  struct SiteRng;  // splitmix64 stream keyed by (model seed, domain, site)
+
+  SiteRng rng_for(Site domain, std::uint64_t site) const;
+  int flip_bits(std::uint64_t* words, std::size_t length, double rate,
+                SiteRng& rng);
+
+  FaultConfig cfg_;
+
+  std::atomic<std::int64_t> stream_flips_{0};
+  std::atomic<std::int64_t> accum_flips_{0};
+  std::atomic<std::int64_t> seed_upsets_{0};
+  std::atomic<std::int64_t> sram_corrupted_{0};
+  std::atomic<std::int64_t> sram_detected_{0};
+  std::atomic<std::int64_t> sram_corrected_{0};
+  std::atomic<std::int64_t> sram_silent_{0};
+  std::atomic<std::int64_t> sram_retry_cycles_{0};
+  std::atomic<std::int64_t> stuck_events_{0};
+};
+
+// The process-wide active model: a ScopedFaultInjection if one is alive,
+// else the GEO_FAULTS-configured model, else nullptr. The nullptr path costs
+// one relaxed atomic load (plus a one-time env parse on first call).
+FaultModel* active() noexcept;
+
+// RAII installer. Overrides GEO_FAULTS (and any outer scope) for its
+// lifetime; `ScopedFaultInjection(nullptr)` disables injection in scope —
+// used to compute clean references inside fault sweeps. Not thread-safe:
+// install from one thread at a time.
+class ScopedFaultInjection {
+ public:
+  explicit ScopedFaultInjection(const FaultConfig& cfg);
+  explicit ScopedFaultInjection(std::nullptr_t);
+  ~ScopedFaultInjection();
+
+  ScopedFaultInjection(const ScopedFaultInjection&) = delete;
+  ScopedFaultInjection& operator=(const ScopedFaultInjection&) = delete;
+
+  // Valid only for the config-constructed form.
+  FaultModel& model() { return *model_; }
+
+ private:
+  std::unique_ptr<FaultModel> model_;
+  FaultModel* prev_;
+};
+
+}  // namespace geo::fault

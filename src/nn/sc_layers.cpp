@@ -7,6 +7,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "fault/fault_model.hpp"
 #include "nn/quantize.hpp"
 #include "sc/progressive.hpp"
 #include "sc/sng.hpp"
@@ -95,30 +96,43 @@ struct StreamBank {
 };
 
 // Generates one stream into `dst` (wpl words, length bits). `q` is the
-// magnitude in the value_bits fixed-point domain.
+// magnitude in the value_bits fixed-point domain. `fm` may be null; the
+// (domain, site) pair matches the GeoMachine injection sites exactly so the
+// bit-exactness contract holds with faults enabled too.
 void generate_stream(std::uint64_t* dst, std::size_t wpl, std::size_t length,
                      const ScLayerConfig& cfg, sc::SeedSpec spec,
-                     std::uint32_t q) {
+                     std::uint32_t q, fault::FaultModel* fm,
+                     fault::FaultModel::Site domain, std::uint64_t site) {
   std::fill(dst, dst + wpl, 0);
-  if (q == 0) return;
-  const unsigned n = spec.bits;
-  sc::Bitstream stream;
-  if (cfg.progressive) {
-    sc::ProgressiveSchedule sched;
-    sched.value_bits = cfg.value_bits;
-    sched.lfsr_bits = n;
-    sc::ProgressiveSng sng(cfg.rng, spec, sched);
-    stream = sng.generate(q, length);
-  } else {
-    const std::uint32_t vn = n >= cfg.value_bits
-                                 ? q << (n - cfg.value_bits)
-                                 : q >> (cfg.value_bits - n);
-    if (vn == 0) return;
-    sc::Sng sng(cfg.rng, spec);
-    stream = sng.generate(vn, length);
+  if (fm != nullptr) spec = fm->corrupt_seed(spec, site);
+  const bool generate = q != 0;
+  if (generate) {
+    const unsigned n = spec.bits;
+    sc::Bitstream stream;
+    bool have = true;
+    if (cfg.progressive) {
+      sc::ProgressiveSchedule sched;
+      sched.value_bits = cfg.value_bits;
+      sched.lfsr_bits = n;
+      sc::ProgressiveSng sng(cfg.rng, spec, sched);
+      stream = sng.generate(q, length);
+    } else {
+      const std::uint32_t vn = n >= cfg.value_bits
+                                   ? q << (n - cfg.value_bits)
+                                   : q >> (cfg.value_bits - n);
+      if (vn == 0) {
+        have = false;
+      } else {
+        sc::Sng sng(cfg.rng, spec);
+        stream = sng.generate(vn, length);
+      }
+    }
+    if (have) {
+      const auto src = stream.words();
+      std::copy(src.begin(), src.end(), dst);
+    }
   }
-  const auto src = stream.words();
-  std::copy(src.begin(), src.end(), dst);
+  if (fm != nullptr) fm->corrupt_stream(dst, length, domain, site);
 }
 
 // For TRNGs, a fresh pass must see fresh randomness while preserving the
@@ -201,6 +215,10 @@ Tensor ScConv2d::forward(const Tensor& x, bool /*train*/) {
   const sc::KernelExtents ext{out_ch_, in_ch_, kernel_, kernel_};
   const sc::SeedAllocator alloc(cfg_.sharing, n, ext, cfg_.layer_salt);
 
+  fault::FaultModel* const fm = fault::active();
+  const bool accum_faults = fm != nullptr && fm->accum_active();
+  const bool stuck_faults = fm != nullptr && fm->stuck_enabled();
+
   // --- weight streams (fixed for the whole batch) -----------------------
   const std::size_t wcount =
       static_cast<std::size_t>(out_ch_) * in_ch_ * kernel_ * kernel_;
@@ -215,16 +233,16 @@ Tensor ScConv2d::forward(const Tensor& x, bool /*train*/) {
           for (int kx = 0; kx < kernel_; ++kx, ++idx) {
             const float w =
                 std::clamp(weight_.value.at(oc, ic, ky, kx), -1.0f, 1.0f);
-            const std::uint32_t q =
+            std::uint32_t q =
                 quantize_unsigned(std::abs(w), cfg_.value_bits);
+            if (fm != nullptr)
+              q = fm->sram_read(q, cfg_.value_bits,
+                                fault::FaultModel::Site::kWeightSram, idx);
             const sc::SeedSpec spec =
                 pass_spec(cfg_, alloc.weight({oc, ic, ky, kx}), pass);
-            if (w >= 0.0f)
-              generate_stream(wpos.at(idx), wpl, static_cast<std::size_t>(L),
-                              cfg_, spec, q);
-            else
-              generate_stream(wneg.at(idx), wpl, static_cast<std::size_t>(L),
-                              cfg_, spec, q);
+            generate_stream((w >= 0.0f ? wpos : wneg).at(idx), wpl,
+                            static_cast<std::size_t>(L), cfg_, spec, q, fm,
+                            fault::FaultModel::Site::kWeightStream, idx);
           }
   }
 
@@ -246,6 +264,12 @@ Tensor ScConv2d::forward(const Tensor& x, bool /*train*/) {
   std::vector<std::uint64_t> scratch(
       static_cast<std::size_t>(std::max(groups, 1)) * 2 * wpl);
   std::vector<std::uint64_t> prod(2 * wpl);
+  // Per-cycle pos/neg counts, needed only when a stuck parallel-counter
+  // column is modeled on the direct (kFxp) accumulation path.
+  std::vector<std::uint32_t> cyc;
+  if (stuck_faults && cfg_.accum == AccumMode::kFxp)
+    cyc.resize(2 * static_cast<std::size_t>(L));
+  const int K = in_ch_ * kernel_ * kernel_;
 
   StreamBank act;
   act.resize(static_cast<std::size_t>(in_ch_) * h * w, wpl);
@@ -253,17 +277,23 @@ Tensor ScConv2d::forward(const Tensor& x, bool /*train*/) {
 
   for (int b = 0; b < nb; ++b) {
     // --- activation streams for this image ------------------------------
+    // Fault sites are the buffer slot indices (no batch term): the same
+    // physical SNG buffer slot misbehaves identically for every image.
     {
       std::size_t idx = 0;
       for (int ic = 0; ic < in_ch_; ++ic)
         for (int iy = 0; iy < h; ++iy)
           for (int ix = 0; ix < w; ++ix, ++idx) {
             const float a = std::clamp(x.at(b, ic, iy, ix), 0.0f, 1.0f);
-            const std::uint32_t q = quantize_unsigned(a, cfg_.value_bits);
+            std::uint32_t q = quantize_unsigned(a, cfg_.value_bits);
+            if (fm != nullptr)
+              q = fm->sram_read(q, cfg_.value_bits,
+                                fault::FaultModel::Site::kActSram, idx);
             const sc::SeedSpec spec = pass_spec(
                 cfg_, alloc.activation(static_cast<int>(idx)), pass);
             generate_stream(act.at(idx), wpl, static_cast<std::size_t>(L),
-                            cfg_, spec, q);
+                            cfg_, spec, q, fm,
+                            fault::FaultModel::Site::kActStream, idx);
           }
     }
 
@@ -300,9 +330,34 @@ Tensor ScConv2d::forward(const Tensor& x, bool /*train*/) {
                   std::uint64_t* gp = &scratch[static_cast<std::size_t>(g) *
                                                2 * wpl];
                   std::uint64_t* gn = gp + wpl;
-                  for (std::size_t k = 0; k < wpl; ++k) {
-                    gp[k] |= a[k] & wp[k];
-                    gn[k] |= a[k] & wn[k];
+                  if (accum_faults) {
+                    for (std::size_t k = 0; k < wpl; ++k) {
+                      prod[k] = a[k] & wp[k];
+                      prod[wpl + k] = a[k] & wn[k];
+                    }
+                    const std::size_t oidx =
+                        (static_cast<std::size_t>(oc) * ho + oy) * wo + ox;
+                    const std::uint64_t asite =
+                        (static_cast<std::uint64_t>(oidx) * K +
+                         (static_cast<std::uint64_t>(ic) * kernel_ + ky) *
+                             kernel_ +
+                         kx) *
+                        2;
+                    fm->corrupt_accum_input(prod.data(),
+                                            static_cast<std::size_t>(L),
+                                            asite);
+                    fm->corrupt_accum_input(prod.data() + wpl,
+                                            static_cast<std::size_t>(L),
+                                            asite + 1);
+                    for (std::size_t k = 0; k < wpl; ++k) {
+                      gp[k] |= prod[k];
+                      gn[k] |= prod[wpl + k];
+                    }
+                  } else {
+                    for (std::size_t k = 0; k < wpl; ++k) {
+                      gp[k] |= a[k] & wp[k];
+                      gn[k] |= a[k] & wn[k];
+                    }
                   }
                 }
               }
@@ -311,17 +366,31 @@ Tensor ScConv2d::forward(const Tensor& x, bool /*train*/) {
             for (int g = 0; g < used; ++g) {
               const std::uint64_t* gp =
                   &scratch[static_cast<std::size_t>(g) * 2 * wpl];
+              const std::uint64_t* gn = gp + wpl;
               const auto pos =
                   static_cast<std::int64_t>(popcount_words(gp, wpl));
               const auto neg =
-                  static_cast<std::int64_t>(popcount_words(gp + wpl, wpl));
-              total += pos - neg;
+                  static_cast<std::int64_t>(popcount_words(gn, wpl));
+              if (stuck_faults) {
+                // Each group's OR output feeds a 1-bit/cycle counter; the
+                // stuck column corrupts it cycle by cycle (matches the
+                // GeoMachine path exactly).
+                for (int t = 0; t < L; ++t) {
+                  total += fm->apply_stuck(static_cast<std::uint32_t>(
+                      (gp[t >> 6] >> (t & 63)) & 1u));
+                  total -= fm->apply_stuck(static_cast<std::uint32_t>(
+                      (gn[t >> 6] >> (t & 63)) & 1u));
+                }
+              } else {
+                total += pos - neg;
+              }
               atten += 1.0 - static_cast<double>(std::max(pos, neg)) * inv_len;
             }
             atten_.at(b, oc, oy, ox) = static_cast<float>(
                 std::max(atten / used, 0.05));
           } else {
             ApcState apc(wpl);
+            if (!cyc.empty()) std::fill(cyc.begin(), cyc.end(), 0);
             for (int ic = 0; ic < in_ch_; ++ic)
               for (int ky = 0; ky < kernel_; ++ky) {
                 const int iy = oy * stride_ - pad_ + ky;
@@ -339,16 +408,60 @@ Tensor ScConv2d::forward(const Tensor& x, bool /*train*/) {
                       kx;
                   const std::uint64_t* wp = wpos.at(widx);
                   const std::uint64_t* wn = wneg.at(widx);
-                  if (cfg_.accum == AccumMode::kFxp) {
+                  const bool need_prod = accum_faults || !cyc.empty() ||
+                                         cfg_.accum == AccumMode::kApc;
+                  if (need_prod) {
                     for (std::size_t k = 0; k < wpl; ++k) {
-                      total += std::popcount(a[k] & wp[k]);
-                      total -= std::popcount(a[k] & wn[k]);
+                      prod[k] = a[k] & wp[k];
+                      prod[wpl + k] = a[k] & wn[k];
+                    }
+                    if (accum_faults) {
+                      const std::size_t oidx =
+                          (static_cast<std::size_t>(oc) * ho + oy) * wo + ox;
+                      const std::uint64_t asite =
+                          (static_cast<std::uint64_t>(oidx) * K +
+                           (static_cast<std::uint64_t>(ic) * kernel_ + ky) *
+                               kernel_ +
+                           kx) *
+                          2;
+                      fm->corrupt_accum_input(prod.data(),
+                                              static_cast<std::size_t>(L),
+                                              asite);
+                      fm->corrupt_accum_input(prod.data() + wpl,
+                                              static_cast<std::size_t>(L),
+                                              asite + 1);
+                    }
+                  }
+                  if (cfg_.accum == AccumMode::kFxp) {
+                    if (!cyc.empty()) {
+                      for (std::size_t k = 0; k < wpl; ++k) {
+                        std::uint64_t bp = prod[k];
+                        while (bp != 0) {
+                          ++cyc[k * 64 + static_cast<unsigned>(
+                                             std::countr_zero(bp))];
+                          bp &= bp - 1;
+                        }
+                        std::uint64_t bn = prod[wpl + k];
+                        while (bn != 0) {
+                          ++cyc[static_cast<std::size_t>(L) + k * 64 +
+                                static_cast<unsigned>(std::countr_zero(bn))];
+                          bn &= bn - 1;
+                        }
+                      }
+                    } else if (need_prod) {
+                      for (std::size_t k = 0; k < wpl; ++k) {
+                        total += std::popcount(prod[k]);
+                        total -= std::popcount(prod[wpl + k]);
+                      }
+                    } else {
+                      for (std::size_t k = 0; k < wpl; ++k) {
+                        total += std::popcount(a[k] & wp[k]);
+                        total -= std::popcount(a[k] & wn[k]);
+                      }
                     }
                   } else {  // kApc
                     bool has_p = false, has_n = false;
                     for (std::size_t k = 0; k < wpl; ++k) {
-                      prod[k] = a[k] & wp[k];
-                      prod[wpl + k] = a[k] & wn[k];
                       has_p |= prod[k] != 0;
                       has_n |= prod[wpl + k] != 0;
                     }
@@ -358,6 +471,13 @@ Tensor ScConv2d::forward(const Tensor& x, bool /*train*/) {
                 }
               }
             if (cfg_.accum == AccumMode::kApc) total = apc.finish(wpl);
+            if (!cyc.empty()) {
+              for (int t = 0; t < L; ++t) {
+                total += fm->apply_stuck(cyc[static_cast<std::size_t>(t)]);
+                total -= fm->apply_stuck(
+                    cyc[static_cast<std::size_t>(L) + t]);
+              }
+            }
           }
           y.at(b, oc, oy, ox) = static_cast<float>(total * inv_len);
         }
@@ -389,6 +509,10 @@ Tensor ScLinear::forward(const Tensor& x, bool /*train*/) {
   const sc::KernelExtents ext{out_, in_, 1, 1};
   const sc::SeedAllocator alloc(cfg_.sharing, n, ext, cfg_.layer_salt);
 
+  fault::FaultModel* const fm = fault::active();
+  const bool accum_faults = fm != nullptr && fm->accum_active();
+  const bool stuck_faults = fm != nullptr && fm->stuck_enabled();
+
   StreamBank wposb, wnegb;
   const std::size_t wcount = static_cast<std::size_t>(out_) * in_;
   wposb.resize(wcount, wpl);
@@ -397,14 +521,14 @@ Tensor ScLinear::forward(const Tensor& x, bool /*train*/) {
     for (int i = 0; i < in_; ++i) {
       const std::size_t idx = static_cast<std::size_t>(o) * in_ + i;
       const float w = std::clamp(weight_.value.at(o, i), -1.0f, 1.0f);
-      const std::uint32_t q = quantize_unsigned(std::abs(w), cfg_.value_bits);
+      std::uint32_t q = quantize_unsigned(std::abs(w), cfg_.value_bits);
+      if (fm != nullptr)
+        q = fm->sram_read(q, cfg_.value_bits,
+                          fault::FaultModel::Site::kWeightSram, idx);
       const sc::SeedSpec spec = pass_spec(cfg_, alloc.weight({o, i, 0, 0}), pass);
-      if (w >= 0.0f)
-        generate_stream(wposb.at(idx), wpl, static_cast<std::size_t>(L), cfg_,
-                        spec, q);
-      else
-        generate_stream(wnegb.at(idx), wpl, static_cast<std::size_t>(L), cfg_,
-                        spec, q);
+      generate_stream((w >= 0.0f ? wposb : wnegb).at(idx), wpl,
+                      static_cast<std::size_t>(L), cfg_, spec, q, fm,
+                      fault::FaultModel::Site::kWeightStream, idx);
     }
 
   const int nb = x.dim(0);
@@ -416,6 +540,9 @@ Tensor ScLinear::forward(const Tensor& x, bool /*train*/) {
   std::vector<std::uint64_t> scratch(static_cast<std::size_t>(groups) * 2 *
                                      wpl);
   std::vector<std::uint64_t> prod(2 * wpl);
+  std::vector<std::uint32_t> cyc;
+  if (stuck_faults && cfg_.accum == AccumMode::kFxp)
+    cyc.resize(2 * static_cast<std::size_t>(L));
   StreamBank act;
   act.resize(static_cast<std::size_t>(in_), wpl);
   const double inv_len = 1.0 / static_cast<double>(L);
@@ -423,30 +550,72 @@ Tensor ScLinear::forward(const Tensor& x, bool /*train*/) {
   for (int b = 0; b < nb; ++b) {
     for (int i = 0; i < in_; ++i) {
       const float a = std::clamp(x.at(b, i), 0.0f, 1.0f);
-      const std::uint32_t q = quantize_unsigned(a, cfg_.value_bits);
+      std::uint32_t q = quantize_unsigned(a, cfg_.value_bits);
+      if (fm != nullptr)
+        q = fm->sram_read(q, cfg_.value_bits,
+                          fault::FaultModel::Site::kActSram,
+                          static_cast<std::uint64_t>(i));
       const sc::SeedSpec spec = pass_spec(cfg_, alloc.activation(i), pass);
       generate_stream(act.at(static_cast<std::size_t>(i)), wpl,
-                      static_cast<std::size_t>(L), cfg_, spec, q);
+                      static_cast<std::size_t>(L), cfg_, spec, q, fm,
+                      fault::FaultModel::Site::kActStream,
+                      static_cast<std::uint64_t>(i));
     }
     for (int o = 0; o < out_; ++o) {
       std::int64_t total = 0;
       if (cfg_.accum == AccumMode::kFxp || cfg_.accum == AccumMode::kApc) {
         ApcState apc(wpl);
+        if (!cyc.empty()) std::fill(cyc.begin(), cyc.end(), 0);
         for (int i = 0; i < in_; ++i) {
           const std::uint64_t* a = act.at(static_cast<std::size_t>(i));
           const std::size_t widx = static_cast<std::size_t>(o) * in_ + i;
           const std::uint64_t* wp = wposb.at(widx);
           const std::uint64_t* wn = wnegb.at(widx);
-          if (cfg_.accum == AccumMode::kFxp) {
+          const bool need_prod = accum_faults || !cyc.empty() ||
+                                 cfg_.accum == AccumMode::kApc;
+          if (need_prod) {
             for (std::size_t k = 0; k < wpl; ++k) {
-              total += std::popcount(a[k] & wp[k]);
-              total -= std::popcount(a[k] & wn[k]);
+              prod[k] = a[k] & wp[k];
+              prod[wpl + k] = a[k] & wn[k];
+            }
+            if (accum_faults) {
+              const std::uint64_t asite = static_cast<std::uint64_t>(widx) * 2;
+              fm->corrupt_accum_input(prod.data(),
+                                      static_cast<std::size_t>(L), asite);
+              fm->corrupt_accum_input(prod.data() + wpl,
+                                      static_cast<std::size_t>(L), asite + 1);
+            }
+          }
+          if (cfg_.accum == AccumMode::kFxp) {
+            if (!cyc.empty()) {
+              for (std::size_t k = 0; k < wpl; ++k) {
+                std::uint64_t bp = prod[k];
+                while (bp != 0) {
+                  ++cyc[k * 64 +
+                        static_cast<unsigned>(std::countr_zero(bp))];
+                  bp &= bp - 1;
+                }
+                std::uint64_t bn = prod[wpl + k];
+                while (bn != 0) {
+                  ++cyc[static_cast<std::size_t>(L) + k * 64 +
+                        static_cast<unsigned>(std::countr_zero(bn))];
+                  bn &= bn - 1;
+                }
+              }
+            } else if (need_prod) {
+              for (std::size_t k = 0; k < wpl; ++k) {
+                total += std::popcount(prod[k]);
+                total -= std::popcount(prod[wpl + k]);
+              }
+            } else {
+              for (std::size_t k = 0; k < wpl; ++k) {
+                total += std::popcount(a[k] & wp[k]);
+                total -= std::popcount(a[k] & wn[k]);
+              }
             }
           } else {
             bool has_p = false, has_n = false;
             for (std::size_t k = 0; k < wpl; ++k) {
-              prod[k] = a[k] & wp[k];
-              prod[wpl + k] = a[k] & wn[k];
               has_p |= prod[k] != 0;
               has_n |= prod[wpl + k] != 0;
             }
@@ -455,6 +624,12 @@ Tensor ScLinear::forward(const Tensor& x, bool /*train*/) {
           }
         }
         if (cfg_.accum == AccumMode::kApc) total = apc.finish(wpl);
+        if (!cyc.empty()) {
+          for (int t = 0; t < L; ++t) {
+            total += fm->apply_stuck(cyc[static_cast<std::size_t>(t)]);
+            total -= fm->apply_stuck(cyc[static_cast<std::size_t>(L) + t]);
+          }
+        }
       } else {
         std::fill(scratch.begin(), scratch.end(), 0);
         for (int i = 0; i < in_; ++i) {
@@ -465,20 +640,46 @@ Tensor ScLinear::forward(const Tensor& x, bool /*train*/) {
           const std::uint64_t* wn = wnegb.at(widx);
           std::uint64_t* gp = &scratch[static_cast<std::size_t>(g) * 2 * wpl];
           std::uint64_t* gn = gp + wpl;
-          for (std::size_t k = 0; k < wpl; ++k) {
-            gp[k] |= a[k] & wp[k];
-            gn[k] |= a[k] & wn[k];
+          if (accum_faults) {
+            for (std::size_t k = 0; k < wpl; ++k) {
+              prod[k] = a[k] & wp[k];
+              prod[wpl + k] = a[k] & wn[k];
+            }
+            const std::uint64_t asite = static_cast<std::uint64_t>(widx) * 2;
+            fm->corrupt_accum_input(prod.data(), static_cast<std::size_t>(L),
+                                    asite);
+            fm->corrupt_accum_input(prod.data() + wpl,
+                                    static_cast<std::size_t>(L), asite + 1);
+            for (std::size_t k = 0; k < wpl; ++k) {
+              gp[k] |= prod[k];
+              gn[k] |= prod[wpl + k];
+            }
+          } else {
+            for (std::size_t k = 0; k < wpl; ++k) {
+              gp[k] |= a[k] & wp[k];
+              gn[k] |= a[k] & wn[k];
+            }
           }
         }
         double atten = 0.0;
         for (int g = 0; g < groups; ++g) {
           const std::uint64_t* gp =
               &scratch[static_cast<std::size_t>(g) * 2 * wpl];
+          const std::uint64_t* gn = gp + wpl;
           const auto pos =
               static_cast<std::int64_t>(popcount_words(gp, wpl));
           const auto neg =
-              static_cast<std::int64_t>(popcount_words(gp + wpl, wpl));
-          total += pos - neg;
+              static_cast<std::int64_t>(popcount_words(gn, wpl));
+          if (stuck_faults) {
+            for (int t = 0; t < L; ++t) {
+              total += fm->apply_stuck(static_cast<std::uint32_t>(
+                  (gp[t >> 6] >> (t & 63)) & 1u));
+              total -= fm->apply_stuck(static_cast<std::uint32_t>(
+                  (gn[t >> 6] >> (t & 63)) & 1u));
+            }
+          } else {
+            total += pos - neg;
+          }
           atten += 1.0 - static_cast<double>(std::max(pos, neg)) * inv_len;
         }
         atten_.at(b, o) =

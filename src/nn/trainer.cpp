@@ -5,6 +5,7 @@
 #include <numeric>
 #include <random>
 
+#include "core/env.hpp"
 #include "nn/loss.hpp"
 #include "nn/optimizer.hpp"
 #include "telemetry/telemetry.hpp"
@@ -36,7 +37,9 @@ TrainResult train(Sequential& net, const Dataset& train_set,
   const int n = train_set.count();
   std::vector<int> order(static_cast<std::size_t>(n));
   std::iota(order.begin(), order.end(), 0);
-  std::mt19937 shuffle_rng(options.shuffle_seed);
+  // GEO_SEED reseeds the epoch shuffle; unset keeps options.shuffle_seed.
+  std::mt19937 shuffle_rng(static_cast<std::mt19937::result_type>(
+      core::seed_or(options.shuffle_seed, "train.shuffle")));
 
   auto& metrics = telemetry::MetricsRegistry::instance();
   telemetry::Histogram& epoch_hist = metrics.histogram("train.epoch");

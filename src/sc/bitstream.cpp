@@ -45,6 +45,11 @@ void Bitstream::set(std::size_t i, bool v) {
     words_[i / kWordBits] &= ~mask;
 }
 
+void Bitstream::flip(std::size_t i) {
+  assert(i < length_);
+  words_[i / kWordBits] ^= std::uint64_t{1} << (i % kWordBits);
+}
+
 std::size_t Bitstream::popcount() const noexcept {
   std::size_t n = 0;
   for (std::uint64_t w : words_) n += static_cast<std::size_t>(std::popcount(w));

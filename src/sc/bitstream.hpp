@@ -33,6 +33,9 @@ class Bitstream {
   bool get(std::size_t i) const;
   void set(std::size_t i, bool v);
 
+  // Inverts bit i (fault-injection hook).
+  void flip(std::size_t i);
+
   // Number of ones in the whole stream.
   std::size_t popcount() const noexcept;
 

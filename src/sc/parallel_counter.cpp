@@ -3,6 +3,8 @@
 #include <bit>
 #include <stdexcept>
 
+#include "fault/fault_model.hpp"
+
 namespace geo::sc {
 
 namespace {
@@ -27,10 +29,23 @@ std::vector<std::uint16_t> parallel_count(std::span<const Bitstream> streams) {
         bits &= bits - 1;
       }
     }
+  if (fault::FaultModel* fm = fault::active();
+      fm != nullptr && fm->stuck_enabled()) {
+    for (auto& c : out)
+      c = static_cast<std::uint16_t>(fm->apply_stuck(c));
+  }
   return out;
 }
 
 std::uint64_t count_total(std::span<const Bitstream> streams) {
+  if (fault::FaultModel* fm = fault::active();
+      fm != nullptr && fm->stuck_enabled()) {
+    // A stuck column corrupts each per-cycle count, so the total must be
+    // rebuilt cycle by cycle instead of from whole-stream popcounts.
+    std::uint64_t total = 0;
+    for (const std::uint16_t c : parallel_count(streams)) total += c;
+    return total;
+  }
   std::uint64_t total = 0;
   for (const auto& s : streams) total += s.popcount();
   return total;

@@ -1,0 +1,110 @@
+// Property test: the three Instruction representations (struct, 64-bit
+// binary word, assembly text) round-trip exactly for every opcode and for
+// the boundary operand values, and every malformed input takes the
+// structured error path instead of crashing.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "arch/isa.hpp"
+
+namespace geo::arch {
+namespace {
+
+constexpr Opcode kAllOpcodes[] = {
+    Opcode::kNop,     Opcode::kConfig,     Opcode::kLoadWgt,
+    Opcode::kLoadAct, Opcode::kGenExec,    Opcode::kNearMemAcc,
+    Opcode::kNearMemBn, Opcode::kPool,     Opcode::kStoreOut,
+    Opcode::kLoadExt, Opcode::kBarrier,    Opcode::kHalt,
+};
+
+constexpr std::int32_t kBoundaryOperands[] = {0, 1, -1, 32767, -32768};
+
+TEST(IsaProperty, EncodeDecodeRoundTripsEveryOpcodeAndBoundary) {
+  for (const Opcode op : kAllOpcodes)
+    for (const std::int32_t a : kBoundaryOperands)
+      for (const std::int32_t b : kBoundaryOperands)
+        for (const std::int32_t c : kBoundaryOperands) {
+          const Instruction inst{op, a, b, c};
+          const Instruction back = Instruction::decode(inst.encode());
+          EXPECT_EQ(back, inst) << inst.to_string();
+        }
+}
+
+TEST(IsaProperty, TextRoundTripsEveryOpcodeAndBoundary) {
+  // to_string omits trailing zero operands; parse must refill them so the
+  // struct round-trips regardless of which operand slots are populated.
+  for (const Opcode op : kAllOpcodes)
+    for (const std::int32_t v : kBoundaryOperands)
+      for (int slot = 0; slot < 3; ++slot) {
+        Instruction inst{op, 0, 0, 0};
+        (slot == 0 ? inst.arg0 : slot == 1 ? inst.arg1 : inst.arg2) = v;
+        const auto parsed = Instruction::try_parse(inst.to_string());
+        ASSERT_TRUE(parsed.ok()) << inst.to_string() << " -> "
+                                 << parsed.status().to_string();
+        EXPECT_EQ(*parsed, inst) << inst.to_string();
+      }
+}
+
+TEST(IsaProperty, MnemonicsAreUniqueAndParseBack) {
+  for (const Opcode op : kAllOpcodes) {
+    const auto parsed = Instruction::try_parse(mnemonic(op));
+    ASSERT_TRUE(parsed.ok()) << mnemonic(op);
+    EXPECT_EQ(parsed->op, op);
+  }
+}
+
+TEST(IsaProperty, EncodeRejectsOperandsBeyond16Bits) {
+  for (const std::int32_t v : {32768, 65535, -32769, 1 << 20}) {
+    const Instruction inst{Opcode::kLoadWgt, v, 0, 0};
+    EXPECT_THROW(inst.encode(), std::out_of_range) << v;
+  }
+}
+
+TEST(IsaProperty, ParseRejectsOutOfRangeOperands) {
+  for (const char* line :
+       {"loadwgt 32768", "loadwgt 65535", "loadwgt -32769",
+        "genexec 1 65536"}) {
+    const auto parsed = Instruction::try_parse(line);
+    ASSERT_FALSE(parsed.ok()) << line;
+    EXPECT_EQ(parsed.status().code(), StatusCode::kOutOfRange) << line;
+  }
+}
+
+TEST(IsaProperty, ParseRejectsMalformedLines) {
+  for (const char* line :
+       {"", "   ", "frobnicate 1", "nop 1 2 3 4", "loadwgt twelve",
+        "loadwgt 1.5", "loadwgt 0x10", "config 64 6 1 extra"}) {
+    const auto parsed = Instruction::try_parse(line);
+    ASSERT_FALSE(parsed.ok()) << "'" << line << "' parsed";
+    EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument) << line;
+    EXPECT_THROW(Instruction::parse(line), std::invalid_argument) << line;
+  }
+}
+
+TEST(IsaProperty, DecodeRejectsUnknownOpcodeBytes) {
+  const std::uint64_t bad = static_cast<std::uint64_t>(200) << 56;
+  EXPECT_THROW(Instruction::decode(bad), std::invalid_argument);
+}
+
+TEST(IsaProperty, ProgramTextAndBinaryRoundTrip) {
+  Program p;
+  p.push(Opcode::kConfig, 64, 6, 1);
+  p.push(Opcode::kLoadWgt, 32767);
+  p.push(Opcode::kGenExec, 128, 400);
+  p.push(Opcode::kNearMemAcc, -32768);
+  p.push(Opcode::kHalt);
+
+  const Program from_text = Program::from_text(p.to_text());
+  ASSERT_EQ(from_text.size(), p.size());
+  const Program from_bin = Program::decode(p.encode());
+  ASSERT_EQ(from_bin.size(), p.size());
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    EXPECT_EQ(from_text[i], p[i]) << i;
+    EXPECT_EQ(from_bin[i], p[i]) << i;
+  }
+}
+
+}  // namespace
+}  // namespace geo::arch

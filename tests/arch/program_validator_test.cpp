@@ -1,0 +1,130 @@
+#include "arch/program_validator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "arch/compiler.hpp"
+
+namespace geo::arch {
+namespace {
+
+Program minimal_program() {
+  Program p;
+  p.push(Opcode::kConfig, 64, 6, 1);
+  p.push(Opcode::kLoadWgt, 10);
+  p.push(Opcode::kLoadAct, 10);
+  p.push(Opcode::kBarrier);
+  p.push(Opcode::kGenExec, 128, 4);
+  p.push(Opcode::kStoreOut, 4);
+  p.push(Opcode::kHalt);
+  return p;
+}
+
+TEST(ProgramValidator, AcceptsMinimalProgram) {
+  EXPECT_TRUE(validate_program(minimal_program()).ok());
+}
+
+TEST(ProgramValidator, AcceptsEveryCompilerEmission) {
+  // Whatever the compiler emits for the paper networks under every hardware
+  // flavor must pass validation — the validator encodes the ISA contract the
+  // compiler already honors.
+  const HwConfig configs[] = {HwConfig::ulp(), HwConfig::lp(),
+                              HwConfig::base_ulp()};
+  const NetworkShape nets[] = {NetworkShape::cnn4_cifar(),
+                               NetworkShape::lenet5()};
+  for (const auto& hw : configs) {
+    const Compiler c(hw);
+    for (const auto& net : nets)
+      for (const auto& plan : c.compile(net)) {
+        const geo::Status s = validate_program(plan.program);
+        EXPECT_TRUE(s.ok()) << net.name << "/" << plan.shape.name << ": "
+                            << s.to_string();
+      }
+  }
+}
+
+TEST(ProgramValidator, RejectsEmptyProgram) {
+  const geo::Status s = validate_program(Program{});
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ProgramValidator, RejectsMissingHalt) {
+  Program p;
+  p.push(Opcode::kConfig, 64, 6, 1);
+  p.push(Opcode::kGenExec, 128, 4);
+  const geo::Status s = validate_program(p);
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("halt"), std::string::npos) << s.to_string();
+}
+
+TEST(ProgramValidator, RejectsCodeAfterHalt) {
+  Program p = minimal_program();
+  p.push(Opcode::kNop);
+  const geo::Status s = validate_program(p);
+  EXPECT_FALSE(s.ok());
+  // The diagnostic names the offending instruction index.
+  EXPECT_NE(s.message().find("program[7]"), std::string::npos)
+      << s.to_string();
+}
+
+TEST(ProgramValidator, RejectsBadConfig) {
+  const struct {
+    std::int32_t len, lfsr, accum;
+  } bad[] = {
+      {63, 6, 1},     // not a power of two
+      {1, 6, 1},      // below minimum
+      {64, 1, 1},     // LFSR too narrow
+      {64, 25, 1},    // LFSR too wide
+      {64, 6, 5},     // unknown accumulation mode
+      {64, 6, -1},    // unknown accumulation mode
+  };
+  for (const auto& c : bad) {
+    Program p;
+    p.push(Opcode::kConfig, c.len, c.lfsr, c.accum);
+    p.push(Opcode::kHalt);
+    const geo::Status s = validate_program(p);
+    EXPECT_FALSE(s.ok()) << c.len << " " << c.lfsr << " " << c.accum;
+    EXPECT_NE(s.message().find("program[0] config"), std::string::npos)
+        << s.to_string();
+  }
+}
+
+TEST(ProgramValidator, RejectsExecutionBeforeConfig) {
+  Program p;
+  p.push(Opcode::kGenExec, 128, 4);
+  p.push(Opcode::kHalt);
+  EXPECT_FALSE(validate_program(p).ok());
+}
+
+TEST(ProgramValidator, RejectsDataMovementBeforeExecution) {
+  for (const Opcode op : {Opcode::kNearMemAcc, Opcode::kStoreOut}) {
+    Program p;
+    p.push(Opcode::kConfig, 64, 6, 1);
+    p.push(op, 4);
+    p.push(Opcode::kHalt);
+    EXPECT_FALSE(validate_program(p).ok()) << mnemonic(op);
+  }
+}
+
+TEST(ProgramValidator, RejectsDegenerateGenExec) {
+  for (const auto& [cycles, outputs] : {std::pair{0, 4}, std::pair{128, 0}}) {
+    Program p;
+    p.push(Opcode::kConfig, 64, 6, 1);
+    p.push(Opcode::kGenExec, cycles, outputs);
+    p.push(Opcode::kHalt);
+    EXPECT_FALSE(validate_program(p).ok()) << cycles << "x" << outputs;
+  }
+}
+
+TEST(ProgramValidator, RejectsNegativeCounts) {
+  Program q;
+  q.push(Opcode::kConfig, 64, 6, 1);
+  q.push(Opcode::kLoadWgt, -5);
+  q.push(Opcode::kHalt);
+  EXPECT_FALSE(validate_program(q).ok());
+}
+
+}  // namespace
+}  // namespace geo::arch

@@ -1,0 +1,84 @@
+#include "core/status.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace geo {
+namespace {
+
+TEST(Status, DefaultIsOk) {
+  const Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_TRUE(s.message().empty());
+  EXPECT_EQ(s.to_string(), "ok");
+}
+
+TEST(Status, FactoriesCarryCodeAndMessage) {
+  const struct {
+    Status status;
+    StatusCode code;
+    const char* label;
+  } cases[] = {
+      {Status::invalid_argument("a"), StatusCode::kInvalidArgument,
+       "invalid-argument"},
+      {Status::failed_precondition("b"), StatusCode::kFailedPrecondition,
+       "failed-precondition"},
+      {Status::out_of_range("c"), StatusCode::kOutOfRange, "out-of-range"},
+      {Status::data_loss("d"), StatusCode::kDataLoss, "data-loss"},
+      {Status::internal("e"), StatusCode::kInternal, "internal"},
+  };
+  for (const auto& c : cases) {
+    EXPECT_FALSE(c.status.ok());
+    EXPECT_EQ(c.status.code(), c.code);
+    EXPECT_EQ(c.status.to_string(),
+              std::string(c.label) + ": " + c.status.message());
+    EXPECT_EQ(std::string(to_string(c.code)), c.label);
+  }
+}
+
+TEST(Status, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status(), Status());
+  EXPECT_EQ(Status::invalid_argument("x"), Status::invalid_argument("x"));
+  EXPECT_NE(Status::invalid_argument("x"), Status::invalid_argument("y"));
+  EXPECT_NE(Status::invalid_argument("x"), Status::out_of_range("x"));
+  EXPECT_NE(Status(), Status::internal("x"));
+}
+
+TEST(StatusOr, HoldsValue) {
+  StatusOr<int> v(42);
+  ASSERT_TRUE(v.ok());
+  EXPECT_TRUE(v.status().ok());
+  EXPECT_EQ(v.value(), 42);
+  EXPECT_EQ(*v, 42);
+}
+
+TEST(StatusOr, HoldsError) {
+  const StatusOr<int> e(Status::out_of_range("too big"));
+  EXPECT_FALSE(e.ok());
+  EXPECT_EQ(e.status().code(), StatusCode::kOutOfRange);
+  EXPECT_THROW(e.value(), std::logic_error);
+}
+
+TEST(StatusOr, ConstructingFromOkStatusIsAnInternalError) {
+  const StatusOr<int> bad{Status()};
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInternal);
+}
+
+TEST(StatusOr, MoveExtractsValue) {
+  StatusOr<std::vector<int>> v(std::vector<int>{1, 2, 3});
+  const std::vector<int> out = std::move(v).value();
+  EXPECT_EQ(out, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(StatusOr, ArrowReachesMembers) {
+  StatusOr<std::string> s(std::string("abc"));
+  EXPECT_EQ(s->size(), 3u);
+}
+
+}  // namespace
+}  // namespace geo

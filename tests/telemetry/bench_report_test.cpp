@@ -1,0 +1,66 @@
+// BenchReport validation: every BENCH_*.json the harness writes must pass
+// the telemetry JSON validator and carry the geo-bench-v1 schema marker;
+// malformed documents fail the bench instead of landing on disk.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "../../bench/bench_util.hpp"
+
+namespace geo::bench {
+namespace {
+
+TEST(BenchReport, FreshReportValidates) {
+  BenchReport report("unit");
+  report.set("answer", 42.0);
+  EXPECT_TRUE(BenchReport::validate(report.root().dump()));
+}
+
+TEST(BenchReport, ValidateRejectsMalformedJson) {
+  EXPECT_FALSE(BenchReport::validate(""));
+  EXPECT_FALSE(BenchReport::validate("not json"));
+  EXPECT_FALSE(BenchReport::validate("{\"bench\": "));
+  EXPECT_FALSE(BenchReport::validate("{\"bench\": \"x\" \"y\": 1}"));
+}
+
+TEST(BenchReport, ValidateRequiresSchemaMarker) {
+  // Structurally valid JSON without the schema tag is not a bench report.
+  EXPECT_FALSE(BenchReport::validate("{\"bench\": \"x\"}"));
+  EXPECT_FALSE(
+      BenchReport::validate("{\"schema\": \"geo-bench-v0\", \"x\": 1}"));
+}
+
+TEST(BenchReport, WriteEmitsValidatedArtifact) {
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "geo_bench_report_test";
+  std::filesystem::create_directories(dir);
+  setenv("GEO_BENCH_JSON_DIR", dir.c_str(), 1);
+  setenv("GEO_BENCH_JSON", "1", 1);
+
+  BenchReport report("unit_write");
+  report.set("scalar", 1.5);
+  EXPECT_TRUE(report.write());
+
+  const std::filesystem::path file = dir / "BENCH_unit_write.json";
+  ASSERT_TRUE(std::filesystem::exists(file));
+  std::ifstream in(file);
+  std::stringstream text;
+  text << in.rdbuf();
+  EXPECT_TRUE(BenchReport::validate(text.str()));
+
+  unsetenv("GEO_BENCH_JSON_DIR");
+  std::filesystem::remove_all(dir);
+}
+
+TEST(BenchReport, DisabledWriteCountsAsSuccess) {
+  setenv("GEO_BENCH_JSON", "0", 1);
+  BenchReport report("unit_disabled");
+  EXPECT_TRUE(report.write());
+  setenv("GEO_BENCH_JSON", "1", 1);
+}
+
+}  // namespace
+}  // namespace geo::bench
