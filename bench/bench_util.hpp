@@ -17,6 +17,8 @@
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
+#include <map>
+#include <optional>
 #include <string>
 #include <utility>
 
@@ -25,6 +27,7 @@
 #include "nn/dataset.hpp"
 #include "nn/models.hpp"
 #include "nn/trainer.hpp"
+#include "resilience/checkpoint.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace geo::bench {
@@ -92,6 +95,74 @@ inline double accuracy_percent(const std::string& model_name,
   }
   return nn::train(net, train_set, test_set, opts).test_accuracy * 100.0;
 }
+
+// Crash-safe sweep memo (docs/RESILIENCE.md): a bench sweep records each
+// completed point's result string under a stable key; a re-run after a crash
+// skips straight past the completed points. Backed by the versioned,
+// CRC-guarded checkpoint format in GEO_CHECKPOINT_DIR — unset disables the
+// memo entirely (every lookup misses, record() is a no-op). A corrupt or
+// foreign snapshot is rejected fail-closed and the sweep restarts from
+// scratch; it is never partially trusted.
+class SweepCheckpoint {
+ public:
+  explicit SweepCheckpoint(const std::string& bench_name) {
+    const std::string dir = resilience::checkpoint_dir();
+    if (dir.empty()) return;
+    path_ = dir + "/sweep_" + bench_name + ".ckpt";
+    auto payload = resilience::read_checkpoint(path_);
+    if (!payload.ok()) {
+      if (payload.status().message().find("cannot open") ==
+          std::string::npos)
+        std::fprintf(stderr, "[bench] ignoring %s\n",
+                     payload.status().message().c_str());
+      return;
+    }
+    resilience::ByteReader r(*payload);
+    const std::uint64_t n = r.u64();
+    std::map<std::string, std::string> loaded;
+    for (std::uint64_t i = 0; i < n && r.read_status().ok(); ++i) {
+      std::string key = r.bytes();
+      loaded[std::move(key)] = r.bytes();
+    }
+    if (!r.read_status().ok() || !r.exhausted()) {
+      std::fprintf(stderr, "[bench] ignoring corrupt sweep memo %s\n",
+                   path_.c_str());
+      return;
+    }
+    done_ = std::move(loaded);
+    resumed_ = done_.size();
+  }
+
+  bool enabled() const noexcept { return !path_.empty(); }
+  std::size_t resumed() const noexcept { return resumed_; }
+
+  // The result recorded for `point`, or nullopt if it has not completed.
+  std::optional<std::string> lookup(const std::string& point) const {
+    const auto it = done_.find(point);
+    if (it == done_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  // Records `point` and atomically persists the whole memo, so a kill at
+  // any instant leaves either the previous or the new snapshot on disk.
+  void record(const std::string& point, const std::string& value) {
+    if (path_.empty()) return;
+    done_[point] = value;
+    resilience::ByteWriter w;
+    w.u64(done_.size());
+    for (const auto& [k, v] : done_) {
+      w.bytes(k);
+      w.bytes(v);
+    }
+    if (auto s = resilience::write_checkpoint(path_, w.data()); !s.ok())
+      std::fprintf(stderr, "[bench] %s\n", s.message().c_str());
+  }
+
+ private:
+  std::string path_;
+  std::map<std::string, std::string> done_;
+  std::size_t resumed_ = 0;
+};
 
 // Machine-readable companion to the ASCII output: each bench builds one
 // BenchReport, mirrors its tables/scalars into it, and writes

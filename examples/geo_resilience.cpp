@@ -1,0 +1,133 @@
+// Resilience walkthrough (docs/RESILIENCE.md): runs one convolution layer
+// through the detect -> retry -> degrade runtime under a defect model (which
+// exhausts the retry budget and bottoms out in the fixed-point reference)
+// and under a transient model (which recovers), then prints the resilience
+// report.
+//
+//   ./example_geo_resilience                       # built-in demo specs
+//   ./example_geo_resilience 'sram=1e-3,ecc=secded,transient=1,rng=7'
+//   GEO_RETRY='retries=4,backoff=64' ./example_geo_resilience
+//
+// The --train mode is the crash-safe checkpoint/resume driver used by
+// scripts/resume_smoke.sh: it trains a small LeNet with epoch snapshots in
+// GEO_CHECKPOINT_DIR and prints a CRC-32 fingerprint of the final weights
+// (kill it mid-run with GEO_CRASH_AFTER_EPOCH=<n>, rerun, same fingerprint).
+//
+//   GEO_CHECKPOINT_DIR=ckpt ./example_geo_resilience --train [epochs]
+#include <cstdio>
+#include <cstring>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "arch/machine.hpp"
+#include "arch/report.hpp"
+#include "fault/fault_model.hpp"
+#include "nn/dataset.hpp"
+#include "nn/models.hpp"
+#include "nn/trainer.hpp"
+#include "resilience/crc32.hpp"
+#include "resilience/resilience.hpp"
+
+namespace {
+
+int run_training(int epochs) {
+  using namespace geo;
+  const nn::Dataset train_set = nn::make_digits(192, 1);
+  const nn::Dataset test_set = nn::make_digits(96, 2);
+  nn::Sequential net =
+      nn::make_lenet5(1, 10, nn::ScModelConfig::float_model(), 7);
+  nn::TrainOptions o;
+  o.epochs = epochs;
+  o.batch_size = 16;
+  o.checkpoint_key = "resume_smoke";  // under GEO_CHECKPOINT_DIR
+  const nn::TrainResult r = nn::train(net, train_set, test_set, o);
+
+  std::uint32_t crc = 0;
+  for (nn::Param* p : net.params())
+    crc = resilience::crc32(p->value.data().data(),
+                            p->value.data().size() * sizeof(float), crc);
+  std::printf("resumed_from_epoch %d\ncheckpoints_written %d\n"
+              "test_accuracy %.4f\nweights_crc32 %08x\n",
+              r.resumed_from_epoch, r.checkpoints_written, r.test_accuracy,
+              crc);
+  return 0;
+}
+
+int run_layer(geo::resilience::ResilientExecutor& exec,
+              const geo::fault::FaultConfig& cfg, const std::string& label) {
+  using namespace geo;
+  const arch::ConvShape shape =
+      arch::ConvShape::conv(label.c_str(), 4, 6, 5, 3, 1, false);
+  std::mt19937 rng(77);
+  std::uniform_real_distribution<float> wdist(-0.8f, 0.8f);
+  std::uniform_real_distribution<float> adist(0.0f, 1.0f);
+  std::vector<float> weights(static_cast<std::size_t>(shape.weights()));
+  for (auto& w : weights) w = wdist(rng);
+  std::vector<float> input(static_cast<std::size_t>(shape.activations()));
+  for (auto& a : input) a = adist(rng);
+  const std::vector<float> ones(static_cast<std::size_t>(shape.cout), 1.0f);
+  const std::vector<float> zeros(static_cast<std::size_t>(shape.cout), 0.0f);
+
+  fault::ScopedFaultInjection inject(cfg);
+  auto r = exec.run_conv(shape, weights, input, ones, zeros, 9, label);
+  if (!r.ok()) {
+    std::fprintf(stderr, "%s: %s\n", label.c_str(),
+                 r.status().to_string().c_str());
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace geo;
+
+  if (argc > 1 && std::strcmp(argv[1], "--train") == 0)
+    return run_training(argc > 2 ? std::atoi(argv[2]) : 4);
+
+  const resilience::RetryPolicy policy = resilience::RetryPolicy::from_env();
+  std::printf("retry policy: %s\n\n", policy.to_string().c_str());
+  resilience::ResilientExecutor exec(arch::HwConfig::ulp(), policy);
+
+  if (argc > 1) {
+    auto parsed = fault::FaultConfig::parse(argv[1]);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "bad spec: %s\n",
+                   parsed.status().to_string().c_str());
+      return 1;
+    }
+    if (run_layer(exec, *parsed, "custom") != 0) return 1;
+  } else {
+    // Defect model: the same SRAM words misbehave on every retry, so the
+    // budget exhausts and the layer degrades to the reference rung.
+    fault::FaultConfig defect;
+    defect.sram_error_rate = 2e-2;
+    defect.sram_burst = 2;
+    defect.ecc = fault::EccMode::kSecded;
+    defect.rng_seed = 99;
+    if (run_layer(exec, defect, "defect") != 0) return 1;
+
+    // Transient model: each access re-rolls, so a retry from the input
+    // snapshot comes back clean and the layer recovers on its native rung.
+    fault::FaultConfig transient = defect;
+    transient.sram_error_rate = 2e-4;
+    transient.transient = true;
+    if (run_layer(exec, transient, "transient") != 0) return 1;
+  }
+
+  const resilience::ResilienceReport& rep = exec.report();
+  arch::Table table({"layer", "rung", "retried", "recovered", "retries",
+                     "retry cycles", "ledger"});
+  for (const auto& o : rep.layers)
+    table.add_row({o.layer, resilience::to_string(o.rung),
+                   std::to_string(o.tiles_retried),
+                   std::to_string(o.tiles_recovered),
+                   std::to_string(o.retries),
+                   std::to_string(o.retry_cycles()),
+                   o.ledger_ok ? "ok" : "MISMATCH"});
+  table.print();
+  std::printf("\n%s\n", rep.summary().c_str());
+  return rep.ledger_ok() ? 0 : 1;
+}

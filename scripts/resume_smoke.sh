@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# Kill-and-resume smoke test (docs/RESILIENCE.md): trains the example LeNet
+# with epoch checkpoints, kills the process mid-run via GEO_CRASH_AFTER_EPOCH
+# (exit 42), resumes it, and requires the resumed run's final weight
+# fingerprint to be bit-identical to an uninterrupted control run.
+#
+#   scripts/resume_smoke.sh [build_dir] [epochs]
+set -uo pipefail
+
+repo="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build="${1:-${repo}/build}"
+epochs="${2:-4}"
+driver="${build}/examples/example_geo_resilience"
+
+if [[ ! -x "${driver}" ]]; then
+  echo "resume_smoke: ${driver} not built" >&2
+  exit 2
+fi
+
+workdir="$(mktemp -d)"
+trap 'rm -rf "${workdir}"' EXIT
+
+fingerprint() { sed -n 's/^weights_crc32 //p' "$1"; }
+
+echo "== control run (no checkpoints)"
+GEO_CHECKPOINT_DIR= GEO_CRASH_AFTER_EPOCH= \
+  "${driver}" --train "${epochs}" > "${workdir}/control.out"
+control="$(fingerprint "${workdir}/control.out")"
+[[ -n "${control}" ]] || { echo "resume_smoke: control run printed no fingerprint" >&2; exit 1; }
+
+echo "== interrupted run (killed after epoch 2)"
+GEO_CHECKPOINT_DIR="${workdir}/ckpt" GEO_CRASH_AFTER_EPOCH=2 \
+  "${driver}" --train "${epochs}" > "${workdir}/killed.out"
+status=$?
+if [[ "${status}" -ne 42 ]]; then
+  echo "resume_smoke: expected the interrupted run to exit 42, got ${status}" >&2
+  exit 1
+fi
+[[ -f "${workdir}/ckpt/resume_smoke.ckpt" ]] || { echo "resume_smoke: no snapshot written before the kill" >&2; exit 1; }
+
+echo "== resumed run"
+GEO_CHECKPOINT_DIR="${workdir}/ckpt" GEO_CRASH_AFTER_EPOCH= \
+  "${driver}" --train "${epochs}" > "${workdir}/resumed.out" || exit 1
+resumed="$(fingerprint "${workdir}/resumed.out")"
+resumed_from="$(sed -n 's/^resumed_from_epoch //p' "${workdir}/resumed.out")"
+
+if [[ "${resumed_from}" -lt 1 ]]; then
+  echo "resume_smoke: resumed run did not pick up a snapshot (resumed_from_epoch=${resumed_from})" >&2
+  exit 1
+fi
+if [[ "${resumed}" != "${control}" ]]; then
+  echo "resume_smoke: weight fingerprints differ: resumed=${resumed} control=${control}" >&2
+  exit 1
+fi
+
+echo "== resume smoke passed: resumed from epoch ${resumed_from}, weights_crc32 ${resumed}"

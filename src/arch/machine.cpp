@@ -4,6 +4,7 @@
 #include <bit>
 #include <cassert>
 #include <cmath>
+#include <optional>
 #include <stdexcept>
 #include <string>
 
@@ -68,6 +69,405 @@ void generate_stream(std::uint64_t* dst, std::size_t wpl, std::size_t length,
 }
 
 }  // namespace
+
+void apply_bn_relu(std::span<const std::int32_t> counters,
+                   std::span<const float> bn_scale,
+                   std::span<const float> bn_shift, int stream_len,
+                   std::int64_t per_channel,
+                   std::span<std::uint8_t> activations) {
+  const double inv_len = 1.0 / static_cast<double>(stream_len);
+  const auto cout = static_cast<std::int64_t>(bn_scale.size());
+  for (std::int64_t oc = 0; oc < cout; ++oc)
+    for (std::int64_t i = 0; i < per_channel; ++i) {
+      const std::size_t oidx =
+          static_cast<std::size_t>(oc * per_channel + i);
+      const double value = counters[oidx] * inv_len;
+      const double bn = bn_scale[static_cast<std::size_t>(oc)] * value +
+                        bn_shift[static_cast<std::size_t>(oc)];
+      const double act_out = std::clamp(bn, 0.0, 1.0);
+      activations[oidx] = static_cast<std::uint8_t>(
+          nn::quantize_unsigned(static_cast<float>(act_out), 8));
+    }
+}
+
+// ----------------------------------------------------------- ConvExecution
+
+struct ConvExecution::Impl {
+  HwConfig hw;
+  ConvShape shape;
+  LayerPlan plan;
+  nn::ScLayerConfig cfg;
+  std::span<const float> input;
+  std::vector<float> bn_scale, bn_shift;
+  fault::FaultModel* fm = nullptr;
+  std::int64_t fault_retry0 = 0;
+
+  int L = 0;
+  std::size_t wpl = 0;
+  int K = 0, ho = 0, wo = 0;
+  std::int64_t outputs = 0, xy = 0, M = 0;
+  int R = 0, chans_at_once = 0, windows_per_pass = 0, slices = 0, groups = 0;
+  double fill = 0, bits_per_value = 0;
+  bool direct_accum = false, accum_faults = false, stuck_faults = false;
+
+  std::optional<sc::SeedAllocator> alloc;
+  std::vector<std::uint64_t> wpos, wneg, act, scratch, prod;
+  std::vector<char> act_ready;
+  std::vector<std::uint32_t> cyc;
+
+  std::int64_t tiles_cg = 0, tiles_wg = 0;
+
+  MachineResult result;
+  std::optional<telemetry::ScopedTimer> run_timer;
+  telemetry::Histogram* pass_hist = nullptr;
+  telemetry::Histogram* mac_hist = nullptr;
+  telemetry::Counter* act_gen_counter = nullptr;
+  bool finished = false;
+
+  const std::uint64_t* act_stream(std::size_t idx);
+  void run_tile(std::int64_t tile);
+  MachineResult finish();
+};
+
+const std::uint64_t* ConvExecution::Impl::act_stream(std::size_t idx) {
+  if (!act_ready[idx]) {
+    act_gen_counter->add(1);
+    const float a = std::clamp(input[idx], 0.0f, 1.0f);
+    std::uint32_t q = nn::quantize_unsigned(a, cfg.value_bits);
+    if (fm != nullptr)
+      q = fm->sram_read(q, cfg.value_bits, fault::FaultModel::Site::kActSram,
+                        idx);
+    generate_stream(act.data() + idx * wpl, wpl, static_cast<std::size_t>(L),
+                    cfg, alloc->activation(static_cast<int>(idx)), q, fm,
+                    fault::FaultModel::Site::kActStream, idx);
+    act_ready[idx] = 1;
+  }
+  return act.data() + idx * wpl;
+}
+
+void ConvExecution::Impl::run_tile(std::int64_t tile) {
+  const int cg = static_cast<int>(tile / tiles_wg);
+  const std::int64_t wg = tile % tiles_wg;
+  MachineStats& st = result.stats;
+
+  // Retry-from-snapshot semantics: a re-run replaces the tile's partial
+  // sums, it never double-counts them.
+  for (int c = 0; c < chans_at_once; ++c) {
+    const int oc = cg * R + c;
+    if (oc >= shape.cout) break;
+    for (int wslot = 0; wslot < windows_per_pass; ++wslot) {
+      const std::int64_t pos = wg * windows_per_pass + wslot;
+      if (pos >= xy) break;
+      result.counters[static_cast<std::size_t>(oc) * xy +
+                      static_cast<std::size_t>(pos)] = 0;
+    }
+  }
+
+  for (int p = 0; p < slices; ++p) {
+    telemetry::ScopedTimer pass_timer(
+        *pass_hist, "machine.pass", "machine",
+        {{"channel_group", static_cast<double>(cg)},
+         {"window_group", static_cast<double>(wg)},
+         {"kernel_slice", static_cast<double>(p)},
+         {"act_fills", static_cast<double>(plan.act_loads_per_pass)},
+         {"wgt_fills", static_cast<double>(plan.wgt_loads_per_pass)}});
+    ++st.passes;
+    // -- reload accounting (the functional fills below are exact; the
+    //    stall model matches PerfSim::pass_stall_cycles).
+    st.act_buffer_fills += plan.act_loads_per_pass;
+    st.wgt_buffer_fills += plan.wgt_loads_per_pass;
+    const double act_cycles =
+        std::ceil(plan.act_loads_per_pass * bits_per_value / fill);
+    const double wgt_cycles =
+        std::ceil(plan.wgt_loads_per_pass * bits_per_value / fill);
+    const double reload = std::max(act_cycles, wgt_cycles);
+    double stall = reload;
+    if (hw.shadow_buffers)
+      stall = std::max(0.0, reload - plan.stream_cycles);
+    else if (hw.progressive)
+      stall = std::ceil(
+          std::max(plan.act_loads_per_pass, plan.wgt_loads_per_pass) * 2.0 /
+          fill);
+    st.stall_cycles += static_cast<std::int64_t>(stall);
+    st.compute_cycles += plan.stream_cycles + (hw.pipeline_stage ? 1 : 0);
+
+    // -- bit-exact computation of this pass's outputs.
+    telemetry::ScopedTimer mac_timer(*mac_hist, "machine.mac_rows",
+                                     "machine");
+    const int tap_lo = static_cast<int>(p * M);
+    const int tap_hi = static_cast<int>(
+        std::min<std::int64_t>(K, (p + 1) * M));
+    for (int c = 0; c < chans_at_once; ++c) {
+      const int oc = cg * R + c;
+      if (oc >= shape.cout) break;
+      for (int wslot = 0; wslot < windows_per_pass; ++wslot) {
+        const std::int64_t pos = wg * windows_per_pass + wslot;
+        if (pos >= xy) break;
+        const int oy = static_cast<int>(pos) / wo;
+        const int ox = static_cast<int>(pos) % wo;
+        const std::size_t oidx =
+            (static_cast<std::size_t>(oc) * ho + oy) * wo + ox;
+
+        std::fill(scratch.begin(), scratch.end(), 0);
+        if (!cyc.empty()) std::fill(cyc.begin(), cyc.end(), 0);
+        std::int64_t direct = 0;  // kFxp / kApc path
+        for (int t = tap_lo; t < tap_hi; ++t) {
+          const int kx = t % shape.kw;
+          const int ky = (t / shape.kw) % shape.kh;
+          const int ic = t / (shape.kw * shape.kh);
+          const int iy = oy * shape.stride - shape.pad + ky;
+          const int ix = ox * shape.stride - shape.pad + kx;
+          if (iy < 0 || iy >= shape.hin || ix < 0 || ix >= shape.win)
+            continue;
+          const std::size_t aidx =
+              (static_cast<std::size_t>(ic) * shape.hin + iy) * shape.win +
+              ix;
+          const std::uint64_t* a = act_stream(aidx);
+          const std::size_t widx =
+              (static_cast<std::size_t>(oc) * K + t) * wpl;
+          const std::uint64_t* wp = &wpos[widx];
+          const std::uint64_t* wn = &wneg[widx];
+          if (!prod.empty()) {
+            // The product streams are the accumulator inputs; faults on
+            // the OR-tree / parallel-counter input wires hit here. Site
+            // ids are per (output, tap, channel) wire, mirrored by the
+            // nn reference path.
+            for (std::size_t k = 0; k < wpl; ++k) {
+              prod[k] = a[k] & wp[k];
+              prod[wpl + k] = a[k] & wn[k];
+            }
+            if (accum_faults) {
+              const std::uint64_t asite =
+                  (static_cast<std::uint64_t>(oidx) * K + t) * 2;
+              fm->corrupt_accum_input(prod.data(),
+                                      static_cast<std::size_t>(L), asite);
+              fm->corrupt_accum_input(prod.data() + wpl,
+                                      static_cast<std::size_t>(L),
+                                      asite + 1);
+            }
+            wp = prod.data();
+            wn = prod.data() + wpl;
+            a = nullptr;  // products already formed
+          }
+          auto prod_word = [&](const std::uint64_t* ch, std::size_t k) {
+            return a != nullptr ? (a[k] & ch[k]) : ch[k];
+          };
+          if (cfg.accum == nn::AccumMode::kFxp ||
+              cfg.accum == nn::AccumMode::kApc) {
+            // The machine's APC reduces to exact counting per product
+            // pair order; we model kApc == kFxp at machine level (the
+            // area model carries the difference).
+            if (!cyc.empty()) {
+              // Stuck-at needs per-cycle counter values, so scatter the
+              // product bits into per-cycle pos/neg histograms.
+              for (std::size_t k = 0; k < wpl; ++k) {
+                std::uint64_t bp = prod_word(wp, k);
+                while (bp != 0) {
+                  ++cyc[k * 64 +
+                        static_cast<unsigned>(std::countr_zero(bp))];
+                  bp &= bp - 1;
+                }
+                std::uint64_t bn = prod_word(wn, k);
+                while (bn != 0) {
+                  ++cyc[static_cast<std::size_t>(L) + k * 64 +
+                        static_cast<unsigned>(std::countr_zero(bn))];
+                  bn &= bn - 1;
+                }
+              }
+            } else {
+              for (std::size_t k = 0; k < wpl; ++k) {
+                direct += std::popcount(prod_word(wp, k));
+                direct -= std::popcount(prod_word(wn, k));
+              }
+            }
+          } else {
+            int g = 0;
+            if (cfg.accum == nn::AccumMode::kPbw)
+              g = kx;
+            else if (cfg.accum == nn::AccumMode::kPbhw)
+              g = ky * shape.kw + kx;
+            std::uint64_t* gp =
+                &scratch[static_cast<std::size_t>(g) * 2 * wpl];
+            std::uint64_t* gn = gp + wpl;
+            for (std::size_t k = 0; k < wpl; ++k) {
+              gp[k] |= prod_word(wp, k);
+              gn[k] |= prod_word(wn, k);
+            }
+          }
+        }
+        std::int64_t total = direct;
+        if (!cyc.empty()) {
+          // Direct path under a stuck parallel-counter column: run each
+          // per-cycle count through the defective counter.
+          for (int t = 0; t < L; ++t) {
+            total += fm->apply_stuck(cyc[static_cast<std::size_t>(t)]);
+            total -= fm->apply_stuck(
+                cyc[static_cast<std::size_t>(L) + t]);
+          }
+        }
+        if (cfg.accum == nn::AccumMode::kOr ||
+            cfg.accum == nn::AccumMode::kPbw ||
+            cfg.accum == nn::AccumMode::kPbhw) {
+          for (int g = 0; g < groups; ++g) {
+            const std::uint64_t* gp =
+                &scratch[static_cast<std::size_t>(g) * 2 * wpl];
+            const std::uint64_t* gn = gp + wpl;
+            if (stuck_faults) {
+              // Each group's OR output is a 1-bit/cycle count into its
+              // output-converter counter; the stuck column corrupts it
+              // cycle by cycle.
+              for (int t = 0; t < L; ++t) {
+                const std::uint32_t bp =
+                    static_cast<std::uint32_t>((gp[t >> 6] >> (t & 63)) &
+                                               1u);
+                const std::uint32_t bn =
+                    static_cast<std::uint32_t>((gn[t >> 6] >> (t & 63)) &
+                                               1u);
+                total += fm->apply_stuck(bp);
+                total -= fm->apply_stuck(bn);
+              }
+            } else {
+              total += static_cast<std::int64_t>(popcount_words(gp, wpl));
+              total -= static_cast<std::int64_t>(popcount_words(gn, wpl));
+            }
+          }
+        }
+        // Near-memory read-add-write of the partial sum (first slice
+        // writes, later slices accumulate).
+        result.counters[oidx] += static_cast<std::int32_t>(total);
+        if (slices > 1 && p > 0) ++st.psum_ops;
+      }
+    }
+  }
+}
+
+MachineResult ConvExecution::Impl::finish() {
+  MachineStats& st = result.stats;
+  auto& metrics = telemetry::MetricsRegistry::instance();
+
+  // ---- near-memory BN + bounded ReLU + write-back ------------------------
+  {
+    telemetry::ScopedTimer bn_timer("machine.bn_relu", "machine");
+    apply_bn_relu(result.counters, bn_scale, bn_shift, L, xy,
+                  result.activations);
+    if (hw.near_memory) st.bn_ops += static_cast<std::int64_t>(outputs);
+  }
+
+  const double lanes = std::max(1, hw.mem_port_bits / 16);
+  st.nearmem_cycles = static_cast<std::int64_t>(
+      2.0 * (st.psum_ops + st.bn_ops) / lanes);
+  // ECC retries on faulty SRAM reads stall the fill network.
+  if (fm != nullptr)
+    st.stall_cycles += fm->stats().sram_retry_cycles - fault_retry0;
+  st.total_cycles = st.compute_cycles + st.stall_cycles + st.nearmem_cycles;
+  // The cycle ledger must balance: every total cycle is attributed to
+  // exactly one of compute / stall / near-memory and no bucket may go
+  // negative (a negative bucket means an accounting bug or overflow). This
+  // check is always on — in release builds a violation marks the stats
+  // invalid and bumps machine.ledger_mismatch instead of aborting.
+  st.ledger_ok =
+      st.compute_cycles >= 0 && st.stall_cycles >= 0 &&
+      st.nearmem_cycles >= 0 && st.total_cycles >= 0 &&
+      st.total_cycles ==
+          st.compute_cycles + st.stall_cycles + st.nearmem_cycles;
+  if (!st.ledger_ok) metrics.counter("machine.ledger_mismatch").add(1);
+  assert(st.ledger_ok && "machine cycle ledger must reconcile");
+
+  // Mirror the per-run stats into the process-wide registry so telemetry
+  // consumers see the same ledger MachineStats reports (the machine_test
+  // reconciliation assertion depends on these staying in lockstep).
+  metrics.counter("machine.passes").add(st.passes);
+  metrics.counter("machine.compute_cycles").add(st.compute_cycles);
+  metrics.counter("machine.stall_cycles").add(st.stall_cycles);
+  metrics.counter("machine.nearmem_cycles").add(st.nearmem_cycles);
+  metrics.counter("machine.total_cycles").add(st.total_cycles);
+  metrics.counter("machine.act_buffer_fills").add(st.act_buffer_fills);
+  metrics.counter("machine.wgt_buffer_fills").add(st.wgt_buffer_fills);
+  metrics.counter("machine.psum_ops").add(st.psum_ops);
+  metrics.counter("machine.bn_ops").add(st.bn_ops);
+  metrics.counter("machine.layers_executed").add(1);
+  finished = true;
+  run_timer.reset();  // close the machine.run_conv span
+  return std::move(result);
+}
+
+ConvExecution::ConvExecution(std::unique_ptr<Impl> impl)
+    : impl_(std::move(impl)) {}
+ConvExecution::ConvExecution(ConvExecution&&) noexcept = default;
+ConvExecution& ConvExecution::operator=(ConvExecution&&) noexcept = default;
+ConvExecution::~ConvExecution() = default;
+
+std::int64_t ConvExecution::tile_count() const {
+  return impl_->tiles_cg * impl_->tiles_wg;
+}
+
+std::vector<std::size_t> ConvExecution::tile_outputs(std::int64_t tile) const {
+  const Impl& im = *impl_;
+  const int cg = static_cast<int>(tile / im.tiles_wg);
+  const std::int64_t wg = tile % im.tiles_wg;
+  std::vector<std::size_t> out;
+  for (int c = 0; c < im.chans_at_once; ++c) {
+    const int oc = cg * im.R + c;
+    if (oc >= im.shape.cout) break;
+    for (int wslot = 0; wslot < im.windows_per_pass; ++wslot) {
+      const std::int64_t pos =
+          wg * im.windows_per_pass + wslot;
+      if (pos >= im.xy) break;
+      out.push_back(static_cast<std::size_t>(oc) *
+                        static_cast<std::size_t>(im.xy) +
+                    static_cast<std::size_t>(pos));
+    }
+  }
+  return out;
+}
+
+void ConvExecution::run_tile(std::int64_t tile) { impl_->run_tile(tile); }
+
+void ConvExecution::invalidate_tile_inputs(std::int64_t tile) {
+  Impl& im = *impl_;
+  const std::int64_t wg = tile % im.tiles_wg;
+  // Every tap of every window in this tile: mark its activation stream
+  // stale. Streams are shared across channel groups, so a neighbouring
+  // tile's later first-use simply regenerates them (same seed, same SRAM
+  // word — bit-identical unless a fault model intervenes).
+  for (int wslot = 0; wslot < im.windows_per_pass; ++wslot) {
+    const std::int64_t pos = wg * im.windows_per_pass + wslot;
+    if (pos >= im.xy) break;
+    const int oy = static_cast<int>(pos) / im.wo;
+    const int ox = static_cast<int>(pos) % im.wo;
+    for (int t = 0; t < im.K; ++t) {
+      const int kx = t % im.shape.kw;
+      const int ky = (t / im.shape.kw) % im.shape.kh;
+      const int ic = t / (im.shape.kw * im.shape.kh);
+      const int iy = oy * im.shape.stride - im.shape.pad + ky;
+      const int ix = ox * im.shape.stride - im.shape.pad + kx;
+      if (iy < 0 || iy >= im.shape.hin || ix < 0 || ix >= im.shape.win)
+        continue;
+      const std::size_t aidx =
+          (static_cast<std::size_t>(ic) * im.shape.hin + iy) * im.shape.win +
+          ix;
+      im.act_ready[aidx] = 0;
+    }
+  }
+}
+
+std::span<const std::int32_t> ConvExecution::counters() const {
+  return impl_->result.counters;
+}
+
+const MachineStats& ConvExecution::stats() const {
+  return impl_->result.stats;
+}
+
+void ConvExecution::add_stall_cycles(std::int64_t cycles) {
+  impl_->result.stats.stall_cycles += cycles;
+}
+
+const nn::ScLayerConfig& ConvExecution::config() const { return impl_->cfg; }
+
+MachineResult ConvExecution::finish() { return impl_->finish(); }
+
+// ----------------------------------------------------------------- machine
 
 GeoMachine::GeoMachine(const HwConfig& hw) : hw_(hw) {}
 
@@ -137,6 +537,19 @@ geo::StatusOr<MachineResult> GeoMachine::try_run_conv(
     const ConvShape& shape, std::span<const float> weights,
     std::span<const float> input, std::span<const float> bn_scale,
     std::span<const float> bn_shift, std::uint64_t layer_salt) {
+  auto exec = prepare_conv(shape, weights, input, bn_scale, bn_shift,
+                           layer_salt);
+  if (!exec.ok()) return exec.status();
+  ConvExecution execution = std::move(exec).value();
+  const std::int64_t tiles = execution.tile_count();
+  for (std::int64_t t = 0; t < tiles; ++t) execution.run_tile(t);
+  return execution.finish();
+}
+
+geo::StatusOr<ConvExecution> GeoMachine::prepare_conv(
+    const ConvShape& shape, std::span<const float> weights,
+    std::span<const float> input, std::span<const float> bn_scale,
+    std::span<const float> bn_shift, std::uint64_t layer_salt) {
   // Fail closed: reject malformed layers before any buffer is allocated or
   // any telemetry is emitted.
   if (geo::Status s =
@@ -144,29 +557,40 @@ geo::StatusOr<MachineResult> GeoMachine::try_run_conv(
       !s.ok())
     return s;
 
-  telemetry::ScopedTimer run_timer("machine.run_conv", "machine");
+  auto impl = std::make_unique<ConvExecution::Impl>();
+  impl->run_timer.emplace("machine.run_conv", "machine");
+  impl->hw = hw_;
+  impl->shape = shape;
   const Compiler compiler(hw_);
-  const LayerPlan plan = compiler.plan_layer(shape,
-                                             compiler.natural_dataflow());
-  const nn::ScLayerConfig cfg = layer_config(shape, layer_salt);
+  impl->plan = compiler.plan_layer(shape, compiler.natural_dataflow());
+  impl->cfg = layer_config(shape, layer_salt);
+  impl->input = input;
+  impl->bn_scale.assign(bn_scale.begin(), bn_scale.end());
+  impl->bn_shift.assign(bn_shift.begin(), bn_shift.end());
 
-  fault::FaultModel* const fm = fault::active();
-  const std::int64_t fault_retry0 =
-      fm != nullptr ? fm->stats().sram_retry_cycles : 0;
+  impl->fm = fault::active();
+  impl->fault_retry0 =
+      impl->fm != nullptr ? impl->fm->stats().sram_retry_cycles : 0;
 
-  const int L = cfg.stream_len;
-  const std::size_t wpl = static_cast<std::size_t>((L + 63) / 64);
+  const nn::ScLayerConfig& cfg = impl->cfg;
+  impl->L = cfg.stream_len;
+  impl->wpl = static_cast<std::size_t>((impl->L + 63) / 64);
   const unsigned n = cfg.lfsr_bits();
-  const int K = shape.taps();
-  const int ho = shape.hout(), wo = shape.wout();
-  const std::int64_t outputs = shape.outputs();
+  impl->K = shape.taps();
+  impl->ho = shape.hout();
+  impl->wo = shape.wout();
+  impl->outputs = shape.outputs();
+  impl->xy = static_cast<std::int64_t>(impl->ho) * impl->wo;
 
   const sc::KernelExtents ext{shape.cout, shape.cin, shape.kh, shape.kw};
-  const sc::SeedAllocator alloc(cfg.sharing, n, ext, layer_salt);
+  impl->alloc.emplace(cfg.sharing, n, ext, layer_salt);
+  fault::FaultModel* const fm = impl->fm;
+  const std::size_t wpl = impl->wpl;
+  const int L = impl->L;
 
   // ---- weight memory -> weight SNG streams (whole filter bank) ----------
-  std::vector<std::uint64_t> wpos(weights.size() * wpl, 0);
-  std::vector<std::uint64_t> wneg(weights.size() * wpl, 0);
+  impl->wpos.assign(weights.size() * wpl, 0);
+  impl->wneg.assign(weights.size() * wpl, 0);
   {
     telemetry::ScopedTimer t("machine.weight_streams", "machine",
                              {{"streams", static_cast<double>(
@@ -182,311 +606,63 @@ geo::StatusOr<MachineResult> GeoMachine::try_run_conv(
             if (fm != nullptr)
               q = fm->sram_read(q, cfg.value_bits,
                                 fault::FaultModel::Site::kWeightSram, idx);
-            const sc::SeedSpec spec = alloc.weight({oc, ic, ky, kx});
+            const sc::SeedSpec spec = impl->alloc->weight({oc, ic, ky, kx});
             generate_stream(
-                (w >= 0.0f ? &wpos : &wneg)->data() + idx * wpl, wpl,
-                static_cast<std::size_t>(L), cfg, spec, q, fm,
+                (w >= 0.0f ? &impl->wpos : &impl->wneg)->data() + idx * wpl,
+                wpl, static_cast<std::size_t>(L), cfg, spec, q, fm,
                 fault::FaultModel::Site::kWeightStream, idx);
           }
   }
 
   // ---- activation streams, generated lazily per buffer slot -------------
   auto& metrics = telemetry::MetricsRegistry::instance();
-  telemetry::Counter& act_gen_counter =
-      metrics.counter("machine.act_streams_generated");
-  std::vector<std::uint64_t> act(input.size() * wpl, 0);
-  std::vector<char> act_ready(input.size(), 0);
-  auto act_stream = [&](std::size_t idx) -> const std::uint64_t* {
-    if (!act_ready[idx]) {
-      act_gen_counter.add(1);
-      const float a = std::clamp(input[idx], 0.0f, 1.0f);
-      std::uint32_t q = nn::quantize_unsigned(a, cfg.value_bits);
-      if (fm != nullptr)
-        q = fm->sram_read(q, cfg.value_bits,
-                          fault::FaultModel::Site::kActSram, idx);
-      generate_stream(act.data() + idx * wpl, wpl,
-                      static_cast<std::size_t>(L), cfg,
-                      alloc.activation(static_cast<int>(idx)), q, fm,
-                      fault::FaultModel::Site::kActStream, idx);
-      act_ready[idx] = 1;
-    }
-    return act.data() + idx * wpl;
-  };
+  impl->act_gen_counter = &metrics.counter("machine.act_streams_generated");
+  impl->act.assign(input.size() * wpl, 0);
+  impl->act_ready.assign(input.size(), 0);
 
-  MachineResult result;
-  result.counters.assign(static_cast<std::size_t>(outputs), 0);
-  result.activations.assign(static_cast<std::size_t>(outputs), 0);
+  impl->result.counters.assign(static_cast<std::size_t>(impl->outputs), 0);
+  impl->result.activations.assign(static_cast<std::size_t>(impl->outputs), 0);
 
   // ---- pass schedule ------------------------------------------------------
-  const int R = hw_.rows;
-  const int chans_at_once = std::min(shape.cout, R);
-  const int windows_per_pass = plan.windows_per_pass;
-  const int slices = plan.kernel_slices;
-  const std::int64_t M = hw_.macs_per_row;
-  const std::int64_t xy = static_cast<std::int64_t>(ho) * wo;
+  impl->R = hw_.rows;
+  impl->chans_at_once = std::min(shape.cout, impl->R);
+  impl->windows_per_pass = impl->plan.windows_per_pass;
+  impl->slices = impl->plan.kernel_slices;
+  impl->M = hw_.macs_per_row;
 
-  int groups = 1;
+  impl->groups = 1;
   switch (cfg.accum) {
-    case nn::AccumMode::kOr: groups = 1; break;
-    case nn::AccumMode::kPbw: groups = shape.kw; break;
-    case nn::AccumMode::kPbhw: groups = shape.kh * shape.kw; break;
+    case nn::AccumMode::kOr: impl->groups = 1; break;
+    case nn::AccumMode::kPbw: impl->groups = shape.kw; break;
+    case nn::AccumMode::kPbhw: impl->groups = shape.kh * shape.kw; break;
     case nn::AccumMode::kFxp:
-    case nn::AccumMode::kApc: groups = 1; break;  // accumulated per tap
+    case nn::AccumMode::kApc: impl->groups = 1; break;  // per tap
   }
-  std::vector<std::uint64_t> scratch(static_cast<std::size_t>(groups) * 2 *
-                                     wpl);
+  impl->scratch.assign(static_cast<std::size_t>(impl->groups) * 2 * wpl, 0);
 
   // Fault-path scratch (allocated only when a model is active; the clean
   // path never touches these).
-  const bool direct_accum = cfg.accum == nn::AccumMode::kFxp ||
-                            cfg.accum == nn::AccumMode::kApc;
-  const bool accum_faults = fm != nullptr && fm->accum_active();
-  const bool stuck_faults = fm != nullptr && fm->stuck_enabled();
-  std::vector<std::uint64_t> prod;  // corrupted pos/neg product streams
-  std::vector<std::uint32_t> cyc;   // per-cycle counts for the stuck column
-  if (accum_faults || (stuck_faults && direct_accum)) prod.resize(2 * wpl);
-  if (stuck_faults && direct_accum)
-    cyc.resize(2 * static_cast<std::size_t>(L));
+  impl->direct_accum = cfg.accum == nn::AccumMode::kFxp ||
+                       cfg.accum == nn::AccumMode::kApc;
+  impl->accum_faults = fm != nullptr && fm->accum_active();
+  impl->stuck_faults = fm != nullptr && fm->stuck_enabled();
+  if (impl->accum_faults || (impl->stuck_faults && impl->direct_accum))
+    impl->prod.resize(2 * wpl);
+  if (impl->stuck_faults && impl->direct_accum)
+    impl->cyc.resize(2 * static_cast<std::size_t>(L));
 
-  const double fill = hw_.buffer_fill_bits;
-  const double bits_per_value =
+  impl->fill = hw_.buffer_fill_bits;
+  impl->bits_per_value =
       hw_.progressive ? static_cast<double>(n) : hw_.sng_value_bits;
 
-  telemetry::Histogram& pass_hist = metrics.histogram("machine.pass");
-  telemetry::Histogram& mac_hist = metrics.histogram("machine.mac_rows");
-  MachineStats& st = result.stats;
-  for (int cg = 0; cg * R < shape.cout; ++cg) {
-    for (std::int64_t wg = 0; wg * windows_per_pass < xy; ++wg) {
-      for (int p = 0; p < slices; ++p) {
-        telemetry::ScopedTimer pass_timer(
-            pass_hist, "machine.pass", "machine",
-            {{"channel_group", static_cast<double>(cg)},
-             {"window_group", static_cast<double>(wg)},
-             {"kernel_slice", static_cast<double>(p)},
-             {"act_fills", static_cast<double>(plan.act_loads_per_pass)},
-             {"wgt_fills", static_cast<double>(plan.wgt_loads_per_pass)}});
-        ++st.passes;
-        // -- reload accounting (the functional fills below are exact; the
-        //    stall model matches PerfSim::pass_stall_cycles).
-        st.act_buffer_fills += plan.act_loads_per_pass;
-        st.wgt_buffer_fills += plan.wgt_loads_per_pass;
-        const double act_cycles =
-            std::ceil(plan.act_loads_per_pass * bits_per_value / fill);
-        const double wgt_cycles =
-            std::ceil(plan.wgt_loads_per_pass * bits_per_value / fill);
-        const double reload = std::max(act_cycles, wgt_cycles);
-        double stall = reload;
-        if (hw_.shadow_buffers)
-          stall = std::max(0.0, reload - plan.stream_cycles);
-        else if (hw_.progressive)
-          stall = std::ceil(
-              std::max(plan.act_loads_per_pass, plan.wgt_loads_per_pass) *
-              2.0 / fill);
-        st.stall_cycles += static_cast<std::int64_t>(stall);
-        st.compute_cycles +=
-            plan.stream_cycles + (hw_.pipeline_stage ? 1 : 0);
+  impl->pass_hist = &metrics.histogram("machine.pass");
+  impl->mac_hist = &metrics.histogram("machine.mac_rows");
 
-        // -- bit-exact computation of this pass's outputs.
-        telemetry::ScopedTimer mac_timer(mac_hist, "machine.mac_rows",
-                                         "machine");
-        const int tap_lo = static_cast<int>(p * M);
-        const int tap_hi = static_cast<int>(
-            std::min<std::int64_t>(K, (p + 1) * M));
-        for (int c = 0; c < chans_at_once; ++c) {
-          const int oc = cg * R + c;
-          if (oc >= shape.cout) break;
-          for (int wslot = 0; wslot < windows_per_pass; ++wslot) {
-            const std::int64_t pos = wg * windows_per_pass + wslot;
-            if (pos >= xy) break;
-            const int oy = static_cast<int>(pos) / wo;
-            const int ox = static_cast<int>(pos) % wo;
-            const std::size_t oidx =
-                (static_cast<std::size_t>(oc) * ho + oy) * wo + ox;
+  impl->tiles_cg = (shape.cout + impl->R - 1) / impl->R;
+  impl->tiles_wg = (impl->xy + impl->windows_per_pass - 1) /
+                   impl->windows_per_pass;
 
-            std::fill(scratch.begin(), scratch.end(), 0);
-            if (!cyc.empty()) std::fill(cyc.begin(), cyc.end(), 0);
-            std::int64_t direct = 0;  // kFxp / kApc path
-            for (int t = tap_lo; t < tap_hi; ++t) {
-              const int kx = t % shape.kw;
-              const int ky = (t / shape.kw) % shape.kh;
-              const int ic = t / (shape.kw * shape.kh);
-              const int iy = oy * shape.stride - shape.pad + ky;
-              const int ix = ox * shape.stride - shape.pad + kx;
-              if (iy < 0 || iy >= shape.hin || ix < 0 || ix >= shape.win)
-                continue;
-              const std::size_t aidx =
-                  (static_cast<std::size_t>(ic) * shape.hin + iy) *
-                      shape.win +
-                  ix;
-              const std::uint64_t* a = act_stream(aidx);
-              const std::size_t widx =
-                  (static_cast<std::size_t>(oc) * K + t) * wpl;
-              const std::uint64_t* wp = &wpos[widx];
-              const std::uint64_t* wn = &wneg[widx];
-              if (!prod.empty()) {
-                // The product streams are the accumulator inputs; faults on
-                // the OR-tree / parallel-counter input wires hit here. Site
-                // ids are per (output, tap, channel) wire, mirrored by the
-                // nn reference path.
-                for (std::size_t k = 0; k < wpl; ++k) {
-                  prod[k] = a[k] & wp[k];
-                  prod[wpl + k] = a[k] & wn[k];
-                }
-                if (accum_faults) {
-                  const std::uint64_t asite =
-                      (static_cast<std::uint64_t>(oidx) * K + t) * 2;
-                  fm->corrupt_accum_input(prod.data(),
-                                          static_cast<std::size_t>(L), asite);
-                  fm->corrupt_accum_input(prod.data() + wpl,
-                                          static_cast<std::size_t>(L),
-                                          asite + 1);
-                }
-                wp = prod.data();
-                wn = prod.data() + wpl;
-                a = nullptr;  // products already formed
-              }
-              auto prod_word = [&](const std::uint64_t* ch, std::size_t k) {
-                return a != nullptr ? (a[k] & ch[k]) : ch[k];
-              };
-              if (cfg.accum == nn::AccumMode::kFxp ||
-                  cfg.accum == nn::AccumMode::kApc) {
-                // The machine's APC reduces to exact counting per product
-                // pair order; we model kApc == kFxp at machine level (the
-                // area model carries the difference).
-                if (!cyc.empty()) {
-                  // Stuck-at needs per-cycle counter values, so scatter the
-                  // product bits into per-cycle pos/neg histograms.
-                  for (std::size_t k = 0; k < wpl; ++k) {
-                    std::uint64_t bp = prod_word(wp, k);
-                    while (bp != 0) {
-                      ++cyc[k * 64 +
-                            static_cast<unsigned>(std::countr_zero(bp))];
-                      bp &= bp - 1;
-                    }
-                    std::uint64_t bn = prod_word(wn, k);
-                    while (bn != 0) {
-                      ++cyc[static_cast<std::size_t>(L) + k * 64 +
-                            static_cast<unsigned>(std::countr_zero(bn))];
-                      bn &= bn - 1;
-                    }
-                  }
-                } else {
-                  for (std::size_t k = 0; k < wpl; ++k) {
-                    direct += std::popcount(prod_word(wp, k));
-                    direct -= std::popcount(prod_word(wn, k));
-                  }
-                }
-              } else {
-                int g = 0;
-                if (cfg.accum == nn::AccumMode::kPbw)
-                  g = kx;
-                else if (cfg.accum == nn::AccumMode::kPbhw)
-                  g = ky * shape.kw + kx;
-                std::uint64_t* gp =
-                    &scratch[static_cast<std::size_t>(g) * 2 * wpl];
-                std::uint64_t* gn = gp + wpl;
-                for (std::size_t k = 0; k < wpl; ++k) {
-                  gp[k] |= prod_word(wp, k);
-                  gn[k] |= prod_word(wn, k);
-                }
-              }
-            }
-            std::int64_t total = direct;
-            if (!cyc.empty()) {
-              // Direct path under a stuck parallel-counter column: run each
-              // per-cycle count through the defective counter.
-              for (int t = 0; t < L; ++t) {
-                total += fm->apply_stuck(cyc[static_cast<std::size_t>(t)]);
-                total -= fm->apply_stuck(
-                    cyc[static_cast<std::size_t>(L) + t]);
-              }
-            }
-            if (cfg.accum == nn::AccumMode::kOr ||
-                cfg.accum == nn::AccumMode::kPbw ||
-                cfg.accum == nn::AccumMode::kPbhw) {
-              for (int g = 0; g < groups; ++g) {
-                const std::uint64_t* gp =
-                    &scratch[static_cast<std::size_t>(g) * 2 * wpl];
-                const std::uint64_t* gn = gp + wpl;
-                if (stuck_faults) {
-                  // Each group's OR output is a 1-bit/cycle count into its
-                  // output-converter counter; the stuck column corrupts it
-                  // cycle by cycle.
-                  for (int t = 0; t < L; ++t) {
-                    const std::uint32_t bp =
-                        static_cast<std::uint32_t>((gp[t >> 6] >> (t & 63)) &
-                                                   1u);
-                    const std::uint32_t bn =
-                        static_cast<std::uint32_t>((gn[t >> 6] >> (t & 63)) &
-                                                   1u);
-                    total += fm->apply_stuck(bp);
-                    total -= fm->apply_stuck(bn);
-                  }
-                } else {
-                  total += static_cast<std::int64_t>(popcount_words(gp, wpl));
-                  total -= static_cast<std::int64_t>(popcount_words(gn, wpl));
-                }
-              }
-            }
-            // Near-memory read-add-write of the partial sum (first slice
-            // writes, later slices accumulate).
-            result.counters[oidx] += static_cast<std::int32_t>(total);
-            if (slices > 1 && p > 0) ++st.psum_ops;
-          }
-        }
-      }
-    }
-  }
-
-  // ---- near-memory BN + bounded ReLU + write-back ------------------------
-  telemetry::ScopedTimer bn_timer("machine.bn_relu", "machine");
-  const double inv_len = 1.0 / static_cast<double>(L);
-  const double lanes = std::max(1, hw_.mem_port_bits / 16);
-  for (int oc = 0; oc < shape.cout; ++oc)
-    for (std::int64_t i = 0; i < xy; ++i) {
-      const std::size_t oidx = static_cast<std::size_t>(oc) * xy + i;
-      const double value = result.counters[oidx] * inv_len;
-      const double bn = bn_scale[static_cast<std::size_t>(oc)] * value +
-                        bn_shift[static_cast<std::size_t>(oc)];
-      const double act_out = std::clamp(bn, 0.0, 1.0);
-      result.activations[oidx] = static_cast<std::uint8_t>(
-          nn::quantize_unsigned(static_cast<float>(act_out), 8));
-      if (hw_.near_memory) ++st.bn_ops;
-    }
-
-  st.nearmem_cycles = static_cast<std::int64_t>(
-      2.0 * (st.psum_ops + st.bn_ops) / lanes);
-  // ECC retries on faulty SRAM reads stall the fill network.
-  if (fm != nullptr)
-    st.stall_cycles += fm->stats().sram_retry_cycles - fault_retry0;
-  st.total_cycles = st.compute_cycles + st.stall_cycles + st.nearmem_cycles;
-  // The cycle ledger must balance: every total cycle is attributed to
-  // exactly one of compute / stall / near-memory and no bucket may go
-  // negative (a negative bucket means an accounting bug or overflow). This
-  // check is always on — in release builds a violation marks the stats
-  // invalid and bumps machine.ledger_mismatch instead of aborting.
-  st.ledger_ok =
-      st.compute_cycles >= 0 && st.stall_cycles >= 0 &&
-      st.nearmem_cycles >= 0 && st.total_cycles >= 0 &&
-      st.total_cycles ==
-          st.compute_cycles + st.stall_cycles + st.nearmem_cycles;
-  if (!st.ledger_ok) metrics.counter("machine.ledger_mismatch").add(1);
-  assert(st.ledger_ok && "machine cycle ledger must reconcile");
-
-  // Mirror the per-run stats into the process-wide registry so telemetry
-  // consumers see the same ledger MachineStats reports (the machine_test
-  // reconciliation assertion depends on these staying in lockstep).
-  metrics.counter("machine.passes").add(st.passes);
-  metrics.counter("machine.compute_cycles").add(st.compute_cycles);
-  metrics.counter("machine.stall_cycles").add(st.stall_cycles);
-  metrics.counter("machine.nearmem_cycles").add(st.nearmem_cycles);
-  metrics.counter("machine.total_cycles").add(st.total_cycles);
-  metrics.counter("machine.act_buffer_fills").add(st.act_buffer_fills);
-  metrics.counter("machine.wgt_buffer_fills").add(st.wgt_buffer_fills);
-  metrics.counter("machine.psum_ops").add(st.psum_ops);
-  metrics.counter("machine.bn_ops").add(st.bn_ops);
-  metrics.counter("machine.layers_executed").add(1);
-  return result;
+  return ConvExecution(std::move(impl));
 }
 
 }  // namespace geo::arch

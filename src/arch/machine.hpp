@@ -18,6 +18,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -56,6 +57,73 @@ struct MachineResult {
   MachineStats stats;
 };
 
+// The near-memory BN + bounded-ReLU write-back, shared by the machine and
+// the resilience layer's fixed-point reference path (degraded tiles must go
+// through the exact same rounding).
+//   counters     (cout * per_channel) raw pos-neg counts
+//   activations  same size, receives the 8-bit unipolar outputs
+void apply_bn_relu(std::span<const std::int32_t> counters,
+                   std::span<const float> bn_scale,
+                   std::span<const float> bn_shift, int stream_len,
+                   std::int64_t per_channel,
+                   std::span<std::uint8_t> activations);
+
+// A prepared convolution whose pass schedule is executed tile by tile. One
+// tile is one (channel group, window group) pair; running it executes every
+// kernel slice for that tile's outputs against the input snapshot captured
+// at prepare time (weight/activation streams are generated once and reused),
+// so re-running a tile is the hardware's retry-from-snapshot. Obtained from
+// GeoMachine::prepare_conv; the weights/input spans must outlive the
+// execution. `finish()` applies BN/ReLU, reconciles the cycle ledger and
+// mirrors the stats into telemetry — running every tile exactly once and
+// finishing is bit- and stat-identical to GeoMachine::try_run_conv.
+class ConvExecution {
+ public:
+  ConvExecution(ConvExecution&&) noexcept;
+  ConvExecution& operator=(ConvExecution&&) noexcept;
+  ~ConvExecution();
+
+  std::int64_t tile_count() const;
+
+  // Output indices written by `tile` (disjoint across tiles, each covered by
+  // exactly one tile).
+  std::vector<std::size_t> tile_outputs(std::int64_t tile) const;
+
+  // (Re)executes one tile. The tile's counters are zeroed first, so a retry
+  // replaces — never double-counts — its partial sums. Cycle/stat costs
+  // accumulate on every run (a retry really recomputes).
+  void run_tile(std::int64_t tile);
+
+  // Drops the cached activation streams feeding `tile`, so the next run_tile
+  // re-reads activation SRAM and regenerates them. A retry after a detected
+  // SRAM/stream fault must go through this, otherwise it would replay the
+  // same poisoned buffers and recovery under a transient fault model could
+  // never succeed.
+  void invalidate_tile_inputs(std::int64_t tile);
+
+  // Partial-sum state accumulated so far (indexed like MachineResult::counters).
+  std::span<const std::int32_t> counters() const;
+
+  // Execution statistics accumulated so far (ledger not yet reconciled).
+  const MachineStats& stats() const;
+
+  // Extra stall cycles charged to the ledger (retry backoff, scrubbing).
+  void add_stall_cycles(std::int64_t cycles);
+
+  // The nn-layer configuration this execution matches.
+  const nn::ScLayerConfig& config() const;
+
+  // BN + bounded ReLU write-back, ledger reconciliation, telemetry mirror.
+  // Call at most once; the execution is consumed.
+  MachineResult finish();
+
+ private:
+  friend class GeoMachine;
+  struct Impl;
+  explicit ConvExecution(std::unique_ptr<Impl> impl);
+  std::unique_ptr<Impl> impl_;
+};
+
 class GeoMachine {
  public:
   explicit GeoMachine(const HwConfig& hw);
@@ -78,6 +146,16 @@ class GeoMachine {
   // and returns a structured error instead of crashing or throwing. On
   // success the MachineResult is identical to run_conv's.
   geo::StatusOr<MachineResult> try_run_conv(const ConvShape& shape,
+                                            std::span<const float> weights,
+                                            std::span<const float> input,
+                                            std::span<const float> bn_scale,
+                                            std::span<const float> bn_shift,
+                                            std::uint64_t layer_salt);
+
+  // Validates the layer and builds a tile-granular execution (the machinery
+  // under try_run_conv, exposed for the resilience layer's detect-and-retry
+  // loop). The spans must outlive the returned execution.
+  geo::StatusOr<ConvExecution> prepare_conv(const ConvShape& shape,
                                             std::span<const float> weights,
                                             std::span<const float> input,
                                             std::span<const float> bn_scale,

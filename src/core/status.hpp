@@ -11,6 +11,7 @@
 //     exception message is the Status message.
 #pragma once
 
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <utility>
@@ -66,7 +67,8 @@ class Status {
 };
 
 // Value-or-error. `value()` on an error state throws std::logic_error (that
-// is a caller bug, not an expected failure).
+// is a caller bug, not an expected failure). T need not be
+// default-constructible (move-only execution handles are stored too).
 template <typename T>
 class StatusOr {
  public:
@@ -81,15 +83,15 @@ class StatusOr {
 
   T& value() & {
     check();
-    return value_;
+    return *value_;
   }
   const T& value() const& {
     check();
-    return value_;
+    return *value_;
   }
   T&& value() && {
     check();
-    return std::move(value_);
+    return *std::move(value_);
   }
 
   T& operator*() & { return value(); }
@@ -105,7 +107,7 @@ class StatusOr {
   }
 
   Status status_;
-  T value_{};
+  std::optional<T> value_;
 };
 
 }  // namespace geo

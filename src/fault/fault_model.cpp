@@ -144,10 +144,18 @@ geo::StatusOr<FaultConfig> FaultConfig::parse(std::string_view spec) {
         return geo::Status::invalid_argument(
             "GEO_FAULTS: rng='" + std::string(val) + "' is not a uint64");
       cfg.rng_seed = r;
+    } else if (key == "transient") {
+      if (val == "1")
+        cfg.transient = true;
+      else if (val == "0")
+        cfg.transient = false;
+      else
+        return geo::Status::invalid_argument(
+            "GEO_FAULTS: transient='" + std::string(val) + "' (want 0|1)");
     } else {
       return geo::Status::invalid_argument(
           "GEO_FAULTS: unknown key '" + std::string(key) +
-          "' (want stream|accum|seed|sram|burst|ecc|stuck|rng)");
+          "' (want stream|accum|seed|sram|burst|ecc|stuck|rng|transient)");
     }
   }
   return cfg;
@@ -172,6 +180,7 @@ std::string FaultConfig::to_string() const {
                 stream_flip_rate, accum_flip_rate, seed_upset_rate,
                 sram_error_rate, sram_burst, fault::to_string(ecc));
   std::string out = buf;
+  if (transient) out += ",transient=1";
   if (stuck.enabled()) {
     std::snprintf(buf, sizeof(buf), ",stuck=%d:%d", stuck.column,
                   stuck.value ? 1 : 0);
@@ -201,9 +210,14 @@ FaultModel::FaultModel(const FaultConfig& cfg) : cfg_(cfg) {
 
 FaultModel::SiteRng FaultModel::rng_for(Site domain,
                                         std::uint64_t site) const {
-  const std::uint64_t key =
+  std::uint64_t key =
       core::mix64(cfg_.rng_seed ^ core::mix64(site) ^
                   (static_cast<std::uint64_t>(domain) << 56));
+  // Transient model: every access re-rolls, keyed by the model's access
+  // sequence (reproducible for a deterministic access order).
+  if (cfg_.transient)
+    key = core::mix64(
+        key ^ transient_draws_.fetch_add(1, std::memory_order_relaxed));
   return SiteRng{key};
 }
 

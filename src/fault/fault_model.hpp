@@ -62,6 +62,16 @@ struct FaultConfig {
   EccMode ecc = EccMode::kNone;
   StuckAtSpec stuck;
   std::uint64_t rng_seed = 0;     // 0 = derive from GEO_SEED / default
+  // Defect model (default, false): every injection site misbehaves the same
+  // way on every access — re-reading a corrupted slot reproduces the same
+  // corruption, so a retry can never out-wait a fault. Transient model
+  // (true): each access re-rolls its fault draw (cosmic-ray style), which is
+  // what makes the resilience layer's detect-and-retry loop able to recover.
+  // Transient draws are keyed by a per-model access counter, so runs stay
+  // reproducible as long as the access order is (single-threaded sweeps),
+  // but the PR-2 "independent of call order" guarantee applies only to the
+  // defect model.
+  bool transient = false;
 
   // True if any injection is configured (an all-zero config is inert and is
   // treated like "no model installed").
@@ -72,8 +82,8 @@ struct FaultConfig {
   //    stuck=3:1,rng=42"
   // Keys: stream|accum|seed|sram (rates in [0,1]), burst (int >= 1),
   // ecc (none|parity|secded), stuck (<col>[:<0|1>], col in [0,31]),
-  // rng (uint64). Unknown keys and out-of-range values are rejected with a
-  // diagnostic.
+  // rng (uint64), transient (0|1). Unknown keys and out-of-range values are
+  // rejected with a diagnostic.
   static geo::StatusOr<FaultConfig> parse(std::string_view spec);
 
   // GEO_FAULTS, parsed fresh on each call. Unset/empty -> nullopt; a
@@ -110,6 +120,11 @@ class FaultModel {
     kActSram,
     kSeed,
     kGeneric,
+    // Partial-sum words in activation SRAM, read back through the
+    // near-memory read-add-write path (the resilience layer's CRC/range
+    // guards watch this domain). Appended so the existing domains keep
+    // their PR-2 hash keys.
+    kPsumSram,
   };
 
   explicit FaultModel(const FaultConfig& cfg);
@@ -170,6 +185,8 @@ class FaultModel {
   std::atomic<std::int64_t> sram_silent_{0};
   std::atomic<std::int64_t> sram_retry_cycles_{0};
   std::atomic<std::int64_t> stuck_events_{0};
+  // Access sequence for the transient model (unused in defect mode).
+  mutable std::atomic<std::uint64_t> transient_draws_{0};
 };
 
 // The process-wide active model: a ScopedFaultInjection if one is alive,

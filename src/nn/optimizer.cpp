@@ -65,4 +65,23 @@ void Adam::step() {
   apply_clamp();
 }
 
+geo::Status Adam::restore_state(AdamState state) {
+  if (state.t < 0)
+    return geo::Status::invalid_argument("Adam state: negative step count");
+  if (state.m.size() != params_.size() || state.v.size() != params_.size())
+    return geo::Status::invalid_argument(
+        "Adam state: " + std::to_string(state.m.size()) + "/" +
+        std::to_string(state.v.size()) + " moment vectors for " +
+        std::to_string(params_.size()) + " params");
+  for (std::size_t i = 0; i < params_.size(); ++i)
+    if (state.m[i].size() != params_[i]->value.size() ||
+        state.v[i].size() != params_[i]->value.size())
+      return geo::Status::invalid_argument(
+          "Adam state: moment " + std::to_string(i) + " size mismatch");
+  t_ = state.t;
+  m_ = std::move(state.m);
+  v_ = std::move(state.v);
+  return geo::Status();
+}
+
 }  // namespace geo::nn

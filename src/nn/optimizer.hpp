@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "core/status.hpp"
 #include "nn/layers.hpp"
 
 namespace geo::nn {
@@ -40,6 +41,14 @@ class Sgd final : public Optimizer {
   std::vector<std::vector<float>> velocity_;
 };
 
+// The optimizer's full internal state, exposed so the trainer checkpointer
+// can make resumed runs bit-identical to uninterrupted ones (Adam without
+// its moments restarts cold and diverges from the original trajectory).
+struct AdamState {
+  long t = 0;
+  std::vector<std::vector<float>> m, v;
+};
+
 class Adam final : public Optimizer {
  public:
   Adam(std::vector<Param*> params, float lr = 2e-3f, float beta1 = 0.9f,
@@ -47,6 +56,12 @@ class Adam final : public Optimizer {
   void step() override;
 
   void set_lr(float lr) { lr_ = lr; }
+
+  // Checkpoint support: snapshot/restore the step count and moment vectors.
+  // restore_state validates the state's shape against this optimizer's
+  // parameters and rejects mismatches without modifying anything.
+  AdamState snapshot_state() const { return {t_, m_, v_}; }
+  geo::Status restore_state(AdamState state);
 
  private:
   float lr_, beta1_, beta2_, eps_;

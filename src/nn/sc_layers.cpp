@@ -719,4 +719,67 @@ Tensor QuantLinear::forward(const Tensor& x, bool /*train*/) {
   return y;
 }
 
+// ------------------------------------------------------------- Reference
+
+std::vector<std::int32_t> fxp_reference_counters(
+    int cin, int hin, int win, int cout, int kh, int kw, int stride, int pad,
+    std::span<const float> weights, std::span<const float> input,
+    unsigned value_bits, int stream_len) {
+  if (cin <= 0 || hin <= 0 || win <= 0 || cout <= 0 || kh <= 0 || kw <= 0 ||
+      stride <= 0 || pad < 0)
+    throw std::invalid_argument("fxp_reference_counters: bad shape");
+  const int ho = (hin + 2 * pad - kh) / stride + 1;
+  const int wo = (win + 2 * pad - kw) / stride + 1;
+  if (ho <= 0 || wo <= 0)
+    throw std::invalid_argument("fxp_reference_counters: empty output");
+  const std::size_t wsize = static_cast<std::size_t>(cout) * cin * kh * kw;
+  const std::size_t isize = static_cast<std::size_t>(cin) * hin * win;
+  if (weights.size() != wsize || input.size() != isize)
+    throw std::invalid_argument("fxp_reference_counters: span size mismatch");
+
+  // An ideal stream of length L carrying code q (of 2^vb levels) has
+  // popcount q/2^vb * L; an AND of two independent ideal streams has the
+  // product of the probabilities. The counters the machine accumulates are
+  // pos-minus-neg popcounts, so the noise-free expectation per output is
+  //   round(L * sum_taps sign(w) * (qw/2^vb) * (qa/2^vb)).
+  // Same quantization as the stream generators above: |w| clamped to [0,1],
+  // a clamped to [0,1], both to `value_bits` unsigned codes.
+  const double scale = static_cast<double>(1u << value_bits);
+  std::vector<std::int32_t> counters(
+      static_cast<std::size_t>(cout) * ho * wo, 0);
+  for (int oc = 0; oc < cout; ++oc) {
+    for (int oy = 0; oy < ho; ++oy) {
+      for (int ox = 0; ox < wo; ++ox) {
+        double acc = 0.0;
+        for (int ic = 0; ic < cin; ++ic) {
+          for (int ky = 0; ky < kh; ++ky) {
+            const int iy = oy * stride - pad + ky;
+            if (iy < 0 || iy >= hin) continue;
+            for (int kx = 0; kx < kw; ++kx) {
+              const int ix = ox * stride - pad + kx;
+              if (ix < 0 || ix >= win) continue;
+              const float w = std::clamp(
+                  weights[((static_cast<std::size_t>(oc) * cin + ic) * kh +
+                           ky) *
+                              kw +
+                          kx],
+                  -1.0f, 1.0f);
+              const float a = std::clamp(
+                  input[(static_cast<std::size_t>(ic) * hin + iy) * win + ix],
+                  0.0f, 1.0f);
+              const double pw =
+                  quantize_unsigned(std::abs(w), value_bits) / scale;
+              const double pa = quantize_unsigned(a, value_bits) / scale;
+              acc += (w < 0.0f ? -1.0 : 1.0) * pw * pa;
+            }
+          }
+        }
+        counters[(static_cast<std::size_t>(oc) * ho + oy) * wo + ox] =
+            static_cast<std::int32_t>(std::llround(acc * stream_len));
+      }
+    }
+  }
+  return counters;
+}
+
 }  // namespace geo::nn

@@ -14,6 +14,8 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
+#include <vector>
 
 #include "nn/layers.hpp"
 #include "nn/sc_config.hpp"
@@ -39,6 +41,20 @@ struct ScLayerConfig {
   static ScLayerConfig from_model(const ScModelConfig& model, int stream_len,
                                   int layer_index);
 };
+
+// Bit-exact fixed-point reference for one convolution layer: quantizes the
+// operands exactly like the SC stream generators (|w| and a to `value_bits`
+// unsigned codes) and returns the pos-neg counter totals an ideal noise-free
+// stream computation of length `stream_len` converges to. This is the bottom
+// rung of the resilience degradation ladder (docs/RESILIENCE.md): a layer
+// whose SC execution cannot pass its detection guards is recomputed here,
+// deterministically and independent of any fault injection.
+//   weights (cout, cin, kh, kw) in [-1, 1];  input (cin, hin, win) in [0, 1]
+// Returns (cout, hout, wout) counters, hout/wout derived from stride/pad.
+std::vector<std::int32_t> fxp_reference_counters(
+    int cin, int hin, int win, int cout, int kh, int kw, int stride, int pad,
+    std::span<const float> weights, std::span<const float> input,
+    unsigned value_bits, int stream_len);
 
 class ScConv2d : public Conv2d {
  public:

@@ -2,12 +2,17 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <numeric>
 #include <random>
+#include <sstream>
 
 #include "core/env.hpp"
 #include "nn/loss.hpp"
 #include "nn/optimizer.hpp"
+#include "resilience/checkpoint.hpp"
+#include "resilience/crc32.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace geo::nn {
@@ -16,6 +21,156 @@ namespace {
 std::string cache_path(const TrainOptions& o) {
   if (o.cache_dir.empty() || o.cache_key.empty()) return {};
   return o.cache_dir + "/" + o.cache_key + ".weights";
+}
+
+std::string ckpt_path(const TrainOptions& o) {
+  const std::string dir = !o.checkpoint_dir.empty()
+                              ? o.checkpoint_dir
+                              : resilience::checkpoint_dir();
+  if (dir.empty() || o.checkpoint_key.empty()) return {};
+  return dir + "/" + o.checkpoint_key + ".ckpt";
+}
+
+// Fingerprint of everything that must match for a snapshot to be resumable:
+// the training options, the effective shuffle seed, and the model's
+// parameter count. A snapshot from a different run configuration must be
+// rejected, not silently grafted onto this one.
+std::uint32_t train_fingerprint(const TrainOptions& o,
+                                const Sequential& net) {
+  resilience::ByteWriter w;
+  w.u32(static_cast<std::uint32_t>(o.epochs));
+  w.u32(static_cast<std::uint32_t>(o.batch_size));
+  w.f32(o.lr);
+  w.u32(o.shuffle_seed);
+  w.u32(o.clamp_weights ? 1u : 0u);
+  w.f32(o.clamp_limit);
+  w.u64(core::seed_or(o.shuffle_seed, "train.shuffle"));
+  w.u64(net.parameter_count());
+  return resilience::crc32(w.data());
+}
+
+geo::Status write_train_checkpoint(const std::string& path,
+                                   std::uint32_t fingerprint, int next_epoch,
+                                   Sequential& net, const Adam& opt,
+                                   const std::mt19937& rng,
+                                   const std::vector<int>& order) {
+  resilience::ByteWriter w;
+  w.u32(fingerprint);
+  w.u32(static_cast<std::uint32_t>(next_epoch));
+  std::ostringstream rng_os;
+  rng_os << rng;  // the standard's textual engine state is exact
+  w.bytes(rng_os.str());
+  w.u64(order.size());
+  for (const int i : order) w.u32(static_cast<std::uint32_t>(i));
+  const auto params = net.params();
+  w.u64(params.size());
+  for (const Param* p : params) w.floats(p->value.data());
+  const auto state = net.state();
+  w.u64(state.size());
+  for (const Tensor* t : state) w.floats(t->data());
+  const AdamState adam = opt.snapshot_state();
+  w.u64(static_cast<std::uint64_t>(adam.t));
+  w.u64(adam.m.size());
+  for (const auto& m : adam.m) w.floats(m);
+  w.u64(adam.v.size());
+  for (const auto& v : adam.v) w.floats(v);
+  return resilience::write_checkpoint(path, w.data());
+}
+
+// Restores a snapshot into (net, opt, rng, order) and reports the epoch to
+// resume from. Fail-closed: everything is parsed and validated before any
+// live state is touched, so a rejected snapshot leaves the run untouched.
+geo::StatusOr<int> resume_train_checkpoint(const std::string& path,
+                                           std::uint32_t fingerprint,
+                                           int epochs, Sequential& net,
+                                           Adam& opt, std::mt19937& rng,
+                                           std::vector<int>& order) {
+  auto payload = resilience::read_checkpoint(path);
+  if (!payload.ok()) return payload.status();
+  resilience::ByteReader r(*payload);
+  const std::uint32_t fp = r.u32();
+  const int next_epoch = static_cast<int>(r.u32());
+  const std::string rng_state = r.bytes();
+  const std::uint64_t order_n = r.u64();
+  std::vector<int> new_order;
+  if (order_n == order.size()) {
+    new_order.reserve(order.size());
+    for (std::uint64_t i = 0; i < order_n; ++i)
+      new_order.push_back(static_cast<int>(r.u32()));
+  }
+  const std::uint64_t param_n = r.u64();
+  std::vector<std::vector<float>> params;
+  for (std::uint64_t i = 0; i < param_n && r.read_status().ok(); ++i)
+    params.push_back(r.floats());
+  const std::uint64_t state_n = r.u64();
+  std::vector<std::vector<float>> state;
+  for (std::uint64_t i = 0; i < state_n && r.read_status().ok(); ++i)
+    state.push_back(r.floats());
+  AdamState adam;
+  adam.t = static_cast<long>(r.u64());
+  const std::uint64_t m_n = r.u64();
+  for (std::uint64_t i = 0; i < m_n && r.read_status().ok(); ++i)
+    adam.m.push_back(r.floats());
+  const std::uint64_t v_n = r.u64();
+  for (std::uint64_t i = 0; i < v_n && r.read_status().ok(); ++i)
+    adam.v.push_back(r.floats());
+  if (auto s = r.read_status(); !s.ok()) return s;
+
+  if (fp != fingerprint)
+    return geo::Status::failed_precondition(
+        "train checkpoint '" + path +
+        "' was written by a different run configuration");
+  if (next_epoch < 1 || next_epoch > epochs)
+    return geo::Status::failed_precondition(
+        "train checkpoint '" + path + "' resumes at epoch " +
+        std::to_string(next_epoch) + " of " + std::to_string(epochs));
+  if (order_n != order.size() || new_order.size() != order.size())
+    return geo::Status::data_loss("train checkpoint '" + path +
+                                  "': shuffle order size mismatch");
+  const auto live_params = net.params();
+  if (params.size() != live_params.size())
+    return geo::Status::data_loss("train checkpoint '" + path +
+                                  "': parameter tensor count mismatch");
+  for (std::size_t i = 0; i < params.size(); ++i)
+    if (params[i].size() != live_params[i]->value.size())
+      return geo::Status::data_loss("train checkpoint '" + path +
+                                    "': parameter " + std::to_string(i) +
+                                    " size mismatch");
+  const auto live_state = net.state();
+  if (state.size() != live_state.size())
+    return geo::Status::data_loss("train checkpoint '" + path +
+                                  "': state tensor count mismatch");
+  for (std::size_t i = 0; i < state.size(); ++i)
+    if (state[i].size() != live_state[i]->size())
+      return geo::Status::data_loss("train checkpoint '" + path +
+                                    "': state tensor " + std::to_string(i) +
+                                    " size mismatch");
+  std::mt19937 new_rng;
+  std::istringstream rng_is(rng_state);
+  rng_is >> new_rng;
+  if (rng_is.fail())
+    return geo::Status::data_loss("train checkpoint '" + path +
+                                  "': unparseable RNG state");
+  // All validated — apply atomically.
+  if (auto s = opt.restore_state(std::move(adam)); !s.ok())
+    return geo::Status::data_loss("train checkpoint '" + path +
+                                  "': " + s.message());
+  for (std::size_t i = 0; i < params.size(); ++i)
+    std::copy(params[i].begin(), params[i].end(),
+              live_params[i]->value.data().begin());
+  for (std::size_t i = 0; i < state.size(); ++i)
+    std::copy(state[i].begin(), state[i].end(),
+              live_state[i]->data().begin());
+  order = std::move(new_order);
+  rng = new_rng;
+  return next_epoch;
+}
+
+// GEO_CRASH_AFTER_EPOCH=<n>: hard-exit (code 42) right after the snapshot
+// for epoch n lands — the resilience test's kill-and-resume hook.
+int crash_after_epoch() {
+  const char* v = std::getenv("GEO_CRASH_AFTER_EPOCH");
+  return (v != nullptr && v[0] != '\0') ? std::atoi(v) : 0;
 }
 }  // namespace
 
@@ -45,7 +200,29 @@ TrainResult train(Sequential& net, const Dataset& train_set,
   telemetry::Histogram& epoch_hist = metrics.histogram("train.epoch");
   telemetry::Counter& batch_counter = metrics.counter("train.batches");
 
-  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+  const std::string ckpt = ckpt_path(options);
+  const std::uint32_t fingerprint =
+      ckpt.empty() ? 0u : train_fingerprint(options, net);
+  int start_epoch = 0;
+  if (!ckpt.empty()) {
+    auto resumed = resume_train_checkpoint(ckpt, fingerprint, options.epochs,
+                                           net, opt, shuffle_rng, order);
+    if (resumed.ok()) {
+      start_epoch = *resumed;
+      result.resumed_from_epoch = start_epoch;
+      if (options.verbose)
+        std::printf("  resuming from checkpoint at epoch %d\n", start_epoch);
+    } else if (resumed.status().code() != geo::StatusCode::kFailedPrecondition ||
+               resumed.status().message().find("cannot open") ==
+                   std::string::npos) {
+      // A missing snapshot is the normal first run; anything else (corrupt,
+      // truncated, foreign) is worth a warning before starting fresh.
+      std::fprintf(stderr, "geo: ignoring %s\n",
+                   resumed.status().message().c_str());
+    }
+  }
+
+  for (int epoch = start_epoch; epoch < options.epochs; ++epoch) {
     telemetry::ScopedTimer epoch_timer(
         epoch_hist, "train.epoch", "train",
         {{"epoch", static_cast<double>(epoch)}});
@@ -87,6 +264,23 @@ TrainResult train(Sequential& net, const Dataset& train_set,
       std::printf("  epoch %2d  loss %.4f  train acc %.3f\n", epoch + 1,
                   loss_sum / std::max(batches, 1),
                   result.final_train_accuracy);
+
+    if (!ckpt.empty() && options.checkpoint_every > 0 &&
+        ((epoch + 1) % options.checkpoint_every == 0 ||
+         epoch + 1 == options.epochs)) {
+      if (auto s = write_train_checkpoint(ckpt, fingerprint, epoch + 1, net,
+                                          opt, shuffle_rng, order);
+          s.ok())
+        ++result.checkpoints_written;
+      else
+        std::fprintf(stderr, "geo: %s\n", s.message().c_str());
+    }
+    if (crash_after_epoch() == epoch + 1) {
+      std::fprintf(stderr,
+                   "geo: GEO_CRASH_AFTER_EPOCH=%d hit, exiting hard\n",
+                   epoch + 1);
+      std::_Exit(42);
+    }
   }
 
   if (!cache.empty()) net.save(cache);

@@ -26,12 +26,29 @@ struct TrainOptions {
   // Cache key must uniquely identify (model, dataset, config, options).
   std::string cache_dir;
   std::string cache_key;
+
+  // Crash-safe epoch checkpointing (docs/RESILIENCE.md). Directory for the
+  // snapshots; empty falls back to GEO_CHECKPOINT_DIR (and unset disables
+  // checkpointing entirely). A snapshot is written atomically after every
+  // `checkpoint_every`-th epoch under `<dir>/<checkpoint_key>.ckpt`; on the
+  // next run a valid snapshot resumes training from the epoch after it, and
+  // the resumed run's final weights are bit-identical to an uninterrupted
+  // one (same GEO_SEED, same options). A corrupt / truncated /
+  // foreign-version snapshot is rejected (with a stderr warning) and
+  // training restarts from scratch — it is never partially applied.
+  std::string checkpoint_dir;
+  std::string checkpoint_key = "train";
+  int checkpoint_every = 1;
 };
 
 struct TrainResult {
   double final_train_accuracy = 0.0;
   double test_accuracy = 0.0;
   bool from_cache = false;
+  // Epoch index the run resumed from (-1 = started from scratch) and the
+  // number of snapshots this run wrote.
+  int resumed_from_epoch = -1;
+  int checkpoints_written = 0;
 };
 
 // Trains `net` on `train` and evaluates on `test`. If a usable cache entry

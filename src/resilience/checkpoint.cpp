@@ -1,0 +1,218 @@
+#include "resilience/checkpoint.hpp"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+#include "resilience/crc32.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace geo::resilience {
+
+namespace {
+
+constexpr char kMagic[8] = {'G', 'E', 'O', 'C', 'K', 'P', 'T', '\0'};
+constexpr std::size_t kHeaderSize = 8 + 4 + 4 + 8;
+
+void put_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i)
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFFu));
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i)
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFFu));
+}
+
+std::uint32_t get_u32(const unsigned char* p) {
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+std::uint64_t get_u64(const unsigned char* p) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+}  // namespace
+
+std::string checkpoint_dir() {
+  const char* v = std::getenv("GEO_CHECKPOINT_DIR");
+  return (v != nullptr && v[0] != '\0') ? std::string(v) : std::string();
+}
+
+geo::Status write_checkpoint(const std::string& path,
+                             std::string_view payload) {
+  std::string image;
+  image.reserve(kHeaderSize + payload.size());
+  image.append(kMagic, sizeof(kMagic));
+  put_u32(image, kCheckpointVersion);
+  put_u32(image, crc32(payload));
+  put_u64(image, payload.size());
+  image.append(payload.data(), payload.size());
+
+  std::error_code ec;
+  const std::filesystem::path target(path);
+  if (target.has_parent_path()) {
+    std::filesystem::create_directories(target.parent_path(), ec);
+    if (ec)
+      return geo::Status::failed_precondition(
+          "checkpoint: cannot create directory '" +
+          target.parent_path().string() + "': " + ec.message());
+  }
+
+  // Write-temp + rename: the target is only ever replaced by a complete,
+  // flushed image. The pid suffix keeps concurrent writers from clobbering
+  // each other's temp files.
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+  {
+    std::ofstream f(tmp, std::ios::binary | std::ios::trunc);
+    if (!f)
+      return geo::Status::failed_precondition(
+          "checkpoint: cannot open temp file '" + tmp + "' for writing");
+    f.write(image.data(), static_cast<std::streamsize>(image.size()));
+    f.flush();
+    if (!f) {
+      std::filesystem::remove(tmp, ec);
+      return geo::Status::data_loss("checkpoint: short write to '" + tmp +
+                                    "'");
+    }
+  }
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::filesystem::remove(tmp, ec);
+    return geo::Status::data_loss("checkpoint: rename '" + tmp + "' -> '" +
+                                  path + "' failed");
+  }
+  telemetry::MetricsRegistry::instance()
+      .counter("resilience.checkpoints_written")
+      .add(1);
+  return geo::Status();
+}
+
+geo::StatusOr<std::string> read_checkpoint(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f)
+    return geo::Status::failed_precondition("checkpoint: cannot open '" +
+                                            path + "'");
+  std::string image((std::istreambuf_iterator<char>(f)),
+                    std::istreambuf_iterator<char>());
+  if (image.size() < kHeaderSize)
+    return geo::Status::data_loss(
+        "checkpoint: '" + path + "' truncated (" +
+        std::to_string(image.size()) + " bytes, header needs " +
+        std::to_string(kHeaderSize) + ")");
+  const auto* p = reinterpret_cast<const unsigned char*>(image.data());
+  if (std::memcmp(p, kMagic, sizeof(kMagic)) != 0)
+    return geo::Status::invalid_argument(
+        "checkpoint: '" + path + "' is not a GEO checkpoint (bad magic)");
+  const std::uint32_t version = get_u32(p + 8);
+  if (version != kCheckpointVersion)
+    return geo::Status::failed_precondition(
+        "checkpoint: '" + path + "' has format version " +
+        std::to_string(version) + ", this build reads version " +
+        std::to_string(kCheckpointVersion));
+  const std::uint32_t crc = get_u32(p + 12);
+  const std::uint64_t size = get_u64(p + 16);
+  if (image.size() - kHeaderSize != size)
+    return geo::Status::data_loss(
+        "checkpoint: '" + path + "' payload truncated (header claims " +
+        std::to_string(size) + " bytes, file carries " +
+        std::to_string(image.size() - kHeaderSize) + ")");
+  std::string payload = image.substr(kHeaderSize);
+  const std::uint32_t actual = crc32(payload);
+  if (actual != crc)
+    return geo::Status::data_loss(
+        "checkpoint: '" + path + "' CRC mismatch (stored " +
+        std::to_string(crc) + ", computed " + std::to_string(actual) + ")");
+  return payload;
+}
+
+// ---- ByteWriter / ByteReader ---------------------------------------------
+
+void ByteWriter::u32(std::uint32_t v) { put_u32(out_, v); }
+void ByteWriter::u64(std::uint64_t v) { put_u64(out_, v); }
+
+void ByteWriter::f32(float v) {
+  std::uint32_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  u32(bits);
+}
+
+void ByteWriter::bytes(std::string_view s) {
+  u64(s.size());
+  out_.append(s.data(), s.size());
+}
+
+void ByteWriter::floats(std::span<const float> v) {
+  u64(v.size());
+  for (const float x : v) f32(x);
+}
+
+bool ByteReader::take(void* dst, std::size_t n) {
+  if (failed_ || data_.size() - pos_ < n) {
+    failed_ = true;
+    return false;
+  }
+  std::memcpy(dst, data_.data() + pos_, n);
+  pos_ += n;
+  return true;
+}
+
+std::uint32_t ByteReader::u32() {
+  unsigned char buf[4] = {};
+  if (!take(buf, sizeof(buf))) return 0;
+  return get_u32(buf);
+}
+
+std::uint64_t ByteReader::u64() {
+  unsigned char buf[8] = {};
+  if (!take(buf, sizeof(buf))) return 0;
+  return get_u64(buf);
+}
+
+float ByteReader::f32() {
+  const std::uint32_t bits = u32();
+  float v = 0.0f;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+std::string ByteReader::bytes() {
+  const std::uint64_t n = u64();
+  if (failed_ || data_.size() - pos_ < n) {
+    failed_ = true;
+    return {};
+  }
+  std::string out(data_.substr(pos_, static_cast<std::size_t>(n)));
+  pos_ += static_cast<std::size_t>(n);
+  return out;
+}
+
+std::vector<float> ByteReader::floats() {
+  const std::uint64_t n = u64();
+  // 4 bytes per element; reject a length prefix the buffer cannot hold
+  // before allocating (a corrupted prefix must not drive a huge alloc).
+  if (failed_ || (data_.size() - pos_) / 4 < n) {
+    failed_ = true;
+    return {};
+  }
+  std::vector<float> out(static_cast<std::size_t>(n));
+  for (auto& x : out) x = f32();
+  return out;
+}
+
+geo::Status ByteReader::read_status() const {
+  if (failed_)
+    return geo::Status::data_loss("checkpoint payload: read past end");
+  return geo::Status();
+}
+
+}  // namespace geo::resilience

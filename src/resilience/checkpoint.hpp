@@ -1,0 +1,93 @@
+// Crash-safe, versioned, CRC-guarded snapshot files (docs/RESILIENCE.md).
+//
+// On-disk layout (little-endian, the only byte order this stack targets):
+//
+//   offset  size  field
+//   0       8     magic    "GEOCKPT\0"
+//   8       4     version  format version (kCheckpointVersion)
+//   12      4     crc      CRC-32 of the payload bytes
+//   16      8     size     payload byte count
+//   24      size  payload
+//
+// Writes are atomic: the full image lands in `<path>.tmp.<pid>` first and is
+// renamed over the target only after a successful flush, so a crash at any
+// point leaves either the previous snapshot or a stray temp file — never a
+// half-written target. Reads fail closed: a missing, truncated, bit-flipped
+// (CRC mismatch), foreign-version, or foreign-magic file is rejected with a
+// descriptive geo::Status and no payload is surfaced.
+//
+// `GEO_CHECKPOINT_DIR=<dir>` is the process-wide opt-in consumed by the
+// trainer checkpointer and the bench sweep checkpointer; unset disables
+// both.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/status.hpp"
+
+namespace geo::resilience {
+
+inline constexpr std::uint32_t kCheckpointVersion = 1;
+
+// GEO_CHECKPOINT_DIR, or "" when unset/empty (checkpointing disabled).
+std::string checkpoint_dir();
+
+// Atomically replaces `path` with a checkpoint image wrapping `payload`.
+// Creates parent directories as needed.
+geo::Status write_checkpoint(const std::string& path,
+                             std::string_view payload);
+
+// Reads and verifies a checkpoint image; returns the payload. Fail-closed:
+// every malformed input maps to a non-OK Status (kDataLoss for corruption,
+// kFailedPrecondition for version skew, kInvalidArgument for foreign files,
+// kInvalidArgument/kDataLoss never partially succeed).
+geo::StatusOr<std::string> read_checkpoint(const std::string& path);
+
+// ---- payload (de)serialization helpers -----------------------------------
+// Fixed-width little-endian scalar framing used by the trainer checkpoint
+// payload. The reader is bounds-checked and fail-closed: any read past the
+// end flips the stream into an error state that read_status() reports.
+
+class ByteWriter {
+ public:
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void f32(float v);
+  void bytes(std::string_view s);           // length-prefixed (u64)
+  void floats(std::span<const float> v);    // length-prefixed (u64)
+
+  const std::string& data() const noexcept { return out_; }
+  std::string take() { return std::move(out_); }
+
+ private:
+  std::string out_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view data) : data_(data) {}
+
+  std::uint32_t u32();
+  std::uint64_t u64();
+  float f32();
+  std::string bytes();
+  std::vector<float> floats();
+
+  // OK while every read so far was in bounds and, at the end, exhausted()
+  // holds; kDataLoss otherwise.
+  geo::Status read_status() const;
+  bool exhausted() const noexcept { return pos_ == data_.size(); }
+
+ private:
+  bool take(void* dst, std::size_t n);
+
+  std::string_view data_;
+  std::size_t pos_ = 0;
+  bool failed_ = false;
+};
+
+}  // namespace geo::resilience

@@ -1,0 +1,22 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) — the integrity
+// check shared by the checkpoint format and the near-memory partial-sum
+// guard. Table-driven, one table built at first use.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace geo::resilience {
+
+// CRC of `n` bytes, continuing from `seed` (pass a previous result to chain
+// blocks; the empty-input CRC of seed 0 is 0).
+std::uint32_t crc32(const void* data, std::size_t n,
+                    std::uint32_t seed = 0) noexcept;
+
+inline std::uint32_t crc32(std::string_view bytes,
+                           std::uint32_t seed = 0) noexcept {
+  return crc32(bytes.data(), bytes.size(), seed);
+}
+
+}  // namespace geo::resilience

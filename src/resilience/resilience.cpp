@@ -1,0 +1,428 @@
+#include "resilience/resilience.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "fault/fault_model.hpp"
+#include "nn/sc_layers.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace geo::resilience {
+
+namespace {
+
+bool parse_u64(std::string_view tok, std::uint64_t& out) {
+  const auto [ptr, ec] =
+      std::from_chars(tok.data(), tok.data() + tok.size(), out);
+  return ec == std::errc() && ptr == tok.data() + tok.size();
+}
+
+}  // namespace
+
+// ---- RetryPolicy ----------------------------------------------------------
+
+std::int64_t RetryPolicy::backoff_for(int attempt) const noexcept {
+  if (attempt < 0) attempt = 0;
+  if (attempt > 30) attempt = 30;  // cap the shift, not the stall
+  return backoff << attempt;
+}
+
+geo::StatusOr<RetryPolicy> RetryPolicy::parse(std::string_view spec) {
+  RetryPolicy policy;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t comma = spec.find(',', pos);
+    if (comma == std::string_view::npos) comma = spec.size();
+    const std::string_view item = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (item.empty()) continue;
+    const std::size_t eq = item.find('=');
+    if (eq == std::string_view::npos)
+      return geo::Status::invalid_argument(
+          "GEO_RETRY: '" + std::string(item) + "' is not key=value");
+    const std::string_view key = item.substr(0, eq);
+    const std::string_view val = item.substr(eq + 1);
+    if (key == "retries") {
+      std::uint64_t n = 0;
+      if (!parse_u64(val, n) || n > 16)
+        return geo::Status::out_of_range(
+            "GEO_RETRY: retries='" + std::string(val) +
+            "' must be an integer in [0,16]");
+      policy.retries = static_cast<int>(n);
+    } else if (key == "backoff") {
+      std::uint64_t c = 0;
+      if (!parse_u64(val, c) || c > (1ull << 32))
+        return geo::Status::out_of_range(
+            "GEO_RETRY: backoff='" + std::string(val) +
+            "' must be a cycle count in [0,2^32]");
+      policy.backoff = static_cast<std::int64_t>(c);
+    } else if (key == "guards") {
+      if (val == "1")
+        policy.guards = true;
+      else if (val == "0")
+        policy.guards = false;
+      else
+        return geo::Status::invalid_argument(
+            "GEO_RETRY: guards='" + std::string(val) + "' (want 0|1)");
+    } else {
+      return geo::Status::invalid_argument(
+          "GEO_RETRY: unknown key '" + std::string(key) +
+          "' (known: retries, backoff, guards)");
+    }
+  }
+  return policy;
+}
+
+RetryPolicy RetryPolicy::from_env() {
+  const char* v = std::getenv("GEO_RETRY");
+  if (v == nullptr || v[0] == '\0') return RetryPolicy{};
+  auto parsed = RetryPolicy::parse(v);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "geo: ignoring GEO_RETRY: %s\n",
+                 parsed.status().message().c_str());
+    return RetryPolicy{};
+  }
+  return *std::move(parsed);
+}
+
+std::string RetryPolicy::to_string() const {
+  return "retries=" + std::to_string(retries) +
+         ",backoff=" + std::to_string(backoff) +
+         ",guards=" + std::string(guards ? "1" : "0");
+}
+
+// ---- enums ----------------------------------------------------------------
+
+const char* to_string(Detect d) noexcept {
+  switch (d) {
+    case Detect::kSecdedDoubleBit: return "secded_double_bit";
+    case Detect::kParityZeroed: return "parity_zeroed";
+    case Detect::kPsumCrc: return "psum_crc";
+    case Detect::kPsumRange: return "psum_range";
+    case Detect::kLedger: return "ledger";
+  }
+  return "?";
+}
+
+const char* to_string(Rung r) noexcept {
+  switch (r) {
+    case Rung::kNative: return "native";
+    case Rung::kPbw: return "pbw";
+    case Rung::kFxp: return "fxp";
+    case Rung::kReference: return "reference";
+  }
+  return "?";
+}
+
+// ---- ResilienceReport -----------------------------------------------------
+
+bool ResilienceReport::any_retried() const noexcept {
+  for (const auto& l : layers)
+    if (l.tiles_retried > 0) return true;
+  return false;
+}
+
+bool ResilienceReport::any_degraded() const noexcept {
+  for (const auto& l : layers)
+    if (l.degraded) return true;
+  return false;
+}
+
+bool ResilienceReport::ledger_ok() const noexcept {
+  for (const auto& l : layers)
+    if (!l.ledger_ok) return false;
+  return true;
+}
+
+std::int64_t ResilienceReport::tiles_retried() const noexcept {
+  std::int64_t n = 0;
+  for (const auto& l : layers) n += l.tiles_retried;
+  return n;
+}
+
+std::int64_t ResilienceReport::tiles_recovered() const noexcept {
+  std::int64_t n = 0;
+  for (const auto& l : layers) n += l.tiles_recovered;
+  return n;
+}
+
+std::int64_t ResilienceReport::layers_degraded() const noexcept {
+  std::int64_t n = 0;
+  for (const auto& l : layers) n += l.degraded ? 1 : 0;
+  return n;
+}
+
+std::int64_t ResilienceReport::total_retry_cycles() const noexcept {
+  std::int64_t n = 0;
+  for (const auto& l : layers) n += l.retry_cycles();
+  return n;
+}
+
+std::vector<std::int64_t> ResilienceReport::per_layer_retry_cycles() const {
+  std::vector<std::int64_t> out;
+  out.reserve(layers.size());
+  for (const auto& l : layers) out.push_back(l.retry_cycles());
+  return out;
+}
+
+std::string ResilienceReport::summary() const {
+  std::ostringstream os;
+  os << "resilience: " << layers.size() << " layer(s), " << tiles_retried()
+     << " tile(s) retried, " << tiles_recovered() << " recovered, "
+     << layers_degraded() << " layer(s) degraded, " << total_retry_cycles()
+     << " retry cycle(s), ledger " << (ledger_ok() ? "ok" : "MISMATCH")
+     << "\n";
+  for (const auto& l : layers) {
+    os << "  " << (l.layer.empty() ? "<layer>" : l.layer) << ": rung "
+       << to_string(l.rung) << (l.degraded ? " (degraded)" : "") << ", "
+       << l.tiles << " tiles, " << l.tiles_retried << " retried, "
+       << l.tiles_recovered << " recovered, " << l.retries << " retries";
+    bool first = true;
+    for (int d = 0; d < kDetectKinds; ++d) {
+      if (l.detections[static_cast<std::size_t>(d)] == 0) continue;
+      os << (first ? " [" : ", ") << to_string(static_cast<Detect>(d)) << "="
+         << l.detections[static_cast<std::size_t>(d)];
+      first = false;
+    }
+    if (!first) os << "]";
+    os << "\n";
+  }
+  return os.str();
+}
+
+std::string ResilienceReport::to_json() const {
+  std::ostringstream os;
+  os << "{\"tiles_retried\":" << tiles_retried()
+     << ",\"tiles_recovered\":" << tiles_recovered()
+     << ",\"layers_degraded\":" << layers_degraded()
+     << ",\"retry_cycles\":" << total_retry_cycles() << ",\"ledger_ok\":"
+     << (ledger_ok() ? "true" : "false") << ",\"layers\":[";
+  for (std::size_t i = 0; i < layers.size(); ++i) {
+    const LayerOutcome& l = layers[i];
+    if (i != 0) os << ",";
+    os << "{\"layer\":\"" << l.layer << "\",\"rung\":\"" << to_string(l.rung)
+       << "\",\"degraded\":" << (l.degraded ? "true" : "false")
+       << ",\"tiles\":" << l.tiles << ",\"tiles_retried\":" << l.tiles_retried
+       << ",\"tiles_recovered\":" << l.tiles_recovered
+       << ",\"retries\":" << l.retries
+       << ",\"backoff_cycles\":" << l.backoff_cycles
+       << ",\"abandoned_cycles\":" << l.abandoned_cycles
+       << ",\"ledger_ok\":" << (l.ledger_ok ? "true" : "false")
+       << ",\"detections\":{";
+    bool first = true;
+    for (int d = 0; d < kDetectKinds; ++d) {
+      if (l.detections[static_cast<std::size_t>(d)] == 0) continue;
+      if (!first) os << ",";
+      os << "\"" << to_string(static_cast<Detect>(d))
+         << "\":" << l.detections[static_cast<std::size_t>(d)];
+      first = false;
+    }
+    os << "}}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+// ---- ResilientExecutor ----------------------------------------------------
+
+ResilientExecutor::ResilientExecutor(const arch::HwConfig& hw,
+                                     RetryPolicy policy)
+    : hw_(hw), policy_(policy) {}
+
+namespace {
+
+// Detection signals observed on one tile attempt.
+struct TileSignals {
+  std::array<std::int64_t, kDetectKinds> hits{};
+  bool any = false;
+
+  void add(Detect d) {
+    ++hits[static_cast<std::size_t>(d)];
+    any = true;
+  }
+};
+
+// Checks one freshly-run tile: ECC uncorrectable delta across the attempt,
+// then (if guards are on) the partial-sum range and CRC-readback guards over
+// the tile's outputs.
+TileSignals check_tile(const arch::ConvExecution& exec, std::int64_t tile,
+                       const arch::ConvShape& shape,
+                       const fault::FaultStats& before,
+                       const RetryPolicy& policy) {
+  TileSignals sig;
+  fault::FaultModel* fm = fault::active();
+  if (fm != nullptr) {
+    const fault::FaultStats now = fm->stats();
+    const std::int64_t detected =
+        now.sram_errors_detected - before.sram_errors_detected;
+    const std::int64_t corrected =
+        now.sram_errors_corrected - before.sram_errors_corrected;
+    const std::int64_t uncorrectable = detected - corrected;
+    if (uncorrectable > 0) {
+      const Detect kind = fm->config().ecc == fault::EccMode::kParity
+                              ? Detect::kParityZeroed
+                              : Detect::kSecdedDoubleBit;
+      for (std::int64_t i = 0; i < uncorrectable; ++i) sig.add(kind);
+    }
+  }
+  if (!policy.guards) return sig;
+
+  const std::span<const std::int32_t> counters = exec.counters();
+  const std::int64_t bound = static_cast<std::int64_t>(shape.taps()) *
+                             exec.config().stream_len;
+  for (const std::size_t oidx : exec.tile_outputs(tile)) {
+    const std::int32_t c = counters[oidx];
+    // Provable partial-sum envelope: |pos - neg| over taps*L stream bits.
+    if (std::abs(static_cast<std::int64_t>(c)) > bound)
+      sig.add(Detect::kPsumRange);
+    // CRC readback guard: re-read the psum word through the near-memory
+    // path. A mismatch means the stored word would not survive a readback
+    // (SECDED-zeroed multi-bit, parity-zeroed, or — with ecc=none — a raw
+    // corruption the CRC catches). The probe is a guard read: the stored
+    // counter is untouched, the tile re-executes instead.
+    if (fm != nullptr && fm->sram_active()) {
+      const auto word = static_cast<std::uint32_t>(c);
+      const std::uint32_t readback = fm->sram_read(
+          word, 32, fault::FaultModel::Site::kPsumSram, oidx);
+      if (readback != word) sig.add(Detect::kPsumCrc);
+    }
+  }
+  return sig;
+}
+
+}  // namespace
+
+geo::StatusOr<arch::MachineResult> ResilientExecutor::run_conv(
+    const arch::ConvShape& shape, std::span<const float> weights,
+    std::span<const float> input, std::span<const float> bn_scale,
+    std::span<const float> bn_shift, std::uint64_t layer_salt,
+    std::string label) {
+  auto& metrics = telemetry::MetricsRegistry::instance();
+  LayerOutcome outcome;
+  outcome.layer = label.empty() ? shape.name : std::move(label);
+
+  // The degradation ladder for this machine: whatever accumulation the
+  // hardware is configured with, then progressively more robust modes, and
+  // finally the fault-free software reference (which cannot fail).
+  std::vector<Rung> ladder{Rung::kNative};
+  if (hw_.accum != nn::AccumMode::kPbw && hw_.accum != nn::AccumMode::kFxp)
+    ladder.push_back(Rung::kPbw);
+  if (hw_.accum != nn::AccumMode::kFxp) ladder.push_back(Rung::kFxp);
+  ladder.push_back(Rung::kReference);
+
+  fault::FaultModel* fm = fault::active();
+
+  for (const Rung rung : ladder) {
+    outcome.rung = rung;
+    outcome.degraded = rung != Rung::kNative;
+
+    if (rung == Rung::kReference) {
+      // Bottom rung: bit-exact fixed-point software reference, computed
+      // outside every fault hook. Shares apply_bn_relu with the machine so
+      // the write-back rounding is identical; its zeroed machine stats
+      // reconcile trivially.
+      arch::GeoMachine machine(hw_);
+      if (auto s = machine.validate_conv(shape, weights, input, bn_scale,
+                                         bn_shift);
+          !s.ok())
+        return s;
+      const nn::ScLayerConfig cfg = machine.layer_config(shape, layer_salt);
+      arch::MachineResult result;
+      result.counters = nn::fxp_reference_counters(
+          shape.cin, shape.hin, shape.win, shape.cout, shape.kh, shape.kw,
+          shape.stride, shape.pad, weights, input, cfg.value_bits,
+          cfg.stream_len);
+      result.activations.resize(result.counters.size());
+      const std::int64_t per_channel =
+          static_cast<std::int64_t>(shape.hout()) * shape.wout();
+      arch::apply_bn_relu(result.counters, bn_scale, bn_shift,
+                          cfg.stream_len, per_channel, result.activations);
+      outcome.tiles = 0;  // no machine tiles; the whole layer is one unit
+      outcome.ledger_ok = true;
+      metrics.counter("fault.degraded").add(1);
+      report_.layers.push_back(std::move(outcome));
+      return result;
+    }
+
+    arch::HwConfig hw = hw_;
+    if (rung == Rung::kPbw) hw.accum = nn::AccumMode::kPbw;
+    if (rung == Rung::kFxp) hw.accum = nn::AccumMode::kFxp;
+    arch::GeoMachine machine(hw);
+    auto prepared =
+        machine.prepare_conv(shape, weights, input, bn_scale, bn_shift,
+                             layer_salt);
+    if (!prepared.ok()) return prepared.status();
+    arch::ConvExecution exec = std::move(prepared).value();
+
+    bool rung_failed = false;
+    const std::int64_t tiles = exec.tile_count();
+    std::int64_t rung_backoff = 0;
+    for (std::int64_t tile = 0; tile < tiles && !rung_failed; ++tile) {
+      bool tile_retried = false;
+      for (int attempt = 0;; ++attempt) {
+        const fault::FaultStats before =
+            fm != nullptr ? fm->stats() : fault::FaultStats{};
+        exec.run_tile(tile);
+        const TileSignals sig =
+            check_tile(exec, tile, shape, before, policy_);
+        for (int d = 0; d < kDetectKinds; ++d)
+          outcome.detections[static_cast<std::size_t>(d)] +=
+              sig.hits[static_cast<std::size_t>(d)];
+        if (!sig.any) {
+          if (tile_retried) {
+            ++outcome.tiles_recovered;
+            metrics.counter("fault.recovered").add(1);
+          }
+          break;
+        }
+        if (attempt >= policy_.retries) {
+          rung_failed = true;  // budget exhausted: trip the circuit breaker
+          break;
+        }
+        if (!tile_retried) {
+          tile_retried = true;
+          ++outcome.tiles_retried;
+        }
+        ++outcome.retries;
+        const std::int64_t stall = policy_.backoff_for(attempt);
+        exec.add_stall_cycles(stall);
+        rung_backoff += stall;
+        // Drop the cached activation streams so the retry re-reads SRAM and
+        // regenerates them — under a transient fault model the re-roll can
+        // clear the fault; under the defect model it reproduces it and the
+        // budget drains toward degradation.
+        exec.invalidate_tile_inputs(tile);
+      }
+    }
+
+    if (rung_failed) {
+      // Abandon this rung: its ledger is discarded with the execution, so
+      // keep the burned cycles visible in the report.
+      const arch::MachineStats& st = exec.stats();
+      outcome.abandoned_cycles +=
+          st.compute_cycles + st.stall_cycles + st.nearmem_cycles;
+      continue;
+    }
+
+    arch::MachineResult result = exec.finish();
+    if (!result.stats.ledger_ok) {
+      outcome.detections[static_cast<std::size_t>(Detect::kLedger)] += 1;
+      outcome.abandoned_cycles += result.stats.total_cycles;
+      continue;  // an unreconciled ledger is a detection: descend
+    }
+    outcome.tiles = tiles;
+    outcome.backoff_cycles += rung_backoff;
+    outcome.ledger_ok = true;
+    if (outcome.degraded) metrics.counter("fault.degraded").add(1);
+    report_.layers.push_back(std::move(outcome));
+    return result;
+  }
+
+  // Unreachable: the ladder always ends in kReference, which returns.
+  return geo::Status::internal("resilience: degradation ladder fell through");
+}
+
+}  // namespace geo::resilience

@@ -1,0 +1,210 @@
+// Crash-safe checkpoint format: round trips, atomicity leftovers, and the
+// fail-closed rejection matrix (truncation, bit flips, version skew, foreign
+// files, oversized length prefixes) — every malformed input must map to a
+// descriptive non-OK Status and never surface a payload.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "resilience/checkpoint.hpp"
+#include "resilience/crc32.hpp"
+
+namespace geo::resilience {
+namespace {
+
+std::string tmp_file(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  return std::string((std::istreambuf_iterator<char>(f)),
+                     std::istreambuf_iterator<char>());
+}
+
+void spit(const std::string& path, const std::string& bytes) {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  f.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+TEST(Crc32, KnownVector) {
+  // The IEEE 802.3 check value for "123456789".
+  EXPECT_EQ(crc32(std::string_view("123456789")), 0xCBF43926u);
+  EXPECT_EQ(crc32(std::string_view("")), 0u);
+}
+
+TEST(Crc32, Chaining) {
+  // Feeding a previous result as the seed continues the same CRC stream.
+  const std::string_view all = "hello, checkpoint";
+  EXPECT_EQ(crc32(all.substr(5), crc32(all.substr(0, 5))), crc32(all));
+}
+
+TEST(Checkpoint, RoundTrip) {
+  const std::string path = tmp_file("ckpt_roundtrip.ckpt");
+  std::string payload = "resilient payload ";
+  payload += '\0';  // embedded NUL: the format is binary-clean
+  payload += "\x01\x02 bytes";
+  ASSERT_TRUE(write_checkpoint(path, payload).ok());
+  auto back = read_checkpoint(path);
+  ASSERT_TRUE(back.ok()) << back.status().to_string();
+  EXPECT_EQ(*back, payload);
+  std::filesystem::remove(path);
+}
+
+TEST(Checkpoint, EmptyPayloadRoundTrip) {
+  const std::string path = tmp_file("ckpt_empty.ckpt");
+  ASSERT_TRUE(write_checkpoint(path, "").ok());
+  auto back = read_checkpoint(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back->empty());
+  std::filesystem::remove(path);
+}
+
+TEST(Checkpoint, CreatesParentDirectories) {
+  const std::string path = tmp_file("ckpt_nested/a/b/deep.ckpt");
+  ASSERT_TRUE(write_checkpoint(path, "nested").ok());
+  EXPECT_TRUE(read_checkpoint(path).ok());
+  std::filesystem::remove_all(tmp_file("ckpt_nested"));
+}
+
+TEST(Checkpoint, MissingFileFailsClosed) {
+  auto r = read_checkpoint(tmp_file("ckpt_does_not_exist.ckpt"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(r.status().message().find("cannot open"), std::string::npos);
+}
+
+TEST(Checkpoint, HeaderTruncationFailsClosed) {
+  const std::string path = tmp_file("ckpt_header_trunc.ckpt");
+  ASSERT_TRUE(write_checkpoint(path, "payload").ok());
+  spit(path, slurp(path).substr(0, 10));  // cut inside the header
+  auto r = read_checkpoint(path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kDataLoss);
+  EXPECT_NE(r.status().message().find("truncated"), std::string::npos);
+  std::filesystem::remove(path);
+}
+
+TEST(Checkpoint, PayloadTruncationFailsClosed) {
+  const std::string path = tmp_file("ckpt_payload_trunc.ckpt");
+  ASSERT_TRUE(write_checkpoint(path, "a longer payload to cut").ok());
+  const std::string image = slurp(path);
+  spit(path, image.substr(0, image.size() - 4));
+  auto r = read_checkpoint(path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kDataLoss);
+  EXPECT_NE(r.status().message().find("truncated"), std::string::npos);
+  std::filesystem::remove(path);
+}
+
+TEST(Checkpoint, BitFlipFailsClosedWithCrcDiagnostic) {
+  const std::string path = tmp_file("ckpt_bitflip.ckpt");
+  ASSERT_TRUE(write_checkpoint(path, "bytes that will be corrupted").ok());
+  std::string image = slurp(path);
+  image[image.size() - 3] = static_cast<char>(image[image.size() - 3] ^ 0x40);
+  spit(path, image);
+  auto r = read_checkpoint(path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kDataLoss);
+  EXPECT_NE(r.status().message().find("CRC mismatch"), std::string::npos);
+  std::filesystem::remove(path);
+}
+
+TEST(Checkpoint, VersionSkewFailsClosed) {
+  const std::string path = tmp_file("ckpt_version.ckpt");
+  ASSERT_TRUE(write_checkpoint(path, "from the future").ok());
+  std::string image = slurp(path);
+  image[8] = static_cast<char>(kCheckpointVersion + 1);  // version field
+  spit(path, image);
+  auto r = read_checkpoint(path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(r.status().message().find("version"), std::string::npos);
+  std::filesystem::remove(path);
+}
+
+TEST(Checkpoint, ForeignMagicFailsClosed) {
+  const std::string path = tmp_file("ckpt_foreign.ckpt");
+  spit(path, "PNGPNGPN definitely not a geo checkpoint, but long enough");
+  auto r = read_checkpoint(path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(r.status().message().find("magic"), std::string::npos);
+  std::filesystem::remove(path);
+}
+
+TEST(Checkpoint, PartialRenameCrashLeavesTargetIntact) {
+  // A crash between temp-write and rename leaves a stray .tmp.<pid> file;
+  // the target must still read back as the previous complete snapshot, and
+  // a reader pointed at the stray temp (a partial image) must fail closed.
+  const std::string path = tmp_file("ckpt_partial_rename.ckpt");
+  ASSERT_TRUE(write_checkpoint(path, "the committed snapshot").ok());
+  const std::string stray = path + ".tmp.12345";
+  spit(stray, slurp(path).substr(0, 12));  // half-written temp image
+  auto committed = read_checkpoint(path);
+  ASSERT_TRUE(committed.ok());
+  EXPECT_EQ(*committed, "the committed snapshot");
+  EXPECT_FALSE(read_checkpoint(stray).ok());
+  std::filesystem::remove(path);
+  std::filesystem::remove(stray);
+}
+
+TEST(Checkpoint, OverwriteReplacesAtomically) {
+  const std::string path = tmp_file("ckpt_overwrite.ckpt");
+  ASSERT_TRUE(write_checkpoint(path, "first").ok());
+  ASSERT_TRUE(write_checkpoint(path, "second").ok());
+  auto r = read_checkpoint(path);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, "second");
+  std::filesystem::remove(path);
+}
+
+TEST(ByteFraming, RoundTrip) {
+  ByteWriter w;
+  w.u32(0xDEADBEEFu);
+  w.u64(0x0123456789ABCDEFull);
+  w.f32(-1.5f);
+  w.bytes("hello");
+  w.floats(std::vector<float>{1.0f, 2.5f, -3.25f});
+  ByteReader r(w.data());
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(r.f32(), -1.5f);
+  EXPECT_EQ(r.bytes(), "hello");
+  const auto f = r.floats();
+  ASSERT_EQ(f.size(), 3u);
+  EXPECT_EQ(f[1], 2.5f);
+  EXPECT_TRUE(r.read_status().ok());
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(ByteFraming, ReadPastEndFailsClosed) {
+  ByteWriter w;
+  w.u32(7);
+  ByteReader r(w.data());
+  EXPECT_EQ(r.u32(), 7u);
+  EXPECT_EQ(r.u64(), 0u);  // past the end: poisoned zero
+  EXPECT_FALSE(r.read_status().ok());
+  EXPECT_EQ(r.read_status().code(), StatusCode::kDataLoss);
+}
+
+TEST(ByteFraming, OversizedLengthPrefixRejectedBeforeAllocation) {
+  // A corrupted u64 length prefix must not drive a huge allocation.
+  ByteWriter w;
+  w.u64(0xFFFFFFFFFFFFull);  // claims ~280 TB of floats
+  ByteReader r(w.data());
+  EXPECT_TRUE(r.floats().empty());
+  EXPECT_FALSE(r.read_status().ok());
+
+  ByteWriter w2;
+  w2.u64(1u << 30);  // claims 1 GiB of bytes that are not there
+  ByteReader r2(w2.data());
+  EXPECT_TRUE(r2.bytes().empty());
+  EXPECT_FALSE(r2.read_status().ok());
+}
+
+}  // namespace
+}  // namespace geo::resilience

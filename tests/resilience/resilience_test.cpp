@@ -1,0 +1,356 @@
+// The detect -> retry -> degrade runtime: policy parsing, the no-fault
+// bit-identity contract, defect-model degradation to the fixed-point
+// reference, transient-model recovery, deterministic retry decisions, and
+// the PerfSim retry-cycle mirror.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+#include <vector>
+
+#include "arch/machine.hpp"
+#include "arch/perf_sim.hpp"
+#include "fault/fault_model.hpp"
+#include "nn/sc_layers.hpp"
+#include "resilience/resilience.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace geo::resilience {
+namespace {
+
+using arch::ConvShape;
+using arch::GeoMachine;
+using arch::HwConfig;
+using arch::MachineResult;
+using fault::EccMode;
+using fault::FaultConfig;
+using fault::ScopedFaultInjection;
+
+struct Fixture {
+  ConvShape shape;
+  std::vector<float> weights, input, ones, zeros;
+
+  explicit Fixture(unsigned seed = 77) {
+    shape = ConvShape::conv("t", 4, 6, 5, 3, 1, false);
+    std::mt19937 rng(seed);
+    std::uniform_real_distribution<float> wdist(-0.8f, 0.8f);
+    std::uniform_real_distribution<float> adist(0.0f, 1.0f);
+    weights.resize(static_cast<std::size_t>(shape.weights()));
+    for (auto& w : weights) w = wdist(rng);
+    input.resize(static_cast<std::size_t>(shape.activations()));
+    for (auto& a : input) a = adist(rng);
+    ones.assign(static_cast<std::size_t>(shape.cout), 1.0f);
+    zeros.assign(static_cast<std::size_t>(shape.cout), 0.0f);
+  }
+};
+
+HwConfig small_hw(nn::AccumMode accum) {
+  HwConfig hw = HwConfig::ulp();
+  hw.accum = accum;
+  hw.stream_len = 64;
+  hw.stream_len_pool = 64;
+  hw.stream_len_output = 64;
+  return hw;
+}
+
+TEST(RetryPolicy, ParseDefaultsAndValues) {
+  auto d = RetryPolicy::parse("");
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->retries, 2);
+  EXPECT_EQ(d->backoff, 32);
+  EXPECT_TRUE(d->guards);
+
+  auto p = RetryPolicy::parse("retries=5,backoff=8,guards=0");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->retries, 5);
+  EXPECT_EQ(p->backoff, 8);
+  EXPECT_FALSE(p->guards);
+
+  auto partial = RetryPolicy::parse("retries=0");
+  ASSERT_TRUE(partial.ok());
+  EXPECT_EQ(partial->retries, 0);
+  EXPECT_EQ(partial->backoff, 32);  // untouched keys keep their defaults
+}
+
+TEST(RetryPolicy, ParseRejectsMalformedSpecs) {
+  EXPECT_FALSE(RetryPolicy::parse("retries=-1").ok());
+  EXPECT_FALSE(RetryPolicy::parse("retries=99").ok());
+  EXPECT_FALSE(RetryPolicy::parse("backoff=-4").ok());
+  EXPECT_FALSE(RetryPolicy::parse("guards=2").ok());
+  EXPECT_FALSE(RetryPolicy::parse("bogus=1").ok());
+  EXPECT_FALSE(RetryPolicy::parse("retries").ok());
+  EXPECT_FALSE(RetryPolicy::parse("retries=two").ok());
+}
+
+TEST(RetryPolicy, BackoffGrowsExponentially) {
+  RetryPolicy p;
+  p.backoff = 16;
+  EXPECT_EQ(p.backoff_for(0), 16);
+  EXPECT_EQ(p.backoff_for(1), 32);
+  EXPECT_EQ(p.backoff_for(3), 128);
+  // Deep attempts saturate instead of shifting into the sign bit.
+  EXPECT_GT(p.backoff_for(62), 0);
+}
+
+TEST(ResilientExecutor, NoFaultsIsBitIdenticalToMachine) {
+  const Fixture f;
+  const HwConfig hw = small_hw(nn::AccumMode::kPbw);
+  ScopedFaultInjection off(nullptr);  // shield from ambient GEO_FAULTS
+  GeoMachine machine(hw);
+  auto plain =
+      machine.try_run_conv(f.shape, f.weights, f.input, f.ones, f.zeros, 9);
+  ASSERT_TRUE(plain.ok());
+
+  ResilientExecutor exec(hw, RetryPolicy{});
+  auto resilient =
+      exec.run_conv(f.shape, f.weights, f.input, f.ones, f.zeros, 9, "clean");
+  ASSERT_TRUE(resilient.ok()) << resilient.status().to_string();
+
+  EXPECT_EQ(plain->counters, resilient->counters);
+  EXPECT_EQ(plain->activations, resilient->activations);
+  EXPECT_EQ(plain->stats.total_cycles, resilient->stats.total_cycles);
+  EXPECT_TRUE(resilient->stats.ledger_ok);
+
+  ASSERT_EQ(exec.report().layers.size(), 1u);
+  const LayerOutcome& o = exec.report().layers[0];
+  EXPECT_EQ(o.layer, "clean");
+  EXPECT_EQ(o.rung, Rung::kNative);
+  EXPECT_FALSE(o.degraded);
+  EXPECT_EQ(o.tiles_retried, 0);
+  EXPECT_EQ(o.retries, 0);
+  EXPECT_EQ(o.retry_cycles(), 0);
+  EXPECT_FALSE(exec.report().any_retried());
+  EXPECT_FALSE(exec.report().any_degraded());
+  EXPECT_TRUE(exec.report().ledger_ok());
+}
+
+TEST(ResilientExecutor, RejectsInvalidLayers) {
+  const Fixture f;
+  ResilientExecutor exec(small_hw(nn::AccumMode::kPbw), RetryPolicy{});
+  // Weights span truncated: must surface the machine's validation error.
+  auto r = exec.run_conv(f.shape,
+                         std::span<const float>(f.weights).first(3), f.input,
+                         f.ones, f.zeros, 9);
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(exec.report().layers.empty());
+}
+
+TEST(ResilientExecutor, DefectFaultsDegradeToExactReference) {
+  // A defect model reproduces the same corruption on every retry, so the
+  // budget exhausts, every machine rung fails the same way, and the layer
+  // bottoms out in the fixed-point reference — bit-exactly.
+  const Fixture f;
+  const HwConfig hw = small_hw(nn::AccumMode::kPbw);
+  FaultConfig cfg;
+  cfg.sram_error_rate = 2e-2;
+  cfg.sram_burst = 2;  // bursts defeat SECDED correction -> detections
+  cfg.ecc = EccMode::kSecded;
+  cfg.rng_seed = 99;
+  ScopedFaultInjection inject(cfg);
+
+  RetryPolicy policy;
+  policy.retries = 2;
+  ResilientExecutor exec(hw, policy);
+  auto r = exec.run_conv(f.shape, f.weights, f.input, f.ones, f.zeros, 9,
+                         "defect");
+  ASSERT_TRUE(r.ok()) << r.status().to_string();
+
+  ASSERT_EQ(exec.report().layers.size(), 1u);
+  const LayerOutcome& o = exec.report().layers[0];
+  EXPECT_GE(o.tiles_retried, 1);
+  EXPECT_TRUE(o.degraded);
+  EXPECT_EQ(o.rung, Rung::kReference);
+  EXPECT_GT(o.retries, 0);
+  EXPECT_GT(o.retry_cycles(), 0);
+  EXPECT_TRUE(exec.report().ledger_ok());
+
+  const nn::ScLayerConfig lcfg = GeoMachine(hw).layer_config(f.shape, 9);
+  const auto ref = nn::fxp_reference_counters(
+      f.shape.cin, f.shape.hin, f.shape.win, f.shape.cout, f.shape.kh,
+      f.shape.kw, f.shape.stride, f.shape.pad, f.weights, f.input,
+      lcfg.value_bits, lcfg.stream_len);
+  EXPECT_EQ(r->counters, ref);
+
+  std::vector<std::uint8_t> act(ref.size());
+  arch::apply_bn_relu(ref, f.ones, f.zeros, lcfg.stream_len,
+                      static_cast<std::int64_t>(f.shape.hout()) *
+                          f.shape.wout(),
+                      act);
+  EXPECT_EQ(r->activations, act);
+}
+
+TEST(ResilientExecutor, TransientFaultsRecoverWithoutDegrading) {
+  // transient=1 re-rolls each access, so re-reading after invalidating the
+  // tile's input streams can come back clean — the retry loop must convert
+  // detections into recoveries instead of tripping the circuit breaker.
+  const Fixture f;
+  const HwConfig hw = small_hw(nn::AccumMode::kPbw);
+  FaultConfig cfg;
+  cfg.sram_error_rate = 2e-4;  // rare enough that a re-roll comes back clean
+  cfg.sram_burst = 2;
+  cfg.ecc = EccMode::kSecded;
+  cfg.transient = true;
+  cfg.rng_seed = 99;
+  ScopedFaultInjection inject(cfg);
+
+  RetryPolicy policy;
+  policy.retries = 8;  // generous budget: recovery, not degradation
+  ResilientExecutor exec(hw, policy);
+  auto r = exec.run_conv(f.shape, f.weights, f.input, f.ones, f.zeros, 9,
+                         "transient");
+  ASSERT_TRUE(r.ok()) << r.status().to_string();
+
+  ASSERT_EQ(exec.report().layers.size(), 1u);
+  const LayerOutcome& o = exec.report().layers[0];
+  EXPECT_GE(o.tiles_retried, 1);
+  EXPECT_GE(o.tiles_recovered, 1);
+  EXPECT_FALSE(o.degraded) << "transient faults should not exhaust "
+                           << policy.retries << " retries";
+  EXPECT_EQ(o.rung, Rung::kNative);
+  EXPECT_GT(o.backoff_cycles, 0);
+  EXPECT_TRUE(o.ledger_ok);
+  EXPECT_TRUE(exec.report().ledger_ok());
+}
+
+TEST(ResilientExecutor, RetryDecisionsAreDeterministic) {
+  // Same fault model + same policy => identical outputs AND identical
+  // retry/degrade decisions, field for field.
+  const Fixture f;
+  const HwConfig hw = small_hw(nn::AccumMode::kPbw);
+  FaultConfig cfg;
+  cfg.sram_error_rate = 5e-3;
+  cfg.sram_burst = 2;
+  cfg.ecc = EccMode::kSecded;
+  cfg.transient = true;
+  cfg.rng_seed = 31;
+
+  auto run = [&] {
+    ScopedFaultInjection inject(cfg);
+    RetryPolicy policy;
+    policy.retries = 4;
+    ResilientExecutor exec(hw, policy);
+    auto r = exec.run_conv(f.shape, f.weights, f.input, f.ones, f.zeros, 9,
+                           "det");
+    EXPECT_TRUE(r.ok());
+    return std::pair(std::move(*r), exec.take_report());
+  };
+  const auto [r1, rep1] = run();
+  const auto [r2, rep2] = run();
+
+  EXPECT_EQ(r1.counters, r2.counters);
+  EXPECT_EQ(r1.activations, r2.activations);
+  EXPECT_EQ(r1.stats.total_cycles, r2.stats.total_cycles);
+  ASSERT_EQ(rep1.layers.size(), rep2.layers.size());
+  for (std::size_t i = 0; i < rep1.layers.size(); ++i) {
+    const LayerOutcome& a = rep1.layers[i];
+    const LayerOutcome& b = rep2.layers[i];
+    EXPECT_EQ(a.rung, b.rung);
+    EXPECT_EQ(a.degraded, b.degraded);
+    EXPECT_EQ(a.tiles_retried, b.tiles_retried);
+    EXPECT_EQ(a.tiles_recovered, b.tiles_recovered);
+    EXPECT_EQ(a.retries, b.retries);
+    EXPECT_EQ(a.detections, b.detections);
+    EXPECT_EQ(a.backoff_cycles, b.backoff_cycles);
+    EXPECT_EQ(a.abandoned_cycles, b.abandoned_cycles);
+  }
+}
+
+TEST(ResilientExecutor, BackoffCyclesLandInTheLedger) {
+  // The accepted execution's stall bucket must absorb the backoff charge and
+  // still reconcile — retry cost is visible, not off the books.
+  const Fixture f;
+  const HwConfig hw = small_hw(nn::AccumMode::kPbw);
+
+  GeoMachine machine(hw);
+  geo::StatusOr<MachineResult> clean = [&] {
+    ScopedFaultInjection off(nullptr);  // the fault-free baseline
+    return machine.try_run_conv(f.shape, f.weights, f.input, f.ones, f.zeros,
+                                9);
+  }();
+  ASSERT_TRUE(clean.ok());
+
+  FaultConfig cfg;
+  cfg.sram_error_rate = 2e-4;
+  cfg.sram_burst = 2;
+  cfg.ecc = EccMode::kSecded;
+  cfg.transient = true;
+  cfg.rng_seed = 99;
+  ScopedFaultInjection inject(cfg);
+  RetryPolicy policy;
+  policy.retries = 8;
+  ResilientExecutor exec(hw, policy);
+  auto r = exec.run_conv(f.shape, f.weights, f.input, f.ones, f.zeros, 9);
+  ASSERT_TRUE(r.ok());
+  const LayerOutcome& o = exec.report().layers[0];
+  ASSERT_GT(o.backoff_cycles, 0);
+  EXPECT_TRUE(r->stats.ledger_ok);
+  // At least the backoff (plus recompute + ECC scrub cost) over clean.
+  EXPECT_GE(r->stats.stall_cycles,
+            clean->stats.stall_cycles + o.backoff_cycles);
+  EXPECT_EQ(r->stats.total_cycles, r->stats.compute_cycles +
+                                       r->stats.stall_cycles +
+                                       r->stats.nearmem_cycles);
+}
+
+TEST(ResilienceReport, SummaryAndJsonCarryTheOutcome) {
+  ResilienceReport rep;
+  LayerOutcome o;
+  o.layer = "conv1";
+  o.rung = Rung::kReference;
+  o.degraded = true;
+  o.tiles = 0;
+  o.tiles_retried = 2;
+  o.retries = 4;
+  o.detections[static_cast<int>(Detect::kSecdedDoubleBit)] = 3;
+  o.backoff_cycles = 96;
+  o.abandoned_cycles = 1000;
+  rep.layers.push_back(o);
+
+  EXPECT_TRUE(rep.any_degraded());
+  EXPECT_TRUE(rep.any_retried());
+  EXPECT_EQ(rep.total_retry_cycles(), 1096);
+  ASSERT_EQ(rep.per_layer_retry_cycles().size(), 1u);
+  EXPECT_EQ(rep.per_layer_retry_cycles()[0], 1096);
+
+  const std::string s = rep.summary();
+  EXPECT_NE(s.find("conv1"), std::string::npos);
+  EXPECT_NE(s.find("reference"), std::string::npos);
+  EXPECT_NE(s.find("secded_double_bit"), std::string::npos);
+
+  const std::string j = rep.to_json();
+  EXPECT_TRUE(telemetry::json_valid(j)) << j;
+  EXPECT_NE(j.find("\"conv1\""), std::string::npos);
+  EXPECT_NE(j.find("\"reference\""), std::string::npos);
+}
+
+TEST(PerfSimMirror, ApplyRetryCyclesUpdatesLatencyOnly) {
+  arch::PerfResult r;
+  arch::LayerPerf l0, l1;
+  l0.compute_cycles = 800;
+  l0.stall_cycles = 100;
+  l0.nearmem_cycles = 100;
+  l0.total_cycles = 1000;
+  l1 = l0;
+  r.layers = {l0, l1};
+  r.cycles = 2000;
+  r.energy_per_frame_j = 1e-6;
+  const double clock_mhz = 100.0;
+  r.seconds = r.cycles / (clock_mhz * 1e6);
+
+  const std::vector<std::int64_t> retry = {500, 0};
+  arch::apply_retry_cycles(r, retry, clock_mhz);
+
+  EXPECT_DOUBLE_EQ(r.layers[0].stall_cycles, 600);
+  EXPECT_DOUBLE_EQ(r.layers[0].total_cycles, 1500);
+  EXPECT_DOUBLE_EQ(r.layers[1].total_cycles, 1000);
+  EXPECT_DOUBLE_EQ(r.cycles, 2500);
+  EXPECT_DOUBLE_EQ(r.seconds, 2500 / (clock_mhz * 1e6));
+  EXPECT_DOUBLE_EQ(r.frames_per_second, 1.0 / r.seconds);
+  // Energy untouched; power re-derived from the stretched latency.
+  EXPECT_DOUBLE_EQ(r.energy_per_frame_j, 1e-6);
+  EXPECT_DOUBLE_EQ(r.average_power_w, 1e-6 / r.seconds);
+}
+
+}  // namespace
+}  // namespace geo::resilience

@@ -1,0 +1,192 @@
+// Crash-safe trainer checkpoint/resume: a killed-and-resumed run must land
+// on bit-identical final weights, and anything wrong with a snapshot
+// (foreign options, corruption) must fall back to training from scratch —
+// never a partially-applied restore.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "nn/dataset.hpp"
+#include "nn/models.hpp"
+#include "nn/trainer.hpp"
+
+namespace geo::nn {
+namespace {
+
+class TrainerResume : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // These tests control checkpointing through TrainOptions alone; ambient
+    // env (e.g. from a CI job) must not leak in.
+    ::unsetenv("GEO_CHECKPOINT_DIR");
+    ::unsetenv("GEO_CRASH_AFTER_EPOCH");
+  }
+
+  static std::string fresh_dir(const std::string& name) {
+    const std::string dir = ::testing::TempDir() + "/" + name;
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+    return dir;
+  }
+
+  static TrainOptions quick_options(int epochs) {
+    TrainOptions o;
+    o.epochs = epochs;
+    o.batch_size = 16;
+    o.verbose = false;
+    return o;
+  }
+
+  static Sequential fresh_net() {
+    return make_lenet5(1, 10, ScModelConfig::float_model(), 7);
+  }
+
+  // Every trainable scalar plus every state tensor (BN running stats),
+  // flattened — "bit-identical weights" means this whole vector matches.
+  static std::vector<float> snapshot(Sequential& net) {
+    std::vector<float> out;
+    for (Param* p : net.params())
+      out.insert(out.end(), p->value.data().begin(), p->value.data().end());
+    for (Tensor* t : net.state())
+      out.insert(out.end(), t->data().begin(), t->data().end());
+    return out;
+  }
+
+  static bool bit_identical(const std::vector<float>& a,
+                            const std::vector<float>& b) {
+    return a.size() == b.size() &&
+           (a.empty() ||
+            std::memcmp(a.data(), b.data(), a.size() * sizeof(float)) == 0);
+  }
+};
+
+TEST_F(TrainerResume, FinalSnapshotRestoresBitIdenticalWeights) {
+  const Dataset train_set = make_digits(96, 31);
+  const Dataset test_set = make_digits(48, 32);
+  TrainOptions o = quick_options(3);
+  o.checkpoint_dir = fresh_dir("resume_roundtrip");
+  o.checkpoint_key = "roundtrip";
+
+  Sequential a = fresh_net();
+  const TrainResult first = train(a, train_set, test_set, o);
+  EXPECT_EQ(first.resumed_from_epoch, -1);
+  EXPECT_EQ(first.checkpoints_written, 3);
+
+  // A fresh same-init net resumes from the final snapshot: zero epochs left
+  // to run, weights restored exactly.
+  Sequential b = fresh_net();
+  const TrainResult second = train(b, train_set, test_set, o);
+  EXPECT_EQ(second.resumed_from_epoch, o.epochs);
+  EXPECT_EQ(second.checkpoints_written, 0);
+  EXPECT_TRUE(bit_identical(snapshot(a), snapshot(b)));
+  EXPECT_NEAR(second.test_accuracy, first.test_accuracy, 1e-12);
+}
+
+TEST_F(TrainerResume, KillAndResumeMatchesUninterruptedRun) {
+  const Dataset train_set = make_digits(96, 33);
+  const Dataset test_set = make_digits(48, 34);
+  TrainOptions o = quick_options(4);
+  o.checkpoint_dir = fresh_dir("resume_kill");
+  o.checkpoint_key = "killed";
+
+  // The child process dies (exit 42) right after committing the epoch-2
+  // snapshot — the mid-training kill, simulated in-process.
+  EXPECT_EXIT(
+      {
+        ::setenv("GEO_CRASH_AFTER_EPOCH", "2", 1);
+        const Dataset ts = make_digits(96, 33);
+        const Dataset es = make_digits(48, 34);
+        Sequential victim = fresh_net();
+        train(victim, ts, es, o);
+      },
+      ::testing::ExitedWithCode(42), "");
+
+  // Resume in this process: picks up at epoch 2 and finishes.
+  Sequential resumed = fresh_net();
+  const TrainResult r = train(resumed, train_set, test_set, o);
+  EXPECT_EQ(r.resumed_from_epoch, 2);
+
+  // The uninterrupted control run, checkpointing disabled.
+  Sequential control = fresh_net();
+  const TrainResult c = train(control, train_set, test_set, quick_options(4));
+  EXPECT_EQ(c.resumed_from_epoch, -1);
+
+  EXPECT_TRUE(bit_identical(snapshot(resumed), snapshot(control)))
+      << "kill + resume must be bit-identical to never having crashed";
+}
+
+TEST_F(TrainerResume, ForeignOptionsSnapshotIsRejected) {
+  const Dataset train_set = make_digits(64, 35);
+  const Dataset test_set = make_digits(32, 36);
+  TrainOptions o = quick_options(2);
+  o.checkpoint_dir = fresh_dir("resume_foreign");
+  o.checkpoint_key = "foreign";
+
+  Sequential a = fresh_net();
+  train(a, train_set, test_set, o);
+
+  // Same snapshot, different hyperparameters: the fingerprint must reject
+  // it and training must start from scratch, not resume.
+  TrainOptions other = o;
+  other.lr *= 0.5f;
+  Sequential b = fresh_net();
+  const TrainResult r = train(b, train_set, test_set, other);
+  EXPECT_EQ(r.resumed_from_epoch, -1);
+  EXPECT_EQ(r.checkpoints_written, 2);
+}
+
+TEST_F(TrainerResume, CorruptSnapshotFallsBackToScratch) {
+  const Dataset train_set = make_digits(64, 37);
+  const Dataset test_set = make_digits(32, 38);
+  TrainOptions o = quick_options(2);
+  o.checkpoint_dir = fresh_dir("resume_corrupt");
+  o.checkpoint_key = "corrupt";
+
+  Sequential a = fresh_net();
+  train(a, train_set, test_set, o);
+
+  // Truncate the snapshot mid-payload.
+  const std::string path = o.checkpoint_dir + "/corrupt.ckpt";
+  const auto full = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, full / 2);
+
+  Sequential b = fresh_net();
+  const TrainResult r = train(b, train_set, test_set, o);
+  EXPECT_EQ(r.resumed_from_epoch, -1) << "corrupt snapshot must fail closed";
+
+  // And the from-scratch rerun still matches a never-checkpointed control.
+  Sequential control = fresh_net();
+  train(control, train_set, test_set, quick_options(2));
+  EXPECT_TRUE(bit_identical(snapshot(b), snapshot(control)));
+}
+
+TEST_F(TrainerResume, CheckpointEveryThrottlesSnapshots) {
+  const Dataset train_set = make_digits(64, 39);
+  const Dataset test_set = make_digits(32, 40);
+  TrainOptions o = quick_options(5);
+  o.checkpoint_dir = fresh_dir("resume_every");
+  o.checkpoint_key = "every";
+  o.checkpoint_every = 2;
+
+  Sequential net = fresh_net();
+  const TrainResult r = train(net, train_set, test_set, o);
+  // Epochs 2 and 4, plus the guaranteed final-epoch snapshot.
+  EXPECT_EQ(r.checkpoints_written, 3);
+}
+
+TEST_F(TrainerResume, NoDirectoryMeansNoCheckpoints) {
+  const Dataset train_set = make_digits(64, 41);
+  const Dataset test_set = make_digits(32, 42);
+  Sequential net = fresh_net();
+  const TrainResult r = train(net, train_set, test_set, quick_options(2));
+  EXPECT_EQ(r.resumed_from_epoch, -1);
+  EXPECT_EQ(r.checkpoints_written, 0);
+}
+
+}  // namespace
+}  // namespace geo::nn
