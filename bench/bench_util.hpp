@@ -14,16 +14,21 @@
 //   GEO_SEED            master seed; reseeds bench model init coherently
 #pragma once
 
+#include <climits>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <map>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "arch/report.hpp"
 #include "core/env.hpp"
+#include "exec/thread_pool.hpp"
 #include "nn/dataset.hpp"
 #include "nn/models.hpp"
 #include "nn/trainer.hpp"
@@ -32,9 +37,25 @@
 
 namespace geo::bench {
 
+// Checked parse (core::env_int): malformed values warn once on stderr and
+// fall back, instead of atoi's silent garbage -> 0.
 inline int env_int(const char* name, int fallback) {
-  const char* v = std::getenv(name);
-  return v != nullptr ? std::atoi(v) : fallback;
+  return static_cast<int>(core::env_int(name, fallback, INT_MIN, INT_MAX));
+}
+
+// Runs `n` independent sweep points across the process thread pool and
+// returns fn(i)'s results in point order. Assembly stays on the caller, so
+// the emitted tables are byte-identical at every GEO_THREADS as long as each
+// point is self-contained: its own ScopedFaultInjection, no shared mutable
+// state outside thread-safe facilities (SweepCheckpoint, the metrics
+// registry). With GEO_THREADS=1 the points run serially inline, in order.
+template <typename Result, typename Fn>
+std::vector<Result> sweep_points(std::int64_t n, Fn&& fn) {
+  std::vector<Result> out(static_cast<std::size_t>(n));
+  exec::parallel_for(n, 1, [&](std::int64_t i) {
+    out[static_cast<std::size_t>(i)] = fn(i);
+  });
+  return out;
 }
 
 inline bool full_mode() { return env_int("GEO_BENCH_FULL", 0) != 0; }
@@ -137,16 +158,22 @@ class SweepCheckpoint {
   std::size_t resumed() const noexcept { return resumed_; }
 
   // The result recorded for `point`, or nullopt if it has not completed.
+  // Thread-safe: sweep points fanned out via sweep_points() may look up and
+  // record concurrently.
   std::optional<std::string> lookup(const std::string& point) const {
+    std::lock_guard lock(mu_);
     const auto it = done_.find(point);
     if (it == done_.end()) return std::nullopt;
     return it->second;
   }
 
   // Records `point` and atomically persists the whole memo, so a kill at
-  // any instant leaves either the previous or the new snapshot on disk.
+  // any instant leaves either the previous or the new snapshot on disk. The
+  // memo map is sorted, so the final snapshot's bytes are independent of
+  // the order concurrent points complete in.
   void record(const std::string& point, const std::string& value) {
     if (path_.empty()) return;
+    std::lock_guard lock(mu_);
     done_[point] = value;
     resilience::ByteWriter w;
     w.u64(done_.size());
@@ -159,6 +186,7 @@ class SweepCheckpoint {
   }
 
  private:
+  mutable std::mutex mu_;
   std::string path_;
   std::map<std::string, std::string> done_;
   std::size_t resumed_ = 0;

@@ -25,6 +25,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <iterator>
 #include <random>
 #include <sstream>
 #include <string>
@@ -108,6 +109,10 @@ int main() {
               static_cast<long long>(wl.shape.outputs()));
 
   // --- stream-bit flips: SC vs fixed-point accumulation ---------------------
+  // Every (mode, rate) point is self-contained — its own fault scope, its
+  // own machine — so the grid fans out over the process thread pool
+  // (GEO_THREADS); table assembly and the monotonicity check stay serial and
+  // in point order, keeping the output byte-identical at every thread count.
   Table stream_table(
       {"accum", "flip rate", "accuracy %", "flipped bits", "cycles",
        "overhead %"});
@@ -116,43 +121,66 @@ int main() {
     std::printf("[bench] sweep memo: %zu completed point(s) skipped\n",
                 memo.resumed());
   bool monotonic = true;
-  for (const auto& mode : modes) {
+  constexpr int kNumModes = 2;
+  constexpr int kNumRates = 5;
+  MachineResult stream_clean[kNumModes];
+  for (int m = 0; m < kNumModes; ++m) {
     HwConfig hw = HwConfig::ulp();
-    hw.accum = mode.accum;
+    hw.accum = modes[m].accum;
     const ScopedFaultInjection off(nullptr);  // clean reference
-    const MachineResult clean = wl.run(hw);
-    double prev_acc = 101.0;
-    for (const double rate : rates) {
-      const std::string point =
-          std::string(mode.name) + "@" + fmt(rate, "%.0e");
-      double acc = 100.0;
-      long long flipped = 0;
-      long long cycles = clean.stats.total_cycles;
-      if (const auto hit = memo.lookup(point)) {
-        std::istringstream is(*hit);
-        is >> acc >> flipped >> cycles;
-      } else {
+    stream_clean[m] = wl.run(hw);
+  }
+  struct StreamCell {
+    double acc = 100.0;
+    long long flipped = 0;
+    long long cycles = 0;
+  };
+  const auto stream_cells = geo::bench::sweep_points<StreamCell>(
+      kNumModes * kNumRates, [&](std::int64_t i) {
+        const int m = static_cast<int>(i) / kNumRates;
+        const double rate = rates[i % kNumRates];
+        const MachineResult& clean = stream_clean[m];
+        const std::string point =
+            std::string(modes[m].name) + "@" + fmt(rate, "%.0e");
+        StreamCell cell;
+        cell.cycles = clean.stats.total_cycles;
+        if (const auto hit = memo.lookup(point)) {
+          std::istringstream is(*hit);
+          is >> cell.acc >> cell.flipped >> cell.cycles;
+          return cell;
+        }
         if (rate > 0.0) {
+          HwConfig hw = HwConfig::ulp();
+          hw.accum = modes[m].accum;
           FaultConfig cfg;
           cfg.stream_flip_rate = rate;
           cfg.rng_seed = 99;
           ScopedFaultInjection inject(cfg);
           const MachineResult faulty = wl.run(hw);
-          acc = accuracy_vs(clean, faulty, hw.stream_len);
+          cell.acc = accuracy_vs(clean, faulty, hw.stream_len);
           const auto st = inject.model().stats();
-          flipped = st.stream_bits_flipped;
-          cycles = faulty.stats.total_cycles;
+          cell.flipped = st.stream_bits_flipped;
+          cell.cycles = faulty.stats.total_cycles;
         }
-        memo.record(point, fmt(acc, "%.17g") + " " + std::to_string(flipped) +
-                               " " + std::to_string(cycles));
-      }
-      if (acc > prev_acc + 1e-12) monotonic = false;
-      prev_acc = acc;
+        memo.record(point, fmt(cell.acc, "%.17g") + " " +
+                               std::to_string(cell.flipped) + " " +
+                               std::to_string(cell.cycles));
+        return cell;
+      });
+  for (int m = 0; m < kNumModes; ++m) {
+    double prev_acc = 101.0;
+    for (int r = 0; r < kNumRates; ++r) {
+      const StreamCell& cell =
+          stream_cells[static_cast<std::size_t>(m * kNumRates + r)];
+      if (cell.acc > prev_acc + 1e-12) monotonic = false;
+      prev_acc = cell.acc;
       const double overhead =
-          100.0 * (static_cast<double>(cycles) / clean.stats.total_cycles -
+          100.0 * (static_cast<double>(cell.cycles) /
+                       stream_clean[m].stats.total_cycles -
                    1.0);
-      stream_table.add_row({mode.name, fmt(rate, "%.0e"), fmt(acc),
-                            std::to_string(flipped), std::to_string(cycles),
+      stream_table.add_row({modes[m].name, fmt(rates[r], "%.0e"),
+                            fmt(cell.acc), std::to_string(cell.flipped),
+                            std::to_string(cell.cycles),
                             fmt(overhead, "%.2f")});
     }
   }
@@ -167,29 +195,51 @@ int main() {
   bool ecc_wins = true;
   {
     HwConfig hw = HwConfig::ulp();
-    const ScopedFaultInjection off(nullptr);
-    const MachineResult clean = wl.run(hw);
-    for (const double rate : {1e-3, 5e-3, 2e-2}) {
+    MachineResult clean;
+    {
+      const ScopedFaultInjection off(nullptr);
+      clean = wl.run(hw);
+    }
+    const double sram_rates[] = {1e-3, 5e-3, 2e-2};
+    const EccMode eccs[] = {EccMode::kNone, EccMode::kParity,
+                            EccMode::kSecded};
+    constexpr int kNumEccs = 3;
+    struct SramCell {
+      double acc = 0.0;
+      geo::fault::FaultStats st;
+      long long cycles = 0;
+    };
+    // 3 rates x 3 ECC modes, each with an independent fault model: another
+    // self-contained grid for the pool.
+    const auto sram_cells = geo::bench::sweep_points<SramCell>(
+        static_cast<std::int64_t>(std::size(sram_rates)) * kNumEccs,
+        [&](std::int64_t i) {
+          FaultConfig cfg;
+          cfg.sram_error_rate = sram_rates[i / kNumEccs];
+          cfg.ecc = eccs[i % kNumEccs];
+          cfg.rng_seed = 99;
+          ScopedFaultInjection inject(cfg);
+          const MachineResult faulty = wl.run(hw);
+          SramCell cell;
+          cell.acc = accuracy_vs(clean, faulty, hw.stream_len);
+          cell.st = inject.model().stats();
+          cell.cycles = faulty.stats.total_cycles;
+          return cell;
+        });
+    for (std::size_t r = 0; r < std::size(sram_rates); ++r) {
       double acc_none = 0.0, acc_secded = 0.0;
-      for (const EccMode ecc :
-           {EccMode::kNone, EccMode::kParity, EccMode::kSecded}) {
-        FaultConfig cfg;
-        cfg.sram_error_rate = rate;
-        cfg.ecc = ecc;
-        cfg.rng_seed = 99;
-        ScopedFaultInjection inject(cfg);
-        const MachineResult faulty = wl.run(hw);
-        const double acc = accuracy_vs(clean, faulty, hw.stream_len);
-        const auto st = inject.model().stats();
+      for (int e = 0; e < kNumEccs; ++e) {
+        const SramCell& cell = sram_cells[r * kNumEccs +
+                                          static_cast<std::size_t>(e)];
         sram_table.add_row(
-            {geo::fault::to_string(ecc), fmt(rate, "%.0e"), fmt(acc),
-             std::to_string(st.sram_errors_detected),
-             std::to_string(st.sram_errors_corrected),
-             std::to_string(st.sram_silent_corruptions),
-             std::to_string(st.sram_retry_cycles),
-             std::to_string(faulty.stats.total_cycles)});
-        if (ecc == EccMode::kNone) acc_none = acc;
-        if (ecc == EccMode::kSecded) acc_secded = acc;
+            {geo::fault::to_string(eccs[e]), fmt(sram_rates[r], "%.0e"),
+             fmt(cell.acc), std::to_string(cell.st.sram_errors_detected),
+             std::to_string(cell.st.sram_errors_corrected),
+             std::to_string(cell.st.sram_silent_corruptions),
+             std::to_string(cell.st.sram_retry_cycles),
+             std::to_string(cell.cycles)});
+        if (eccs[e] == EccMode::kNone) acc_none = cell.acc;
+        if (eccs[e] == EccMode::kSecded) acc_secded = cell.acc;
       }
       if (acc_secded <= acc_none) ecc_wins = false;
     }

@@ -2,6 +2,8 @@
 // and the reported mixed-signal points (Conv-RAM, MDL-CNN) — voltage, area,
 // power, frame rates on CNN-4/CIFAR and LeNet-5, peak GOPS and TOPS/W.
 #include <cstdio>
+#include <functional>
+#include <iterator>
 
 #include "arch/report.hpp"
 #include "baselines/acoustic.hpp"
@@ -20,21 +22,30 @@ int main() {
            "ACOUSTIC-128", "GEO ULP-16,32"});
 
   // --- simulated columns ---------------------------------------------------
+  // The eight model x network simulations are independent const calls on
+  // stateless models, so they fan out over the process pool (GEO_THREADS);
+  // each lands in its own slot and the table assembles serially below.
   const baselines::EyerissModel eye(baselines::EyerissConfig::ulp_4bit());
-  const auto eye_cnn = eye.run(cnn);
-  const auto eye_lenet = eye.run(lenet);
-
   const core::GeoAccelerator geo3264(core::GeoConfig::ulp(32, 64));
-  const auto geo3264_cnn = geo3264.run(cnn);
-  const auto geo3264_lenet = geo3264.run(lenet);
-
   const core::GeoAccelerator geo1632(core::GeoConfig::ulp(16, 32));
-  const auto geo1632_cnn = geo1632.run(cnn);
-  const auto geo1632_lenet = geo1632.run(lenet);
-
   const baselines::AcousticModel aco = baselines::AcousticModel::ulp(128);
-  const auto aco_cnn = aco.run(cnn);
-  const auto aco_lenet = aco.run(lenet);
+
+  baselines::EyerissResult eye_cnn, eye_lenet;
+  arch::PerfResult geo3264_cnn, geo3264_lenet;
+  arch::PerfResult geo1632_cnn, geo1632_lenet;
+  arch::PerfResult aco_cnn, aco_lenet;
+  const std::function<void()> sim_points[] = {
+      [&] { eye_cnn = eye.run(cnn); },
+      [&] { eye_lenet = eye.run(lenet); },
+      [&] { geo3264_cnn = geo3264.run(cnn); },
+      [&] { geo3264_lenet = geo3264.run(lenet); },
+      [&] { geo1632_cnn = geo1632.run(cnn); },
+      [&] { geo1632_lenet = geo1632.run(lenet); },
+      [&] { aco_cnn = aco.run(cnn); },
+      [&] { aco_lenet = aco.run(lenet); },
+  };
+  exec::parallel_for(static_cast<std::int64_t>(std::size(sim_points)), 1,
+                     [&](std::int64_t i) { sim_points[i](); });
 
   const auto& convram = baselines::reported::kConvRam;
   const auto& mdl = baselines::reported::kMdlCnn;

@@ -5,7 +5,9 @@
 #   scripts/check.sh                # tier-1 only
 #   scripts/check.sh address        # tier-1 + ASan build/test
 #   scripts/check.sh undefined      # tier-1 + UBSan build/test
-#   scripts/check.sh all            # tier-1 + both sanitizers
+#   scripts/check.sh thread         # tier-1 + TSan build, exec suite at
+#                                   #   GEO_THREADS=4 (the racy configuration)
+#   scripts/check.sh all            # tier-1 + all three sanitizers
 set -euo pipefail
 
 repo="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -22,6 +24,22 @@ run_config() {
   ctest --test-dir "${build_dir}" --output-on-failure -j "${jobs}"
 }
 
+# TSan config: build everything, then drive the thread-pool paths hard —
+# the exec suite plus the resilience suite at GEO_THREADS=4 (races only
+# exist when tiles actually fan out across workers).
+run_tsan() {
+  local build_dir="${repo}/build-thread"
+  echo "== configure ${build_dir} (-DGEO_SANITIZE=thread)"
+  cmake -B "${build_dir}" -S "${repo}" -DGEO_SANITIZE=thread
+  echo "== build ${build_dir}"
+  cmake --build "${build_dir}" -j "${jobs}"
+  echo "== tsan: exec suite at GEO_THREADS=4"
+  GEO_THREADS=4 ctest --test-dir "${build_dir}" -L exec --output-on-failure
+  echo "== tsan: resilience suite at GEO_THREADS=4 under ambient faults"
+  GEO_THREADS=4 GEO_FAULTS="sram=2e-2,burst=2,ecc=secded,rng=99" \
+    ctest --test-dir "${build_dir}" -L resilience --output-on-failure
+}
+
 run_config "${repo}/build"
 
 case "${1:-}" in
@@ -29,12 +47,16 @@ case "${1:-}" in
   address|undefined)
     run_config "${repo}/build-${1}" "-DGEO_SANITIZE=${1}"
     ;;
+  thread)
+    run_tsan
+    ;;
   all)
     run_config "${repo}/build-address" -DGEO_SANITIZE=address
     run_config "${repo}/build-undefined" -DGEO_SANITIZE=undefined
+    run_tsan
     ;;
   *)
-    echo "usage: $0 [address|undefined|all]" >&2
+    echo "usage: $0 [address|undefined|thread|all]" >&2
     exit 2
     ;;
 esac

@@ -1,13 +1,18 @@
 #include "arch/machine.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <bit>
 #include <cassert>
 #include <cmath>
+#include <mutex>
 #include <optional>
 #include <stdexcept>
 #include <string>
+#include <thread>
 
+#include "exec/parallel_conv.hpp"
+#include "exec/thread_pool.hpp"
 #include "fault/fault_model.hpp"
 #include "nn/quantize.hpp"
 #include "sc/progressive.hpp"
@@ -111,13 +116,20 @@ struct ConvExecution::Impl {
   bool direct_accum = false, accum_faults = false, stuck_faults = false;
 
   std::optional<sc::SeedAllocator> alloc;
-  std::vector<std::uint64_t> wpos, wneg, act, scratch, prod;
-  std::vector<char> act_ready;
-  std::vector<std::uint32_t> cyc;
+  std::vector<std::uint64_t> wpos, wneg, act;
+  // Lazy activation-stream cache flags: 0 = empty, 1 = being generated,
+  // 2 = ready. Atomic so concurrent tiles claim generation exactly once
+  // (first CAS winner generates, everyone else waits for the release store)
+  // — the stream content is a pure function of the slot, so the winner's
+  // identity never changes the bits.
+  std::unique_ptr<std::atomic<std::uint8_t>[]> act_ready;
 
   std::int64_t tiles_cg = 0, tiles_wg = 0;
 
   MachineResult result;
+  // Guards result.stats merges from concurrent run_tile calls. Tile deltas
+  // are integer sums, so the merge order never changes the totals.
+  std::mutex stats_mu;
   std::optional<telemetry::ScopedTimer> run_timer;
   telemetry::Histogram* pass_hist = nullptr;
   telemetry::Histogram* mac_hist = nullptr;
@@ -125,30 +137,55 @@ struct ConvExecution::Impl {
   bool finished = false;
 
   const std::uint64_t* act_stream(std::size_t idx);
-  void run_tile(std::int64_t tile);
+  template <typename Fn>
+  void for_each_tile_input(std::int64_t tile, Fn&& fn) const;
+  MachineStats run_tile(std::int64_t tile);
   MachineResult finish();
 };
 
 const std::uint64_t* ConvExecution::Impl::act_stream(std::size_t idx) {
-  if (!act_ready[idx]) {
-    act_gen_counter->add(1);
-    const float a = std::clamp(input[idx], 0.0f, 1.0f);
-    std::uint32_t q = nn::quantize_unsigned(a, cfg.value_bits);
-    if (fm != nullptr)
-      q = fm->sram_read(q, cfg.value_bits, fault::FaultModel::Site::kActSram,
-                        idx);
-    generate_stream(act.data() + idx * wpl, wpl, static_cast<std::size_t>(L),
-                    cfg, alloc->activation(static_cast<int>(idx)), q, fm,
-                    fault::FaultModel::Site::kActStream, idx);
-    act_ready[idx] = 1;
+  std::atomic<std::uint8_t>& flag = act_ready[idx];
+  if (flag.load(std::memory_order_acquire) != 2) {
+    std::uint8_t expected = 0;
+    if (flag.compare_exchange_strong(expected, 1,
+                                     std::memory_order_acq_rel)) {
+      act_gen_counter->add(1);
+      const float a = std::clamp(input[idx], 0.0f, 1.0f);
+      std::uint32_t q = nn::quantize_unsigned(a, cfg.value_bits);
+      if (fm != nullptr)
+        q = fm->sram_read(q, cfg.value_bits,
+                          fault::FaultModel::Site::kActSram, idx);
+      generate_stream(act.data() + idx * wpl, wpl,
+                      static_cast<std::size_t>(L), cfg,
+                      alloc->activation(static_cast<int>(idx)), q, fm,
+                      fault::FaultModel::Site::kActStream, idx);
+      flag.store(2, std::memory_order_release);
+    } else {
+      // Another tile is generating this stream; its content is identical to
+      // what we would produce, so just wait for the release store.
+      while (flag.load(std::memory_order_acquire) != 2)
+        std::this_thread::yield();
+    }
   }
   return act.data() + idx * wpl;
 }
 
-void ConvExecution::Impl::run_tile(std::int64_t tile) {
+MachineStats ConvExecution::Impl::run_tile(std::int64_t tile) {
   const int cg = static_cast<int>(tile / tiles_wg);
   const std::int64_t wg = tile % tiles_wg;
-  MachineStats& st = result.stats;
+  // This run's cost, merged into result.stats at the end — concurrent tiles
+  // each accumulate privately so the totals are sums of per-tile integers,
+  // identical in any merge order.
+  MachineStats st;
+  // Per-run scratch (accumulator groups, fault-path product pair, per-cycle
+  // counters): private so concurrent tiles don't share accumulators.
+  std::vector<std::uint64_t> scratch(
+      static_cast<std::size_t>(groups) * 2 * wpl, 0);
+  std::vector<std::uint64_t> prod;
+  std::vector<std::uint32_t> cyc;
+  if (accum_faults || (stuck_faults && direct_accum)) prod.resize(2 * wpl);
+  if (stuck_faults && direct_accum)
+    cyc.resize(2 * static_cast<std::size_t>(L));
 
   // Retry-from-snapshot semantics: a re-run replaces the tile's partial
   // sums, it never double-counts them.
@@ -339,6 +376,18 @@ void ConvExecution::Impl::run_tile(std::int64_t tile) {
       }
     }
   }
+
+  {
+    const std::lock_guard<std::mutex> lock(stats_mu);
+    MachineStats& g = result.stats;
+    g.passes += st.passes;
+    g.compute_cycles += st.compute_cycles;
+    g.stall_cycles += st.stall_cycles;
+    g.act_buffer_fills += st.act_buffer_fills;
+    g.wgt_buffer_fills += st.wgt_buffer_fills;
+    g.psum_ops += st.psum_ops;
+  }
+  return st;
 }
 
 MachineResult ConvExecution::Impl::finish() {
@@ -421,34 +470,51 @@ std::vector<std::size_t> ConvExecution::tile_outputs(std::int64_t tile) const {
   return out;
 }
 
-void ConvExecution::run_tile(std::int64_t tile) { impl_->run_tile(tile); }
+MachineStats ConvExecution::run_tile(std::int64_t tile) {
+  return impl_->run_tile(tile);
+}
+
+// Enumerates the activation-stream slots feeding `tile` (with repeats:
+// windows overlap). Shared by invalidation and tile_inputs.
+template <typename Fn>
+void ConvExecution::Impl::for_each_tile_input(std::int64_t tile,
+                                              Fn&& fn) const {
+  const std::int64_t wg = tile % tiles_wg;
+  for (int wslot = 0; wslot < windows_per_pass; ++wslot) {
+    const std::int64_t pos = wg * windows_per_pass + wslot;
+    if (pos >= xy) break;
+    const int oy = static_cast<int>(pos) / wo;
+    const int ox = static_cast<int>(pos) % wo;
+    for (int t = 0; t < K; ++t) {
+      const int kx = t % shape.kw;
+      const int ky = (t / shape.kw) % shape.kh;
+      const int ic = t / (shape.kw * shape.kh);
+      const int iy = oy * shape.stride - shape.pad + ky;
+      const int ix = ox * shape.stride - shape.pad + kx;
+      if (iy < 0 || iy >= shape.hin || ix < 0 || ix >= shape.win) continue;
+      fn((static_cast<std::size_t>(ic) * shape.hin + iy) * shape.win + ix);
+    }
+  }
+}
 
 void ConvExecution::invalidate_tile_inputs(std::int64_t tile) {
   Impl& im = *impl_;
-  const std::int64_t wg = tile % im.tiles_wg;
   // Every tap of every window in this tile: mark its activation stream
   // stale. Streams are shared across channel groups, so a neighbouring
   // tile's later first-use simply regenerates them (same seed, same SRAM
   // word — bit-identical unless a fault model intervenes).
-  for (int wslot = 0; wslot < im.windows_per_pass; ++wslot) {
-    const std::int64_t pos = wg * im.windows_per_pass + wslot;
-    if (pos >= im.xy) break;
-    const int oy = static_cast<int>(pos) / im.wo;
-    const int ox = static_cast<int>(pos) % im.wo;
-    for (int t = 0; t < im.K; ++t) {
-      const int kx = t % im.shape.kw;
-      const int ky = (t / im.shape.kw) % im.shape.kh;
-      const int ic = t / (im.shape.kw * im.shape.kh);
-      const int iy = oy * im.shape.stride - im.shape.pad + ky;
-      const int ix = ox * im.shape.stride - im.shape.pad + kx;
-      if (iy < 0 || iy >= im.shape.hin || ix < 0 || ix >= im.shape.win)
-        continue;
-      const std::size_t aidx =
-          (static_cast<std::size_t>(ic) * im.shape.hin + iy) * im.shape.win +
-          ix;
-      im.act_ready[aidx] = 0;
-    }
-  }
+  im.for_each_tile_input(tile, [&im](std::size_t aidx) {
+    im.act_ready[aidx].store(0, std::memory_order_release);
+  });
+}
+
+std::vector<std::size_t> ConvExecution::tile_inputs(std::int64_t tile) const {
+  std::vector<std::size_t> in;
+  impl_->for_each_tile_input(tile,
+                             [&in](std::size_t aidx) { in.push_back(aidx); });
+  std::sort(in.begin(), in.end());
+  in.erase(std::unique(in.begin(), in.end()), in.end());
+  return in;
 }
 
 std::span<const std::int32_t> ConvExecution::counters() const {
@@ -541,9 +607,19 @@ geo::StatusOr<MachineResult> GeoMachine::try_run_conv(
                            layer_salt);
   if (!exec.ok()) return exec.status();
   ConvExecution execution = std::move(exec).value();
-  const std::int64_t tiles = execution.tile_count();
-  for (std::int64_t t = 0; t < tiles; ++t) execution.run_tile(t);
-  return execution.finish();
+  // Tiles are independent; the runner fans them across the GEO_THREADS pool
+  // (bit-identical to the serial loop at any thread count, and exactly the
+  // serial loop at GEO_THREADS=1). An exception escaping a tile — e.g. an
+  // SC kernel rejecting a degenerate configuration — is rethrown on this
+  // thread by the pool and converted to a Status here instead of tearing
+  // down a worker.
+  try {
+    exec::ParallelConvRunner().run_all(execution);
+    return execution.finish();
+  } catch (const std::exception& e) {
+    return geo::Status::internal(
+        std::string("GeoMachine: conv execution failed: ") + e.what());
+  }
 }
 
 geo::StatusOr<ConvExecution> GeoMachine::prepare_conv(
@@ -595,30 +671,39 @@ geo::StatusOr<ConvExecution> GeoMachine::prepare_conv(
     telemetry::ScopedTimer t("machine.weight_streams", "machine",
                              {{"streams", static_cast<double>(
                                    weights.size())}});
-    std::size_t idx = 0;
-    for (int oc = 0; oc < shape.cout; ++oc)
-      for (int ic = 0; ic < shape.cin; ++ic)
-        for (int ky = 0; ky < shape.kh; ++ky)
-          for (int kx = 0; kx < shape.kw; ++kx, ++idx) {
-            const float w = std::clamp(weights[idx], -1.0f, 1.0f);
-            std::uint32_t q =
-                nn::quantize_unsigned(std::abs(w), cfg.value_bits);
-            if (fm != nullptr)
-              q = fm->sram_read(q, cfg.value_bits,
-                                fault::FaultModel::Site::kWeightSram, idx);
-            const sc::SeedSpec spec = impl->alloc->weight({oc, ic, ky, kx});
-            generate_stream(
-                (w >= 0.0f ? &impl->wpos : &impl->wneg)->data() + idx * wpl,
-                wpl, static_cast<std::size_t>(L), cfg, spec, q, fm,
-                fault::FaultModel::Site::kWeightStream, idx);
-          }
+    // Each stream writes a disjoint slice of wpos/wneg and every fault site
+    // is touched exactly once, so the fan-out is order-independent — byte-
+    // identical to the old nested serial loop at any thread count.
+    const std::int64_t kw = shape.kw, kh = shape.kh, cin = shape.cin;
+    exec::parallel_for(
+        static_cast<std::int64_t>(weights.size()), [&](std::int64_t i) {
+          const std::size_t idx = static_cast<std::size_t>(i);
+          const int kx = static_cast<int>(i % kw);
+          const int ky = static_cast<int>((i / kw) % kh);
+          const int ic = static_cast<int>((i / (kw * kh)) % cin);
+          const int oc = static_cast<int>(i / (kw * kh * cin));
+          const float w = std::clamp(weights[idx], -1.0f, 1.0f);
+          std::uint32_t q =
+              nn::quantize_unsigned(std::abs(w), cfg.value_bits);
+          if (fm != nullptr)
+            q = fm->sram_read(q, cfg.value_bits,
+                              fault::FaultModel::Site::kWeightSram, idx);
+          const sc::SeedSpec spec = impl->alloc->weight({oc, ic, ky, kx});
+          generate_stream(
+              (w >= 0.0f ? &impl->wpos : &impl->wneg)->data() + idx * wpl,
+              wpl, static_cast<std::size_t>(L), cfg, spec, q, fm,
+              fault::FaultModel::Site::kWeightStream, idx);
+        });
   }
 
   // ---- activation streams, generated lazily per buffer slot -------------
   auto& metrics = telemetry::MetricsRegistry::instance();
   impl->act_gen_counter = &metrics.counter("machine.act_streams_generated");
   impl->act.assign(input.size() * wpl, 0);
-  impl->act_ready.assign(input.size(), 0);
+  impl->act_ready =
+      std::make_unique<std::atomic<std::uint8_t>[]>(input.size());
+  for (std::size_t i = 0; i < input.size(); ++i)
+    impl->act_ready[i].store(0, std::memory_order_relaxed);
 
   impl->result.counters.assign(static_cast<std::size_t>(impl->outputs), 0);
   impl->result.activations.assign(static_cast<std::size_t>(impl->outputs), 0);
@@ -638,18 +723,13 @@ geo::StatusOr<ConvExecution> GeoMachine::prepare_conv(
     case nn::AccumMode::kFxp:
     case nn::AccumMode::kApc: impl->groups = 1; break;  // per tap
   }
-  impl->scratch.assign(static_cast<std::size_t>(impl->groups) * 2 * wpl, 0);
-
-  // Fault-path scratch (allocated only when a model is active; the clean
-  // path never touches these).
+  // Accumulator / fault-path scratch is allocated per run_tile call (tiles
+  // may run concurrently, so they can't share work buffers); these flags
+  // tell run_tile which buffers a run needs.
   impl->direct_accum = cfg.accum == nn::AccumMode::kFxp ||
                        cfg.accum == nn::AccumMode::kApc;
   impl->accum_faults = fm != nullptr && fm->accum_active();
   impl->stuck_faults = fm != nullptr && fm->stuck_enabled();
-  if (impl->accum_faults || (impl->stuck_faults && impl->direct_accum))
-    impl->prod.resize(2 * wpl);
-  if (impl->stuck_faults && impl->direct_accum)
-    impl->cyc.resize(2 * static_cast<std::size_t>(L));
 
   impl->fill = hw_.buffer_fill_bits;
   impl->bits_per_value =

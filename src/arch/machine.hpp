@@ -77,6 +77,14 @@ void apply_bn_relu(std::span<const std::int32_t> counters,
 // execution. `finish()` applies BN/ReLU, reconciles the cycle ledger and
 // mirrors the stats into telemetry — running every tile exactly once and
 // finishing is bit- and stat-identical to GeoMachine::try_run_conv.
+//
+// Thread-safety: distinct tiles may run concurrently (exec::
+// ParallelConvRunner does this) — tile outputs are disjoint, the lazy
+// activation-stream cache is generate-once under an atomic claim, and stat
+// deltas merge under a lock, so the result is byte-identical to the serial
+// tile loop at any thread count (see docs/PARALLELISM.md). All other
+// methods (invalidate_tile_inputs, counters, finish, ...) must be called
+// with no run_tile in flight.
 class ConvExecution {
  public:
   ConvExecution(ConvExecution&&) noexcept;
@@ -89,10 +97,17 @@ class ConvExecution {
   // exactly one tile).
   std::vector<std::size_t> tile_outputs(std::int64_t tile) const;
 
+  // Activation-stream indices read by `tile` (sorted, unique). Shared across
+  // channel groups: tiles over the same window group read the same streams.
+  // The resilience layer uses this to attribute first-access fault events to
+  // the tile the serial loop would have charged them to.
+  std::vector<std::size_t> tile_inputs(std::int64_t tile) const;
+
   // (Re)executes one tile. The tile's counters are zeroed first, so a retry
   // replaces — never double-counts — its partial sums. Cycle/stat costs
-  // accumulate on every run (a retry really recomputes).
-  void run_tile(std::int64_t tile);
+  // accumulate on every run (a retry really recomputes); the returned value
+  // is this run's cost alone (the delta merged into stats()).
+  MachineStats run_tile(std::int64_t tile);
 
   // Drops the cached activation streams feeding `tile`, so the next run_tile
   // re-reads activation SRAM and regenerates them. A retry after a detected

@@ -4,6 +4,9 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <mutex>
+#include <set>
+#include <string>
 
 namespace geo::core {
 
@@ -41,6 +44,55 @@ std::uint64_t seed_or(std::uint64_t fallback, std::string_view domain) {
     h *= 0x100000001B3ull;
   }
   return mix64(*master ^ h);
+}
+
+namespace {
+
+template <typename T>
+std::optional<T> parse_whole(std::string_view text) {
+  if (text.empty()) return std::nullopt;
+  T parsed{};
+  const char* first = text.data();
+  const char* last = text.data() + text.size();
+  const auto [ptr, ec] = std::from_chars(first, last, parsed);
+  if (ec != std::errc() || ptr != last) return std::nullopt;
+  return parsed;
+}
+
+// Warn at most once per variable name, even though the value itself is
+// re-read on every call (cheap, and lets tests exercise several values).
+void warn_once(const char* name, const char* value, const char* what) {
+  static std::mutex mu;
+  static std::set<std::string>* warned = new std::set<std::string>();
+  const std::lock_guard<std::mutex> lock(mu);
+  if (!warned->insert(name).second) return;
+  std::fprintf(stderr, "[geo] %s='%s' %s; ignored\n", name, value, what);
+}
+
+}  // namespace
+
+std::optional<std::uint64_t> parse_uint(std::string_view text) {
+  return parse_whole<std::uint64_t>(text);
+}
+
+std::optional<std::int64_t> parse_int(std::string_view text) {
+  return parse_whole<std::int64_t>(text);
+}
+
+std::int64_t env_int(const char* name, std::int64_t fallback, std::int64_t lo,
+                     std::int64_t hi) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || v[0] == '\0') return fallback;
+  const std::optional<std::int64_t> parsed = parse_int(v);
+  if (!parsed.has_value()) {
+    warn_once(name, v, "is not an integer");
+    return fallback;
+  }
+  if (*parsed < lo || *parsed > hi) {
+    warn_once(name, v, "is out of range");
+    return fallback;
+  }
+  return *parsed;
 }
 
 }  // namespace geo::core

@@ -1,0 +1,27 @@
+#include "exec/parallel_conv.hpp"
+
+#include "exec/thread_pool.hpp"
+
+namespace geo::exec {
+
+ParallelConvRunner::ParallelConvRunner(ThreadPool* pool)
+    : pool_(pool != nullptr ? pool : &ThreadPool::instance()) {}
+
+void ParallelConvRunner::run_all(arch::ConvExecution& exec) {
+  const std::int64_t tiles = exec.tile_count();
+  // Tile grain 1: tiles are coarse units (a full channel-group x
+  // window-group pass schedule each), so per-tile claiming balances best.
+  pool_->parallel_for(tiles, 1,
+                      [&exec](std::int64_t t) { exec.run_tile(t); });
+}
+
+void ParallelConvRunner::run_all_recording(
+    arch::ConvExecution& exec, std::vector<arch::MachineStats>& tile_costs) {
+  const std::int64_t tiles = exec.tile_count();
+  tile_costs.assign(static_cast<std::size_t>(tiles), arch::MachineStats{});
+  pool_->parallel_for(tiles, 1, [&exec, &tile_costs](std::int64_t t) {
+    tile_costs[static_cast<std::size_t>(t)] = exec.run_tile(t);
+  });
+}
+
+}  // namespace geo::exec

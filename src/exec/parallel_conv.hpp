@@ -1,0 +1,42 @@
+// Tile-parallel dispatch for a prepared ConvExecution.
+//
+// Tiles of one conv layer are independent — disjoint output slices, a
+// generate-once activation-stream cache, commutative integer stat merges —
+// so the runner fans `run_tile` calls across the GEO_THREADS pool and the
+// finished layer is byte-identical to the serial tile loop at any thread
+// count (docs/PARALLELISM.md spells out the contract). With a fault model
+// installed the determinism holds too: defect-mode injections are a pure
+// function of the site, and transient-mode draws are keyed per site access
+// sequence, which a single all-tiles pass leaves order-independent.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/machine.hpp"
+
+namespace geo::exec {
+
+class ThreadPool;
+
+class ParallelConvRunner {
+ public:
+  // `pool` = nullptr uses the process-wide pool (GEO_THREADS).
+  explicit ParallelConvRunner(ThreadPool* pool = nullptr);
+
+  // Runs every tile of `exec` exactly once. Serial (and bit-identical to
+  // the plain loop) when the pool has one lane or the layer has one tile.
+  // Exceptions from tiles are rethrown here, on the calling thread.
+  void run_all(arch::ConvExecution& exec);
+
+  // Same, but also records each tile's first-run cost delta (indexed by
+  // tile). The resilience layer uses the deltas to reconstruct the serial
+  // ledger on a rung that fails mid-walk.
+  void run_all_recording(arch::ConvExecution& exec,
+                         std::vector<arch::MachineStats>& tile_costs);
+
+ private:
+  ThreadPool* pool_;
+};
+
+}  // namespace geo::exec

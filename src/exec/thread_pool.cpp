@@ -1,0 +1,247 @@
+#include "exec/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/env.hpp"
+#include "fault/fault_model.hpp"
+
+namespace geo::exec {
+
+namespace {
+
+// Depth of parallel_for participation on this thread (worker or caller).
+// Nonzero means nested parallel_for calls run inline.
+thread_local int t_region_depth = 0;
+
+}  // namespace
+
+int default_threads() {
+  int hw = static_cast<int>(std::thread::hardware_concurrency());
+  if (hw < 1) hw = 1;
+  const std::int64_t n = core::env_int("GEO_THREADS", hw, 1, kMaxThreads);
+  return static_cast<int>(n);
+}
+
+bool ThreadPool::in_parallel_region() { return t_region_depth > 0; }
+
+// One parallel_for in flight. Iterations are claimed in contiguous blocks
+// via `next`; `done` counts finished (or cancelled) iterations. The first
+// exception cancels the rest of the batch and is rethrown on the caller.
+struct Batch {
+  std::int64_t n = 0;
+  std::int64_t grain = 1;
+  const std::function<void(std::int64_t)>* fn = nullptr;
+  // The submitting thread's effective fault model, installed thread-locally
+  // on every worker that participates so scoped injections propagate.
+  fault::FaultModel* fault_scope = nullptr;
+
+  std::atomic<std::int64_t> next{0};
+  std::atomic<std::int64_t> done{0};
+  std::atomic<bool> cancelled{false};
+
+  std::mutex mu;
+  std::condition_variable cv;
+  std::exception_ptr error;  // guarded by mu
+
+  // Claims and runs blocks until the batch is drained. Returns once this
+  // thread can contribute no further work (other threads may still be
+  // finishing their claimed blocks).
+  void participate() {
+    t_region_depth++;
+    for (;;) {
+      const std::int64_t i0 = next.fetch_add(grain);
+      if (i0 >= n) break;
+      const std::int64_t i1 = std::min(n, i0 + grain);
+      if (!cancelled.load(std::memory_order_relaxed)) {
+        try {
+          for (std::int64_t i = i0; i < i1; ++i) (*fn)(i);
+        } catch (...) {
+          const std::lock_guard<std::mutex> lock(mu);
+          if (!error) error = std::current_exception();
+          cancelled.store(true, std::memory_order_relaxed);
+        }
+      }
+      if (done.fetch_add(i1 - i0) + (i1 - i0) == n) {
+        const std::lock_guard<std::mutex> lock(mu);
+        cv.notify_all();
+      }
+    }
+    t_region_depth--;
+  }
+
+  void wait() {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return done.load() == n; });
+  }
+};
+
+struct ThreadPool::Impl {
+  struct WorkerQueue {
+    std::mutex mu;
+    std::deque<std::shared_ptr<Batch>> tasks;
+  };
+
+  std::vector<std::unique_ptr<WorkerQueue>> queues;
+  std::vector<std::thread> threads;
+  std::mutex idle_mu;
+  std::condition_variable idle_cv;
+  std::atomic<int> pending{0};
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> rr{0};
+
+  void worker_main(std::size_t self) {
+    for (;;) {
+      std::shared_ptr<Batch> batch = take(self);
+      if (batch) {
+        fault::ScopedFaultOverride scope(batch->fault_scope);
+        batch->participate();
+        continue;
+      }
+      std::unique_lock<std::mutex> lock(idle_mu);
+      idle_cv.wait(lock, [&] {
+        return stop.load(std::memory_order_relaxed) ||
+               pending.load(std::memory_order_relaxed) > 0;
+      });
+      if (stop.load(std::memory_order_relaxed)) return;
+    }
+  }
+
+  // Pop from the worker's own queue (LIFO), else steal the oldest task from
+  // another queue (FIFO).
+  std::shared_ptr<Batch> take(std::size_t self) {
+    {
+      WorkerQueue& q = *queues[self];
+      const std::lock_guard<std::mutex> lock(q.mu);
+      if (!q.tasks.empty()) {
+        std::shared_ptr<Batch> b = std::move(q.tasks.back());
+        q.tasks.pop_back();
+        pending.fetch_sub(1, std::memory_order_relaxed);
+        return b;
+      }
+    }
+    for (std::size_t k = 1; k < queues.size() + 1; ++k) {
+      WorkerQueue& q = *queues[(self + k) % queues.size()];
+      const std::lock_guard<std::mutex> lock(q.mu);
+      if (!q.tasks.empty()) {
+        std::shared_ptr<Batch> b = std::move(q.tasks.front());
+        q.tasks.pop_front();
+        pending.fetch_sub(1, std::memory_order_relaxed);
+        return b;
+      }
+    }
+    return nullptr;
+  }
+
+  void submit(std::shared_ptr<Batch> batch) {
+    const std::size_t w = rr.fetch_add(1, std::memory_order_relaxed) %
+                          queues.size();
+    {
+      const std::lock_guard<std::mutex> lock(queues[w]->mu);
+      queues[w]->tasks.push_back(std::move(batch));
+    }
+    pending.fetch_add(1, std::memory_order_relaxed);
+    {
+      const std::lock_guard<std::mutex> lock(idle_mu);
+      idle_cv.notify_one();
+    }
+  }
+
+  void shutdown() {
+    {
+      const std::lock_guard<std::mutex> lock(idle_mu);
+      stop.store(true, std::memory_order_relaxed);
+      idle_cv.notify_all();
+    }
+    for (std::thread& t : threads) t.join();
+    threads.clear();
+  }
+};
+
+ThreadPool::ThreadPool(int threads) : impl_(nullptr), size_(std::max(1, threads)) {
+  if (size_ == 1) return;  // inline-only; never spawn
+  impl_ = new Impl();
+  const int workers = size_ - 1;
+  impl_->queues.reserve(static_cast<std::size_t>(workers));
+  for (int i = 0; i < workers; ++i)
+    impl_->queues.push_back(std::make_unique<Impl::WorkerQueue>());
+  impl_->threads.reserve(static_cast<std::size_t>(workers));
+  for (int i = 0; i < workers; ++i)
+    impl_->threads.emplace_back(
+        [impl = impl_, i] { impl->worker_main(static_cast<std::size_t>(i)); });
+}
+
+ThreadPool::~ThreadPool() {
+  if (impl_ == nullptr) return;
+  impl_->shutdown();
+  delete impl_;
+}
+
+void ThreadPool::parallel_for(std::int64_t n, std::int64_t grain,
+                              const std::function<void(std::int64_t)>& fn) {
+  if (n <= 0) return;
+  if (n == 1 || size_ == 1 || impl_ == nullptr || in_parallel_region()) {
+    // The bit-identical serial path: same loop the pre-pool code ran. Still
+    // marks the region so nesting behaves the same as on a worker.
+    t_region_depth++;
+    try {
+      for (std::int64_t i = 0; i < n; ++i) fn(i);
+    } catch (...) {
+      t_region_depth--;
+      throw;
+    }
+    t_region_depth--;
+    return;
+  }
+  auto batch = std::make_shared<Batch>();
+  batch->n = n;
+  batch->grain =
+      grain > 0 ? grain : std::max<std::int64_t>(1, n / (4 * size_));
+  batch->fn = &fn;
+  batch->fault_scope = fault::active();
+  // Wake enough workers to cover the batch; latecomers find `next >= n` and
+  // return immediately.
+  const int helpers = static_cast<int>(std::min<std::int64_t>(
+      size_ - 1, (n + batch->grain - 1) / batch->grain));
+  for (int i = 0; i < helpers; ++i) impl_->submit(batch);
+  batch->participate();
+  batch->wait();
+  if (batch->error) std::rethrow_exception(batch->error);
+}
+
+// ----------------------------------------------------------- process pool
+
+namespace {
+
+std::mutex g_pool_mu;
+ThreadPool* g_pool = nullptr;
+
+}  // namespace
+
+ThreadPool& ThreadPool::instance() {
+  const std::lock_guard<std::mutex> lock(g_pool_mu);
+  if (g_pool == nullptr) g_pool = new ThreadPool(default_threads());
+  return *g_pool;
+}
+
+ScopedThreads::ScopedThreads(int threads) : prev_(1) {
+  const std::lock_guard<std::mutex> lock(g_pool_mu);
+  prev_ = g_pool != nullptr ? g_pool->size() : default_threads();
+  delete g_pool;
+  g_pool = new ThreadPool(std::max(1, threads));
+}
+
+ScopedThreads::~ScopedThreads() {
+  const std::lock_guard<std::mutex> lock(g_pool_mu);
+  delete g_pool;
+  g_pool = new ThreadPool(prev_);
+}
+
+}  // namespace geo::exec

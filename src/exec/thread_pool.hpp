@@ -1,0 +1,111 @@
+// Work-stealing thread pool behind the GEO_THREADS knob.
+//
+// The pool is the single concurrency primitive for the stack: the machine's
+// tile dispatch (exec::ParallelConvRunner), weight/activation stream
+// generation, and the bench harness's sweep-point fan-out all funnel through
+// `parallel_for`. Design constraints, in priority order:
+//
+//   1. Determinism. `parallel_for` never changes *what* work runs, only
+//      *where*; callers are responsible for making their iterations
+//      order-independent (disjoint writes, commutative integer reductions).
+//      With that contract held, every thread count produces byte-identical
+//      results, and GEO_THREADS=1 executes the caller's loop inline — the
+//      pool is never touched, so single-threaded runs are bit-identical to
+//      builds without the pool.
+//   2. No surprise nesting. A `parallel_for` issued from inside another
+//      `parallel_for` (any thread) runs inline on the issuing thread; the
+//      pool never deadlocks on itself and inner loops inherit the outer
+//      iteration's thread-local state (notably fault::ScopedFaultInjection).
+//   3. Fail-closed. An exception thrown by an iteration cancels the
+//      remaining iterations; the first exception (in completion order) is
+//      rethrown on the calling thread. Worker threads never die.
+//
+//   GEO_THREADS=<n>   pool size including the calling thread; default is
+//                     hardware_concurrency, clamped to [1, 256]. Parsed via
+//                     core::env_int (malformed values warn once, then the
+//                     default applies).
+//
+// Scheduling is work-stealing over per-worker deques: submitters deal
+// batches round-robin, owners pop LIFO, idle workers steal FIFO from
+// victims. The calling thread participates in its own batch, so a pool of
+// size N runs N-1 worker threads.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace geo::exec {
+
+// The GEO_THREADS value (or hardware_concurrency when unset), clamped to
+// [1, kMaxThreads]. Re-read on every call; the process pool snapshots it at
+// first use and on ScopedThreads overrides.
+int default_threads();
+
+inline constexpr int kMaxThreads = 256;
+
+class ThreadPool {
+ public:
+  // A pool of `threads` total lanes (callers count as one; `threads - 1`
+  // worker threads are spawned). threads < 1 is clamped to 1.
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int size() const { return size_; }
+
+  // Runs fn(0) .. fn(n-1) across the pool and the calling thread, returning
+  // once every iteration finished (or was cancelled by a thrown exception,
+  // which is rethrown here). Iterations are claimed in contiguous blocks of
+  // `grain` (<= 0 picks a block size that gives each lane several blocks).
+  // Runs inline — without touching the pool — when n <= 1, size() == 1, or
+  // the caller is already inside a parallel_for.
+  void parallel_for(std::int64_t n, std::int64_t grain,
+                    const std::function<void(std::int64_t)>& fn);
+  void parallel_for(std::int64_t n,
+                    const std::function<void(std::int64_t)>& fn) {
+    parallel_for(n, 0, fn);
+  }
+
+  // The process-wide pool, created on first use with default_threads()
+  // lanes. Thread-safe.
+  static ThreadPool& instance();
+
+  // True when the calling thread is executing a parallel_for iteration
+  // (worker or participating caller); nested loops run inline.
+  static bool in_parallel_region();
+
+ private:
+  struct Impl;
+  Impl* impl_;
+  int size_;
+};
+
+// Test hook: temporarily resizes the process-wide pool (joining and
+// respawning its workers), restoring the previous size on destruction. Lets
+// the determinism suite run the same workload at GEO_THREADS=1,2,8 within
+// one process. Not for concurrent use — resize only from a quiesced main
+// thread.
+class ScopedThreads {
+ public:
+  explicit ScopedThreads(int threads);
+  ~ScopedThreads();
+  ScopedThreads(const ScopedThreads&) = delete;
+  ScopedThreads& operator=(const ScopedThreads&) = delete;
+
+ private:
+  int prev_;
+};
+
+// Convenience forwarding to the process pool.
+inline void parallel_for(std::int64_t n, std::int64_t grain,
+                         const std::function<void(std::int64_t)>& fn) {
+  ThreadPool::instance().parallel_for(n, grain, fn);
+}
+inline void parallel_for(std::int64_t n,
+                         const std::function<void(std::int64_t)>& fn) {
+  ThreadPool::instance().parallel_for(n, 0, fn);
+}
+
+}  // namespace geo::exec

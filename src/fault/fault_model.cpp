@@ -49,9 +49,10 @@ bool parse_double(std::string_view tok, double& out) {
 }
 
 bool parse_u64(std::string_view tok, std::uint64_t& out) {
-  const auto [ptr, ec] =
-      std::from_chars(tok.data(), tok.data() + tok.size(), out);
-  return ec == std::errc() && ptr == tok.data() + tok.size();
+  const std::optional<std::uint64_t> parsed = core::parse_uint(tok);
+  if (!parsed.has_value()) return false;
+  out = *parsed;
+  return true;
 }
 
 }  // namespace
@@ -208,16 +209,29 @@ FaultModel::FaultModel(const FaultConfig& cfg) : cfg_(cfg) {
   if (cfg_.sram_burst < 1) cfg_.sram_burst = 1;
 }
 
+std::uint64_t FaultModel::TransientSeq::take(std::uint64_t key) {
+  Shard& shard = shards[key % kShards];
+  const std::lock_guard<std::mutex> lock(shard.mu);
+  return shard.next[key]++;
+}
+
+std::uint64_t FaultModel::site_key(Site domain,
+                                   std::uint64_t site) const noexcept {
+  return core::mix64(cfg_.rng_seed ^ core::mix64(site) ^
+                     (static_cast<std::uint64_t>(domain) << 56));
+}
+
 FaultModel::SiteRng FaultModel::rng_for(Site domain,
                                         std::uint64_t site) const {
-  std::uint64_t key =
-      core::mix64(cfg_.rng_seed ^ core::mix64(site) ^
-                  (static_cast<std::uint64_t>(domain) << 56));
-  // Transient model: every access re-rolls, keyed by the model's access
-  // sequence (reproducible for a deterministic access order).
+  std::uint64_t key = site_key(domain, site);
+  // Transient model: every access re-rolls, keyed by this model's per-site
+  // access sequence. A pass that touches each site once is therefore
+  // independent of access order (every site draws sequence 0), which is what
+  // lets the parallel tile runner keep transient runs deterministic; retries
+  // advance the touched sites' sequences and re-roll.
   if (cfg_.transient)
-    key = core::mix64(
-        key ^ transient_draws_.fetch_add(1, std::memory_order_relaxed));
+    key = core::mix64(key + 0x9E3779B97F4A7C15ull *
+                                (transient_seq_.take(key) + 1));
   return SiteRng{key};
 }
 
@@ -300,10 +314,7 @@ sc::SeedSpec FaultModel::corrupt_seed(const sc::SeedSpec& spec,
   return out;
 }
 
-std::uint32_t FaultModel::sram_read(std::uint32_t word, unsigned bits,
-                                    Site domain, std::uint64_t site) {
-  if (cfg_.sram_error_rate <= 0.0 || bits == 0) return word;
-  SiteRng rng = rng_for(domain, site);
+std::uint32_t FaultModel::sram_flip_mask(unsigned bits, SiteRng& rng) const {
   std::uint32_t flips = 0;
   for (unsigned b = 0; b < bits; ++b) {
     if (rng.uniform() >= cfg_.sram_error_rate) continue;
@@ -311,6 +322,14 @@ std::uint32_t FaultModel::sram_read(std::uint32_t word, unsigned bits,
          ++k)
       flips |= 1u << (b + static_cast<unsigned>(k));
   }
+  return flips;
+}
+
+std::uint32_t FaultModel::sram_read(std::uint32_t word, unsigned bits,
+                                    Site domain, std::uint64_t site) {
+  if (cfg_.sram_error_rate <= 0.0 || bits == 0) return word;
+  SiteRng rng = rng_for(domain, site);
+  const std::uint32_t flips = sram_flip_mask(bits, rng);
   if (flips == 0) return word;
   sram_corrupted_.fetch_add(1, std::memory_order_relaxed);
   counters().sram_corrupted.add(1);
@@ -345,6 +364,24 @@ std::uint32_t FaultModel::sram_read(std::uint32_t word, unsigned bits,
       return 0;  // uncorrectable: detect-and-zero
   }
   return word;
+}
+
+int FaultModel::sram_defect_ecc_delta(unsigned bits, Site domain,
+                                      std::uint64_t site) const {
+  if (cfg_.transient || cfg_.sram_error_rate <= 0.0 || bits == 0) return 0;
+  SiteRng rng = rng_for(domain, site);  // defect mode: no sequence taken
+  const std::uint32_t flips = sram_flip_mask(bits, rng);
+  if (flips == 0) return 0;
+  const int weight = std::popcount(flips);
+  switch (cfg_.ecc) {
+    case EccMode::kNone:
+      return 0;  // silent
+    case EccMode::kParity:
+      return weight % 2 == 1 ? 1 : 0;  // detect-and-zero; even slips through
+    case EccMode::kSecded:
+      return weight == 1 ? -1 : 1;  // corrected subtracts; multi-bit zeroes
+  }
+  return 0;
 }
 
 std::uint32_t FaultModel::apply_stuck(std::uint32_t count) {
@@ -389,10 +426,19 @@ void FaultModel::reset_stats() {
 
 namespace {
 
-// Scoped override. The sentinel distinguishes "no override" from
-// "ScopedFaultInjection(nullptr) disabled faults in this scope".
-FaultModel* const kNoOverride = reinterpret_cast<FaultModel*>(-1);
-std::atomic<FaultModel*> g_override{kNoOverride};
+// Per-thread scoped override. The sentinel distinguishes "no override" from
+// "ScopedFaultInjection(nullptr) disabled faults in this scope". Thread-local
+// so concurrent sweep points can each install their own model; workers that
+// should see a submitting thread's scope get it propagated explicitly via
+// ScopedFaultOverride (exec::ThreadPool does this for every parallel_for).
+// Stored as a uintptr_t so the slot is constant-initialized (no per-thread
+// dynamic TLS init).
+constexpr std::uintptr_t kNoOverride = ~static_cast<std::uintptr_t>(0);
+thread_local std::uintptr_t t_override = kNoOverride;
+
+std::uintptr_t encode(FaultModel* m) noexcept {
+  return reinterpret_cast<std::uintptr_t>(m);
+}
 
 FaultModel* env_model() {
   static FaultModel* model = []() -> FaultModel* {
@@ -406,21 +452,28 @@ FaultModel* env_model() {
 }  // namespace
 
 FaultModel* active() noexcept {
-  FaultModel* scoped = g_override.load(std::memory_order_acquire);
-  if (scoped != kNoOverride) return scoped;
+  const std::uintptr_t scoped = t_override;
+  if (scoped != kNoOverride) return reinterpret_cast<FaultModel*>(scoped);
   return env_model();
 }
 
 ScopedFaultInjection::ScopedFaultInjection(const FaultConfig& cfg)
-    : model_(std::make_unique<FaultModel>(cfg)),
-      prev_(g_override.exchange(model_.get(), std::memory_order_acq_rel)) {}
+    : model_(std::make_unique<FaultModel>(cfg)), prev_(t_override) {
+  t_override = encode(model_.get());
+}
 
 ScopedFaultInjection::ScopedFaultInjection(std::nullptr_t)
-    : model_(nullptr),
-      prev_(g_override.exchange(nullptr, std::memory_order_acq_rel)) {}
-
-ScopedFaultInjection::~ScopedFaultInjection() {
-  g_override.store(prev_, std::memory_order_release);
+    : model_(nullptr), prev_(t_override) {
+  t_override = encode(nullptr);
 }
+
+ScopedFaultInjection::~ScopedFaultInjection() { t_override = prev_; }
+
+ScopedFaultOverride::ScopedFaultOverride(FaultModel* model) noexcept
+    : prev_(t_override) {
+  t_override = encode(model);
+}
+
+ScopedFaultOverride::~ScopedFaultOverride() { t_override = prev_; }
 
 }  // namespace geo::fault

@@ -24,12 +24,15 @@
 // process-wide model (spec format in FaultConfig::parse).
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 
 #include "core/status.hpp"
 #include "sc/bitstream.hpp"
@@ -67,10 +70,11 @@ struct FaultConfig {
   // corruption, so a retry can never out-wait a fault. Transient model
   // (true): each access re-rolls its fault draw (cosmic-ray style), which is
   // what makes the resilience layer's detect-and-retry loop able to recover.
-  // Transient draws are keyed by a per-model access counter, so runs stay
-  // reproducible as long as the access order is (single-threaded sweeps),
-  // but the PR-2 "independent of call order" guarantee applies only to the
-  // defect model.
+  // Transient draws are keyed by a per-*site* access sequence (this model's
+  // Nth read of a given site), so any pass that touches each site once is
+  // independent of access order — exec::ParallelConvRunner can fan tiles out
+  // under the transient model too. Across retries the sequence advances per
+  // site, so runs stay reproducible whenever the retry schedule is.
   bool transient = false;
 
   // True if any injection is configured (an all-zero config is inert and is
@@ -159,6 +163,20 @@ class FaultModel {
                           std::uint64_t site);
   bool sram_active() const noexcept { return cfg_.sram_error_rate > 0.0; }
 
+  // Pure replay for the defect model (transient == false): the contribution
+  // one read of this (domain, site) makes to the resilience layer's
+  // detected-minus-corrected ECC signal. +1 for a detected-uncorrectable
+  // event (parity detect-and-zero of an odd-weight error, SECDED multi-bit
+  // zeroing), -1 for a SECDED single-bit correction (corrected events
+  // subtract in the delta), 0 otherwise. The flip pattern is a pure function
+  // of (model seed, domain, site) and the outcome depends only on its
+  // weight, so this consumes no RNG state and mutates no stats — the
+  // resilience layer uses it to reconstruct the serial first-run detection
+  // signals after a parallel tile pass. Always 0 for ecc=none (corruption is
+  // silent) and for transient models.
+  int sram_defect_ecc_delta(unsigned bits, Site domain,
+                            std::uint64_t site) const;
+
   // --- parallel-counter faults --------------------------------------------
   // Forces the stuck-at column on one parallel-counter output count.
   std::uint32_t apply_stuck(std::uint32_t count);
@@ -170,9 +188,25 @@ class FaultModel {
  private:
   struct SiteRng;  // splitmix64 stream keyed by (model seed, domain, site)
 
+  // Per-site access counters for the transient model: the Nth access of a
+  // site draws from an independent stream. Sharded so concurrent tile
+  // workers don't serialize on one lock.
+  struct TransientSeq {
+    static constexpr std::size_t kShards = 16;
+    struct Shard {
+      std::mutex mu;
+      std::unordered_map<std::uint64_t, std::uint64_t> next;
+    };
+    std::array<Shard, kShards> shards;
+
+    std::uint64_t take(std::uint64_t key);
+  };
+
   SiteRng rng_for(Site domain, std::uint64_t site) const;
+  std::uint64_t site_key(Site domain, std::uint64_t site) const noexcept;
   int flip_bits(std::uint64_t* words, std::size_t length, double rate,
                 SiteRng& rng);
+  std::uint32_t sram_flip_mask(unsigned bits, SiteRng& rng) const;
 
   FaultConfig cfg_;
 
@@ -185,19 +219,24 @@ class FaultModel {
   std::atomic<std::int64_t> sram_silent_{0};
   std::atomic<std::int64_t> sram_retry_cycles_{0};
   std::atomic<std::int64_t> stuck_events_{0};
-  // Access sequence for the transient model (unused in defect mode).
-  mutable std::atomic<std::uint64_t> transient_draws_{0};
+  // Per-site access sequence for the transient model (unused in defect
+  // mode).
+  mutable TransientSeq transient_seq_;
 };
 
-// The process-wide active model: a ScopedFaultInjection if one is alive,
-// else the GEO_FAULTS-configured model, else nullptr. The nullptr path costs
-// one relaxed atomic load (plus a one-time env parse on first call).
+// The active model for the calling thread: the innermost override installed
+// on this thread (ScopedFaultInjection / ScopedFaultOverride), else the
+// GEO_FAULTS-configured process model, else nullptr. The nullptr path costs
+// one thread-local load (plus a one-time env parse on first call).
 FaultModel* active() noexcept;
 
 // RAII installer. Overrides GEO_FAULTS (and any outer scope) for its
-// lifetime; `ScopedFaultInjection(nullptr)` disables injection in scope —
-// used to compute clean references inside fault sweeps. Not thread-safe:
-// install from one thread at a time.
+// lifetime on the *installing thread*; `ScopedFaultInjection(nullptr)`
+// disables injection in scope — used to compute clean references inside
+// fault sweeps. The override is thread-local, so concurrent bench workers
+// can each hold their own scope; exec::ThreadPool propagates the submitting
+// thread's effective model onto its workers for the duration of each
+// parallel_for. Construct and destroy on the same thread.
 class ScopedFaultInjection {
  public:
   explicit ScopedFaultInjection(const FaultConfig& cfg);
@@ -212,7 +251,24 @@ class ScopedFaultInjection {
 
  private:
   std::unique_ptr<FaultModel> model_;
-  FaultModel* prev_;
+  std::uintptr_t prev_;  // raw slot value (sentinel-encoded)
+};
+
+// Non-owning thread-local override: installs `model` (may be nullptr =
+// faults disabled) as the calling thread's active model and restores the
+// previous slot on destruction. This is how exec::ThreadPool workers inherit
+// the effective model (`fault::active()`) of the thread that submitted a
+// parallel_for. Construct and destroy on the same thread.
+class ScopedFaultOverride {
+ public:
+  explicit ScopedFaultOverride(FaultModel* model) noexcept;
+  ~ScopedFaultOverride();
+
+  ScopedFaultOverride(const ScopedFaultOverride&) = delete;
+  ScopedFaultOverride& operator=(const ScopedFaultOverride&) = delete;
+
+ private:
+  std::uintptr_t prev_;  // raw slot value (sentinel-encoded)
 };
 
 }  // namespace geo::fault

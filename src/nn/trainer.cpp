@@ -1,6 +1,7 @@
 #include "nn/trainer.hpp"
 
 #include <algorithm>
+#include <climits>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -167,10 +168,12 @@ geo::StatusOr<int> resume_train_checkpoint(const std::string& path,
 }
 
 // GEO_CRASH_AFTER_EPOCH=<n>: hard-exit (code 42) right after the snapshot
-// for epoch n lands — the resilience test's kill-and-resume hook.
+// for epoch n lands — the resilience test's kill-and-resume hook. Checked
+// parse: garbage or out-of-range values warn once and disable the hook
+// instead of silently crashing after epoch 0 (atoi's "garbage -> 0").
 int crash_after_epoch() {
-  const char* v = std::getenv("GEO_CRASH_AFTER_EPOCH");
-  return (v != nullptr && v[0] != '\0') ? std::atoi(v) : 0;
+  return static_cast<int>(
+      core::env_int("GEO_CRASH_AFTER_EPOCH", 0, 0, INT_MAX));
 }
 }  // namespace
 

@@ -1,11 +1,14 @@
 #include "resilience/resilience.hpp"
 
 #include <algorithm>
-#include <charconv>
 #include <cstdio>
 #include <cstdlib>
 #include <sstream>
+#include <unordered_set>
 
+#include "core/env.hpp"
+#include "exec/parallel_conv.hpp"
+#include "exec/thread_pool.hpp"
 #include "fault/fault_model.hpp"
 #include "nn/sc_layers.hpp"
 #include "telemetry/metrics.hpp"
@@ -15,9 +18,10 @@ namespace geo::resilience {
 namespace {
 
 bool parse_u64(std::string_view tok, std::uint64_t& out) {
-  const auto [ptr, ec] =
-      std::from_chars(tok.data(), tok.data() + tok.size(), out);
-  return ec == std::errc() && ptr == tok.data() + tok.size();
+  const std::optional<std::uint64_t> parsed = core::parse_uint(tok);
+  if (!parsed.has_value()) return false;
+  out = *parsed;
+  return true;
 }
 
 }  // namespace
@@ -243,32 +247,48 @@ struct TileSignals {
     ++hits[static_cast<std::size_t>(d)];
     any = true;
   }
+
+  void merge(const TileSignals& other) {
+    for (int d = 0; d < kDetectKinds; ++d)
+      hits[static_cast<std::size_t>(d)] +=
+          other.hits[static_cast<std::size_t>(d)];
+    any = any || other.any;
+  }
 };
 
-// Checks one freshly-run tile: ECC uncorrectable delta across the attempt,
-// then (if guards are on) the partial-sum range and CRC-readback guards over
-// the tile's outputs.
-TileSignals check_tile(const arch::ConvExecution& exec, std::int64_t tile,
-                       const arch::ConvShape& shape,
-                       const fault::FaultStats& before,
-                       const RetryPolicy& policy) {
+// The Detect kind an uncorrectable ECC event reports under this model.
+Detect ecc_detect_kind(const fault::FaultModel& fm) {
+  return fm.config().ecc == fault::EccMode::kParity ? Detect::kParityZeroed
+                                                    : Detect::kSecdedDoubleBit;
+}
+
+// ECC uncorrectable events observed since `before` (detected minus
+// corrected across the attempt's window).
+TileSignals ecc_delta_signals(fault::FaultModel* fm,
+                              const fault::FaultStats& before) {
   TileSignals sig;
-  fault::FaultModel* fm = fault::active();
-  if (fm != nullptr) {
-    const fault::FaultStats now = fm->stats();
-    const std::int64_t detected =
-        now.sram_errors_detected - before.sram_errors_detected;
-    const std::int64_t corrected =
-        now.sram_errors_corrected - before.sram_errors_corrected;
-    const std::int64_t uncorrectable = detected - corrected;
-    if (uncorrectable > 0) {
-      const Detect kind = fm->config().ecc == fault::EccMode::kParity
-                              ? Detect::kParityZeroed
-                              : Detect::kSecdedDoubleBit;
-      for (std::int64_t i = 0; i < uncorrectable; ++i) sig.add(kind);
-    }
-  }
+  if (fm == nullptr) return sig;
+  const fault::FaultStats now = fm->stats();
+  const std::int64_t detected =
+      now.sram_errors_detected - before.sram_errors_detected;
+  const std::int64_t corrected =
+      now.sram_errors_corrected - before.sram_errors_corrected;
+  const std::int64_t uncorrectable = detected - corrected;
+  for (std::int64_t i = 0; i < uncorrectable; ++i)
+    sig.add(ecc_detect_kind(*fm));
+  return sig;
+}
+
+// The partial-sum range and CRC-readback guards over the tile's outputs
+// (no-op when the policy disables guards). The CRC probe is a real guard
+// read: it charges ECC retry cycles and counts events exactly like the
+// hardware readback would.
+TileSignals guard_signals(const arch::ConvExecution& exec, std::int64_t tile,
+                          const arch::ConvShape& shape,
+                          const RetryPolicy& policy) {
+  TileSignals sig;
   if (!policy.guards) return sig;
+  fault::FaultModel* fm = fault::active();
 
   const std::span<const std::int32_t> counters = exec.counters();
   const std::int64_t bound = static_cast<std::int64_t>(shape.taps()) *
@@ -290,6 +310,17 @@ TileSignals check_tile(const arch::ConvExecution& exec, std::int64_t tile,
       if (readback != word) sig.add(Detect::kPsumCrc);
     }
   }
+  return sig;
+}
+
+// Checks one freshly-run tile: ECC uncorrectable delta across the attempt,
+// then the guards.
+TileSignals check_tile(const arch::ConvExecution& exec, std::int64_t tile,
+                       const arch::ConvShape& shape,
+                       const fault::FaultStats& before,
+                       const RetryPolicy& policy) {
+  TileSignals sig = ecc_delta_signals(fault::active(), before);
+  sig.merge(guard_signals(exec, tile, shape, policy));
   return sig;
 }
 
@@ -360,14 +391,74 @@ geo::StatusOr<arch::MachineResult> ResilientExecutor::run_conv(
     bool rung_failed = false;
     const std::int64_t tiles = exec.tile_count();
     std::int64_t rung_backoff = 0;
+
+    // Tile-parallel fast path: fan every tile's independent first run across
+    // the process pool (Phase A), then replay the serial loop's detect/retry
+    // decisions tile-by-tile from recorded evidence (Phase B). Disabled for
+    // transient fault models — there each SRAM access advances a per-site
+    // sequence, so a retry interleaved between first runs would change later
+    // tiles' draws; those keep the serial loop verbatim.
+    const bool parallel = exec::ThreadPool::instance().size() > 1 &&
+                          tiles > 1 &&
+                          (fm == nullptr || !fm->config().transient);
+
+    std::vector<arch::MachineStats> first_costs;
+    std::vector<std::int64_t> emulated_ecc;
+    if (parallel) {
+      first_costs.resize(static_cast<std::size_t>(tiles));
+      exec::ParallelConvRunner().run_all_recording(exec, first_costs);
+      // Reconstruct the attempt-0 ECC signals the serial loop would have
+      // seen: in tile order, the first tile touching an activation slot owns
+      // its generation, and under the defect model each read's contribution
+      // to the detected-minus-corrected delta is a pure function of the
+      // slot (corrected single-bit events subtract, matching check_tile).
+      emulated_ecc.assign(static_cast<std::size_t>(tiles), 0);
+      if (fm != nullptr && fm->sram_active()) {
+        std::unordered_set<std::size_t> owned;
+        for (std::int64_t t = 0; t < tiles; ++t) {
+          for (const std::size_t aidx : exec.tile_inputs(t)) {
+            if (owned.insert(aidx).second)
+              emulated_ecc[static_cast<std::size_t>(t)] +=
+                  fm->sram_defect_ecc_delta(
+                      static_cast<unsigned>(exec.config().value_bits),
+                      fault::FaultModel::Site::kActSram, aidx);
+          }
+        }
+      }
+    }
+
+    // What the serial loop would have spent by the time a rung fails:
+    // first-run costs of the tiles visited so far, plus retry runs and
+    // backoff stalls. The live exec.stats() can't stand in for this in
+    // parallel mode — Phase A already charged *every* tile's first run.
+    std::int64_t serial_cycles = 0;
+
     for (std::int64_t tile = 0; tile < tiles && !rung_failed; ++tile) {
+      if (parallel) {
+        const arch::MachineStats& fc =
+            first_costs[static_cast<std::size_t>(tile)];
+        serial_cycles += fc.compute_cycles + fc.stall_cycles;
+      }
       bool tile_retried = false;
       for (int attempt = 0;; ++attempt) {
-        const fault::FaultStats before =
-            fm != nullptr ? fm->stats() : fault::FaultStats{};
-        exec.run_tile(tile);
-        const TileSignals sig =
-            check_tile(exec, tile, shape, before, policy_);
+        TileSignals sig;
+        if (parallel && attempt == 0) {
+          // The tile already ran in Phase A: emulate the ECC delta its first
+          // run produced under the serial schedule, then run the real
+          // guards (the guard reads mutate fault stats identically in both
+          // schedules, tile by tile).
+          const std::int64_t ecc_hits =
+              emulated_ecc[static_cast<std::size_t>(tile)];
+          for (std::int64_t i = 0; i < ecc_hits; ++i)
+            sig.add(ecc_detect_kind(*fm));
+          sig.merge(guard_signals(exec, tile, shape, policy_));
+        } else {
+          const fault::FaultStats before =
+              fm != nullptr ? fm->stats() : fault::FaultStats{};
+          const arch::MachineStats run_cost = exec.run_tile(tile);
+          serial_cycles += run_cost.compute_cycles + run_cost.stall_cycles;
+          sig = check_tile(exec, tile, shape, before, policy_);
+        }
         for (int d = 0; d < kDetectKinds; ++d)
           outcome.detections[static_cast<std::size_t>(d)] +=
               sig.hits[static_cast<std::size_t>(d)];
@@ -390,6 +481,7 @@ geo::StatusOr<arch::MachineResult> ResilientExecutor::run_conv(
         const std::int64_t stall = policy_.backoff_for(attempt);
         exec.add_stall_cycles(stall);
         rung_backoff += stall;
+        serial_cycles += stall;
         // Drop the cached activation streams so the retry re-reads SRAM and
         // regenerates them — under a transient fault model the re-roll can
         // clear the fault; under the defect model it reproduces it and the
@@ -400,10 +492,17 @@ geo::StatusOr<arch::MachineResult> ResilientExecutor::run_conv(
 
     if (rung_failed) {
       // Abandon this rung: its ledger is discarded with the execution, so
-      // keep the burned cycles visible in the report.
-      const arch::MachineStats& st = exec.stats();
-      outcome.abandoned_cycles +=
-          st.compute_cycles + st.stall_cycles + st.nearmem_cycles;
+      // keep the burned cycles visible in the report. In parallel mode the
+      // reconstructed serial spend is reported so the ledger is independent
+      // of GEO_THREADS; mid-run nearmem_cycles are zero in both modes (the
+      // near-memory pass is charged at finish()).
+      if (parallel) {
+        outcome.abandoned_cycles += serial_cycles;
+      } else {
+        const arch::MachineStats& st = exec.stats();
+        outcome.abandoned_cycles +=
+            st.compute_cycles + st.stall_cycles + st.nearmem_cycles;
+      }
       continue;
     }
 

@@ -1,23 +1,25 @@
 #include "sc/parallel_counter.hpp"
 
 #include <bit>
-#include <stdexcept>
 
 #include "fault/fault_model.hpp"
 
 namespace geo::sc {
 
 namespace {
-void check_lengths(std::span<const Bitstream> streams) {
+geo::Status check_lengths(std::span<const Bitstream> streams) {
   for (const auto& s : streams)
     if (s.length() != streams[0].length())
-      throw std::invalid_argument("parallel counter: length mismatch");
+      return geo::Status::invalid_argument(
+          "parallel counter: length mismatch");
+  return geo::Status{};
 }
 }  // namespace
 
-std::vector<std::uint16_t> parallel_count(std::span<const Bitstream> streams) {
-  if (streams.empty()) return {};
-  check_lengths(streams);
+StatusOr<std::vector<std::uint16_t>> parallel_count(
+    std::span<const Bitstream> streams) {
+  if (streams.empty()) return std::vector<std::uint16_t>{};
+  if (auto s = check_lengths(streams); !s.ok()) return s;
   const std::size_t len = streams[0].length();
   std::vector<std::uint16_t> out(len, 0);
   for (const auto& s : streams)
@@ -37,23 +39,26 @@ std::vector<std::uint16_t> parallel_count(std::span<const Bitstream> streams) {
   return out;
 }
 
-std::uint64_t count_total(std::span<const Bitstream> streams) {
+StatusOr<std::uint64_t> count_total(std::span<const Bitstream> streams) {
   if (fault::FaultModel* fm = fault::active();
       fm != nullptr && fm->stuck_enabled()) {
     // A stuck column corrupts each per-cycle count, so the total must be
     // rebuilt cycle by cycle instead of from whole-stream popcounts.
+    auto counts = parallel_count(streams);
+    if (!counts.ok()) return counts.status();
     std::uint64_t total = 0;
-    for (const std::uint16_t c : parallel_count(streams)) total += c;
+    for (const std::uint16_t c : counts.value()) total += c;
     return total;
   }
+  if (auto s = check_lengths(streams); !s.ok()) return s;
   std::uint64_t total = 0;
   for (const auto& s : streams) total += s.popcount();
   return total;
 }
 
-std::uint64_t apc_count_total(std::span<const Bitstream> streams) {
-  if (streams.empty()) return 0;
-  check_lengths(streams);
+StatusOr<std::uint64_t> apc_count_total(std::span<const Bitstream> streams) {
+  if (streams.empty()) return std::uint64_t{0};
+  if (auto s = check_lengths(streams); !s.ok()) return s;
   std::uint64_t total = 0;
   std::size_t i = 0;
   bool use_or = true;

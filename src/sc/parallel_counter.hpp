@@ -11,23 +11,30 @@
 #include <span>
 #include <vector>
 
+#include "core/status.hpp"
 #include "sc/bitstream.hpp"
 
 namespace geo::sc {
 
+// All counters below return an invalid_argument Status when the input
+// streams disagree on length (they never throw): a mismatch is a caller
+// bug, and a Status propagates cleanly out of exec::ThreadPool workers
+// where an exception would tear down the process.
+
 // Per-cycle popcount across K streams: out[t] = sum_k streams[k][t].
-std::vector<std::uint16_t> parallel_count(std::span<const Bitstream> streams);
+StatusOr<std::vector<std::uint16_t>> parallel_count(
+    std::span<const Bitstream> streams);
 
 // Total accumulated count over all cycles (what the output-converter counter
 // holds after the stream finishes).
-std::uint64_t count_total(std::span<const Bitstream> streams);
+StatusOr<std::uint64_t> count_total(std::span<const Bitstream> streams);
 
 // Approximate parallel counter modeled after [24]: input pairs are merged
 // with alternating OR / AND gates, each merged stream weighted 2 in a
 // half-width exact counter. ORs over-count by P(a xor b), ANDs under-count by
 // the same amount, so the expectation error largely cancels while the adder
 // tree halves in size. An odd trailing input passes through at weight 1.
-std::uint64_t apc_count_total(std::span<const Bitstream> streams);
+StatusOr<std::uint64_t> apc_count_total(std::span<const Bitstream> streams);
 
 // Accumulating up/down output converter: adds per-cycle (pos - neg) counts of
 // split-channel groups into a signed register — the paper's "Output

@@ -47,16 +47,12 @@ double Histogram::bucket_value(int bucket) const noexcept {
 }
 
 void Histogram::observe(double v) noexcept {
-  const std::int64_t n = count_.fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
   sum_.fetch_add(v, std::memory_order_relaxed);
-  if (n == 0) {
-    // First observation seeds min/max; racing observers fix it up below.
-    min_.store(v, std::memory_order_relaxed);
-    max_.store(v, std::memory_order_relaxed);
-  } else {
-    update_min(min_, v);
-    update_max(max_, v);
-  }
+  // min_/max_ start at ±infinity, so the first observation is just another
+  // CAS win — no seeding store that could overwrite a racing observer.
+  update_min(min_, v);
+  update_max(max_, v);
   buckets_[static_cast<std::size_t>(bucket_of(v))].fetch_add(
       1, std::memory_order_relaxed);
 }
@@ -108,8 +104,10 @@ void Histogram::reset() noexcept {
   for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
   count_.store(0, std::memory_order_relaxed);
   sum_.store(0.0, std::memory_order_relaxed);
-  min_.store(0.0, std::memory_order_relaxed);
-  max_.store(0.0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+  max_.store(-std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
 }
 
 // ---------------------------------------------------------------------------

@@ -12,6 +12,7 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
+#include <limits>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -88,8 +89,11 @@ class Histogram {
   std::array<std::atomic<std::int64_t>, kBuckets> buckets_{};
   std::atomic<std::int64_t> count_{0};
   std::atomic<double> sum_{0.0};
-  std::atomic<double> min_{0.0};  // valid only when count_ > 0
-  std::atomic<double> max_{0.0};
+  // ±infinity when empty so every observer can CAS unconditionally — a
+  // "first observation seeds the slot" store would race with a concurrent
+  // observer's CAS and lose its update. Accessors report 0 while empty.
+  std::atomic<double> min_{std::numeric_limits<double>::infinity()};
+  std::atomic<double> max_{-std::numeric_limits<double>::infinity()};
 };
 
 enum class MetricKind { kCounter, kGauge, kHistogram };

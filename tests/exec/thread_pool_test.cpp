@@ -1,0 +1,128 @@
+// Work-stealing pool contract: every iteration runs exactly once at any
+// pool size, exceptions cancel and rethrow on the caller, nested loops run
+// inline, and ScopedThreads resizes/restores the process pool.
+#include "exec/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace geo::exec {
+namespace {
+
+TEST(ThreadPool, RunsEveryIterationExactlyOnce) {
+  for (const int threads : {1, 2, 4, 8}) {
+    ThreadPool pool(threads);
+    ASSERT_EQ(pool.size(), threads);
+    constexpr std::int64_t kN = 1000;
+    std::vector<std::atomic<int>> hits(kN);
+    pool.parallel_for(kN, [&](std::int64_t i) {
+      hits[static_cast<std::size_t>(i)].fetch_add(1);
+    });
+    for (std::int64_t i = 0; i < kN; ++i)
+      ASSERT_EQ(hits[static_cast<std::size_t>(i)].load(), 1)
+          << "threads=" << threads << " i=" << i;
+  }
+}
+
+TEST(ThreadPool, DisjointWritesProduceIdenticalResults) {
+  constexpr std::int64_t kN = 513;
+  std::vector<std::int64_t> serial(kN), parallel(kN);
+  ThreadPool one(1), many(4);
+  one.parallel_for(kN, [&](std::int64_t i) {
+    serial[static_cast<std::size_t>(i)] = i * i + 7;
+  });
+  many.parallel_for(kN, 8, [&](std::int64_t i) {
+    parallel[static_cast<std::size_t>(i)] = i * i + 7;
+  });
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST(ThreadPool, ZeroAndSingleIterationRunInline) {
+  ThreadPool pool(4);
+  int calls = 0;
+  pool.parallel_for(0, [&](std::int64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  pool.parallel_for(1, [&](std::int64_t i) {
+    ++calls;
+    EXPECT_EQ(i, 0);
+    EXPECT_TRUE(ThreadPool::in_parallel_region());
+  });
+  EXPECT_EQ(calls, 1);
+  EXPECT_FALSE(ThreadPool::in_parallel_region());
+}
+
+TEST(ThreadPool, ExceptionCancelsAndRethrowsOnCaller) {
+  ThreadPool pool(4);
+  std::atomic<std::int64_t> ran{0};
+  EXPECT_THROW(
+      pool.parallel_for(256,
+                        [&](std::int64_t i) {
+                          if (i == 17) throw std::runtime_error("boom");
+                          ran.fetch_add(1);
+                        }),
+      std::runtime_error);
+  EXPECT_LE(ran.load(), 255);
+  // The pool survives a cancelled batch and keeps scheduling.
+  std::atomic<std::int64_t> sum{0};
+  pool.parallel_for(100, [&](std::int64_t i) { sum.fetch_add(i); });
+  EXPECT_EQ(sum.load(), 4950);
+}
+
+TEST(ThreadPool, NestedParallelForRunsInline) {
+  ThreadPool pool(4);
+  std::atomic<int> inner_inline{0};
+  pool.parallel_for(8, 1, [&](std::int64_t) {
+    EXPECT_TRUE(ThreadPool::in_parallel_region());
+    // A nested loop must not re-enter the pool (deadlock risk): it runs on
+    // the issuing thread, still inside the region.
+    pool.parallel_for(4, [&](std::int64_t) {
+      if (ThreadPool::in_parallel_region()) inner_inline.fetch_add(1);
+    });
+  });
+  EXPECT_EQ(inner_inline.load(), 32);
+}
+
+TEST(ThreadPool, ScopedThreadsResizesAndRestores) {
+  const int before = ThreadPool::instance().size();
+  {
+    ScopedThreads two(2);
+    EXPECT_EQ(ThreadPool::instance().size(), 2);
+    {
+      ScopedThreads eight(8);
+      EXPECT_EQ(ThreadPool::instance().size(), 8);
+    }
+    EXPECT_EQ(ThreadPool::instance().size(), 2);
+  }
+  EXPECT_EQ(ThreadPool::instance().size(), before);
+}
+
+TEST(ThreadPool, DefaultThreadsHonorsEnvAndClamps) {
+  ::setenv("GEO_THREADS", "3", 1);
+  EXPECT_EQ(default_threads(), 3);
+  ::setenv("GEO_THREADS", "0", 1);  // out of range: warn, fall back
+  EXPECT_GE(default_threads(), 1);
+  ::setenv("GEO_THREADS", "notanumber", 1);  // malformed: warn, fall back
+  EXPECT_GE(default_threads(), 1);
+  ::unsetenv("GEO_THREADS");
+  EXPECT_GE(default_threads(), 1);
+  EXPECT_LE(default_threads(), kMaxThreads);
+}
+
+TEST(ThreadPool, FreeFunctionUsesProcessPool) {
+  ScopedThreads four(4);
+  std::vector<std::int64_t> out(300);
+  exec::parallel_for(300, [&](std::int64_t i) {
+    out[static_cast<std::size_t>(i)] = i;
+  });
+  std::vector<std::int64_t> expect(300);
+  std::iota(expect.begin(), expect.end(), 0);
+  EXPECT_EQ(out, expect);
+}
+
+}  // namespace
+}  // namespace geo::exec

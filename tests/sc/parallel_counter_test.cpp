@@ -22,7 +22,7 @@ std::vector<Bitstream> random_streams(int count, std::size_t len,
 
 TEST(ParallelCount, MatchesPerCycleSum) {
   const auto streams = random_streams(5, 100, 1);
-  const auto counts = parallel_count(streams);
+  const auto counts = parallel_count(streams).value();
   ASSERT_EQ(counts.size(), 100u);
   for (std::size_t t = 0; t < 100; ++t) {
     std::uint16_t expected = 0;
@@ -32,32 +32,38 @@ TEST(ParallelCount, MatchesPerCycleSum) {
 }
 
 TEST(ParallelCount, EmptyInput) {
-  EXPECT_TRUE(parallel_count({}).empty());
-  EXPECT_EQ(count_total({}), 0u);
+  EXPECT_TRUE(parallel_count({}).value().empty());
+  EXPECT_EQ(count_total({}).value(), 0u);
 }
 
-TEST(ParallelCount, LengthMismatchThrows) {
+// Regression: a length mismatch used to throw std::invalid_argument, which
+// would tear down an exec::ThreadPool worker; it is a Status now.
+TEST(ParallelCount, LengthMismatchIsInvalidArgument) {
   std::vector<Bitstream> bad;
   bad.emplace_back(10);
   bad.emplace_back(20);
-  EXPECT_THROW(parallel_count(bad), std::invalid_argument);
+  EXPECT_EQ(parallel_count(bad).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(count_total(bad).status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(apc_count_total(bad).status().code(),
+            StatusCode::kInvalidArgument);
 }
 
 TEST(CountTotal, IsExactSum) {
   const auto streams = random_streams(9, 257, 2);
   std::uint64_t expected = 0;
   for (const auto& s : streams) expected += s.popcount();
-  EXPECT_EQ(count_total(streams), expected);
+  EXPECT_EQ(count_total(streams).value(), expected);
 }
 
 // The exact parallel counter equals the sum of per-cycle counts — that is
 // what makes partial-binary accumulation lossless past the OR stage.
 TEST(CountTotal, EqualsAccumulatedParallelCounts) {
   const auto streams = random_streams(7, 128, 3);
-  const auto per_cycle = parallel_count(streams);
+  const auto per_cycle = parallel_count(streams).value();
   std::uint64_t acc = 0;
   for (auto c : per_cycle) acc += c;
-  EXPECT_EQ(acc, count_total(streams));
+  EXPECT_EQ(acc, count_total(streams).value());
 }
 
 class ApcError : public ::testing::TestWithParam<int> {};
@@ -69,8 +75,8 @@ TEST_P(ApcError, BoundedRelativeError) {
   double worst = 0.0;
   for (unsigned seed = 1; seed <= 10; ++seed) {
     const auto streams = random_streams(n, 512, seed, 0.35);
-    const double exact = static_cast<double>(count_total(streams));
-    const double apc = static_cast<double>(apc_count_total(streams));
+    const double exact = static_cast<double>(count_total(streams).value());
+    const double apc = static_cast<double>(apc_count_total(streams).value());
     if (exact > 0) worst = std::max(worst, std::abs(apc - exact) / exact);
   }
   EXPECT_LT(worst, 0.25) << "APC error should stay bounded";
@@ -82,20 +88,20 @@ INSTANTIATE_TEST_SUITE_P(Widths, ApcError, ::testing::Values(4, 8, 9, 16, 25));
 
 TEST(Apc, TwoInputsOverestimate) {
   const auto streams = random_streams(2, 512, 11, 0.35);
-  EXPECT_GE(apc_count_total(streams), count_total(streams))
+  EXPECT_GE(apc_count_total(streams).value(), count_total(streams).value())
       << "a single OR merge can only over-count";
 }
 
 TEST(Apc, SingleStreamPassesThrough) {
   const auto streams = random_streams(1, 64, 4);
-  EXPECT_EQ(apc_count_total(streams), streams[0].popcount());
+  EXPECT_EQ(apc_count_total(streams).value(), streams[0].popcount());
 }
 
 TEST(Apc, IdenticalStreamsExact) {
   // a == b: both OR and AND merges are exact for identical pairs.
   auto streams = random_streams(1, 128, 5);
   streams.push_back(streams[0]);
-  EXPECT_EQ(apc_count_total(streams), count_total(streams));
+  EXPECT_EQ(apc_count_total(streams).value(), count_total(streams).value());
 }
 
 TEST(OutputConverter, AccumulatesSignedCounts) {
