@@ -3,6 +3,9 @@
 // MAC/OR kernels, parallel counting, and a full SC conv layer forward.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
 #include <filesystem>
 #include <fstream>
 #include <random>
@@ -16,6 +19,7 @@
 #include "sc/parallel_counter.hpp"
 #include "sc/progressive.hpp"
 #include "sc/sng.hpp"
+#include "sc/stream_table.hpp"
 
 namespace {
 
@@ -46,6 +50,39 @@ void BM_ProgressiveGeneration(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 128);
 }
 BENCHMARK(BM_ProgressiveGeneration);
+
+// The table-driven engine against its own tick fallback, plain and
+// progressive, at the paper's n=8 / L=256 operating point (the PR's
+// headline: a table hit is a 4-word copy instead of 256 LFSR ticks).
+void BM_TableStreamGeneration(benchmark::State& state) {
+  const bool use_table = state.range(0) != 0;
+  const bool progressive = state.range(1) != 0;
+  const std::size_t len = 256;
+  const SeedSpec spec{.bits = 8, .seed = 7};
+  const ProgressiveSchedule sched{};
+  auto& gen = StreamGenerator::local();
+  std::uint64_t dst[4];
+  std::uint32_t v = 1;
+  for (auto _ : state) {
+    std::fill(dst, dst + 4, 0);
+    if (progressive) {
+      gen.generate_progressive(dst, 4, len, RngKind::kLfsr, spec, sched, v,
+                               use_table);
+    } else {
+      gen.generate(dst, 4, len, RngKind::kLfsr, spec, v, use_table);
+    }
+    benchmark::DoNotOptimize(dst[0]);
+    v = (v % 255) + 1;
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(len));
+  state.SetLabel(std::string(use_table ? "table" : "tick") +
+                 (progressive ? "/progressive" : "/plain"));
+}
+BENCHMARK(BM_TableStreamGeneration)
+    ->Args({0, 0})
+    ->Args({1, 0})
+    ->Args({0, 1})
+    ->Args({1, 1});
 
 void BM_PackedMacOrAccumulate(benchmark::State& state) {
   // One OR-accumulation group: products ANDed and ORed at word level.
@@ -104,6 +141,41 @@ void BM_ScConvForward(benchmark::State& state) {
 }
 BENCHMARK(BM_ScConvForward)->Arg(32)->Arg(128)->Unit(benchmark::kMillisecond);
 
+// Directly measured streams/s for one engine configuration at n=8 / L=256.
+// Kept outside google-benchmark so the table-vs-tick speedup always lands in
+// BENCH_micro_sc_kernels.json, even under --benchmark_filter.
+double measure_streams_per_s(bool progressive, bool use_table) {
+  using clock = std::chrono::steady_clock;
+  const std::size_t len = 256;
+  const SeedSpec spec{.bits = 8, .seed = 7};
+  const ProgressiveSchedule sched{};
+  auto& gen = StreamGenerator::local();
+  std::uint64_t dst[4];
+  std::uint64_t sink = 0;
+  std::uint32_t v = 1;
+  auto one = [&] {
+    std::fill(dst, dst + 4, 0);
+    if (progressive) {
+      gen.generate_progressive(dst, 4, len, RngKind::kLfsr, spec, sched, v,
+                               use_table);
+    } else {
+      gen.generate(dst, 4, len, RngKind::kLfsr, spec, v, use_table);
+    }
+    sink ^= dst[0] ^ dst[3];
+    v = (v % 255) + 1;
+  };
+  // Warm-up pays the one-time table build off the clock (it is amortized
+  // over a whole layer in real runs) and faults the cache lines in.
+  for (int i = 0; i < 2000; ++i) one();
+  const int iters = use_table ? 400000 : 40000;
+  const auto t0 = clock::now();
+  for (int i = 0; i < iters; ++i) one();
+  const auto t1 = clock::now();
+  benchmark::DoNotOptimize(sink);
+  const double secs = std::chrono::duration<double>(t1 - t0).count();
+  return secs > 0.0 ? iters / secs : 0.0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -132,6 +204,24 @@ int main(int argc, char** argv) {
   benchmark::Shutdown();
 
   geo::bench::BenchReport report("micro_sc_kernels");
+
+  // Stream-generation section: table-vs-tick rates at n=8 / L=256 (the PR 5
+  // acceptance metric is stream_table.plain_speedup >= 5).
+  const double plain_tick = measure_streams_per_s(false, false);
+  const double plain_table = measure_streams_per_s(false, true);
+  const double prog_tick = measure_streams_per_s(true, false);
+  const double prog_table = measure_streams_per_s(true, true);
+  report.set("stream_table.bits", 8.0);
+  report.set("stream_table.length", 256.0);
+  report.set("stream_table.plain_tick_streams_per_s", plain_tick);
+  report.set("stream_table.plain_table_streams_per_s", plain_table);
+  report.set("stream_table.plain_speedup",
+             plain_tick > 0.0 ? plain_table / plain_tick : 0.0);
+  report.set("stream_table.progressive_tick_streams_per_s", prog_tick);
+  report.set("stream_table.progressive_table_streams_per_s", prog_table);
+  report.set("stream_table.progressive_speedup",
+             prog_tick > 0.0 ? prog_table / prog_tick : 0.0);
+
   if (!caller_out) {
     std::ifstream in(raw_path);
     std::stringstream raw;

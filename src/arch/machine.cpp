@@ -18,6 +18,7 @@
 #include "sc/progressive.hpp"
 #include "sc/seed_sharing.hpp"
 #include "sc/sng.hpp"
+#include "sc/stream_table.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace geo::arch {
@@ -35,38 +36,33 @@ std::size_t popcount_words(const std::uint64_t* w, std::size_t n) {
 // code path requirement for the bit-exactness contract). `fm` may be null;
 // when set, seed upsets hit the SNG before generation and stream bit flips
 // hit the buffer after — keyed by (domain, site) so the nn reference injects
-// the identical faults into the identical slots.
+// the identical faults into the identical slots. The spec is corrupted
+// BEFORE the stream-table cache is keyed, so a seed-upset stream is served
+// from the corrupted sequence's table, never the healthy one. `use_table`
+// routes through the shared-sequence cache (sc/stream_table.hpp); off, the
+// calling thread's reusable generator ticks bit-serially — bit-identical
+// either way.
 void generate_stream(std::uint64_t* dst, std::size_t wpl, std::size_t length,
                      const nn::ScLayerConfig& cfg, sc::SeedSpec spec,
                      std::uint32_t q, fault::FaultModel* fm,
-                     fault::FaultModel::Site domain, std::uint64_t site) {
+                     fault::FaultModel::Site domain, std::uint64_t site,
+                     bool use_table) {
   std::fill(dst, dst + wpl, 0);
   if (fm != nullptr) spec = fm->corrupt_seed(spec, site);
-  const bool generate = q != 0;
-  if (generate) {
+  if (q != 0) {
     const unsigned n = spec.bits;
-    sc::Bitstream stream;
-    bool have = true;
+    sc::StreamGenerator& gen = sc::StreamGenerator::local();
     if (cfg.progressive) {
       sc::ProgressiveSchedule sched;
       sched.value_bits = cfg.value_bits;
       sched.lfsr_bits = n;
-      sc::ProgressiveSng sng(cfg.rng, spec, sched);
-      stream = sng.generate(q, length);
+      gen.generate_progressive(dst, wpl, length, cfg.rng, spec, sched, q,
+                               use_table);
     } else {
       const std::uint32_t vn = n >= cfg.value_bits
                                    ? q << (n - cfg.value_bits)
                                    : q >> (cfg.value_bits - n);
-      if (vn == 0) {
-        have = false;
-      } else {
-        sc::Sng sng(cfg.rng, spec);
-        stream = sng.generate(vn, length);
-      }
-    }
-    if (have) {
-      const auto src = stream.words();
-      std::copy(src.begin(), src.end(), dst);
+      gen.generate(dst, wpl, length, cfg.rng, spec, vn, use_table);
     }
   }
   // A defective buffer cell flips bits even in an all-zero stream.
@@ -114,6 +110,9 @@ struct ConvExecution::Impl {
   int R = 0, chans_at_once = 0, windows_per_pass = 0, slices = 0, groups = 0;
   double fill = 0, bits_per_value = 0;
   bool direct_accum = false, accum_faults = false, stuck_faults = false;
+  // GEO_STREAM_TABLE, sampled once per layer so a run's generation strategy
+  // is coherent even if the environment changes mid-layer.
+  bool use_stream_table = true;
 
   std::optional<sc::SeedAllocator> alloc;
   std::vector<std::uint64_t> wpos, wneg, act;
@@ -145,26 +144,42 @@ struct ConvExecution::Impl {
 
 const std::uint64_t* ConvExecution::Impl::act_stream(std::size_t idx) {
   std::atomic<std::uint8_t>& flag = act_ready[idx];
-  if (flag.load(std::memory_order_acquire) != 2) {
-    std::uint8_t expected = 0;
-    if (flag.compare_exchange_strong(expected, 1,
-                                     std::memory_order_acq_rel)) {
-      act_gen_counter->add(1);
-      const float a = std::clamp(input[idx], 0.0f, 1.0f);
-      std::uint32_t q = nn::quantize_unsigned(a, cfg.value_bits);
-      if (fm != nullptr)
-        q = fm->sram_read(q, cfg.value_bits,
-                          fault::FaultModel::Site::kActSram, idx);
-      generate_stream(act.data() + idx * wpl, wpl,
-                      static_cast<std::size_t>(L), cfg,
-                      alloc->activation(static_cast<int>(idx)), q, fm,
-                      fault::FaultModel::Site::kActStream, idx);
-      flag.store(2, std::memory_order_release);
-    } else {
-      // Another tile is generating this stream; its content is identical to
-      // what we would produce, so just wait for the release store.
-      while (flag.load(std::memory_order_acquire) != 2)
-        std::this_thread::yield();
+  std::uint8_t state = flag.load(std::memory_order_acquire);
+  while (state != 2) {
+    if (state == 0) {
+      std::uint8_t expected = 0;
+      if (flag.compare_exchange_strong(expected, 1,
+                                       std::memory_order_acq_rel)) {
+        act_gen_counter->add(1);
+        const float a = std::clamp(input[idx], 0.0f, 1.0f);
+        std::uint32_t q = nn::quantize_unsigned(a, cfg.value_bits);
+        if (fm != nullptr)
+          q = fm->sram_read(q, cfg.value_bits,
+                            fault::FaultModel::Site::kActSram, idx);
+        generate_stream(act.data() + idx * wpl, wpl,
+                        static_cast<std::size_t>(L), cfg,
+                        alloc->activation(static_cast<int>(idx)), q, fm,
+                        fault::FaultModel::Site::kActStream, idx,
+                        use_stream_table);
+        flag.store(2, std::memory_order_release);
+        flag.notify_all();
+        break;
+      }
+      state = expected;
+      continue;
+    }
+    // Another tile is generating this stream; its content is identical to
+    // what we would produce. Bounded spin (generation is usually a few
+    // table-row copies), then park on the atomic so a stalled generator
+    // can't make us burn a core under oversubscription. An invalidation
+    // (store 0) also wakes us, and the loop retries the claim.
+    for (int s = 0; s < 256 && state == 1; ++s) {
+      std::this_thread::yield();
+      state = flag.load(std::memory_order_acquire);
+    }
+    if (state == 1) {
+      flag.wait(1, std::memory_order_acquire);
+      state = flag.load(std::memory_order_acquire);
     }
   }
   return act.data() + idx * wpl;
@@ -505,6 +520,10 @@ void ConvExecution::invalidate_tile_inputs(std::int64_t tile) {
   // word — bit-identical unless a fault model intervenes).
   im.for_each_tile_input(tile, [&im](std::size_t aidx) {
     im.act_ready[aidx].store(0, std::memory_order_release);
+    // Wake any act_stream() parked on state 1 so it re-runs the claim (no
+    // waiter can exist on the serial resilience path, but the protocol stays
+    // self-contained).
+    im.act_ready[aidx].notify_all();
   });
 }
 
@@ -647,6 +666,7 @@ geo::StatusOr<ConvExecution> GeoMachine::prepare_conv(
   impl->fm = fault::active();
   impl->fault_retry0 =
       impl->fm != nullptr ? impl->fm->stats().sram_retry_cycles : 0;
+  impl->use_stream_table = sc::stream_table_enabled();
 
   const nn::ScLayerConfig& cfg = impl->cfg;
   impl->L = cfg.stream_len;
@@ -692,7 +712,8 @@ geo::StatusOr<ConvExecution> GeoMachine::prepare_conv(
           generate_stream(
               (w >= 0.0f ? &impl->wpos : &impl->wneg)->data() + idx * wpl,
               wpl, static_cast<std::size_t>(L), cfg, spec, q, fm,
-              fault::FaultModel::Site::kWeightStream, idx);
+              fault::FaultModel::Site::kWeightStream, idx,
+              impl->use_stream_table);
         });
   }
 

@@ -11,6 +11,7 @@
 #include "nn/quantize.hpp"
 #include "sc/progressive.hpp"
 #include "sc/sng.hpp"
+#include "sc/stream_table.hpp"
 
 namespace geo::nn {
 
@@ -98,38 +99,32 @@ struct StreamBank {
 // Generates one stream into `dst` (wpl words, length bits). `q` is the
 // magnitude in the value_bits fixed-point domain. `fm` may be null; the
 // (domain, site) pair matches the GeoMachine injection sites exactly so the
-// bit-exactness contract holds with faults enabled too.
+// bit-exactness contract holds with faults enabled too — the spec is
+// corrupted before the stream-table cache is keyed, so corrupted seeds get
+// their own (equally corrupted) tables. `use_table` routes through the
+// shared-sequence cache; off, the thread's reusable generator ticks
+// bit-serially. Both paths are bit-identical.
 void generate_stream(std::uint64_t* dst, std::size_t wpl, std::size_t length,
                      const ScLayerConfig& cfg, sc::SeedSpec spec,
                      std::uint32_t q, fault::FaultModel* fm,
-                     fault::FaultModel::Site domain, std::uint64_t site) {
+                     fault::FaultModel::Site domain, std::uint64_t site,
+                     bool use_table) {
   std::fill(dst, dst + wpl, 0);
   if (fm != nullptr) spec = fm->corrupt_seed(spec, site);
-  const bool generate = q != 0;
-  if (generate) {
+  if (q != 0) {
     const unsigned n = spec.bits;
-    sc::Bitstream stream;
-    bool have = true;
+    sc::StreamGenerator& gen = sc::StreamGenerator::local();
     if (cfg.progressive) {
       sc::ProgressiveSchedule sched;
       sched.value_bits = cfg.value_bits;
       sched.lfsr_bits = n;
-      sc::ProgressiveSng sng(cfg.rng, spec, sched);
-      stream = sng.generate(q, length);
+      gen.generate_progressive(dst, wpl, length, cfg.rng, spec, sched, q,
+                               use_table);
     } else {
       const std::uint32_t vn = n >= cfg.value_bits
                                    ? q << (n - cfg.value_bits)
                                    : q >> (cfg.value_bits - n);
-      if (vn == 0) {
-        have = false;
-      } else {
-        sc::Sng sng(cfg.rng, spec);
-        stream = sng.generate(vn, length);
-      }
-    }
-    if (have) {
-      const auto src = stream.words();
-      std::copy(src.begin(), src.end(), dst);
+      gen.generate(dst, wpl, length, cfg.rng, spec, vn, use_table);
     }
   }
   if (fm != nullptr) fm->corrupt_stream(dst, length, domain, site);
@@ -218,6 +213,7 @@ Tensor ScConv2d::forward(const Tensor& x, bool /*train*/) {
   fault::FaultModel* const fm = fault::active();
   const bool accum_faults = fm != nullptr && fm->accum_active();
   const bool stuck_faults = fm != nullptr && fm->stuck_enabled();
+  const bool use_table = sc::stream_table_enabled();
 
   // --- weight streams (fixed for the whole batch) -----------------------
   const std::size_t wcount =
@@ -242,7 +238,8 @@ Tensor ScConv2d::forward(const Tensor& x, bool /*train*/) {
                 pass_spec(cfg_, alloc.weight({oc, ic, ky, kx}), pass);
             generate_stream((w >= 0.0f ? wpos : wneg).at(idx), wpl,
                             static_cast<std::size_t>(L), cfg_, spec, q, fm,
-                            fault::FaultModel::Site::kWeightStream, idx);
+                            fault::FaultModel::Site::kWeightStream, idx,
+                            use_table);
           }
   }
 
@@ -293,7 +290,8 @@ Tensor ScConv2d::forward(const Tensor& x, bool /*train*/) {
                 cfg_, alloc.activation(static_cast<int>(idx)), pass);
             generate_stream(act.at(idx), wpl, static_cast<std::size_t>(L),
                             cfg_, spec, q, fm,
-                            fault::FaultModel::Site::kActStream, idx);
+                            fault::FaultModel::Site::kActStream, idx,
+                            use_table);
           }
     }
 
@@ -512,6 +510,7 @@ Tensor ScLinear::forward(const Tensor& x, bool /*train*/) {
   fault::FaultModel* const fm = fault::active();
   const bool accum_faults = fm != nullptr && fm->accum_active();
   const bool stuck_faults = fm != nullptr && fm->stuck_enabled();
+  const bool use_table = sc::stream_table_enabled();
 
   StreamBank wposb, wnegb;
   const std::size_t wcount = static_cast<std::size_t>(out_) * in_;
@@ -528,7 +527,8 @@ Tensor ScLinear::forward(const Tensor& x, bool /*train*/) {
       const sc::SeedSpec spec = pass_spec(cfg_, alloc.weight({o, i, 0, 0}), pass);
       generate_stream((w >= 0.0f ? wposb : wnegb).at(idx), wpl,
                       static_cast<std::size_t>(L), cfg_, spec, q, fm,
-                      fault::FaultModel::Site::kWeightStream, idx);
+                      fault::FaultModel::Site::kWeightStream, idx,
+                      use_table);
     }
 
   const int nb = x.dim(0);
@@ -559,7 +559,7 @@ Tensor ScLinear::forward(const Tensor& x, bool /*train*/) {
       generate_stream(act.at(static_cast<std::size_t>(i)), wpl,
                       static_cast<std::size_t>(L), cfg_, spec, q, fm,
                       fault::FaultModel::Site::kActStream,
-                      static_cast<std::uint64_t>(i));
+                      static_cast<std::uint64_t>(i), use_table);
     }
     for (int o = 0; o < out_; ++o) {
       std::int64_t total = 0;

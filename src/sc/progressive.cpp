@@ -28,6 +28,13 @@ ProgressiveSng::ProgressiveSng(RngKind kind, const SeedSpec& spec,
     throw std::invalid_argument("ProgressiveSng: degenerate schedule");
 }
 
+void ProgressiveSng::reseed(const SeedSpec& spec) {
+  if (schedule_.lfsr_bits != spec.bits)
+    throw std::invalid_argument(
+        "ProgressiveSng: reseed width must match schedule lfsr_bits");
+  source_->reseed(spec);
+}
+
 void ProgressiveSng::begin(std::uint32_t value) {
   const std::uint32_t max = (1u << schedule_.value_bits) - 1u;
   value_ = value > max ? max : value;

@@ -24,6 +24,8 @@ struct ProgressiveSchedule {
   unsigned group_bits = 2;   // bits loaded per beat
   unsigned beat_cycles = 2;  // cycles between beats after the first
 
+  bool operator==(const ProgressiveSchedule&) const = default;
+
   // Bits that must be loaded in total (truncation: never more than the
   // LFSR needs).
   unsigned bits_to_load() const noexcept {
@@ -70,6 +72,12 @@ class ProgressiveSng {
   // Starts generation of a new value (given at full value_bits precision).
   // Resets the RNG so deterministic sources replay.
   void begin(std::uint32_t value);
+
+  // Reinitializes the underlying source exactly as constructing a fresh
+  // ProgressiveSng from `spec` (same schedule) would — the allocation-free
+  // reuse path for per-stream loops. The spec width must still match the
+  // schedule's lfsr_bits.
+  void reseed(const SeedSpec& spec);
 
   // Comparator value currently visible (truncated to lfsr_bits).
   std::uint32_t effective_value() const noexcept;

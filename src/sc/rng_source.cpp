@@ -25,6 +25,8 @@ std::unique_ptr<RngSource> LfsrSource::clone() const {
   return std::make_unique<LfsrSource>(spec_);
 }
 
+void LfsrSource::reseed(const SeedSpec& spec) { *this = LfsrSource(spec); }
+
 TrngSource::TrngSource(const SeedSpec& spec)
     : bits_(spec.bits), epoch_(0), id_(spec.seed), gen_(spec.seed) {}
 
@@ -49,6 +51,8 @@ std::unique_ptr<RngSource> TrngSource::clone() const {
   return std::make_unique<TrngSource>(spec);
 }
 
+void TrngSource::reseed(const SeedSpec& spec) { *this = TrngSource(spec); }
+
 CounterSource::CounterSource(const SeedSpec& spec)
     : bits_(spec.bits),
       start_(spec.seed & ((1u << spec.bits) - 1u)),
@@ -65,6 +69,10 @@ std::unique_ptr<RngSource> CounterSource::clone() const {
   spec.bits = bits_;
   spec.seed = start_;
   return std::make_unique<CounterSource>(spec);
+}
+
+void CounterSource::reseed(const SeedSpec& spec) {
+  *this = CounterSource(spec);
 }
 
 std::unique_ptr<RngSource> make_source(RngKind kind, const SeedSpec& spec) {

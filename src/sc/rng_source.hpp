@@ -43,6 +43,12 @@ class RngSource {
   // draws a fresh sequence (that is the point of a TRNG).
   virtual void reset() = 0;
 
+  // Reinitializes this source exactly as constructing a fresh one from
+  // `spec` would, so hot loops can reuse one heap object per thread instead
+  // of allocating a source per stream (bit-identical to construct-fresh,
+  // including the TRNG's epoch restart).
+  virtual void reseed(const SeedSpec& spec) = 0;
+
   virtual bool deterministic() const noexcept = 0;
 
   virtual std::unique_ptr<RngSource> clone() const = 0;
@@ -56,6 +62,7 @@ class LfsrSource final : public RngSource {
   std::uint32_t next() override { return lfsr_.next(); }
   unsigned bits() const noexcept override { return lfsr_.bits(); }
   void reset() override { lfsr_.reset(); }
+  void reseed(const SeedSpec& spec) override;
   bool deterministic() const noexcept override { return true; }
   std::unique_ptr<RngSource> clone() const override;
 
@@ -74,6 +81,7 @@ class TrngSource final : public RngSource {
   std::uint32_t next() override;
   unsigned bits() const noexcept override { return bits_; }
   void reset() override;
+  void reseed(const SeedSpec& spec) override;
   bool deterministic() const noexcept override { return false; }
   std::unique_ptr<RngSource> clone() const override;
 
@@ -93,6 +101,7 @@ class CounterSource final : public RngSource {
   std::uint32_t next() override;
   unsigned bits() const noexcept override { return bits_; }
   void reset() override { state_ = start_; }
+  void reseed(const SeedSpec& spec) override;
   bool deterministic() const noexcept override { return true; }
   std::unique_ptr<RngSource> clone() const override;
 

@@ -35,6 +35,11 @@ class Sng {
   // ProgressiveSng for the progressive loading of Sec. II-B).
   void load(std::uint32_t value) noexcept;
 
+  // Reinitializes the underlying source exactly as constructing a fresh Sng
+  // from `spec` would, so per-stream loops can reuse one generator object
+  // (no per-stream heap allocation) with bit-identical output.
+  void reseed(const SeedSpec& spec) { source_->reseed(spec); }
+
   std::uint32_t value() const noexcept { return value_; }
 
   // Emits one stream bit and advances the RNG.

@@ -60,6 +60,8 @@ void SobolSource::reset() {
   x_ = 0;
 }
 
+void SobolSource::reseed(const SeedSpec& spec) { *this = SobolSource(spec); }
+
 std::unique_ptr<RngSource> SobolSource::clone() const {
   SeedSpec spec;
   spec.bits = bits_;

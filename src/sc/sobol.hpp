@@ -26,6 +26,7 @@ class SobolSource final : public RngSource {
   std::uint32_t next() override;
   unsigned bits() const noexcept override { return bits_; }
   void reset() override;
+  void reseed(const SeedSpec& spec) override;
   bool deterministic() const noexcept override { return true; }
   std::unique_ptr<RngSource> clone() const override;
 
