@@ -26,6 +26,7 @@
 #include <utility>
 #include <vector>
 
+#include "arch/attribution.hpp"
 #include "arch/report.hpp"
 #include "core/env.hpp"
 #include "exec/thread_pool.hpp"
@@ -266,6 +267,11 @@ class BenchReport {
     root_.set("metrics",
               telemetry::metrics_to_json(
                   telemetry::MetricsRegistry::instance()));
+    // Per-layer generation/execution/stall/memory cycle split (empty
+    // "layers" when the bench never ran the machine); keyed so bench_diff
+    // gates the attribution buckets like any other scalar.
+    root_.set("attr",
+              arch::attribution_to_json(arch::AttributionLedger::instance()));
     if (!validate(root_.dump())) {
       std::fprintf(stderr, "[bench] %s failed JSON validation; not written\n",
                    file.c_str());

@@ -2,19 +2,25 @@
 // (GeoMachine, PerfSim, Compiler, the training loop) and writes the trace
 // and metrics artifacts requested through the environment:
 //
-//   GEO_TRACE=trace.json GEO_METRICS=metrics.json ./geo_profile
+//   GEO_TRACE=trace.json GEO_METRICS=metrics.json GEO_JOURNAL=journal.jsonl \
+//     ./geo_profile
 //
 // Open trace.json in Perfetto (https://ui.perfetto.dev) or chrome://tracing
-// to see the per-pass machine spans and per-layer perfsim spans. With the
-// variables unset the run still prints the in-process metrics summary; see
-// docs/OBSERVABILITY.md.
+// to see the per-pass machine spans, the machine.tile spans fanned out to
+// geo-worker-N tracks (with flow arrows back to the submitting layer span),
+// and the per-layer perfsim spans. journal.jsonl collects the structured
+// runtime events (stream-table builds, checkpoint commits, resilience
+// retries). With the variables unset the run still prints the in-process
+// metrics, attribution and journal summaries; see docs/OBSERVABILITY.md.
 #include <cstdio>
 #include <random>
 #include <vector>
 
+#include "arch/attribution.hpp"
 #include "arch/machine.hpp"
 #include "arch/perf_sim.hpp"
 #include "arch/report.hpp"
+#include "exec/thread_pool.hpp"
 #include "nn/dataset.hpp"
 #include "nn/models.hpp"
 #include "nn/trainer.hpp"
@@ -47,16 +53,29 @@ void profile_machine(const geo::arch::ConvShape& shape, std::uint64_t salt) {
 int main() {
   using namespace geo;
   auto& tracer = telemetry::Tracer::instance();
-  std::printf("geo_profile | tracing %s, metrics export %s\n\n",
+  auto& journal = telemetry::Journal::instance();
+  std::printf("geo_profile | tracing %s, metrics export %s, journal %s\n\n",
               tracer.enabled() ? "ON (GEO_TRACE)" : "off (set GEO_TRACE)",
               std::getenv("GEO_METRICS") != nullptr
                   ? "ON (GEO_METRICS)"
-                  : "off (set GEO_METRICS)");
+                  : "off (set GEO_METRICS)",
+              journal.enabled() ? "ON (GEO_JOURNAL)"
+                                : "off (set GEO_JOURNAL)");
 
-  // 1) Cycle-accurate machine: a couple of CNN-4-sized layers.
-  std::printf("[1/3] GeoMachine per-pass spans\n");
-  profile_machine(arch::ConvShape::conv("conv1", 3, 32, 16, 5, 2, true), 1);
-  profile_machine(arch::ConvShape::conv("conv2", 16, 16, 16, 5, 2, false), 2);
+  // 1) Cycle-accurate machine: a couple of CNN-4-sized layers. Tiles fan
+  //    out to the process pool, so with tracing on each machine.tile span
+  //    lands on a geo-worker-N track with a flow arrow from the submitting
+  //    run_conv span. GEO_THREADS overrides the pool width; default to a
+  //    4-lane pool so the worker tracks show up even without it.
+  const bool pool_overridden = std::getenv("GEO_THREADS") != nullptr;
+  std::printf("[1/3] GeoMachine per-pass spans (pool: %s)\n",
+              pool_overridden ? "GEO_THREADS" : "4 lanes");
+  {
+    exec::ScopedThreads pool(pool_overridden ? exec::ThreadPool::instance().size()
+                                             : 4);
+    profile_machine(arch::ConvShape::conv("conv1", 3, 32, 16, 5, 2, true), 1);
+    profile_machine(arch::ConvShape::conv("conv2", 16, 16, 16, 5, 2, false), 2);
+  }
 
   // 2) Analytical performance simulator over the full CNN-4 network
   //    (compiler spans come from the embedded compile step).
@@ -92,9 +111,31 @@ int main() {
   }
   t.print();
 
+  // Cycle attribution: where every machine cycle went, per layer (the
+  // runtime Fig. 6 breakdown; benches attach the same table to their JSON).
+  std::printf("\ncycle attribution (per layer):\n");
+  arch::Table attr_table(
+      {"layer", "generation", "execution", "stall", "memory", "total"});
+  auto attr_row = [&attr_table](const std::string& name,
+                                const geo::arch::CycleAttribution& a) {
+    attr_table.add_row({name, std::to_string(a.generation_cycles),
+                        std::to_string(a.execution_cycles),
+                        std::to_string(a.stall_cycles),
+                        std::to_string(a.memory_cycles),
+                        std::to_string(a.total_cycles)});
+  };
+  const auto& ledger = arch::AttributionLedger::instance();
+  for (const auto& [name, attr] : ledger.layers()) attr_row(name, attr);
+  attr_row("TOTAL", ledger.total());
+  attr_table.print();
+
   if (tracer.enabled())
     std::printf("\ntrace: %lld events buffered\n",
                 static_cast<long long>(tracer.event_count()));
+  if (journal.enabled())
+    std::printf("journal: %lld entries buffered (%lld dropped by ring wrap)\n",
+                static_cast<long long>(journal.event_count()),
+                static_cast<long long>(journal.dropped()));
 
   // Flush the trace and export metrics now rather than relying on the
   // static-destruction path.

@@ -1,0 +1,151 @@
+#include "arch/attribution.hpp"
+
+#include <algorithm>
+#include <mutex>
+
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
+
+namespace geo::arch {
+
+namespace {
+
+// Singleton state lives at file scope so the header stays a pure
+// interface; guarded by one mutex (record runs once per finished layer,
+// never per tile or per event).
+struct LedgerState {
+  std::mutex mu;
+  std::vector<std::pair<std::string, CycleAttribution>> layers;
+  CycleAttribution total;
+};
+
+LedgerState& state() {
+  static LedgerState s;
+  return s;
+}
+
+void publish_locked(const CycleAttribution& total) {
+  auto& reg = telemetry::MetricsRegistry::instance();
+  reg.gauge("attr.generation_cycles")
+      .set(static_cast<double>(total.generation_cycles));
+  reg.gauge("attr.execution_cycles")
+      .set(static_cast<double>(total.execution_cycles));
+  reg.gauge("attr.stall_cycles").set(static_cast<double>(total.stall_cycles));
+  reg.gauge("attr.memory_cycles")
+      .set(static_cast<double>(total.memory_cycles));
+  reg.gauge("attr.total_cycles").set(static_cast<double>(total.total_cycles));
+
+  auto& tracer = telemetry::Tracer::instance();
+  if (tracer.enabled()) {
+    tracer.counter("attr.generation_cycles",
+                   static_cast<double>(total.generation_cycles));
+    tracer.counter("attr.execution_cycles",
+                   static_cast<double>(total.execution_cycles));
+    tracer.counter("attr.stall_cycles",
+                   static_cast<double>(total.stall_cycles));
+    tracer.counter("attr.memory_cycles",
+                   static_cast<double>(total.memory_cycles));
+  }
+}
+
+void attribution_fields(telemetry::Json& obj, const CycleAttribution& a) {
+  obj.set("generation_cycles", telemetry::Json(a.generation_cycles));
+  obj.set("execution_cycles", telemetry::Json(a.execution_cycles));
+  obj.set("stall_cycles", telemetry::Json(a.stall_cycles));
+  obj.set("memory_cycles", telemetry::Json(a.memory_cycles));
+  obj.set("total_cycles", telemetry::Json(a.total_cycles));
+  obj.set("passes", telemetry::Json(a.passes));
+  obj.set("ledger_ok", telemetry::Json(a.ledger_ok));
+}
+
+}  // namespace
+
+CycleAttribution& CycleAttribution::operator+=(const CycleAttribution& o) {
+  generation_cycles += o.generation_cycles;
+  execution_cycles += o.execution_cycles;
+  stall_cycles += o.stall_cycles;
+  memory_cycles += o.memory_cycles;
+  total_cycles += o.total_cycles;
+  passes += o.passes;
+  ledger_ok = ledger_ok && o.ledger_ok;
+  return *this;
+}
+
+bool CycleAttribution::reconciles() const {
+  if (generation_cycles < 0 || execution_cycles < 0 || stall_cycles < 0 ||
+      memory_cycles < 0)
+    return false;
+  return generation_cycles + execution_cycles + stall_cycles +
+             memory_cycles ==
+         total_cycles;
+}
+
+CycleAttribution attribute(const MachineStats& stats) {
+  CycleAttribution a;
+  a.execution_cycles = stats.compute_cycles;
+  a.generation_cycles = stats.stall_cycles - stats.retry_stall_cycles;
+  a.stall_cycles = stats.retry_stall_cycles;
+  a.memory_cycles = stats.nearmem_cycles;
+  a.total_cycles = stats.total_cycles;
+  a.passes = stats.passes;
+  a.ledger_ok = stats.ledger_ok && a.reconciles();
+  return a;
+}
+
+AttributionLedger& AttributionLedger::instance() {
+  static AttributionLedger ledger;
+  return ledger;
+}
+
+void AttributionLedger::record(std::string_view layer,
+                               const MachineStats& stats) {
+  const CycleAttribution a = attribute(stats);
+  LedgerState& s = state();
+  std::lock_guard lock(s.mu);
+  auto it = std::find_if(
+      s.layers.begin(), s.layers.end(),
+      [&](const auto& entry) { return entry.first == layer; });
+  if (it == s.layers.end()) {
+    s.layers.emplace_back(std::string(layer), a);
+  } else {
+    it->second += a;
+  }
+  s.total += a;
+  publish_locked(s.total);
+}
+
+std::vector<std::pair<std::string, CycleAttribution>>
+AttributionLedger::layers() const {
+  LedgerState& s = state();
+  std::lock_guard lock(s.mu);
+  return s.layers;
+}
+
+CycleAttribution AttributionLedger::total() const {
+  LedgerState& s = state();
+  std::lock_guard lock(s.mu);
+  return s.total;
+}
+
+void AttributionLedger::reset() {
+  LedgerState& s = state();
+  std::lock_guard lock(s.mu);
+  s.layers.clear();
+  s.total = CycleAttribution{};
+}
+
+telemetry::Json attribution_to_json(const AttributionLedger& ledger) {
+  telemetry::Json out = telemetry::Json::object();
+  attribution_fields(out, ledger.total());
+  telemetry::Json layers = telemetry::Json::array();
+  for (const auto& [name, attr] : ledger.layers()) {
+    telemetry::Json row = telemetry::Json::object();
+    row.set("layer", telemetry::Json(name));
+    attribution_fields(row, attr);
+    layers.push(std::move(row));
+  }
+  out.set("layers", std::move(layers));
+  return out;
+}
+
+}  // namespace geo::arch

@@ -1,0 +1,78 @@
+// Per-layer cycle attribution: the runtime analogue of the paper's Fig. 6
+// generation/execution breakdown, computed from measured MachineStats
+// instead of the analytical model.
+//
+// Every cycle in the machine's ledger lands in exactly one bucket:
+//
+//   generation  buffer-fill / reload stalls — the cycles the MAC array sat
+//               waiting on stream generation (stall_cycles minus the
+//               fault-recovery share)
+//   execution   MAC-array compute beats (compute_cycles)
+//   stall       fault-recovery stalls: resilience retry backoff, scrubbing
+//               and detected-SRAM retry beats (retry_stall_cycles)
+//   memory      near-memory partial-sum and BN/ReLU beats (nearmem_cycles)
+//
+// so generation + execution + stall + memory == total_cycles whenever the
+// machine ledger itself reconciles. ConvExecution::finish() records every
+// accepted layer into the process-wide AttributionLedger, which mirrors
+// the running totals as `attr.*` registry gauges and trace counters;
+// benches attach the per-layer table to their BENCH_*.json via
+// attribution_to_json.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "arch/machine.hpp"
+#include "telemetry/json.hpp"
+
+namespace geo::arch {
+
+struct CycleAttribution {
+  std::int64_t generation_cycles = 0;
+  std::int64_t execution_cycles = 0;
+  std::int64_t stall_cycles = 0;   // fault-recovery share
+  std::int64_t memory_cycles = 0;
+  std::int64_t total_cycles = 0;
+  std::int64_t passes = 0;
+  bool ledger_ok = true;
+
+  CycleAttribution& operator+=(const CycleAttribution& o);
+  // True when the four buckets are non-negative and sum to total_cycles.
+  bool reconciles() const;
+};
+
+// Splits one layer's measured stats into the four buckets.
+CycleAttribution attribute(const MachineStats& stats);
+
+// Process-wide accumulation keyed by layer name, in first-record order.
+// Thread-safe; layers finishing concurrently at any GEO_THREADS merge to
+// the same totals.
+class AttributionLedger {
+ public:
+  static AttributionLedger& instance();
+
+  // Accumulates `stats` under `layer` (repeat runs of one layer add up),
+  // refreshes the attr.* registry gauges and, when tracing, emits
+  // attr.* counter events with the running totals.
+  void record(std::string_view layer, const MachineStats& stats);
+
+  // Per-layer snapshot, first-record order.
+  std::vector<std::pair<std::string, CycleAttribution>> layers() const;
+  CycleAttribution total() const;
+
+  void reset();
+
+ private:
+  AttributionLedger() = default;
+};
+
+// {"generation_cycles": ..., "execution_cycles": ..., "stall_cycles": ...,
+//  "memory_cycles": ..., "total_cycles": ..., "ledger_ok": true,
+//  "layers": [{"layer": "...", "generation_cycles": ..., ...}, ...]}
+telemetry::Json attribution_to_json(const AttributionLedger& ledger);
+
+}  // namespace geo::arch

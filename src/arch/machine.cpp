@@ -11,6 +11,7 @@
 #include <string>
 #include <thread>
 
+#include "arch/attribution.hpp"
 #include "exec/parallel_conv.hpp"
 #include "exec/thread_pool.hpp"
 #include "fault/fault_model.hpp"
@@ -398,6 +399,7 @@ MachineStats ConvExecution::Impl::run_tile(std::int64_t tile) {
     g.passes += st.passes;
     g.compute_cycles += st.compute_cycles;
     g.stall_cycles += st.stall_cycles;
+    g.retry_stall_cycles += st.retry_stall_cycles;
     g.act_buffer_fills += st.act_buffer_fills;
     g.wgt_buffer_fills += st.wgt_buffer_fills;
     g.psum_ops += st.psum_ops;
@@ -420,18 +422,26 @@ MachineResult ConvExecution::Impl::finish() {
   const double lanes = std::max(1, hw.mem_port_bits / 16);
   st.nearmem_cycles = static_cast<std::int64_t>(
       2.0 * (st.psum_ops + st.bn_ops) / lanes);
-  // ECC retries on faulty SRAM reads stall the fill network.
-  if (fm != nullptr)
-    st.stall_cycles += fm->stats().sram_retry_cycles - fault_retry0;
+  // ECC retries on faulty SRAM reads stall the fill network; they are
+  // recovery work, so they land in the retry sub-bucket as well.
+  if (fm != nullptr) {
+    const std::int64_t ecc_retry =
+        fm->stats().sram_retry_cycles - fault_retry0;
+    st.stall_cycles += ecc_retry;
+    st.retry_stall_cycles += ecc_retry;
+  }
   st.total_cycles = st.compute_cycles + st.stall_cycles + st.nearmem_cycles;
   // The cycle ledger must balance: every total cycle is attributed to
-  // exactly one of compute / stall / near-memory and no bucket may go
-  // negative (a negative bucket means an accounting bug or overflow). This
-  // check is always on — in release builds a violation marks the stats
-  // invalid and bumps machine.ledger_mismatch instead of aborting.
+  // exactly one of compute / stall / near-memory, the retry sub-bucket
+  // must fit inside the stall bucket, and no bucket may go negative (a
+  // negative bucket means an accounting bug or overflow). This check is
+  // always on — in release builds a violation marks the stats invalid and
+  // bumps machine.ledger_mismatch instead of aborting.
   st.ledger_ok =
       st.compute_cycles >= 0 && st.stall_cycles >= 0 &&
       st.nearmem_cycles >= 0 && st.total_cycles >= 0 &&
+      st.retry_stall_cycles >= 0 &&
+      st.retry_stall_cycles <= st.stall_cycles &&
       st.total_cycles ==
           st.compute_cycles + st.stall_cycles + st.nearmem_cycles;
   if (!st.ledger_ok) metrics.counter("machine.ledger_mismatch").add(1);
@@ -443,6 +453,7 @@ MachineResult ConvExecution::Impl::finish() {
   metrics.counter("machine.passes").add(st.passes);
   metrics.counter("machine.compute_cycles").add(st.compute_cycles);
   metrics.counter("machine.stall_cycles").add(st.stall_cycles);
+  metrics.counter("machine.retry_stall_cycles").add(st.retry_stall_cycles);
   metrics.counter("machine.nearmem_cycles").add(st.nearmem_cycles);
   metrics.counter("machine.total_cycles").add(st.total_cycles);
   metrics.counter("machine.act_buffer_fills").add(st.act_buffer_fills);
@@ -450,6 +461,10 @@ MachineResult ConvExecution::Impl::finish() {
   metrics.counter("machine.psum_ops").add(st.psum_ops);
   metrics.counter("machine.bn_ops").add(st.bn_ops);
   metrics.counter("machine.layers_executed").add(1);
+  // Feed the per-layer generation/execution breakdown (paper Fig. 6's
+  // runtime analogue); the ledger republishes the attr.* gauges/counters.
+  AttributionLedger::instance().record(
+      shape.name.empty() ? "conv" : shape.name, st);
   finished = true;
   run_timer.reset();  // close the machine.run_conv span
   return std::move(result);
@@ -545,7 +560,10 @@ const MachineStats& ConvExecution::stats() const {
 }
 
 void ConvExecution::add_stall_cycles(std::int64_t cycles) {
+  // Injected stalls are always recovery work (retry backoff, scrubbing),
+  // never generation cost, so they land in the retry sub-bucket too.
   impl_->result.stats.stall_cycles += cycles;
+  impl_->result.stats.retry_stall_cycles += cycles;
 }
 
 const nn::ScLayerConfig& ConvExecution::config() const { return impl_->cfg; }

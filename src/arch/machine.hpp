@@ -33,6 +33,14 @@ struct MachineStats {
   std::int64_t passes = 0;
   std::int64_t compute_cycles = 0;
   std::int64_t stall_cycles = 0;
+  // Sub-bucket of stall_cycles charged by the resilience layer (retry
+  // backoff, scrubbing) and by detected-SRAM-retry beats — the
+  // fault-recovery share of the stalls, as opposed to the buffer-fill /
+  // reload stalls intrinsic to stream generation. Always
+  // 0 <= retry_stall_cycles <= stall_cycles; attribution (see
+  // arch/attribution.hpp) reports stall_cycles - retry_stall_cycles as
+  // generation cost.
+  std::int64_t retry_stall_cycles = 0;
   std::int64_t nearmem_cycles = 0;
   std::int64_t total_cycles = 0;
   std::int64_t act_buffer_fills = 0;  // values loaded into act SNG buffers

@@ -12,6 +12,7 @@
 
 #include "core/env.hpp"
 #include "fault/fault_model.hpp"
+#include "telemetry/trace.hpp"
 
 namespace geo::exec {
 
@@ -98,6 +99,10 @@ struct ThreadPool::Impl {
   std::atomic<std::uint64_t> rr{0};
 
   void worker_main(std::size_t self) {
+    // Name this worker's Perfetto track up front, before any span can be
+    // recorded from it (the name survives enable/disable cycles).
+    telemetry::Tracer::instance().set_thread_name(
+        "geo-worker-" + std::to_string(self));
     for (;;) {
       std::shared_ptr<Batch> batch = take(self);
       if (batch) {

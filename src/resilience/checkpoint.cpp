@@ -9,6 +9,7 @@
 #include <fstream>
 
 #include "resilience/crc32.hpp"
+#include "telemetry/journal.hpp"
 #include "telemetry/metrics.hpp"
 
 namespace geo::resilience {
@@ -94,6 +95,9 @@ geo::Status write_checkpoint(const std::string& path,
   telemetry::MetricsRegistry::instance()
       .counter("resilience.checkpoints_written")
       .add(1);
+  if (auto& journal = telemetry::Journal::instance(); journal.enabled())
+    journal.record("checkpoint.commit", path,
+                   {{"bytes", static_cast<double>(image.size())}});
   return geo::Status();
 }
 

@@ -11,6 +11,7 @@
 #include "exec/thread_pool.hpp"
 #include "fault/fault_model.hpp"
 #include "nn/sc_layers.hpp"
+#include "telemetry/journal.hpp"
 #include "telemetry/metrics.hpp"
 
 namespace geo::resilience {
@@ -254,6 +255,12 @@ struct TileSignals {
           other.hits[static_cast<std::size_t>(d)];
     any = any || other.any;
   }
+
+  std::int64_t count() const {
+    std::int64_t n = 0;
+    for (const std::int64_t h : hits) n += h;
+    return n;
+  }
 };
 
 // The Detect kind an uncorrectable ECC event reports under this model.
@@ -373,6 +380,9 @@ geo::StatusOr<arch::MachineResult> ResilientExecutor::run_conv(
                           cfg.stream_len, per_channel, result.activations);
       outcome.tiles = 0;  // no machine tiles; the whole layer is one unit
       outcome.ledger_ok = true;
+      if (auto& journal = telemetry::Journal::instance(); journal.enabled())
+        journal.record("resilience.accept", outcome.layer, {},
+                       to_string(rung));
       metrics.counter("fault.degraded").add(1);
       report_.layers.push_back(std::move(outcome));
       return result;
@@ -482,6 +492,13 @@ geo::StatusOr<arch::MachineResult> ResilientExecutor::run_conv(
         exec.add_stall_cycles(stall);
         rung_backoff += stall;
         serial_cycles += stall;
+        if (auto& journal = telemetry::Journal::instance(); journal.enabled())
+          journal.record("resilience.retry", outcome.layer,
+                         {{"tile", static_cast<double>(tile)},
+                          {"attempt", static_cast<double>(attempt)},
+                          {"stall_cycles", static_cast<double>(stall)},
+                          {"detections", static_cast<double>(sig.count())}},
+                         to_string(rung));
         // Drop the cached activation streams so the retry re-reads SRAM and
         // regenerates them — under a transient fault model the re-roll can
         // clear the fault; under the defect model it reproduces it and the
@@ -503,6 +520,13 @@ geo::StatusOr<arch::MachineResult> ResilientExecutor::run_conv(
         outcome.abandoned_cycles +=
             st.compute_cycles + st.stall_cycles + st.nearmem_cycles;
       }
+      if (auto& journal = telemetry::Journal::instance(); journal.enabled())
+        journal.record(
+            "resilience.degrade", outcome.layer,
+            {{"retries", static_cast<double>(outcome.retries)},
+             {"abandoned_cycles",
+              static_cast<double>(outcome.abandoned_cycles)}},
+            to_string(rung));
       continue;
     }
 
@@ -510,11 +534,21 @@ geo::StatusOr<arch::MachineResult> ResilientExecutor::run_conv(
     if (!result.stats.ledger_ok) {
       outcome.detections[static_cast<std::size_t>(Detect::kLedger)] += 1;
       outcome.abandoned_cycles += result.stats.total_cycles;
+      if (auto& journal = telemetry::Journal::instance(); journal.enabled())
+        journal.record("resilience.degrade", outcome.layer, {},
+                       "ledger-mismatch");
       continue;  // an unreconciled ledger is a detection: descend
     }
     outcome.tiles = tiles;
     outcome.backoff_cycles += rung_backoff;
     outcome.ledger_ok = true;
+    if (auto& journal = telemetry::Journal::instance();
+        journal.enabled() && (outcome.degraded || outcome.tiles_retried > 0))
+      journal.record("resilience.accept", outcome.layer,
+                     {{"tiles_retried",
+                       static_cast<double>(outcome.tiles_retried)},
+                      {"retries", static_cast<double>(outcome.retries)}},
+                     to_string(rung));
     if (outcome.degraded) metrics.counter("fault.degraded").add(1);
     report_.layers.push_back(std::move(outcome));
     return result;

@@ -191,6 +191,7 @@ const StreamTable* StreamTableRegistry::acquire(RngKind kind,
       // specs) degrades to the tick path instead of unbounded memory.
       const std::uint64_t need = StreamTable::bytes_for(spec.bits, length);
       std::uint8_t publish = 3;
+      std::int64_t build_ns = 0;
       if (need <= kMaxTableBytes) {
         if (bytes_.fetch_add(need, std::memory_order_relaxed) + need <=
             budget_bytes_) {
@@ -198,10 +199,10 @@ const StreamTable* StreamTableRegistry::acquire(RngKind kind,
             const auto t0 = std::chrono::steady_clock::now();
             entry->table = StreamTable::build(kind, spec, length);
             const auto t1 = std::chrono::steady_clock::now();
-            metrics.counter("machine.stream_table_build_ns")
-                .add(std::chrono::duration_cast<std::chrono::nanoseconds>(
-                         t1 - t0)
-                         .count());
+            build_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                           t1 - t0)
+                           .count();
+            metrics.counter("machine.stream_table_build_ns").add(build_ns);
             publish = 2;
           } catch (...) {
             bytes_.fetch_sub(need, std::memory_order_relaxed);
@@ -212,6 +213,14 @@ const StreamTable* StreamTableRegistry::acquire(RngKind kind,
       }
       entry->state.store(publish, std::memory_order_release);
       entry->state.notify_all();
+      if (auto& journal = telemetry::Journal::instance(); journal.enabled())
+        journal.record(
+            publish == 2 ? "stream_table.build" : "stream_table.fallback",
+            std::string(to_string(kind)) + "/b" +
+                std::to_string(spec.bits) + "/L" + std::to_string(length),
+            {{"bytes", static_cast<double>(need)},
+             {"build_ns", static_cast<double>(build_ns)}},
+            publish == 2 ? std::string_view{} : "budget");
       if (publish == 2) {
         misses_.fetch_add(1, std::memory_order_relaxed);
         metrics.counter("machine.stream_table_misses").add(1);

@@ -1,0 +1,161 @@
+#include "telemetry/journal.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include "telemetry/json.hpp"
+
+namespace geo::telemetry {
+
+namespace {
+
+constexpr std::size_t kDefaultCapacity = 4096;
+constexpr std::size_t kMaxCapacity = std::size_t{1} << 22;
+
+std::uint32_t journal_tid() {
+  static std::atomic<std::uint32_t> next{1};
+  thread_local const std::uint32_t id =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+const std::chrono::steady_clock::time_point g_epoch =
+    std::chrono::steady_clock::now();
+
+double journal_now_us() {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - g_epoch)
+      .count();
+}
+
+std::string args_to_json(std::initializer_list<JournalArg> args) {
+  if (args.size() == 0) return {};
+  Json obj = Json::object();
+  for (const JournalArg& a : args) obj.set(a.key, Json(a.value));
+  return obj.dump(0);
+}
+
+std::size_t env_capacity() {
+  const char* raw = std::getenv("GEO_JOURNAL_CAP");
+  if (raw == nullptr || raw[0] == '\0') return kDefaultCapacity;
+  char* end = nullptr;
+  const long long v = std::strtoll(raw, &end, 10);
+  if (end == raw || *end != '\0' || v < 16 ||
+      v > static_cast<long long>(kMaxCapacity))
+    return kDefaultCapacity;
+  return static_cast<std::size_t>(v);
+}
+
+}  // namespace
+
+Journal& Journal::instance() {
+  static Journal journal;
+  return journal;
+}
+
+Journal::Journal() : capacity_(env_capacity()) {
+  if (const char* path = std::getenv("GEO_JOURNAL");
+      path != nullptr && path[0] != '\0')
+    enable(path);
+}
+
+Journal::~Journal() { flush(); }
+
+void Journal::enable(std::string path, std::size_t capacity) {
+  std::lock_guard lock(mu_);
+  path_ = std::move(path);
+  if (capacity > 0 && capacity != capacity_) {
+    capacity_ = capacity;
+    ring_.clear();
+    count_ = 0;
+    next_seq_ = 0;
+    flushed_ = 0;
+  }
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void Journal::disable() {
+  enabled_.store(false, std::memory_order_relaxed);
+  std::lock_guard lock(mu_);
+  path_.clear();
+  ring_.clear();
+  count_ = 0;
+  next_seq_ = 0;
+  flushed_ = 0;
+}
+
+void Journal::record(std::string_view kind, std::string_view label,
+                     std::initializer_list<JournalArg> args,
+                     std::string_view note) {
+  if (!enabled()) return;
+  JournalEntry entry;
+  entry.ts_us = journal_now_us();
+  entry.tid = journal_tid();
+  entry.kind.assign(kind);
+  entry.label.assign(label);
+  entry.note.assign(note);
+  entry.args_json = args_to_json(args);
+  std::lock_guard lock(mu_);
+  if (ring_.size() != capacity_) ring_.resize(capacity_);
+  entry.seq = next_seq_++;
+  ring_[static_cast<std::size_t>(entry.seq % capacity_)] = std::move(entry);
+  if (count_ < capacity_) ++count_;
+}
+
+std::size_t Journal::event_count() const {
+  std::lock_guard lock(mu_);
+  return count_;
+}
+
+std::uint64_t Journal::dropped() const {
+  std::lock_guard lock(mu_);
+  return next_seq_ - flushed_ - count_;
+}
+
+std::vector<JournalEntry> Journal::snapshot() const {
+  std::lock_guard lock(mu_);
+  std::vector<JournalEntry> out;
+  out.reserve(count_);
+  const std::uint64_t first = next_seq_ - count_;
+  for (std::uint64_t s = first; s < next_seq_; ++s)
+    out.push_back(ring_[static_cast<std::size_t>(s % capacity_)]);
+  return out;
+}
+
+bool Journal::flush() {
+  std::string path;
+  std::vector<JournalEntry> entries;
+  {
+    // Drain and clear under one lock so an entry recorded concurrently
+    // with the file write lands in the next flush, never in a gap.
+    std::lock_guard lock(mu_);
+    if (path_.empty()) return true;
+    path = path_;
+    const std::uint64_t first = next_seq_ - count_;
+    entries.reserve(count_);
+    for (std::uint64_t s = first; s < next_seq_; ++s)
+      entries.push_back(
+          std::move(ring_[static_cast<std::size_t>(s % capacity_)]));
+    flushed_ += count_;
+    count_ = 0;
+    // next_seq_ keeps counting so seq stays monotone across flushes.
+  }
+  if (entries.empty()) return true;
+  std::ofstream os(path, std::ios::app);
+  if (!os) return false;
+  for (const JournalEntry& e : entries) {
+    char ts[48];
+    std::snprintf(ts, sizeof(ts), "%.3f", e.ts_us);
+    os << "{\"seq\":" << e.seq << ",\"ts_us\":" << ts
+       << ",\"tid\":" << e.tid << ",\"kind\":\"" << json_escape(e.kind)
+       << "\",\"label\":\"" << json_escape(e.label) << '"';
+    if (!e.note.empty()) os << ",\"note\":\"" << json_escape(e.note) << '"';
+    if (!e.args_json.empty()) os << ",\"args\":" << e.args_json;
+    os << "}\n";
+  }
+  return static_cast<bool>(os);
+}
+
+}  // namespace geo::telemetry

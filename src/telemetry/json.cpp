@@ -5,6 +5,7 @@
 #include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <iterator>
 
 namespace geo::telemetry {
 
@@ -180,6 +181,251 @@ bool json_valid(std::string_view text) {
   if (!p.value()) return false;
   p.skip_ws();
   return p.i == text.size();
+}
+
+// ---------------------------------------------------------------------------
+// Tree-building parser (inverse of dump). Same grammar as the validator but
+// materializes a Json value; kept separate so the validator stays allocation
+// free.
+
+namespace {
+
+void append_utf8(std::string& out, std::uint32_t cp) {
+  if (cp < 0x80) {
+    out += static_cast<char>(cp);
+  } else if (cp < 0x800) {
+    out += static_cast<char>(0xC0 | (cp >> 6));
+    out += static_cast<char>(0x80 | (cp & 0x3F));
+  } else if (cp < 0x10000) {
+    out += static_cast<char>(0xE0 | (cp >> 12));
+    out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+    out += static_cast<char>(0x80 | (cp & 0x3F));
+  } else {
+    out += static_cast<char>(0xF0 | (cp >> 18));
+    out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+    out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+    out += static_cast<char>(0x80 | (cp & 0x3F));
+  }
+}
+
+struct TreeParser {
+  std::string_view s;
+  std::size_t i = 0;
+  int depth = 0;
+
+  void skip_ws() {
+    while (i < s.size() && (s[i] == ' ' || s[i] == '\t' || s[i] == '\n' ||
+                            s[i] == '\r'))
+      ++i;
+  }
+  bool eat(char c) {
+    if (i < s.size() && s[i] == c) {
+      ++i;
+      return true;
+    }
+    return false;
+  }
+  bool literal(std::string_view word) {
+    if (s.substr(i, word.size()) != word) return false;
+    i += word.size();
+    return true;
+  }
+  bool hex4(std::uint32_t& out) {
+    if (i + 4 > s.size()) return false;
+    out = 0;
+    for (int k = 0; k < 4; ++k) {
+      const char c = s[i + static_cast<std::size_t>(k)];
+      std::uint32_t d;
+      if (c >= '0' && c <= '9') d = static_cast<std::uint32_t>(c - '0');
+      else if (c >= 'a' && c <= 'f') d = static_cast<std::uint32_t>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F') d = static_cast<std::uint32_t>(c - 'A' + 10);
+      else return false;
+      out = (out << 4) | d;
+    }
+    i += 4;
+    return true;
+  }
+  bool string(std::string& out) {
+    if (!eat('"')) return false;
+    out.clear();
+    while (i < s.size()) {
+      const char c = s[i];
+      if (c == '"') {
+        ++i;
+        return true;
+      }
+      if (c == '\\') {
+        ++i;
+        if (i >= s.size()) return false;
+        const char e = s[i++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            std::uint32_t cp;
+            if (!hex4(cp)) return false;
+            if (cp >= 0xD800 && cp <= 0xDBFF && i + 1 < s.size() &&
+                s[i] == '\\' && s[i + 1] == 'u') {
+              i += 2;
+              std::uint32_t lo;
+              if (!hex4(lo)) return false;
+              if (lo >= 0xDC00 && lo <= 0xDFFF)
+                cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+              else
+                return false;
+            }
+            append_utf8(out, cp);
+            break;
+          }
+          default: return false;
+        }
+        continue;
+      }
+      out += c;
+      ++i;
+    }
+    return false;
+  }
+  bool number(Json& out) {
+    const std::size_t start = i;
+    bool integral = true;
+    if (eat('-')) {}
+    while (i < s.size() && std::isdigit(static_cast<unsigned char>(s[i]))) ++i;
+    if (i == start || (i == start + 1 && s[start] == '-')) return false;
+    if (i < s.size() && s[i] == '.') {
+      integral = false;
+      ++i;
+      const std::size_t frac = i;
+      while (i < s.size() && std::isdigit(static_cast<unsigned char>(s[i])))
+        ++i;
+      if (i == frac) return false;
+    }
+    if (i < s.size() && (s[i] == 'e' || s[i] == 'E')) {
+      integral = false;
+      ++i;
+      if (i < s.size() && (s[i] == '+' || s[i] == '-')) ++i;
+      const std::size_t ex = i;
+      while (i < s.size() && std::isdigit(static_cast<unsigned char>(s[i])))
+        ++i;
+      if (i == ex) return false;
+    }
+    const std::string_view tok = s.substr(start, i - start);
+    if (integral) {
+      std::int64_t v = 0;
+      const auto [p, ec] =
+          std::from_chars(tok.data(), tok.data() + tok.size(), v);
+      if (ec == std::errc{} && p == tok.data() + tok.size()) {
+        out = Json(v);
+        return true;
+      }
+      // Falls through for magnitudes beyond int64: load as double.
+    }
+    double d = 0.0;
+    const auto [p, ec] = std::from_chars(tok.data(), tok.data() + tok.size(), d);
+    if (ec != std::errc{} || p != tok.data() + tok.size()) return false;
+    out = Json(d);
+    return true;
+  }
+  bool value(Json& out) {
+    if (++depth > 256) return false;
+    skip_ws();
+    bool ok = false;
+    if (i >= s.size()) {
+      ok = false;
+    } else if (s[i] == '{') {
+      ++i;
+      out = Json::object();
+      skip_ws();
+      if (eat('}')) {
+        ok = true;
+      } else {
+        ok = true;
+        while (ok) {
+          skip_ws();
+          std::string key;
+          ok = string(key);
+          if (!ok) break;
+          skip_ws();
+          Json child;
+          ok = eat(':') && value(child);
+          if (!ok) break;
+          out.set(std::move(key), std::move(child));
+          skip_ws();
+          if (eat(',')) continue;
+          ok = eat('}');
+          break;
+        }
+      }
+    } else if (s[i] == '[') {
+      ++i;
+      out = Json::array();
+      skip_ws();
+      if (eat(']')) {
+        ok = true;
+      } else {
+        ok = true;
+        while (ok) {
+          Json child;
+          ok = value(child);
+          if (!ok) break;
+          out.push(std::move(child));
+          skip_ws();
+          if (eat(',')) continue;
+          ok = eat(']');
+          break;
+        }
+      }
+    } else if (s[i] == '"') {
+      std::string str;
+      ok = string(str);
+      if (ok) out = Json(std::move(str));
+    } else if (s[i] == 't') {
+      ok = literal("true");
+      if (ok) out = Json(true);
+    } else if (s[i] == 'f') {
+      ok = literal("false");
+      if (ok) out = Json(false);
+    } else if (s[i] == 'n') {
+      ok = literal("null");
+      if (ok) out = Json();
+    } else {
+      ok = number(out);
+    }
+    --depth;
+    return ok;
+  }
+};
+
+}  // namespace
+
+std::optional<Json> Json::parse(std::string_view text) {
+  TreeParser p{text};
+  Json out;
+  if (!p.value(out)) return std::nullopt;
+  p.skip_ws();
+  if (p.i != text.size()) return std::nullopt;
+  return out;
+}
+
+std::optional<Json> Json::parse_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  return parse(text);
+}
+
+const Json* Json::find(std::string_view key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  for (const auto& [k, v] : object_)
+    if (k == key) return &v;
+  return nullptr;
 }
 
 // ---------------------------------------------------------------------------

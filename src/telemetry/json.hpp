@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -34,8 +35,43 @@ class Json {
   // at dump time if `json_valid` fails, rendering null instead).
   static Json raw(std::string text);
 
+  // Parses `text` into a value tree. Returns nullopt on syntax error. The
+  // inverse of dump(): escape sequences are decoded, numbers without a
+  // fraction/exponent that fit an int64 load as integers, all others as
+  // doubles. Raw nodes are never produced.
+  static std::optional<Json> parse(std::string_view text);
+  // Reads and parses a whole file; nullopt if unreadable or invalid.
+  static std::optional<Json> parse_file(const std::string& path);
+
   bool is_object() const { return kind_ == Kind::kObject; }
   bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_number() const {
+    return kind_ == Kind::kNumber || kind_ == Kind::kInt;
+  }
+
+  // Value accessors; return the neutral value when the kind mismatches.
+  double number() const {
+    if (kind_ == Kind::kInt) return static_cast<double>(int_);
+    return kind_ == Kind::kNumber ? num_ : 0.0;
+  }
+  std::int64_t integer() const {
+    if (kind_ == Kind::kNumber) return static_cast<std::int64_t>(num_);
+    return kind_ == Kind::kInt ? int_ : 0;
+  }
+  bool boolean() const { return kind_ == Kind::kBool && bool_; }
+  const std::string& str() const { return str_; }
+
+  // Object member lookup (first match); nullptr when absent or not an
+  // object. Members/elements expose the underlying order-preserving storage
+  // for iteration.
+  const Json* find(std::string_view key) const;
+  const std::vector<std::pair<std::string, Json>>& members() const {
+    return object_;
+  }
+  const std::vector<Json>& elements() const { return array_; }
 
   // Object insertion (last writer wins is NOT implemented: duplicate keys
   // are appended; callers use unique keys). Returns *this for chaining.

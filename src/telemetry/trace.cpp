@@ -1,11 +1,16 @@
 #include "telemetry/trace.hpp"
 
-#include <atomic>
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
 #include "telemetry/export.hpp"
+#include "telemetry/journal.hpp"
 #include "telemetry/json.hpp"
 
 namespace geo::telemetry {
@@ -19,6 +24,26 @@ std::uint32_t current_tid() {
   return id;
 }
 
+int process_id() {
+#if defined(__unix__) || defined(__APPLE__)
+  static const int pid = static_cast<int>(::getpid());
+  return pid;
+#else
+  return 1;
+#endif
+}
+
+// Best-effort process name for the ph:"M" metadata; overridable via
+// Tracer::set_process_name.
+std::string default_process_name() {
+#if defined(__linux__)
+  std::ifstream comm("/proc/self/comm");
+  std::string name;
+  if (comm && std::getline(comm, name) && !name.empty()) return name;
+#endif
+  return "geo";
+}
+
 std::string args_to_json(std::initializer_list<TraceArg> args) {
   if (args.size() == 0) return {};
   Json obj = Json::object();
@@ -29,30 +54,43 @@ std::string args_to_json(std::initializer_list<TraceArg> args) {
 }  // namespace
 
 Tracer& Tracer::instance() {
-  static Tracer tracer;
-  return tracer;
+  // Intentionally leaked: pool workers name their shard at worker_main
+  // entry and may still be alive when main's static destructors run
+  // (ThreadPool teardown is not sequenced against this translation unit),
+  // so the shards must outlive every thread. The final flush that the
+  // destructor used to provide runs via atexit instead — flush() only
+  // takes per-shard locks, so it is safe against a late worker.
+  static Tracer* tracer = new Tracer();
+  return *tracer;
 }
 
 Tracer::Tracer() : epoch_(std::chrono::steady_clock::now()) {
+  process_name_ = default_process_name();
+  // The constructing thread is almost always main; pool workers rename
+  // themselves at startup, so a mislabel self-corrects.
+  set_thread_name("geo-main");
   if (const char* path = std::getenv("GEO_TRACE");
       path != nullptr && path[0] != '\0')
     enable(path);
+  std::atexit([] { Tracer::instance().flush(); });
 }
 
 Tracer::~Tracer() { flush(); }
 
 void Tracer::enable(std::string path) {
-  std::lock_guard lock(mutex_);
+  std::lock_guard lock(mu_);
   path_ = std::move(path);
   enabled_.store(true, std::memory_order_relaxed);
 }
 
 void Tracer::disable() {
-  std::lock_guard lock(mutex_);
   enabled_.store(false, std::memory_order_relaxed);
-  events_.clear();
-  dirty_ = false;
+  std::lock_guard lock(mu_);
   path_.clear();
+  for (const auto& shard : shards_) {
+    std::lock_guard shard_lock(shard->mu);
+    shard->events.clear();
+  }
 }
 
 double Tracer::now_us() const {
@@ -61,16 +99,32 @@ double Tracer::now_us() const {
       .count();
 }
 
+Tracer::Shard& Tracer::local_shard() {
+  // Cached per-thread shard pointer. Shards are owned by the (singleton)
+  // tracer and never deallocated before process exit, so the cache cannot
+  // dangle; a fresh thread starts at nullptr and registers on first use.
+  thread_local Shard* cached = nullptr;
+  if (cached == nullptr) {
+    auto owned = std::make_unique<Shard>(current_tid());
+    cached = owned.get();
+    std::lock_guard lock(mu_);
+    shards_.push_back(std::move(owned));
+  }
+  return *cached;
+}
+
 void Tracer::record(char phase, std::string_view name,
                     std::string_view category,
-                    std::initializer_list<TraceArg> args) {
+                    std::initializer_list<TraceArg> args,
+                    std::uint64_t flow_id) {
+  // Callers check enabled() before any of this work; the only lock taken
+  // is the calling thread's own shard mutex, contended only by a
+  // concurrent flush.
   const double ts = now_us();
-  const std::uint32_t tid = current_tid();
-  std::lock_guard lock(mutex_);
-  if (!enabled_.load(std::memory_order_relaxed)) return;  // raced a disable
-  events_.push_back(Event{ts, tid, phase, std::string(name),
-                          std::string(category), args_to_json(args)});
-  dirty_ = true;
+  Shard& shard = local_shard();
+  std::lock_guard lock(shard.mu);
+  shard.events.push_back(Event{ts, phase, flow_id, std::string(name),
+                               std::string(category), args_to_json(args)});
 }
 
 void Tracer::begin(std::string_view name, std::string_view category,
@@ -95,30 +149,147 @@ void Tracer::counter(std::string_view name, double value) {
   record('C', name, "counter", {{"value", value}});
 }
 
-std::size_t Tracer::event_count() const {
-  std::lock_guard lock(mutex_);
-  return events_.size();
+void Tracer::flow_out(std::string_view name, std::string_view category,
+                      std::uint64_t flow_id) {
+  if (!enabled()) return;
+  record('s', name, category, {}, flow_id);
 }
 
-std::string Tracer::render() const {
-  std::lock_guard lock(mutex_);
+void Tracer::flow_in(std::string_view name, std::string_view category,
+                     std::uint64_t flow_id) {
+  if (!enabled()) return;
+  record('f', name, category, {}, flow_id);
+}
+
+void Tracer::set_thread_name(std::string_view name) {
+  Shard& shard = local_shard();
+  std::lock_guard lock(shard.mu);
+  shard.thread_name.assign(name);
+}
+
+void Tracer::set_process_name(std::string_view name) {
+  std::lock_guard lock(mu_);
+  process_name_.assign(name);
+}
+
+std::size_t Tracer::event_count() const {
+  std::size_t n = 0;
+  std::lock_guard lock(mu_);
+  for (const auto& shard : shards_) {
+    std::lock_guard shard_lock(shard->mu);
+    n += shard->events.size();
+  }
+  return n;
+}
+
+std::vector<Tracer::ShardSnapshot> Tracer::collect(bool drain) const {
+  // Shard pointers are stable once registered (the vector owns them via
+  // unique_ptr), so only the list itself needs mu_.
+  std::vector<Shard*> shards;
+  {
+    std::lock_guard lock(mu_);
+    shards.reserve(shards_.size());
+    for (const auto& s : shards_) shards.push_back(s.get());
+  }
+  std::vector<ShardSnapshot> out;
+  out.reserve(shards.size());
+  for (Shard* shard : shards) {
+    std::lock_guard shard_lock(shard->mu);
+    ShardSnapshot snap;
+    snap.tid = shard->tid;
+    snap.thread_name = shard->thread_name;
+    if (drain)
+      snap.events = std::move(shard->events);
+    else
+      snap.events = shard->events;
+    if (drain) shard->events.clear();
+    out.push_back(std::move(snap));
+  }
+  return out;
+}
+
+std::string Tracer::emit(const std::vector<ShardSnapshot>& shards) const {
+  const int pid = process_id();
+  std::string process_name;
+  {
+    std::lock_guard lock(mu_);
+    process_name = process_name_;
+  }
+
+  // Merge shards into one timestamp-ordered stream. Ties break on (tid,
+  // per-shard index) so the output is deterministic and each thread's B/E
+  // nesting order is preserved (per-thread timestamps are monotone).
+  struct Ref {
+    double ts;
+    std::uint32_t tid;
+    std::size_t seq;
+    const Event* event;
+  };
+  std::vector<Ref> refs;
+  for (const ShardSnapshot& shard : shards)
+    for (std::size_t k = 0; k < shard.events.size(); ++k)
+      refs.push_back(Ref{shard.events[k].ts_us, shard.tid, k,
+                         &shard.events[k]});
+  std::sort(refs.begin(), refs.end(), [](const Ref& a, const Ref& b) {
+    if (a.ts != b.ts) return a.ts < b.ts;
+    if (a.tid != b.tid) return a.tid < b.tid;
+    return a.seq < b.seq;
+  });
+
   std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
-  for (std::size_t i = 0; i < events_.size(); ++i) {
-    const Event& e = events_[i];
-    if (i > 0) out += ',';
-    out += "\n{\"name\":\"";
+  bool first = true;
+  auto comma = [&] {
+    if (!first) out += ',';
+    first = false;
+    out += "\n";
+  };
+
+  // Metadata first: process identity, then one named track per shard that
+  // asked for a name. Sort indices keep tracks in registration order and
+  // distinct binaries in pid order inside Perfetto.
+  comma();
+  out += "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" +
+         std::to_string(pid) + ",\"tid\":0,\"args\":{\"name\":\"" +
+         json_escape(process_name) + "\"}}";
+  comma();
+  out += "{\"name\":\"process_sort_index\",\"ph\":\"M\",\"pid\":" +
+         std::to_string(pid) + ",\"tid\":0,\"args\":{\"sort_index\":" +
+         std::to_string(pid) + "}}";
+  for (const ShardSnapshot& shard : shards) {
+    if (shard.thread_name.empty()) continue;
+    comma();
+    out += "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":" +
+           std::to_string(pid) + ",\"tid\":" + std::to_string(shard.tid) +
+           ",\"args\":{\"name\":\"" + json_escape(shard.thread_name) + "\"}}";
+    comma();
+    out += "{\"name\":\"thread_sort_index\",\"ph\":\"M\",\"pid\":" +
+           std::to_string(pid) + ",\"tid\":" + std::to_string(shard.tid) +
+           ",\"args\":{\"sort_index\":" + std::to_string(shard.tid) + "}}";
+  }
+
+  for (const Ref& ref : refs) {
+    const Event& e = *ref.event;
+    comma();
+    out += "{\"name\":\"";
     out += json_escape(e.name);
     out += "\",\"cat\":\"";
     out += json_escape(e.category);
     out += "\",\"ph\":\"";
     out += e.phase;
-    out += "\",\"pid\":1,\"tid\":";
-    out += std::to_string(e.tid);
+    out += "\",\"pid\":";
+    out += std::to_string(pid);
+    out += ",\"tid\":";
+    out += std::to_string(ref.tid);
     out += ",\"ts\":";
     {
       char buf[48];
       std::snprintf(buf, sizeof(buf), "%.3f", e.ts_us);
       out += buf;
+    }
+    if (e.phase == 's' || e.phase == 'f') {
+      out += ",\"id\":";
+      out += std::to_string(e.flow_id);
+      if (e.phase == 'f') out += ",\"bp\":\"e\"";
     }
     if (!e.args_json.empty()) {
       out += ",\"args\":";
@@ -130,20 +301,20 @@ std::string Tracer::render() const {
   return out;
 }
 
+std::string Tracer::render() const { return emit(collect(/*drain=*/false)); }
+
 bool Tracer::flush() {
   std::string path;
-  std::string doc;
   {
-    std::lock_guard lock(mutex_);
-    if (!dirty_ || path_.empty()) return true;
-  }
-  doc = render();
-  {
-    std::lock_guard lock(mutex_);
+    std::lock_guard lock(mu_);
     path = path_;
-    events_.clear();
-    dirty_ = false;
   }
+  if (path.empty()) return true;
+  if (event_count() == 0) return true;  // nothing new since the last flush
+  // Draining copies-and-clears each shard under its own lock, so an event
+  // recorded while the file is being written stays buffered for the next
+  // flush instead of being silently discarded.
+  const std::string doc = emit(collect(/*drain=*/true));
   std::ofstream os(path);
   if (!os) return false;
   os << doc << '\n';
@@ -177,6 +348,7 @@ ScopedTimer::~ScopedTimer() {
 
 void shutdown() {
   Tracer::instance().flush();
+  Journal::instance().flush();
   export_metrics_if_requested(MetricsRegistry::instance());
 }
 

@@ -6,11 +6,22 @@
 // single relaxed atomic load per span, so instrumentation can stay in hot
 // code unconditionally. Buffered events are written at process exit, or
 // earlier via `flush()` / `telemetry::shutdown()`.
+//
+// Recording is sharded: each thread appends to its own buffer under a
+// per-shard mutex that is uncontended except while a flush drains it, so
+// worker threads never serialize on a global lock per event. Flow events
+// (`flow_out` / `flow_in`) draw Perfetto arrows from a submitting span to
+// the spans it fans out, across threads and steals; `set_thread_name` /
+// `set_process_name` become `ph:"M"` metadata so tracks read
+// `geo-worker-N` instead of bare tids and multiple binaries don't collide
+// on one pid.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <initializer_list>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <string_view>
@@ -36,7 +47,8 @@ class Tracer {
 
   // Starts (or redirects) recording to `path`. Buffered events are kept.
   void enable(std::string path);
-  // Stops recording and drops any buffered events.
+  // Stops recording and drops any buffered events (thread/process names are
+  // kept; they describe the process, not a recording session).
   void disable();
 
   // Duration-begin / duration-end ("B"/"E") events on the calling thread.
@@ -49,12 +61,35 @@ class Tracer {
   // Counter ("C") event: one sampled series value.
   void counter(std::string_view name, double value);
 
+  // Flow events: a "s" (flow start) recorded inside a span on the
+  // submitting thread, matched by "f" (flow finish, binding-point
+  // "enclosing") events recorded inside the fanned-out spans. Perfetto
+  // renders these as arrows from the parent span to each child span, even
+  // when a steal moved the child to another worker. Allocate ids with
+  // next_flow_id(); name/category must match across the s/f pair.
+  std::uint64_t next_flow_id() {
+    return next_flow_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void flow_out(std::string_view name, std::string_view category,
+                std::uint64_t flow_id);
+  void flow_in(std::string_view name, std::string_view category,
+               std::uint64_t flow_id);
+
+  // Names the calling thread's track / this process in the rendered trace
+  // (synthesized as ph:"M" metadata; not counted by event_count()). Cheap
+  // enough to call unconditionally at thread start.
+  void set_thread_name(std::string_view name);
+  void set_process_name(std::string_view name);
+
   std::size_t event_count() const;
 
   // Renders the buffered events as a Chrome-trace JSON document.
   std::string render() const;
 
-  // Writes render() to the configured path and clears the buffer.
+  // Writes the buffered events to the configured path and clears the
+  // buffer. Events recorded concurrently with a flush are never dropped:
+  // each shard is copied and cleared under its own lock, so a racing
+  // record lands either in the written document or in the retained buffer.
   // No-op (returns true) when there is nothing new to write.
   bool flush();
 
@@ -65,22 +100,42 @@ class Tracer {
 
   struct Event {
     double ts_us;
-    std::uint32_t tid;
     char phase;
+    std::uint64_t flow_id;  // nonzero only for "s"/"f" events
     std::string name;
     std::string category;
     std::string args_json;  // pre-rendered "args" object, may be empty
   };
 
+  // Per-thread event buffer. Owned by the tracer (not the thread) so
+  // buffered events survive thread exit until the next flush.
+  struct Shard {
+    explicit Shard(std::uint32_t t) : tid(t) {}
+    const std::uint32_t tid;
+    std::mutex mu;  // guards events + thread_name; uncontended off-flush
+    std::vector<Event> events;
+    std::string thread_name;
+  };
+
+  struct ShardSnapshot {
+    std::uint32_t tid;
+    std::string thread_name;
+    std::vector<Event> events;
+  };
+
+  Shard& local_shard();
   void record(char phase, std::string_view name, std::string_view category,
-              std::initializer_list<TraceArg> args);
+              std::initializer_list<TraceArg> args, std::uint64_t flow_id = 0);
   double now_us() const;
+  std::vector<ShardSnapshot> collect(bool drain) const;
+  std::string emit(const std::vector<ShardSnapshot>& shards) const;
 
   std::atomic<bool> enabled_{false};
-  mutable std::mutex mutex_;
+  std::atomic<std::uint64_t> next_flow_{1};
+  mutable std::mutex mu_;  // guards path_, process_name_, shards_ growth
   std::string path_;
-  std::vector<Event> events_;
-  bool dirty_ = false;  // events recorded since the last flush
+  std::string process_name_;
+  std::vector<std::unique_ptr<Shard>> shards_;
   std::chrono::steady_clock::time_point epoch_;
 };
 
@@ -107,9 +162,9 @@ class ScopedTimer {
   std::chrono::steady_clock::time_point start_;
 };
 
-// Flushes the trace buffer (if tracing) and exports metrics (if
-// GEO_METRICS is set). Safe to call multiple times; also runs implicitly
-// at process exit.
+// Flushes the trace buffer (if tracing), the event journal (if
+// GEO_JOURNAL is set), and exports metrics (if GEO_METRICS is set). Safe
+// to call multiple times; also runs implicitly at process exit.
 void shutdown();
 
 }  // namespace geo::telemetry

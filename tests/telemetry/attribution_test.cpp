@@ -1,0 +1,227 @@
+// Per-layer cycle attribution: the bucket split itself, the process-wide
+// ledger fed by ConvExecution::finish(), its attr.* gauge mirror and JSON
+// form, and the two load-bearing invariants — buckets partition
+// total_cycles at every GEO_THREADS, and fault-recovery stalls land in the
+// stall bucket (not generation). Lives in the telemetry suite because it
+// resets the global ledger and resizes the pool.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "arch/attribution.hpp"
+#include "arch/machine.hpp"
+#include "exec/thread_pool.hpp"
+#include "fault/fault_model.hpp"
+#include "resilience/resilience.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace geo::arch {
+namespace {
+
+struct Fixture {
+  ConvShape shape;
+  std::vector<float> weights, input, ones, zeros;
+
+  explicit Fixture(const char* name) {
+    shape = ConvShape::conv(name, 4, 6, 5, 3, 1, false);
+    std::mt19937 rng(77);
+    std::uniform_real_distribution<float> wdist(-0.8f, 0.8f);
+    std::uniform_real_distribution<float> adist(0.0f, 1.0f);
+    weights.resize(static_cast<std::size_t>(shape.weights()));
+    for (auto& w : weights) w = wdist(rng);
+    input.resize(static_cast<std::size_t>(shape.activations()));
+    for (auto& a : input) a = adist(rng);
+    ones.assign(static_cast<std::size_t>(shape.cout), 1.0f);
+    zeros.assign(static_cast<std::size_t>(shape.cout), 0.0f);
+  }
+};
+
+HwConfig small_hw() {
+  HwConfig hw = HwConfig::ulp();
+  hw.accum = nn::AccumMode::kPbw;
+  hw.stream_len = 64;
+  hw.stream_len_pool = 64;
+  hw.stream_len_output = 64;
+  return hw;
+}
+
+TEST(Attribution, SplitsLedgerIntoFourBucketsThatPartitionTotal) {
+  MachineStats st;
+  st.passes = 2;
+  st.compute_cycles = 100;
+  st.stall_cycles = 30;
+  st.retry_stall_cycles = 10;
+  st.nearmem_cycles = 20;
+  st.total_cycles = 150;
+  st.ledger_ok = true;
+
+  const CycleAttribution a = attribute(st);
+  EXPECT_EQ(a.execution_cycles, 100);
+  EXPECT_EQ(a.generation_cycles, 20) << "stall minus fault-recovery share";
+  EXPECT_EQ(a.stall_cycles, 10);
+  EXPECT_EQ(a.memory_cycles, 20);
+  EXPECT_EQ(a.total_cycles, 150);
+  EXPECT_EQ(a.passes, 2);
+  EXPECT_TRUE(a.reconciles());
+  EXPECT_TRUE(a.ledger_ok);
+}
+
+TEST(Attribution, RejectsUnreconcilableStats) {
+  MachineStats st;
+  st.compute_cycles = 100;
+  st.stall_cycles = 5;
+  st.retry_stall_cycles = 10;  // more retry stall than stall: impossible
+  st.nearmem_cycles = 0;
+  st.total_cycles = 105;
+  st.ledger_ok = true;
+  const CycleAttribution a = attribute(st);
+  EXPECT_FALSE(a.reconciles()) << "negative generation bucket";
+  EXPECT_FALSE(a.ledger_ok);
+
+  MachineStats off = st;
+  off.retry_stall_cycles = 0;
+  off.total_cycles = 999;  // buckets no longer sum to total
+  EXPECT_FALSE(attribute(off).reconciles());
+}
+
+TEST(Attribution, AccumulationAddsFieldwiseAndAndsLedger) {
+  CycleAttribution a;
+  a.generation_cycles = 1;
+  a.execution_cycles = 2;
+  a.stall_cycles = 3;
+  a.memory_cycles = 4;
+  a.total_cycles = 10;
+  a.passes = 1;
+  CycleAttribution b = a;
+  b.ledger_ok = false;
+  a += b;
+  EXPECT_EQ(a.generation_cycles, 2);
+  EXPECT_EQ(a.execution_cycles, 4);
+  EXPECT_EQ(a.stall_cycles, 6);
+  EXPECT_EQ(a.memory_cycles, 8);
+  EXPECT_EQ(a.total_cycles, 20);
+  EXPECT_EQ(a.passes, 2);
+  EXPECT_FALSE(a.ledger_ok) << "one bad layer poisons the rollup";
+}
+
+TEST(Attribution, MachineRunsFeedLedgerIdenticallyAtAnyThreadCount) {
+  fault::ScopedFaultInjection off(nullptr);
+  const Fixture f("attr_l1");
+  const HwConfig hw = small_hw();
+  auto& ledger = AttributionLedger::instance();
+
+  CycleAttribution serial, parallel;
+  {
+    exec::ScopedThreads pool(1);
+    ledger.reset();
+    GeoMachine machine(hw);
+    const MachineResult r =
+        machine.run_conv(f.shape, f.weights, f.input, f.ones, f.zeros, 9);
+    ASSERT_TRUE(r.stats.ledger_ok);
+    serial = ledger.total();
+    // The run's ledger lands in the buckets untouched: no faults means the
+    // whole stall budget is generation cost.
+    EXPECT_EQ(serial.execution_cycles, r.stats.compute_cycles);
+    EXPECT_EQ(serial.generation_cycles, r.stats.stall_cycles);
+    EXPECT_EQ(serial.stall_cycles, 0);
+    EXPECT_EQ(serial.memory_cycles, r.stats.nearmem_cycles);
+    EXPECT_EQ(serial.total_cycles, r.stats.total_cycles);
+  }
+  {
+    exec::ScopedThreads pool(8);
+    ledger.reset();
+    GeoMachine machine(hw);
+    const MachineResult r =
+        machine.run_conv(f.shape, f.weights, f.input, f.ones, f.zeros, 9);
+    ASSERT_TRUE(r.stats.ledger_ok);
+    parallel = ledger.total();
+  }
+
+  EXPECT_TRUE(serial.reconciles());
+  EXPECT_TRUE(parallel.reconciles());
+  EXPECT_EQ(serial.generation_cycles, parallel.generation_cycles);
+  EXPECT_EQ(serial.execution_cycles, parallel.execution_cycles);
+  EXPECT_EQ(serial.stall_cycles, parallel.stall_cycles);
+  EXPECT_EQ(serial.memory_cycles, parallel.memory_cycles);
+  EXPECT_EQ(serial.total_cycles, parallel.total_cycles);
+
+  // Per-layer table keys off the shape name, and the attr.* gauges mirror
+  // the running totals.
+  const auto layers = AttributionLedger::instance().layers();
+  ASSERT_EQ(layers.size(), 1u);
+  EXPECT_EQ(layers[0].first, "attr_l1");
+  auto& reg = telemetry::MetricsRegistry::instance();
+  EXPECT_DOUBLE_EQ(reg.gauge("attr.total_cycles").value(),
+                   static_cast<double>(parallel.total_cycles));
+  EXPECT_DOUBLE_EQ(reg.gauge("attr.execution_cycles").value(),
+                   static_cast<double>(parallel.execution_cycles));
+  AttributionLedger::instance().reset();
+}
+
+TEST(Attribution, RetryBackoffLandsInStallBucketNotGeneration) {
+  const Fixture f("attr_retry");
+  const HwConfig hw = small_hw();
+
+  fault::FaultConfig cfg;
+  cfg.sram_error_rate = 2e-4;
+  cfg.sram_burst = 2;
+  cfg.ecc = fault::EccMode::kSecded;
+  cfg.transient = true;
+  cfg.rng_seed = 1;
+  fault::ScopedFaultInjection inject(cfg);
+
+  auto& ledger = AttributionLedger::instance();
+  ledger.reset();
+  resilience::RetryPolicy policy;
+  policy.retries = 8;
+  resilience::ResilientExecutor exec(hw, policy);
+  auto r = exec.run_conv(f.shape, f.weights, f.input, f.ones, f.zeros, 9,
+                         "attr_retry");
+  ASSERT_TRUE(r.ok()) << r.status().to_string();
+  ASSERT_GE(exec.report().layers[0].tiles_retried, 1);
+
+  const CycleAttribution total = ledger.total();
+  EXPECT_TRUE(total.reconciles())
+      << "buckets must still partition total_cycles under retries";
+  EXPECT_GT(total.stall_cycles, 0) << "retry backoff is fault-recovery cost";
+  EXPECT_GE(total.generation_cycles, 0)
+      << "generation never absorbs (or goes negative from) retry stalls";
+  EXPECT_GT(total.execution_cycles, 0);
+  ledger.reset();
+}
+
+TEST(Attribution, JsonFormCarriesTotalsAndPerLayerRows) {
+  fault::ScopedFaultInjection off(nullptr);
+  const Fixture f("attr_json");
+  auto& ledger = AttributionLedger::instance();
+  ledger.reset();
+  GeoMachine machine(small_hw());
+  machine.run_conv(f.shape, f.weights, f.input, f.ones, f.zeros, 9);
+
+  const telemetry::Json doc = attribution_to_json(ledger);
+  const CycleAttribution total = ledger.total();
+  EXPECT_EQ(doc.find("total_cycles")->integer(), total.total_cycles);
+  EXPECT_EQ(doc.find("generation_cycles")->integer(),
+            total.generation_cycles);
+  EXPECT_TRUE(doc.find("ledger_ok")->boolean());
+  const telemetry::Json* layers = doc.find("layers");
+  ASSERT_NE(layers, nullptr);
+  ASSERT_EQ(layers->elements().size(), 1u);
+  const telemetry::Json& row = layers->elements()[0];
+  EXPECT_EQ(row.find("layer")->str(), "attr_json");
+  EXPECT_EQ(row.find("execution_cycles")->integer(),
+            total.execution_cycles);
+
+  // The rendered document round-trips through the parser the diff gate
+  // uses, so bench JSON attr blocks are gateable as-is.
+  auto back = telemetry::Json::parse(doc.dump(2));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->find("total_cycles")->integer(), total.total_cycles);
+  ledger.reset();
+}
+
+}  // namespace
+}  // namespace geo::arch
