@@ -16,6 +16,7 @@ set(GEO_BENCHES
   ablation_pipeline
   micro_sc_kernels
   fault_sweep
+  serve
 )
 
 foreach(name ${GEO_BENCHES})

@@ -30,6 +30,7 @@ RULES = [
     ("*build_ns*", 0.0, 0.0, 0, True),
     ("*_wall_s*", 0.0, 0.0, 0, True),
     ("*per_s*", 0.0, 0.0, 0, True),               # measured, not simulated
+    ("*_us", 0.0, 0.0, 0, True),                  # wall-clock latency (serve)
     # Run-shape diagnostics: trainer metrics only appear when the trained-
     # model cache misses, and stream-table hit/generation/fill counts depend
     # on that cache plus the pool width (GEO_THREADS). The cycle ledger and

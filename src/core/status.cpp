@@ -10,6 +10,9 @@ const char* to_string(StatusCode code) noexcept {
     case StatusCode::kOutOfRange: return "out-of-range";
     case StatusCode::kDataLoss: return "data-loss";
     case StatusCode::kInternal: return "internal";
+    case StatusCode::kResourceExhausted: return "resource-exhausted";
+    case StatusCode::kDeadlineExceeded: return "deadline-exceeded";
+    case StatusCode::kUnavailable: return "unavailable";
   }
   return "?";
 }

@@ -25,6 +25,9 @@ enum class StatusCode {
   kOutOfRange,         // value outside its representable/legal range
   kDataLoss,           // results were produced but are unusable (fail closed)
   kInternal,           // invariant violation inside the library
+  kResourceExhausted,  // a bounded resource (queue slot, quota) was refused
+  kDeadlineExceeded,   // the request's deadline expired before completion
+  kUnavailable,        // the serving component is not accepting work
 };
 
 const char* to_string(StatusCode code) noexcept;
@@ -47,6 +50,15 @@ class Status {
   }
   static Status internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status resource_exhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status deadline_exceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const noexcept { return code_ == StatusCode::kOk; }

@@ -1,0 +1,84 @@
+// Cooperative cancellation for long-running executions.
+//
+// A CancelToken carries a manual cancel flag and an optional wall-clock
+// deadline; execution engines poll it at natural preemption points — the
+// machine's tile boundaries (exec::ParallelConvRunner, the resilience
+// layer's serial retry loop) — so an expired or abandoned request stops
+// charging cycles within one tile and frees its replica promptly
+// (docs/SERVING.md). Cancellation is sticky: once `cancelled()` has
+// returned true it returns true forever, so every observer of one token
+// agrees on the outcome.
+//
+// All members are lock-free atomics; one token may be polled from many
+// worker threads while another thread cancels it.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace geo::exec {
+
+class CancelToken {
+ public:
+  CancelToken() = default;
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  // Requests cancellation; the next poll observes it.
+  void cancel() noexcept { cancelled_.store(true, std::memory_order_relaxed); }
+
+  // Arms the wall-clock deadline; polls after `tp` report cancelled.
+  void set_deadline(std::chrono::steady_clock::time_point tp) noexcept {
+    deadline_ns_.store(tp.time_since_epoch().count(),
+                       std::memory_order_relaxed);
+  }
+  bool has_deadline() const noexcept {
+    return deadline_ns_.load(std::memory_order_relaxed) != 0;
+  }
+
+  // Test hook: the Nth `cancelled()` poll (1-based) trips the token, which
+  // makes "the deadline expired between tiles K and K+1" deterministic.
+  void trip_after(std::int64_t polls) noexcept {
+    trip_after_.store(polls, std::memory_order_relaxed);
+  }
+
+  // Poll point. Counts the poll, then reports (stickily) whether the token
+  // has been cancelled, tripped, or carried past its deadline.
+  bool cancelled() noexcept {
+    const std::int64_t n = polls_.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (cancelled_.load(std::memory_order_relaxed)) return true;
+    const std::int64_t trip = trip_after_.load(std::memory_order_relaxed);
+    if (trip > 0 && n >= trip) {
+      cancel();
+      return true;
+    }
+    const std::int64_t deadline =
+        deadline_ns_.load(std::memory_order_relaxed);
+    if (deadline != 0 &&
+        std::chrono::steady_clock::now().time_since_epoch().count() >=
+            deadline) {
+      cancel();
+      return true;
+    }
+    return false;
+  }
+
+  // Passive peek: the current flag without registering a poll (reporting
+  // paths; does not re-evaluate the deadline).
+  bool cancel_requested() const noexcept {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+  std::int64_t polls() const noexcept {
+    return polls_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+  std::atomic<std::int64_t> deadline_ns_{0};  // steady_clock ns; 0 = none
+  std::atomic<std::int64_t> trip_after_{0};   // 0 = disabled
+  std::atomic<std::int64_t> polls_{0};
+};
+
+}  // namespace geo::exec

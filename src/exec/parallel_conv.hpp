@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "arch/machine.hpp"
+#include "exec/cancel.hpp"
 
 namespace geo::exec {
 
@@ -27,13 +28,19 @@ class ParallelConvRunner {
   // Runs every tile of `exec` exactly once. Serial (and bit-identical to
   // the plain loop) when the pool has one lane or the layer has one tile.
   // Exceptions from tiles are rethrown here, on the calling thread.
-  void run_all(arch::ConvExecution& exec);
+  //
+  // `cancel` (may be nullptr) is polled at every tile boundary: once it
+  // fires, the remaining tiles are skipped — no further tile charges a
+  // cycle — and the call returns false. A cancelled execution is partial
+  // and must be abandoned by the caller, never finished.
+  bool run_all(arch::ConvExecution& exec, CancelToken* cancel = nullptr);
 
   // Same, but also records each tile's first-run cost delta (indexed by
   // tile). The resilience layer uses the deltas to reconstruct the serial
   // ledger on a rung that fails mid-walk.
-  void run_all_recording(arch::ConvExecution& exec,
-                         std::vector<arch::MachineStats>& tile_costs);
+  bool run_all_recording(arch::ConvExecution& exec,
+                         std::vector<arch::MachineStats>& tile_costs,
+                         CancelToken* cancel = nullptr);
 
  private:
   ThreadPool* pool_;

@@ -88,6 +88,12 @@ RetryPolicy RetryPolicy::from_env() {
   if (!parsed.ok()) {
     std::fprintf(stderr, "geo: ignoring GEO_RETRY: %s\n",
                  parsed.status().message().c_str());
+    // The rejection must survive into postmortems, not just scroll past on
+    // stderr: a chaos run whose retry ladder silently ran on defaults is
+    // otherwise indistinguishable from a tuned one.
+    if (auto& journal = telemetry::Journal::instance(); journal.enabled())
+      journal.record("config.invalid", "GEO_RETRY", {},
+                     parsed.status().message());
     return RetryPolicy{};
   }
   return *std::move(parsed);
@@ -333,27 +339,47 @@ TileSignals check_tile(const arch::ConvExecution& exec, std::int64_t tile,
 
 }  // namespace
 
+namespace {
+
+geo::Status cancelled_status(std::string_view layer, std::string_view where) {
+  if (auto& journal = telemetry::Journal::instance(); journal.enabled())
+    journal.record("resilience.cancel", layer, {}, where);
+  return geo::Status::deadline_exceeded(
+      "resilience: execution cancelled (" + std::string(where) + ") on '" +
+      std::string(layer) + "'");
+}
+
+}  // namespace
+
 geo::StatusOr<arch::MachineResult> ResilientExecutor::run_conv(
     const arch::ConvShape& shape, std::span<const float> weights,
     std::span<const float> input, std::span<const float> bn_scale,
     std::span<const float> bn_shift, std::uint64_t layer_salt,
-    std::string label) {
+    std::string label, RunOptions options) {
   auto& metrics = telemetry::MetricsRegistry::instance();
   LayerOutcome outcome;
   outcome.layer = label.empty() ? shape.name : std::move(label);
+  exec::CancelToken* cancel = options.cancel;
 
   // The degradation ladder for this machine: whatever accumulation the
   // hardware is configured with, then progressively more robust modes, and
-  // finally the fault-free software reference (which cannot fail).
-  std::vector<Rung> ladder{Rung::kNative};
-  if (hw_.accum != nn::AccumMode::kPbw && hw_.accum != nn::AccumMode::kFxp)
+  // finally the fault-free software reference (which cannot fail). A
+  // non-native `options.start` (the serving layer's overload steering)
+  // drops the rungs above it.
+  std::vector<Rung> ladder;
+  if (options.start == Rung::kNative) ladder.push_back(Rung::kNative);
+  if (options.start <= Rung::kPbw && hw_.accum != nn::AccumMode::kPbw &&
+      hw_.accum != nn::AccumMode::kFxp)
     ladder.push_back(Rung::kPbw);
-  if (hw_.accum != nn::AccumMode::kFxp) ladder.push_back(Rung::kFxp);
+  if (options.start <= Rung::kFxp && hw_.accum != nn::AccumMode::kFxp)
+    ladder.push_back(Rung::kFxp);
   ladder.push_back(Rung::kReference);
 
   fault::FaultModel* fm = fault::active();
 
   for (const Rung rung : ladder) {
+    if (cancel != nullptr && cancel->cancelled())
+      return cancelled_status(outcome.layer, "rung-entry");
     outcome.rung = rung;
     outcome.degraded = rung != Rung::kNative;
 
@@ -416,7 +442,9 @@ geo::StatusOr<arch::MachineResult> ResilientExecutor::run_conv(
     std::vector<std::int64_t> emulated_ecc;
     if (parallel) {
       first_costs.resize(static_cast<std::size_t>(tiles));
-      exec::ParallelConvRunner().run_all_recording(exec, first_costs);
+      if (!exec::ParallelConvRunner().run_all_recording(exec, first_costs,
+                                                        cancel))
+        return cancelled_status(outcome.layer, "parallel-tile-boundary");
       // Reconstruct the attempt-0 ECC signals the serial loop would have
       // seen: in tile order, the first tile touching an activation slot owns
       // its generation, and under the defect model each read's contribution
@@ -444,6 +472,10 @@ geo::StatusOr<arch::MachineResult> ResilientExecutor::run_conv(
     std::int64_t serial_cycles = 0;
 
     for (std::int64_t tile = 0; tile < tiles && !rung_failed; ++tile) {
+      // Tile-boundary cancellation: an expired request stops charging
+      // cycles here, between tiles, and its replica frees promptly.
+      if (cancel != nullptr && cancel->cancelled())
+        return cancelled_status(outcome.layer, "tile-boundary");
       if (parallel) {
         const arch::MachineStats& fc =
             first_costs[static_cast<std::size_t>(tile)];

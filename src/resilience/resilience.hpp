@@ -37,6 +37,7 @@
 #include "arch/hw_config.hpp"
 #include "arch/machine.hpp"
 #include "core/status.hpp"
+#include "exec/cancel.hpp"
 
 namespace geo::resilience {
 
@@ -54,7 +55,9 @@ struct RetryPolicy {
   static geo::StatusOr<RetryPolicy> parse(std::string_view spec);
 
   // GEO_RETRY, parsed fresh on each call. Unset/empty -> defaults; a
-  // malformed spec warns on stderr and returns the defaults, never aborts.
+  // malformed spec warns on stderr, records a `config.invalid` journal
+  // entry (so chaos-run postmortems show the rejected spec), and returns
+  // the defaults — never aborts.
   static RetryPolicy from_env();
 
   std::string to_string() const;
@@ -129,6 +132,21 @@ struct ResilienceReport {
   std::string to_json() const;
 };
 
+// Per-run controls layered on the policy (the serving runtime's knobs).
+struct RunOptions {
+  // First ladder rung to attempt. kNative is the normal path; the serving
+  // layer steers overload traffic straight to a degraded rung (pbw/fxp/
+  // reference) instead of shedding it (docs/SERVING.md). Rungs more capable
+  // than `start` are skipped; a non-native start marks the outcome degraded.
+  Rung start = Rung::kNative;
+  // Cooperative cancellation, polled at every tile boundary (serial loop
+  // and parallel Phase A alike) and before each rung. A fired token makes
+  // run_conv return kDeadlineExceeded; the partial execution is abandoned
+  // (no outcome is appended) and the machine stays reusable — the next
+  // run_conv on this executor is byte-identical to a fresh one.
+  exec::CancelToken* cancel = nullptr;
+};
+
 // Drives convolution layers through detect -> retry -> degrade. One executor
 // per network pass; outcomes accumulate in report() in call order.
 class ResilientExecutor {
@@ -146,11 +164,20 @@ class ResilientExecutor {
       const arch::ConvShape& shape, std::span<const float> weights,
       std::span<const float> input, std::span<const float> bn_scale,
       std::span<const float> bn_shift, std::uint64_t layer_salt,
-      std::string label = "");
+      std::string label = "", RunOptions options = {});
 
   const RetryPolicy& policy() const noexcept { return policy_; }
   const ResilienceReport& report() const noexcept { return report_; }
   ResilienceReport take_report() { return std::move(report_); }
+
+  // The most recent completed run_conv's outcome (nullptr before the first
+  // completion). The serving layer reads this per attempt to decide
+  // failover: `degraded` means the retry budget drained on every attempted
+  // rung (a persistent fault — route away), while `tiles_recovered > 0`
+  // with `degraded == false` means in-place retries absorbed a transient.
+  const LayerOutcome* last_outcome() const noexcept {
+    return report_.layers.empty() ? nullptr : &report_.layers.back();
+  }
 
  private:
   arch::HwConfig hw_;

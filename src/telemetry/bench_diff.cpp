@@ -41,6 +41,7 @@ std::vector<DiffRule> default_diff_rules() {
       {"*build_ns*", 0, 0, 0, true},
       {"*_wall_s*", 0, 0, 0, true},
       {"*per_s*", 0, 0, 0, true},  // measured throughput, not simulated
+      {"*_us", 0, 0, 0, true},     // wall-clock latency percentiles (serve)
       // Run-shape diagnostics: trainer metrics only appear when the
       // trained-model cache misses, and stream-table hit/generation/fill
       // counts depend on that cache plus the pool width (GEO_THREADS).

@@ -69,6 +69,17 @@ class Journal {
   // clears the ring. No-op (returns true) when disabled or empty.
   bool flush();
 
+  // Best-effort flush for fatal-signal/abort paths: try-locks the ring (a
+  // handler that interrupted a recording thread must not self-deadlock) and
+  // appends with raw open/write(2) instead of iostreams. Returns false when
+  // the lock was contended or the file could not be opened — the window is
+  // dropped, never blocked on. enable() installs handlers for SIGABRT,
+  // SIGSEGV, SIGBUS, SIGFPE, SIGILL and SIGTERM that call this before
+  // re-raising the default disposition, so chaos-run postmortems keep the
+  // last window of retry/shed events even when the process dies without
+  // reaching atexit.
+  bool flush_from_signal() noexcept;
+
   ~Journal();
 
  private:

@@ -80,5 +80,19 @@ TEST(StatusOr, ArrowReachesMembers) {
   EXPECT_EQ(s->size(), 3u);
 }
 
+TEST(Status, ServingCodesCarryCodeAndMessage) {
+  const Status shed = Status::resource_exhausted("queue full");
+  EXPECT_EQ(shed.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(shed.to_string(), "resource-exhausted: queue full");
+
+  const Status late = Status::deadline_exceeded("expired");
+  EXPECT_EQ(late.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(late.to_string(), "deadline-exceeded: expired");
+
+  const Status down = Status::unavailable("shutting down");
+  EXPECT_EQ(down.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(down.to_string(), "unavailable: shutting down");
+}
+
 }  // namespace
 }  // namespace geo

@@ -6,6 +6,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
+#include <filesystem>
 #include <random>
 #include <vector>
 
@@ -91,6 +93,36 @@ TEST(RetryPolicy, BackoffGrowsExponentially) {
   EXPECT_EQ(p.backoff_for(3), 128);
   // Deep attempts saturate instead of shifting into the sign bit.
   EXPECT_GT(p.backoff_for(62), 0);
+}
+
+TEST(RetryPolicy, MalformedEnvSpecWarnsIntoJournal) {
+  auto& journal = telemetry::Journal::instance();
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "geo_retry_env.jsonl")
+          .string();
+  std::filesystem::remove(path);
+  journal.disable();
+  journal.enable(path, 64);
+
+  ::setenv("GEO_RETRY", "retries=banana", 1);
+  const RetryPolicy p = RetryPolicy::from_env();
+  ::unsetenv("GEO_RETRY");
+  // The malformed spec is ignored, never fatal: defaults survive.
+  EXPECT_EQ(p.retries, RetryPolicy{}.retries);
+  EXPECT_EQ(p.backoff, RetryPolicy{}.backoff);
+
+  // And the rejection is journaled so postmortems can see the config that
+  // did NOT take effect.
+  bool found = false;
+  for (const auto& e : journal.snapshot())
+    if (e.kind == "config.invalid" && e.label == "GEO_RETRY") {
+      found = true;
+      EXPECT_FALSE(e.note.empty()) << "diagnostic must carry the parse error";
+    }
+  EXPECT_TRUE(found);
+
+  journal.disable();
+  std::filesystem::remove(path);
 }
 
 TEST(ResilientExecutor, NoFaultsIsBitIdenticalToMachine) {

@@ -3,7 +3,10 @@
 // (checkpoint commits, stream-table builds, resilience retries). Lives in
 // the telemetry suite because it churns the process-wide Journal singleton.
 #include <gtest/gtest.h>
+#include <sys/wait.h>
+#include <unistd.h>
 
+#include <csignal>
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
@@ -231,6 +234,51 @@ TEST(Journal, ResilienceRetriesAndAcceptanceAreJournaled) {
 
   journal.disable();
   std::filesystem::remove(jpath);
+}
+
+// A process dying on a fatal signal must not take the retained journal
+// window with it: enable() installs handlers that best-effort flush with
+// raw write(2) before re-raising the default disposition.
+TEST(Journal, FatalSignalFlushPersistsRetainedWindow) {
+  const std::string path = temp_path("geo_journal_signal.jsonl");
+  std::filesystem::remove(path);
+
+  const pid_t pid = fork();
+  ASSERT_GE(pid, 0) << "fork failed";
+  if (pid == 0) {
+    // Child: record without flushing, then die by SIGTERM. The fatal-signal
+    // handler is the only thing standing between these entries and the
+    // ring's oblivion.
+    auto& journal = Journal::instance();
+    journal.disable();
+    journal.enable(path, 64);
+    journal.record("test.signal", "window", {{"i", 1.0}}, "pre-crash");
+    journal.record("test.signal", "window", {{"i", 2.0}});
+    std::raise(SIGTERM);
+    _exit(97);  // unreachable: the handler re-raises with SIG_DFL
+  }
+
+  int status = 0;
+  ASSERT_EQ(waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFSIGNALED(status)) << "child must die by signal, not exit";
+  EXPECT_EQ(WTERMSIG(status), SIGTERM);
+
+  const std::vector<std::string> lines = read_lines(path);
+  ASSERT_EQ(lines.size(), 2u) << "both retained entries must be persisted";
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    auto parsed = Json::parse(lines[i]);
+    ASSERT_TRUE(parsed.has_value()) << lines[i];
+    EXPECT_EQ(parsed->find("seq")->integer(), static_cast<std::int64_t>(i));
+    EXPECT_EQ(parsed->find("kind")->str(), "test.signal");
+    EXPECT_EQ(parsed->find("label")->str(), "window");
+    const Json* args = parsed->find("args");
+    ASSERT_NE(args, nullptr);
+    EXPECT_DOUBLE_EQ(args->find("i")->number(), static_cast<double>(i + 1));
+  }
+  auto first = Json::parse(lines[0]);
+  EXPECT_EQ(first->find("note")->str(), "pre-crash");
+
+  std::filesystem::remove(path);
 }
 
 }  // namespace
