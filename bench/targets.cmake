@@ -17,6 +17,7 @@ set(GEO_BENCHES
   micro_sc_kernels
   fault_sweep
   serve
+  weight_store
 )
 
 foreach(name ${GEO_BENCHES})

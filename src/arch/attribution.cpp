@@ -83,9 +83,13 @@ bool CycleAttribution::reconciles() const {
 CycleAttribution attribute(const MachineStats& stats) {
   CycleAttribution a;
   a.execution_cycles = stats.compute_cycles;
-  a.generation_cycles = stats.stall_cycles - stats.retry_stall_cycles;
+  // Out-of-core block-load stalls are external-memory traffic, not stream
+  // generation and not fault recovery: they leave the generation residue and
+  // land in the memory bucket next to the near-memory beats.
+  a.generation_cycles = stats.stall_cycles - stats.retry_stall_cycles -
+                        stats.io_stall_cycles;
   a.stall_cycles = stats.retry_stall_cycles;
-  a.memory_cycles = stats.nearmem_cycles;
+  a.memory_cycles = stats.nearmem_cycles + stats.io_stall_cycles;
   a.total_cycles = stats.total_cycles;
   a.passes = stats.passes;
   a.ledger_ok = stats.ledger_ok && a.reconciles();

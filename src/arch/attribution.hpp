@@ -11,6 +11,8 @@
 //   stall       fault-recovery stalls: resilience retry backoff, scrubbing
 //               and detected-SRAM retry beats (retry_stall_cycles)
 //   memory      near-memory partial-sum and BN/ReLU beats (nearmem_cycles)
+//               plus out-of-core block-load stalls the weight store charged
+//               (io_stall_cycles — external-memory traffic, docs/STORAGE.md)
 //
 // so generation + execution + stall + memory == total_cycles whenever the
 // machine ledger itself reconciles. ConvExecution::finish() records every

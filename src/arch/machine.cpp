@@ -400,6 +400,7 @@ MachineStats ConvExecution::Impl::run_tile(std::int64_t tile) {
     g.compute_cycles += st.compute_cycles;
     g.stall_cycles += st.stall_cycles;
     g.retry_stall_cycles += st.retry_stall_cycles;
+    g.io_stall_cycles += st.io_stall_cycles;
     g.act_buffer_fills += st.act_buffer_fills;
     g.wgt_buffer_fills += st.wgt_buffer_fills;
     g.psum_ops += st.psum_ops;
@@ -440,8 +441,8 @@ MachineResult ConvExecution::Impl::finish() {
   st.ledger_ok =
       st.compute_cycles >= 0 && st.stall_cycles >= 0 &&
       st.nearmem_cycles >= 0 && st.total_cycles >= 0 &&
-      st.retry_stall_cycles >= 0 &&
-      st.retry_stall_cycles <= st.stall_cycles &&
+      st.retry_stall_cycles >= 0 && st.io_stall_cycles >= 0 &&
+      st.retry_stall_cycles + st.io_stall_cycles <= st.stall_cycles &&
       st.total_cycles ==
           st.compute_cycles + st.stall_cycles + st.nearmem_cycles;
   if (!st.ledger_ok) metrics.counter("machine.ledger_mismatch").add(1);
@@ -454,6 +455,7 @@ MachineResult ConvExecution::Impl::finish() {
   metrics.counter("machine.compute_cycles").add(st.compute_cycles);
   metrics.counter("machine.stall_cycles").add(st.stall_cycles);
   metrics.counter("machine.retry_stall_cycles").add(st.retry_stall_cycles);
+  metrics.counter("machine.io_stall_cycles").add(st.io_stall_cycles);
   metrics.counter("machine.nearmem_cycles").add(st.nearmem_cycles);
   metrics.counter("machine.total_cycles").add(st.total_cycles);
   metrics.counter("machine.act_buffer_fills").add(st.act_buffer_fills);
@@ -564,6 +566,11 @@ void ConvExecution::add_stall_cycles(std::int64_t cycles) {
   // never generation cost, so they land in the retry sub-bucket too.
   impl_->result.stats.stall_cycles += cycles;
   impl_->result.stats.retry_stall_cycles += cycles;
+}
+
+void ConvExecution::add_io_stall_cycles(std::int64_t cycles) {
+  impl_->result.stats.stall_cycles += cycles;
+  impl_->result.stats.io_stall_cycles += cycles;
 }
 
 const nn::ScLayerConfig& ConvExecution::config() const { return impl_->cfg; }

@@ -41,6 +41,12 @@ struct MachineStats {
   // arch/attribution.hpp) reports stall_cycles - retry_stall_cycles as
   // generation cost.
   std::int64_t retry_stall_cycles = 0;
+  // Sub-bucket of stall_cycles charged by the out-of-core weight store
+  // (src/store/) for cycles the machine sat waiting on block loads that did
+  // not overlap execution. Disjoint from retry_stall_cycles; attribution
+  // folds it into the *memory* bucket (external-memory traffic, not fault
+  // recovery). Always 0 <= retry_stall + io_stall <= stall_cycles.
+  std::int64_t io_stall_cycles = 0;
   std::int64_t nearmem_cycles = 0;
   std::int64_t total_cycles = 0;
   std::int64_t act_buffer_fills = 0;  // values loaded into act SNG buffers
@@ -132,6 +138,11 @@ class ConvExecution {
 
   // Extra stall cycles charged to the ledger (retry backoff, scrubbing).
   void add_stall_cycles(std::int64_t cycles);
+
+  // Stall cycles spent waiting on out-of-core block loads (weight-store pin
+  // latency that execution could not overlap). Lands in the io sub-bucket,
+  // which attribution reports as memory cost.
+  void add_io_stall_cycles(std::int64_t cycles);
 
   // The nn-layer configuration this execution matches.
   const nn::ScLayerConfig& config() const;

@@ -26,6 +26,10 @@ struct FaultCounters {
   telemetry::Counter& sram_silent;
   telemetry::Counter& sram_retry;
   telemetry::Counter& stuck;
+  telemetry::Counter& io_rot;
+  telemetry::Counter& io_short_read;
+  telemetry::Counter& io_short_write;
+  telemetry::Counter& io_err;
 };
 
 FaultCounters& counters() {
@@ -38,7 +42,11 @@ FaultCounters& counters() {
                          m.counter("fault.sram_errors_corrected"),
                          m.counter("fault.sram_silent_corruptions"),
                          m.counter("fault.sram_retry_cycles"),
-                         m.counter("fault.stuck_column_events")};
+                         m.counter("fault.stuck_column_events"),
+                         m.counter("fault.io_blocks_rotted"),
+                         m.counter("fault.io_short_reads"),
+                         m.counter("fault.io_short_writes"),
+                         m.counter("fault.io_errors")};
   return c;
 }
 
@@ -68,7 +76,9 @@ const char* to_string(EccMode mode) noexcept {
 
 bool FaultConfig::any() const noexcept {
   return stream_flip_rate > 0.0 || accum_flip_rate > 0.0 ||
-         seed_upset_rate > 0.0 || sram_error_rate > 0.0 || stuck.enabled();
+         seed_upset_rate > 0.0 || sram_error_rate > 0.0 || stuck.enabled() ||
+         io_rot_rate > 0.0 || io_short_read_rate > 0.0 ||
+         io_short_write_rate > 0.0 || io_error_rate > 0.0;
 }
 
 geo::StatusOr<FaultConfig> FaultConfig::parse(std::string_view spec) {
@@ -103,6 +113,14 @@ geo::StatusOr<FaultConfig> FaultConfig::parse(std::string_view spec) {
       if (auto s = rate(cfg.seed_upset_rate); !s.ok()) return s;
     } else if (key == "sram") {
       if (auto s = rate(cfg.sram_error_rate); !s.ok()) return s;
+    } else if (key == "io_rot") {
+      if (auto s = rate(cfg.io_rot_rate); !s.ok()) return s;
+    } else if (key == "io_short_read") {
+      if (auto s = rate(cfg.io_short_read_rate); !s.ok()) return s;
+    } else if (key == "io_short_write") {
+      if (auto s = rate(cfg.io_short_write_rate); !s.ok()) return s;
+    } else if (key == "io_err") {
+      if (auto s = rate(cfg.io_error_rate); !s.ok()) return s;
     } else if (key == "burst") {
       std::uint64_t b = 0;
       if (!parse_u64(val, b) || b < 1 || b > 32)
@@ -156,7 +174,8 @@ geo::StatusOr<FaultConfig> FaultConfig::parse(std::string_view spec) {
     } else {
       return geo::Status::invalid_argument(
           "GEO_FAULTS: unknown key '" + std::string(key) +
-          "' (want stream|accum|seed|sram|burst|ecc|stuck|rng|transient)");
+          "' (want stream|accum|seed|sram|io_rot|io_short_read|"
+          "io_short_write|io_err|burst|ecc|stuck|rng|transient)");
     }
   }
   return cfg;
@@ -181,6 +200,15 @@ std::string FaultConfig::to_string() const {
                 stream_flip_rate, accum_flip_rate, seed_upset_rate,
                 sram_error_rate, sram_burst, fault::to_string(ecc));
   std::string out = buf;
+  auto append_rate = [&](const char* key, double r) {
+    if (r <= 0.0) return;
+    std::snprintf(buf, sizeof(buf), ",%s=%g", key, r);
+    out += buf;
+  };
+  append_rate("io_rot", io_rot_rate);
+  append_rate("io_short_read", io_short_read_rate);
+  append_rate("io_short_write", io_short_write_rate);
+  append_rate("io_err", io_error_rate);
   if (transient) out += ",transient=1";
   if (stuck.enabled()) {
     std::snprintf(buf, sizeof(buf), ",stuck=%d:%d", stuck.column,
@@ -232,6 +260,14 @@ FaultModel::SiteRng FaultModel::rng_for(Site domain,
   if (cfg_.transient)
     key = core::mix64(key + 0x9E3779B97F4A7C15ull *
                                 (transient_seq_.take(key) + 1));
+  return SiteRng{key};
+}
+
+FaultModel::SiteRng FaultModel::rng_for_access(Site domain,
+                                               std::uint64_t site) const {
+  std::uint64_t key = site_key(domain, site);
+  key = core::mix64(key + 0x9E3779B97F4A7C15ull *
+                              (transient_seq_.take(key) + 1));
   return SiteRng{key};
 }
 
@@ -384,6 +420,50 @@ int FaultModel::sram_defect_ecc_delta(unsigned bits, Site domain,
   return 0;
 }
 
+int FaultModel::corrupt_block(unsigned char* bytes, std::size_t length,
+                              std::uint64_t site) {
+  if (cfg_.io_rot_rate <= 0.0 || length == 0) return 0;
+  SiteRng rng = rng_for(Site::kStoreBlock, site);
+  if (rng.uniform() >= cfg_.io_rot_rate) return 0;
+  // 1..4 bit flips at rng-chosen positions: enough to defeat any per-block
+  // CRC, deterministic per (model seed, site) under the defect model.
+  const int flips = 1 + static_cast<int>(rng.next() % 4);
+  for (int i = 0; i < flips; ++i) {
+    const std::uint64_t bit = rng.next() % (length * 8);
+    bytes[bit >> 3] ^= static_cast<unsigned char>(1u << (bit & 7));
+  }
+  io_rotted_.fetch_add(1, std::memory_order_relaxed);
+  counters().io_rot.add(1);
+  return flips;
+}
+
+std::size_t FaultModel::short_read(std::size_t want, std::uint64_t site) {
+  if (cfg_.io_short_read_rate <= 0.0 || want == 0) return want;
+  SiteRng rng = rng_for_access(Site::kStoreBlock, site);
+  if (rng.uniform() >= cfg_.io_short_read_rate) return want;
+  io_short_reads_.fetch_add(1, std::memory_order_relaxed);
+  counters().io_short_read.add(1);
+  return static_cast<std::size_t>(rng.next() % want);
+}
+
+std::size_t FaultModel::short_write(std::size_t want, std::uint64_t site) {
+  if (cfg_.io_short_write_rate <= 0.0 || want == 0) return want;
+  SiteRng rng = rng_for_access(Site::kStoreBlock, site);
+  if (rng.uniform() >= cfg_.io_short_write_rate) return want;
+  io_short_writes_.fetch_add(1, std::memory_order_relaxed);
+  counters().io_short_write.add(1);
+  return static_cast<std::size_t>(rng.next() % want);
+}
+
+bool FaultModel::io_error(std::uint64_t site) {
+  if (cfg_.io_error_rate <= 0.0) return false;
+  SiteRng rng = rng_for_access(Site::kStoreBlock, site);
+  if (rng.uniform() >= cfg_.io_error_rate) return false;
+  io_errors_.fetch_add(1, std::memory_order_relaxed);
+  counters().io_err.add(1);
+  return true;
+}
+
 std::uint32_t FaultModel::apply_stuck(std::uint32_t count) {
   if (!cfg_.stuck.enabled()) return count;
   const std::uint32_t bit = 1u << cfg_.stuck.column;
@@ -407,6 +487,10 @@ FaultStats FaultModel::stats() const {
   s.sram_silent_corruptions = sram_silent_.load(std::memory_order_relaxed);
   s.sram_retry_cycles = sram_retry_cycles_.load(std::memory_order_relaxed);
   s.stuck_column_events = stuck_events_.load(std::memory_order_relaxed);
+  s.io_blocks_rotted = io_rotted_.load(std::memory_order_relaxed);
+  s.io_short_reads = io_short_reads_.load(std::memory_order_relaxed);
+  s.io_short_writes = io_short_writes_.load(std::memory_order_relaxed);
+  s.io_errors = io_errors_.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -420,6 +504,10 @@ void FaultModel::reset_stats() {
   sram_silent_.store(0, std::memory_order_relaxed);
   sram_retry_cycles_.store(0, std::memory_order_relaxed);
   stuck_events_.store(0, std::memory_order_relaxed);
+  io_rotted_.store(0, std::memory_order_relaxed);
+  io_short_reads_.store(0, std::memory_order_relaxed);
+  io_short_writes_.store(0, std::memory_order_relaxed);
+  io_errors_.store(0, std::memory_order_relaxed);
 }
 
 // ------------------------------------------------------------ active model

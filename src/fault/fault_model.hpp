@@ -64,6 +64,25 @@ struct FaultConfig {
   int sram_burst = 1;             // adjacent bits flipped per SRAM event
   EccMode ecc = EccMode::kNone;
   StuckAtSpec stuck;
+  // Disk-I/O faults on the out-of-core store's block path (src/store/):
+  //   io_rot          per-block-read probability of bit-rot in the returned
+  //                   buffer (caught by the per-block CRC). Honors the
+  //                   defect/transient flag: a defect-model rotted block rots
+  //                   identically on every re-read, so the store's reread
+  //                   rung can never out-wait it and the ladder drains to
+  //                   quarantine/rebuild/fallback.
+  //   io_short_read   per-read probability the read returns fewer bytes than
+  //                   asked (always re-rolled per access — a partial read(2)
+  //                   is transient by nature, so bounded rereads recover).
+  //   io_short_write  per-write probability the block-file image lands torn
+  //                   (truncated) on disk; silent at write time, caught by
+  //                   the size/CRC checks on the next read.
+  //   io_err          per-open/read probability of a transient errno
+  //                   (EIO-style; always re-rolled per access).
+  double io_rot_rate = 0.0;
+  double io_short_read_rate = 0.0;
+  double io_short_write_rate = 0.0;
+  double io_error_rate = 0.0;
   std::uint64_t rng_seed = 0;     // 0 = derive from GEO_SEED / default
   // Defect model (default, false): every injection site misbehaves the same
   // way on every access — re-reading a corrupted slot reproduces the same
@@ -84,10 +103,10 @@ struct FaultConfig {
   // Parses a comma-separated spec, e.g.
   //   "stream=1e-3,accum=5e-4,seed=0.01,sram=1e-4,burst=2,ecc=secded,
   //    stuck=3:1,rng=42"
-  // Keys: stream|accum|seed|sram (rates in [0,1]), burst (int >= 1),
-  // ecc (none|parity|secded), stuck (<col>[:<0|1>], col in [0,31]),
-  // rng (uint64), transient (0|1). Unknown keys and out-of-range values are
-  // rejected with a diagnostic.
+  // Keys: stream|accum|seed|sram|io_rot|io_short_read|io_short_write|io_err
+  // (rates in [0,1]), burst (int >= 1), ecc (none|parity|secded),
+  // stuck (<col>[:<0|1>], col in [0,31]), rng (uint64), transient (0|1).
+  // Unknown keys and out-of-range values are rejected with a diagnostic.
   static geo::StatusOr<FaultConfig> parse(std::string_view spec);
 
   // GEO_FAULTS, parsed fresh on each call. Unset/empty -> nullopt; a
@@ -110,6 +129,10 @@ struct FaultStats {
   std::int64_t sram_silent_corruptions = 0;
   std::int64_t sram_retry_cycles = 0;
   std::int64_t stuck_column_events = 0;
+  std::int64_t io_blocks_rotted = 0;
+  std::int64_t io_short_reads = 0;
+  std::int64_t io_short_writes = 0;
+  std::int64_t io_errors = 0;
 };
 
 class FaultModel {
@@ -129,6 +152,11 @@ class FaultModel {
     // guards watch this domain). Appended so the existing domains keep
     // their PR-2 hash keys.
     kPsumSram,
+    // Disk blocks in the out-of-core weight store (src/store/). The site
+    // index is the store's stable (shard, block) key, so a defect-model
+    // rotted block misbehaves identically on every re-read. Appended to
+    // preserve earlier domains' hash keys.
+    kStoreBlock,
   };
 
   explicit FaultModel(const FaultConfig& cfg);
@@ -177,6 +205,31 @@ class FaultModel {
   int sram_defect_ecc_delta(unsigned bits, Site domain,
                             std::uint64_t site) const;
 
+  // --- disk-I/O faults -----------------------------------------------------
+  // Block bit-rot on the store's read path: flips 1..4 bits of the `length`-
+  // byte buffer when the per-site io_rot draw fires. Honors the defect/
+  // transient flag (defect: the same block rots the same way on every read;
+  // transient: each read re-rolls). Returns the number of bits flipped.
+  int corrupt_block(unsigned char* bytes, std::size_t length,
+                    std::uint64_t site);
+
+  // Short read: the byte count the read actually returns (< `want` when the
+  // per-access draw fires; always re-rolled, partial reads are transient).
+  std::size_t short_read(std::size_t want, std::uint64_t site);
+
+  // Torn write: the byte count that actually lands on disk (< `want` when
+  // the per-access draw fires; silent at write time).
+  std::size_t short_write(std::size_t want, std::uint64_t site);
+
+  // Transient open/read errno (always re-rolled per access); true = this
+  // access fails with an injected EIO.
+  bool io_error(std::uint64_t site);
+
+  bool io_active() const noexcept {
+    return cfg_.io_rot_rate > 0.0 || cfg_.io_short_read_rate > 0.0 ||
+           cfg_.io_short_write_rate > 0.0 || cfg_.io_error_rate > 0.0;
+  }
+
   // --- parallel-counter faults --------------------------------------------
   // Forces the stuck-at column on one parallel-counter output count.
   std::uint32_t apply_stuck(std::uint32_t count);
@@ -203,6 +256,10 @@ class FaultModel {
   };
 
   SiteRng rng_for(Site domain, std::uint64_t site) const;
+  // Like rng_for, but always advances the per-site access sequence (even in
+  // defect mode) — the draw is transient by construction. Used by the
+  // errno/short-read/short-write hooks.
+  SiteRng rng_for_access(Site domain, std::uint64_t site) const;
   std::uint64_t site_key(Site domain, std::uint64_t site) const noexcept;
   int flip_bits(std::uint64_t* words, std::size_t length, double rate,
                 SiteRng& rng);
@@ -219,6 +276,10 @@ class FaultModel {
   std::atomic<std::int64_t> sram_silent_{0};
   std::atomic<std::int64_t> sram_retry_cycles_{0};
   std::atomic<std::int64_t> stuck_events_{0};
+  std::atomic<std::int64_t> io_rotted_{0};
+  std::atomic<std::int64_t> io_short_reads_{0};
+  std::atomic<std::int64_t> io_short_writes_{0};
+  std::atomic<std::int64_t> io_errors_{0};
   // Per-site access sequence for the transient model (unused in defect
   // mode).
   mutable TransientSeq transient_seq_;

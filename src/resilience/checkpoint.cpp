@@ -1,5 +1,6 @@
 #include "resilience/checkpoint.hpp"
 
+#include <fcntl.h>
 #include <unistd.h>
 
 #include <cstdio>
@@ -48,6 +49,33 @@ std::string checkpoint_dir() {
   return (v != nullptr && v[0] != '\0') ? std::string(v) : std::string();
 }
 
+geo::Status fsync_file(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0)
+    return geo::Status::failed_precondition("fsync: cannot open '" + path +
+                                            "'");
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0)
+    return geo::Status::data_loss("fsync: fsync('" + path + "') failed");
+  return geo::Status();
+}
+
+geo::Status fsync_parent_dir(const std::string& path) {
+  const std::filesystem::path p(path);
+  const std::string dir =
+      p.has_parent_path() ? p.parent_path().string() : std::string(".");
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0)
+    return geo::Status::failed_precondition("fsync: cannot open dir '" + dir +
+                                            "'");
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0)
+    return geo::Status::data_loss("fsync: fsync dir('" + dir + "') failed");
+  return geo::Status();
+}
+
 geo::Status write_checkpoint(const std::string& path,
                              std::string_view payload) {
   std::string image;
@@ -86,12 +114,22 @@ geo::Status write_checkpoint(const std::string& path,
                                     "'");
     }
   }
+  // A stream flush only hands the bytes to the kernel; the image must be on
+  // stable storage *before* the rename exposes it, otherwise a crash after
+  // rename can lose both the old and the new checkpoint.
+  if (auto s = fsync_file(tmp); !s.ok()) {
+    std::filesystem::remove(tmp, ec);
+    return s;
+  }
   std::filesystem::rename(tmp, path, ec);
   if (ec) {
     std::filesystem::remove(tmp, ec);
     return geo::Status::data_loss("checkpoint: rename '" + tmp + "' -> '" +
                                   path + "' failed");
   }
+  // The rename itself lives in the directory; the commit is only durable —
+  // and only then journaled — once the directory entry is synced too.
+  if (auto s = fsync_parent_dir(path); !s.ok()) return s;
   telemetry::MetricsRegistry::instance()
       .counter("resilience.checkpoints_written")
       .add(1);

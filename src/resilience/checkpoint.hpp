@@ -36,6 +36,13 @@ inline constexpr std::uint32_t kCheckpointVersion = 1;
 // GEO_CHECKPOINT_DIR, or "" when unset/empty (checkpointing disabled).
 std::string checkpoint_dir();
 
+// fsync(2) the file at `path` / the directory containing `path`. A rename
+// is only durable once both the new file's data and the parent directory
+// entry have reached stable storage; write_checkpoint and the store's
+// block-file writer journal their commits only after both succeed.
+geo::Status fsync_file(const std::string& path);
+geo::Status fsync_parent_dir(const std::string& path);
+
 // Atomically replaces `path` with a checkpoint image wrapping `payload`.
 // Creates parent directories as needed.
 geo::Status write_checkpoint(const std::string& path,

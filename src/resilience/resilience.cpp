@@ -562,6 +562,12 @@ geo::StatusOr<arch::MachineResult> ResilientExecutor::run_conv(
       continue;
     }
 
+    // The store's non-overlapped block-load wait belongs to the accepted
+    // execution (abandoned rungs discard their ledgers), charged into the io
+    // sub-bucket so attribution lands it in the memory bucket.
+    if (options.io_stall_cycles > 0)
+      exec.add_io_stall_cycles(options.io_stall_cycles);
+
     arch::MachineResult result = exec.finish();
     if (!result.stats.ledger_ok) {
       outcome.detections[static_cast<std::size_t>(Detect::kLedger)] += 1;

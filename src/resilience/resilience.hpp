@@ -145,6 +145,13 @@ struct RunOptions {
   // (no outcome is appended) and the machine stays reusable — the next
   // run_conv on this executor is byte-identical to a fresh one.
   exec::CancelToken* cancel = nullptr;
+  // Stall cycles the out-of-core weight store charges for block-load latency
+  // this layer's execution could not overlap (store::WeightStore pin/wait
+  // stalls, already converted to cycles by the caller). Charged into the
+  // accepted machine execution's io sub-bucket just before its ledger
+  // reconciles, so attribution reports the load wait as memory cost. The
+  // reference rung carries zeroed machine stats and skips the charge.
+  std::int64_t io_stall_cycles = 0;
 };
 
 // Drives convolution layers through detect -> retry -> degrade. One executor

@@ -113,9 +113,9 @@ struct StreamTableRegistry::Entry {
 };
 
 StreamTableRegistry::StreamTableRegistry()
-    : budget_bytes_(static_cast<std::uint64_t>(core::env_int(
-                        "GEO_STREAM_TABLE_MB", 256, 0, 1 << 20))
-                    << 20) {}
+    : budget_bytes_(static_cast<std::uint64_t>(
+          core::env_size("GEO_STREAM_TABLE_MB", 256ll << 20,
+                         /*unit=*/1ll << 20, 0, 1ll << 40))) {}
 
 StreamTableRegistry& StreamTableRegistry::instance() {
   static StreamTableRegistry registry;

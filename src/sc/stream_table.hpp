@@ -24,7 +24,8 @@
 //
 // Knobs (see docs/STREAM_GENERATION.md / docs/OBSERVABILITY.md):
 //   GEO_STREAM_TABLE     0|1  table-driven generation on/off (default 1)
-//   GEO_STREAM_TABLE_MB  total registry byte budget in MiB (default 256)
+//   GEO_STREAM_TABLE_MB  total registry byte budget in MiB (default 256;
+//                        explicit K/M/G[iB] suffixes accepted, see env_size)
 // Telemetry: machine.stream_table_hits / _misses / _build_ns / _fallbacks.
 #pragma once
 

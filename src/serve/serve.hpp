@@ -53,6 +53,10 @@
 #include "resilience/resilience.hpp"
 #include "serve/health.hpp"
 
+namespace geo::store {
+class WeightStore;
+}
+
 namespace geo::serve {
 
 // Serving knobs, overridable via GEO_SERVE_* (see from_env()).
@@ -93,6 +97,13 @@ struct Request {
   std::span<const float> bn_scale;
   std::span<const float> bn_shift;
   std::uint64_t layer_salt = 0;
+  // Out-of-core weights: when non-empty, `weights` is left empty and the
+  // named layer is pinned from the attached store::WeightStore at dispatch
+  // time (docs/STORAGE.md). Replicas share the store read-only; the store's
+  // repair-or-fallback contract means the pin never fails, so the serving
+  // "zero failed requests" invariant survives disk corruption too. The
+  // load's modeled io stall is charged into the execution's memory bucket.
+  std::string store_layer;
   // Per-request deadline: -1 = use ServeOptions::default_deadline_us,
   // 0 = none, > 0 = microseconds from submit.
   std::int64_t deadline_us = -1;
@@ -153,6 +164,11 @@ class InferenceServer {
   // submit + wait; admission refusals are folded into Response::status.
   Response run(Request req);
 
+  // Attaches the shared out-of-core weight store that Request::store_layer
+  // names resolve against. All replicas pin from this one store (it is
+  // thread-safe and read-only from the serving side).
+  void attach_store(std::shared_ptr<store::WeightStore> store);
+
   ServeStats stats() const;
   const ServeOptions& options() const noexcept { return options_; }
   BreakerState replica_state(int replica) const {
@@ -187,6 +203,7 @@ class InferenceServer {
   std::deque<std::unique_ptr<Pending>> queue_;
   std::map<std::string, std::int64_t> tenant_load_;
   std::vector<std::optional<fault::FaultConfig>> replica_fault_;
+  std::shared_ptr<store::WeightStore> store_;  // guarded by mu_
   std::vector<std::int64_t> served_by_;
   bool stopping_ = false;
   bool paused_ = false;

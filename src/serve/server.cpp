@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "store/weight_store.hpp"
 #include "telemetry/journal.hpp"
 #include "telemetry/metrics.hpp"
 
@@ -95,17 +96,50 @@ geo::StatusOr<std::future<Response>> InferenceServer::submit(Request req) {
   submitted_.fetch_add(1, std::memory_order_relaxed);
   telemetry::MetricsRegistry::instance().counter("serve.submitted").add();
   // Validate at the door: a malformed request must never consume a replica.
-  if (geo::Status s = validator_.validate_conv(req.shape, req.weights,
-                                               req.input, req.bn_scale,
-                                               req.bn_shift);
-      !s.ok()) {
+  // A store-backed request carries no weights span yet; it is admitted only
+  // if the named layer exists in the attached store with exactly the float
+  // count the shape demands, so the dispatch-time pin cannot size-fail.
+  auto reject = [&](geo::Status s) -> geo::Status {
     rejected_invalid_.fetch_add(1, std::memory_order_relaxed);
     telemetry::MetricsRegistry::instance()
         .counter("serve.rejected_invalid")
         .add();
     journal_event("serve.reject", req.tenant, {}, s.message());
     return s;
+  };
+  std::vector<float> weight_stub;
+  std::span<const float> validate_weights = req.weights;
+  if (!req.store_layer.empty()) {
+    std::shared_ptr<store::WeightStore> store;
+    {
+      std::lock_guard lock(mu_);
+      store = store_;
+    }
+    if (store == nullptr)
+      return reject(geo::Status::failed_precondition(
+          "serve: request names store layer '" + req.store_layer +
+          "' but no weight store is attached"));
+    if (!req.weights.empty())
+      return reject(geo::Status::invalid_argument(
+          "serve: request has both a weights span and store layer '" +
+          req.store_layer + "'"));
+    const std::uint64_t floats = store->layer_floats(req.store_layer);
+    if (floats == 0 ||
+        floats != static_cast<std::uint64_t>(req.shape.weights()))
+      return reject(geo::Status::invalid_argument(
+          "serve: store layer '" + req.store_layer + "' has " +
+          std::to_string(floats) + " floats, shape wants " +
+          std::to_string(req.shape.weights())));
+    // Size-only stand-in for the span checks below; the real bytes are
+    // pinned by the worker at dispatch.
+    weight_stub.resize(static_cast<std::size_t>(floats));
+    validate_weights = weight_stub;
   }
+  if (geo::Status s = validator_.validate_conv(req.shape, validate_weights,
+                                               req.input, req.bn_scale,
+                                               req.bn_shift);
+      !s.ok())
+    return reject(std::move(s));
 
   auto p = std::make_unique<Pending>();
   p->req = std::move(req);
@@ -273,8 +307,46 @@ void InferenceServer::serve_one(int replica, std::unique_ptr<Pending> p) {
   run_options.cancel = &p->cancel;
   if (p->steered) run_options.start = options_.steer_rung;
 
+  // Store-backed weights: pin here, on the worker, inside the fault scope —
+  // the repair ladder (reread/rebuild/fallback) runs under whatever disk
+  // faults this replica is subject to and still returns source-identical
+  // bytes. Admission verified the layer, so a pin failure is a contract
+  // break surfaced loudly below, never a silent drop.
+  std::span<const float> weights = p->req.weights;
+  store::Pinned pinned;
+  if (!p->req.store_layer.empty()) {
+    std::shared_ptr<store::WeightStore> store;
+    {
+      std::lock_guard lock(mu_);
+      store = store_;
+    }
+    geo::StatusOr<store::Pinned> pin =
+        store != nullptr ? store->pin(p->req.store_layer)
+                         : geo::Status::failed_precondition(
+                               "serve: weight store detached after admission");
+    if (!pin.ok()) {
+      apply_transition(health_.on_outcome(replica, false), replica);
+      failed_.fetch_add(1, std::memory_order_relaxed);
+      telemetry::MetricsRegistry::instance().counter("serve.failed").add();
+      journal_event("serve.fail", p->label(),
+                    {{"replica", static_cast<double>(replica)}},
+                    pin.status().message());
+      Response resp;
+      resp.status = pin.status();
+      resp.replica = replica;
+      resp.attempts = p->attempts;
+      respond(std::move(p), std::move(resp));
+      return;
+    }
+    pinned = std::move(*pin);
+    weights = pinned.span();
+    // Charge the load's modeled io stall into the execution's ledger (zero
+    // on cache hits), where attribution folds it into the memory bucket.
+    run_options.io_stall_cycles = pinned.stats().io_stall_cycles;
+  }
+
   const auto exec_start = Clock::now();
-  auto result = executor.run_conv(p->req.shape, p->req.weights, p->req.input,
+  auto result = executor.run_conv(p->req.shape, weights, p->req.input,
                                   p->req.bn_scale, p->req.bn_shift,
                                   p->req.layer_salt, p->label(), run_options);
   const double exec_us = micros_between(exec_start, Clock::now());
@@ -453,6 +525,11 @@ void InferenceServer::resume() {
     paused_ = false;
   }
   cv_.notify_all();
+}
+
+void InferenceServer::attach_store(std::shared_ptr<store::WeightStore> store) {
+  std::lock_guard lock(mu_);
+  store_ = std::move(store);
 }
 
 void InferenceServer::set_replica_fault(int replica,

@@ -1,0 +1,272 @@
+#include "store/block_file.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+
+#include <cstring>
+#include <filesystem>
+#include <utility>
+
+#include "fault/fault_model.hpp"
+#include "resilience/checkpoint.hpp"
+#include "resilience/crc32.hpp"
+
+namespace geo::store {
+
+namespace {
+
+constexpr char kMagic[8] = {'G', 'E', 'O', 'S', 'T', 'O', 'R', '\0'};
+constexpr std::uint64_t kFixedHeader = 8 + 4 + 4 + 8 + 8;
+
+void put_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i)
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFFu));
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i)
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFFu));
+}
+
+std::uint32_t get_u32(const unsigned char* p) {
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+std::uint64_t get_u64(const unsigned char* p) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+}  // namespace
+
+geo::Status write_block_file(const std::string& path,
+                             std::span<const float> data,
+                             std::int64_t block_bytes,
+                             std::uint64_t fault_site) {
+  if (block_bytes < 4 || block_bytes % 4 != 0)
+    return geo::Status::invalid_argument(
+        "store: block_bytes must be a positive multiple of 4, got " +
+        std::to_string(block_bytes));
+  const std::uint64_t payload = data.size() * sizeof(float);
+  const std::uint64_t bb = static_cast<std::uint64_t>(block_bytes);
+  const std::uint32_t blocks =
+      payload == 0 ? 0 : static_cast<std::uint32_t>((payload + bb - 1) / bb);
+
+  const auto* bytes = reinterpret_cast<const char*>(data.data());
+  std::string image;
+  image.reserve(kFixedHeader + 4ull * blocks + payload);
+  image.append(kMagic, sizeof(kMagic));
+  put_u32(image, kBlockFileVersion);
+  put_u32(image, blocks);
+  put_u64(image, bb);
+  put_u64(image, payload);
+  for (std::uint32_t i = 0; i < blocks; ++i) {
+    const std::uint64_t off = static_cast<std::uint64_t>(i) * bb;
+    const std::uint64_t len = std::min(bb, payload - off);
+    put_u32(image, resilience::crc32(bytes + off, len));
+  }
+  image.append(bytes, payload);
+
+  std::error_code ec;
+  const std::filesystem::path target(path);
+  if (target.has_parent_path()) {
+    std::filesystem::create_directories(target.parent_path(), ec);
+    if (ec)
+      return geo::Status::failed_precondition(
+          "store: cannot create directory '" + target.parent_path().string() +
+          "': " + ec.message());
+  }
+
+  // Injected torn write: the image lands truncated, *silently* — exactly
+  // the failure a crashed write leaves behind. The rename still happens;
+  // the next read's size/CRC checks catch it.
+  std::size_t write_bytes = image.size();
+  if (fault::FaultModel* fm = fault::active(); fm != nullptr)
+    write_bytes = fm->short_write(image.size(), fault_site);
+
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0)
+    return geo::Status::failed_precondition(
+        "store: cannot open temp file '" + tmp + "' for writing");
+  std::size_t done = 0;
+  while (done < write_bytes) {
+    const ssize_t n = ::write(fd, image.data() + done, write_bytes - done);
+    if (n <= 0) {
+      ::close(fd);
+      std::filesystem::remove(tmp, ec);
+      return geo::Status::data_loss("store: short write to '" + tmp + "'");
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    std::filesystem::remove(tmp, ec);
+    return geo::Status::data_loss("store: fsync('" + tmp + "') failed");
+  }
+  ::close(fd);
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::filesystem::remove(tmp, ec);
+    return geo::Status::data_loss("store: rename '" + tmp + "' -> '" + path +
+                                  "' failed");
+  }
+  // Durable only once the directory entry is synced too (same contract as
+  // resilience::write_checkpoint).
+  return resilience::fsync_parent_dir(path);
+}
+
+// ---------------------------------------------------------------- BlockFile
+
+BlockFile::BlockFile(BlockFile&& o) noexcept
+    : path_(std::move(o.path_)),
+      fd_(std::exchange(o.fd_, -1)),
+      block_count_(o.block_count_),
+      block_bytes_(o.block_bytes_),
+      payload_bytes_(o.payload_bytes_),
+      data_offset_(o.data_offset_),
+      crcs_(std::move(o.crcs_)) {}
+
+BlockFile& BlockFile::operator=(BlockFile&& o) noexcept {
+  if (this != &o) {
+    if (fd_ >= 0) ::close(fd_);
+    path_ = std::move(o.path_);
+    fd_ = std::exchange(o.fd_, -1);
+    block_count_ = o.block_count_;
+    block_bytes_ = o.block_bytes_;
+    payload_bytes_ = o.payload_bytes_;
+    data_offset_ = o.data_offset_;
+    crcs_ = std::move(o.crcs_);
+  }
+  return *this;
+}
+
+BlockFile::~BlockFile() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+geo::StatusOr<BlockFile> BlockFile::open(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0)
+    return geo::Status::failed_precondition("store: cannot open '" + path +
+                                            "'");
+  BlockFile f;
+  f.path_ = path;
+  f.fd_ = fd;
+
+  unsigned char hdr[kFixedHeader];
+  const ssize_t n = ::pread(fd, hdr, sizeof(hdr), 0);
+  if (n != static_cast<ssize_t>(sizeof(hdr)))
+    return geo::Status::data_loss("store: '" + path +
+                                  "' truncated (header short)");
+  if (std::memcmp(hdr, kMagic, sizeof(kMagic)) != 0)
+    return geo::Status::invalid_argument(
+        "store: '" + path + "' is not a GEOSTOR block file (bad magic)");
+  const std::uint32_t version = get_u32(hdr + 8);
+  if (version != kBlockFileVersion)
+    return geo::Status::failed_precondition(
+        "store: '" + path + "' has format version " + std::to_string(version) +
+        ", this build reads version " + std::to_string(kBlockFileVersion));
+  f.block_count_ = get_u32(hdr + 12);
+  f.block_bytes_ = get_u64(hdr + 16);
+  f.payload_bytes_ = get_u64(hdr + 24);
+  f.data_offset_ = kFixedHeader + 4ull * f.block_count_;
+
+  // Size arithmetic must be self-consistent before any block is trusted.
+  if (f.block_bytes_ == 0 || f.block_bytes_ % 4 != 0 ||
+      f.payload_bytes_ % 4 != 0)
+    return geo::Status::data_loss("store: '" + path +
+                                  "' header sizes are inconsistent");
+  const std::uint64_t expect_blocks =
+      f.payload_bytes_ == 0
+          ? 0
+          : (f.payload_bytes_ + f.block_bytes_ - 1) / f.block_bytes_;
+  if (expect_blocks != f.block_count_)
+    return geo::Status::data_loss(
+        "store: '" + path + "' block count mismatch (header claims " +
+        std::to_string(f.block_count_) + ", sizes imply " +
+        std::to_string(expect_blocks) + ")");
+  struct stat st {};
+  if (::fstat(fd, &st) != 0)
+    return geo::Status::failed_precondition("store: cannot stat '" + path +
+                                            "'");
+  if (static_cast<std::uint64_t>(st.st_size) !=
+      f.data_offset_ + f.payload_bytes_)
+    return geo::Status::data_loss(
+        "store: '" + path + "' truncated (" + std::to_string(st.st_size) +
+        " bytes, header implies " +
+        std::to_string(f.data_offset_ + f.payload_bytes_) + ")");
+
+  f.crcs_.resize(f.block_count_);
+  if (f.block_count_ > 0) {
+    const ssize_t want = static_cast<ssize_t>(4ull * f.block_count_);
+    if (::pread(fd, f.crcs_.data(), static_cast<std::size_t>(want),
+                kFixedHeader) != want)
+      return geo::Status::data_loss("store: '" + path +
+                                    "' truncated (CRC table short)");
+    // The table was read raw; normalize from little-endian storage.
+    auto* raw = reinterpret_cast<unsigned char*>(f.crcs_.data());
+    for (std::uint32_t i = 0; i < f.block_count_; ++i)
+      f.crcs_[i] = get_u32(raw + 4ull * i);
+  }
+  return f;
+}
+
+std::uint64_t BlockFile::block_size(std::uint32_t i) const noexcept {
+  if (i >= block_count_) return 0;
+  const std::uint64_t off = static_cast<std::uint64_t>(i) * block_bytes_;
+  return std::min(block_bytes_, payload_bytes_ - off);
+}
+
+geo::Status BlockFile::read_block(std::uint32_t i,
+                                  std::vector<unsigned char>& out,
+                                  std::uint64_t fault_site) const {
+  if (i >= block_count_)
+    return geo::Status::invalid_argument(
+        "store: block " + std::to_string(i) + " out of range (file has " +
+        std::to_string(block_count_) + ")");
+  const std::uint64_t site = fault_site ^ i;
+  fault::FaultModel* fm = fault::active();
+
+  // Transient open/read errno, injected ahead of the syscall.
+  if (fm != nullptr && fm->io_error(site))
+    return geo::Status::unavailable("store: injected I/O error reading '" +
+                                    path_ + "' block " + std::to_string(i));
+
+  const std::uint64_t size = block_size(i);
+  const std::uint64_t offset =
+      data_offset_ + static_cast<std::uint64_t>(i) * block_bytes_;
+  out.resize(size);
+  std::size_t want = static_cast<std::size_t>(size);
+  if (fm != nullptr) want = fm->short_read(want, site);
+  const ssize_t got =
+      ::pread(fd_, out.data(), want, static_cast<off_t>(offset));
+  if (got != static_cast<ssize_t>(size)) {
+    out.clear();
+    return geo::Status::data_loss("store: short read of '" + path_ +
+                                  "' block " + std::to_string(i) + " (" +
+                                  std::to_string(got) + "/" +
+                                  std::to_string(size) + " bytes)");
+  }
+  // Injected bit-rot lands in the buffer *before* the CRC check — the CRC
+  // is the detection, not the injection, so rot can never slip through.
+  if (fm != nullptr) fm->corrupt_block(out.data(), out.size(), site);
+  const std::uint32_t actual = resilience::crc32(out.data(), out.size());
+  if (actual != crcs_[i]) {
+    out.clear();
+    return geo::Status::data_loss(
+        "store: '" + path_ + "' block " + std::to_string(i) +
+        " CRC mismatch (stored " + std::to_string(crcs_[i]) + ", computed " +
+        std::to_string(actual) + ")");
+  }
+  return geo::Status();
+}
+
+}  // namespace geo::store

@@ -40,6 +40,52 @@ TEST(FaultConfigParse, RoundTripsFullSpec) {
   EXPECT_EQ(again->stuck.column, cfg.stuck.column);
 }
 
+TEST(FaultConfigParse, IoKeysRoundTripAndCountTowardAny) {
+  const auto parsed = FaultConfig::parse(
+      "io_rot=0.5,io_short_read=0.1,io_short_write=0.2,io_err=0.3,rng=9");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().to_string();
+  EXPECT_DOUBLE_EQ(parsed->io_rot_rate, 0.5);
+  EXPECT_DOUBLE_EQ(parsed->io_short_read_rate, 0.1);
+  EXPECT_DOUBLE_EQ(parsed->io_short_write_rate, 0.2);
+  EXPECT_DOUBLE_EQ(parsed->io_error_rate, 0.3);
+  EXPECT_TRUE(parsed->any()) << "io-only specs must install a model";
+
+  const auto again = FaultConfig::parse(parsed->to_string());
+  ASSERT_TRUE(again.ok()) << parsed->to_string();
+  EXPECT_DOUBLE_EQ(again->io_rot_rate, 0.5);
+  EXPECT_DOUBLE_EQ(again->io_error_rate, 0.3);
+
+  for (const char* spec : {"io_rot=2.0", "io_err=-0.5", "io_short_read=x"})
+    EXPECT_FALSE(FaultConfig::parse(spec).ok()) << spec;
+}
+
+TEST(FaultModelIo, DefectRotPersistsAndTransientsReRoll) {
+  FaultConfig cfg;
+  cfg.io_rot_rate = 1.0;
+  cfg.rng_seed = 3;
+  FaultModel defect(cfg);
+  std::vector<unsigned char> a(64, 0xAB), b(64, 0xAB);
+  EXPECT_GT(defect.corrupt_block(a.data(), a.size(), 17), 0);
+  EXPECT_GT(defect.corrupt_block(b.data(), b.size(), 17), 0);
+  EXPECT_EQ(a, b) << "defect-model rot must reproduce per site";
+  EXPECT_NE(a, std::vector<unsigned char>(64, 0xAB));
+
+  // io_err is transient by nature: at rate 0.5 the per-access sequence must
+  // produce both outcomes for a fixed site.
+  FaultConfig ecfg;
+  ecfg.io_error_rate = 0.5;
+  ecfg.rng_seed = 3;
+  FaultModel errs(ecfg);
+  bool saw_error = false, saw_ok = false;
+  for (int i = 0; i < 64 && !(saw_error && saw_ok); ++i)
+    (errs.io_error(17) ? saw_error : saw_ok) = true;
+  EXPECT_TRUE(saw_error);
+  EXPECT_TRUE(saw_ok);
+
+  const FaultStats stats = defect.stats();
+  EXPECT_EQ(stats.io_blocks_rotted, 2);
+}
+
 TEST(FaultConfigParse, DefaultsAreInert) {
   const auto parsed = FaultConfig::parse("");
   ASSERT_TRUE(parsed.ok());

@@ -14,6 +14,7 @@
 #include "nn/dataset.hpp"
 #include "nn/models.hpp"
 #include "nn/trainer.hpp"
+#include "resilience/checkpoint.hpp"
 
 namespace geo::nn {
 namespace {
@@ -160,6 +161,44 @@ TEST_F(TrainerResume, CorruptSnapshotFallsBackToScratch) {
   EXPECT_EQ(r.resumed_from_epoch, -1) << "corrupt snapshot must fail closed";
 
   // And the from-scratch rerun still matches a never-checkpointed control.
+  Sequential control = fresh_net();
+  train(control, train_set, test_set, quick_options(2));
+  EXPECT_TRUE(bit_identical(snapshot(b), snapshot(control)));
+}
+
+TEST_F(TrainerResume, BitFlippedSnapshotIsRejectedByCrcAndStartsFresh) {
+  const Dataset train_set = make_digits(64, 37);
+  const Dataset test_set = make_digits(32, 38);
+  TrainOptions o = quick_options(2);
+  o.checkpoint_dir = fresh_dir("resume_bitflip");
+  o.checkpoint_key = "bitflip";
+
+  Sequential a = fresh_net();
+  train(a, train_set, test_set, o);
+
+  // Flip a single byte mid-payload of the committed (fsync'd) snapshot —
+  // the whole-image CRC must reject it with kDataLoss, never serve it.
+  const std::string path = o.checkpoint_dir + "/bitflip.ckpt";
+  {
+    std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+    ASSERT_TRUE(f.good());
+    const auto size = std::filesystem::file_size(path);
+    f.seekg(static_cast<std::streamoff>(size / 2));
+    char byte = 0;
+    f.read(&byte, 1);
+    byte = static_cast<char>(byte ^ 0x01);
+    f.seekp(static_cast<std::streamoff>(size / 2));
+    f.write(&byte, 1);
+  }
+  const auto read_back = resilience::read_checkpoint(path);
+  ASSERT_FALSE(read_back.ok());
+  EXPECT_EQ(read_back.status().code(), StatusCode::kDataLoss);
+
+  // The trainer treats the poisoned snapshot as absent and starts fresh,
+  // matching a never-checkpointed control bit for bit.
+  Sequential b = fresh_net();
+  const TrainResult r = train(b, train_set, test_set, o);
+  EXPECT_EQ(r.resumed_from_epoch, -1);
   Sequential control = fresh_net();
   train(control, train_set, test_set, quick_options(2));
   EXPECT_TRUE(bit_identical(snapshot(b), snapshot(control)));
