@@ -6,18 +6,23 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
+#include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <optional>
 #include <random>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "arch/machine.hpp"
 #include "bench_util.hpp"
+#include "fault/fault_model.hpp"
 #include "nn/sc_layers.hpp"
 #include "sc/ops.hpp"
 #include "sc/parallel_counter.hpp"
 #include "sc/progressive.hpp"
+#include "sc/simd.hpp"
 #include "sc/sng.hpp"
 #include "sc/stream_table.hpp"
 
@@ -176,6 +181,122 @@ double measure_streams_per_s(bool progressive, bool use_table) {
   return secs > 0.0 ? iters / secs : 0.0;
 }
 
+// ---- sc::simd kernel rates, scalar vs the best vector backend ------------
+
+enum class SimdKernel { kPopcount, kAndPopcount, kMacPopcount, kOrAndInto };
+
+const char* kernel_name(SimdKernel k) {
+  switch (k) {
+    case SimdKernel::kPopcount: return "popcount";
+    case SimdKernel::kAndPopcount: return "and_popcount";
+    case SimdKernel::kMacPopcount: return "mac_popcount";
+    case SimdKernel::kOrAndInto: return "or_and_into";
+  }
+  return "?";
+}
+
+// Words/s for one kernel under one backend. The working set (a MAC row of
+// wpl = 64 words, L = 4096) mirrors the machine's inner loop and stays L1-
+// resident, so this measures the kernel, not the memory system. Rotating
+// through 8 input rows keeps the compiler from hoisting the reduction.
+double measure_kernel_words_per_s(geo::sc::simd::Backend backend,
+                                  SimdKernel kernel) {
+  using clock = std::chrono::steady_clock;
+  const geo::sc::simd::ScopedSimdBackend scope(backend);
+  constexpr std::size_t kWpl = 64;
+  constexpr std::size_t kRows = 8;
+  std::mt19937_64 rng(42);
+  std::vector<std::uint64_t> a(kRows * kWpl), wp(kRows * kWpl),
+      wn(kRows * kWpl), dst(kWpl, 0);
+  for (auto& x : a) x = rng();
+  for (auto& x : wp) x = rng();
+  for (auto& x : wn) x = rng();
+  std::uint64_t sink = 0;
+  auto one = [&](std::size_t i) {
+    const std::size_t row = (i % kRows) * kWpl;
+    switch (kernel) {
+      case SimdKernel::kPopcount:
+        sink += geo::sc::simd::popcount_words(a.data() + row, kWpl);
+        break;
+      case SimdKernel::kAndPopcount:
+        sink += geo::sc::simd::and_popcount(a.data() + row, wp.data() + row,
+                                            kWpl);
+        break;
+      case SimdKernel::kMacPopcount:
+        sink += static_cast<std::uint64_t>(geo::sc::simd::mac_popcount(
+            a.data() + row, wp.data() + row, wn.data() + row, kWpl));
+        break;
+      case SimdKernel::kOrAndInto:
+        geo::sc::simd::or_and_into(dst.data(), a.data() + row,
+                                   wp.data() + row, kWpl);
+        sink += dst[row % kWpl];
+        break;
+    }
+  };
+  for (std::size_t i = 0; i < 20000; ++i) one(i);
+  const std::size_t iters = 400000;
+  const auto t0 = clock::now();
+  for (std::size_t i = 0; i < iters; ++i) one(i);
+  const auto t1 = clock::now();
+  benchmark::DoNotOptimize(sink);
+  const double secs = std::chrono::duration<double>(t1 - t0).count();
+  return secs > 0.0 ? static_cast<double>(iters * kWpl) / secs : 0.0;
+}
+
+// ---- fused generate+execute vs materialized conv -------------------------
+
+struct ConvLeg {
+  double wall_s = 0.0;
+  std::vector<std::int32_t> counters;
+};
+
+// One machine conv (8x8x12x12, 3x3, L = 256), timed. `materialize` forces
+// the pre-fused path by installing a zero-rate fault model: fault hooks all
+// no-op at rate 0, so the bits are unchanged but the machine materializes
+// every activation stream into its buffer instead of feeding table rows
+// straight into the MAC.
+ConvLeg measure_conv(bool materialize) {
+  using clock = std::chrono::steady_clock;
+  using namespace geo::arch;
+  HwConfig hw = HwConfig::ulp();
+  hw.accum = geo::nn::AccumMode::kFxp;
+  hw.stream_len = 256;
+  hw.stream_len_pool = 256;
+  hw.stream_len_output = 256;
+  const ConvShape shape = ConvShape::conv("bench", 8, 8, 12, 3, 1, false);
+  std::mt19937 rng(7);
+  std::uniform_real_distribution<float> wdist(-0.8f, 0.8f);
+  std::uniform_real_distribution<float> adist(0.0f, 1.0f);
+  std::vector<float> weights(static_cast<std::size_t>(shape.weights()));
+  for (auto& w : weights) w = wdist(rng);
+  std::vector<float> input(static_cast<std::size_t>(shape.activations()));
+  for (auto& v : input) v = adist(rng);
+  const std::vector<float> ones(static_cast<std::size_t>(shape.cout), 1.0f);
+  const std::vector<float> zeros(static_cast<std::size_t>(shape.cout), 0.0f);
+
+  std::optional<geo::fault::ScopedFaultInjection> scope;
+  if (materialize)
+    scope.emplace(geo::fault::FaultConfig{});  // all rates 0: bits unchanged
+  else
+    scope.emplace(nullptr);  // shield from ambient GEO_FAULTS
+
+  ConvLeg leg;
+  GeoMachine machine(hw);
+  // Warm-up run pays the one-time comparator-table build off the clock and
+  // captures the counters for the byte-identity cross-check below.
+  leg.counters = machine.run_conv(shape, weights, input, ones, zeros, 1)
+                     .counters;
+  const int iters = 20;
+  const auto t0 = clock::now();
+  for (int i = 0; i < iters; ++i) {
+    auto r = machine.run_conv(shape, weights, input, ones, zeros, 1);
+    benchmark::DoNotOptimize(r.counters.data());
+  }
+  const auto t1 = clock::now();
+  leg.wall_s = std::chrono::duration<double>(t1 - t0).count() / iters;
+  return leg;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -221,6 +342,44 @@ int main(int argc, char** argv) {
   report.set("stream_table.progressive_table_streams_per_s", prog_table);
   report.set("stream_table.progressive_speedup",
              prog_tick > 0.0 ? prog_table / prog_tick : 0.0);
+
+  // SIMD section: per-kernel scalar-vs-vector rates on a MAC-row working
+  // set (wpl = 64). The regression gate's *speedup* rule keeps the measured
+  // ratios from collapsing; the *_per_s rates are informational (wall
+  // clock). The tentpole acceptance metric is simd.mac_popcount_speedup.
+  using geo::sc::simd::Backend;
+  const Backend best = geo::sc::simd::detect_best();
+  report.set("simd.vector_backend_available",
+             best == Backend::kScalar ? 0.0 : 1.0);
+  report.set("simd.words_per_row", 64.0);
+  for (const SimdKernel k :
+       {SimdKernel::kPopcount, SimdKernel::kAndPopcount,
+        SimdKernel::kMacPopcount, SimdKernel::kOrAndInto}) {
+    const double scalar_rate =
+        measure_kernel_words_per_s(Backend::kScalar, k);
+    const double simd_rate = measure_kernel_words_per_s(best, k);
+    const std::string key = std::string("simd.") + kernel_name(k);
+    report.set(key + "_scalar_words_per_s", scalar_rate);
+    report.set(key + "_simd_words_per_s", simd_rate);
+    report.set(key + "_speedup",
+               scalar_rate > 0.0 ? simd_rate / scalar_rate : 0.0);
+  }
+
+  // Fused generate+execute vs materialized conv. The two legs must agree
+  // byte for byte — a mismatch is a correctness break, not a perf delta,
+  // so it fails the bench run outright.
+  const ConvLeg fused = measure_conv(false);
+  const ConvLeg materialized = measure_conv(true);
+  if (fused.counters != materialized.counters) {
+    std::fprintf(stderr,
+                 "micro_sc_kernels: fused and materialized conv counters "
+                 "diverged — bit-exactness contract broken\n");
+    return 1;
+  }
+  report.set("conv.fused_wall_s", fused.wall_s);
+  report.set("conv.materialized_wall_s", materialized.wall_s);
+  report.set("conv.fused_speedup",
+             fused.wall_s > 0.0 ? materialized.wall_s / fused.wall_s : 0.0);
 
   if (!caller_out) {
     std::ifstream in(raw_path);

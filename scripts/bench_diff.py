@@ -41,6 +41,11 @@ RULES = [
     ("metrics.counters.*_streams_generated", 0.0, 0.0, 0, True),
     ("metrics.counters.*_buffer_fills", 0.0, 0.0, 0, True),
     ("*ledger_ok*", 0.0, 0.0, -1, False),
+    # Measured speedup ratios (table-vs-tick, SIMD-vs-scalar, fused-vs-
+    # materialized): wall-clock-derived, so noisy run to run, but a collapse
+    # means an optimization silently stopped engaging. Gate loosely, higher
+    # is better.
+    ("*speedup*", 0.5, 0.0, -1, False),
     ("*accuracy*", 0.0, 0.25, -1, False),         # percentage points
     ("*frames_per_joule*", 0.02, 0.0, -1, False),
     ("*frames_per_second*", 0.02, 0.0, -1, False),

@@ -10,6 +10,7 @@
 #include <stdexcept>
 #include <string>
 #include <thread>
+#include <unordered_map>
 
 #include "arch/attribution.hpp"
 #include "exec/parallel_conv.hpp"
@@ -18,6 +19,7 @@
 #include "nn/quantize.hpp"
 #include "sc/progressive.hpp"
 #include "sc/seed_sharing.hpp"
+#include "sc/simd.hpp"
 #include "sc/sng.hpp"
 #include "sc/stream_table.hpp"
 #include "telemetry/telemetry.hpp"
@@ -25,13 +27,6 @@
 namespace geo::arch {
 
 namespace {
-
-std::size_t popcount_words(const std::uint64_t* w, std::size_t n) {
-  std::size_t c = 0;
-  for (std::size_t i = 0; i < n; ++i)
-    c += static_cast<std::size_t>(std::popcount(w[i]));
-  return c;
-}
 
 // Generates one magnitude stream exactly like the nn SC layers do (shared
 // code path requirement for the bit-exactness contract). `fm` may be null;
@@ -124,6 +119,22 @@ struct ConvExecution::Impl {
   // identity never changes the bits.
   std::unique_ptr<std::atomic<std::uint8_t>[]> act_ready;
 
+  // Fused generate+execute: when no fault model is active and the
+  // comparator-table cache is on, activation streams are resolved to
+  // registry row pointers instead of being copied into `act` — the MAC
+  // reduction reads the table row directly, so the per-stream copy never
+  // happens. The bits are exactly what generate_stream would have copied,
+  // keeping outputs, ledgers, and generation counters byte-identical to the
+  // materialized path. Rows the registry declines (TRNG, table budget) fall
+  // back to per-slot buffers in `act_fallback` (node-stable map; the mutex
+  // guards insertion — readers only see pointers published through the
+  // act_ready release store).
+  bool fused = false;
+  std::vector<const std::uint64_t*> act_rowp;
+  std::vector<std::uint64_t> zero_row;
+  std::unordered_map<std::size_t, std::vector<std::uint64_t>> act_fallback;
+  std::mutex act_fallback_mu;
+
   std::int64_t tiles_cg = 0, tiles_wg = 0;
 
   MachineResult result;
@@ -137,6 +148,7 @@ struct ConvExecution::Impl {
   bool finished = false;
 
   const std::uint64_t* act_stream(std::size_t idx);
+  const std::uint64_t* act_row(std::size_t idx);
   template <typename Fn>
   void for_each_tile_input(std::int64_t tile, Fn&& fn) const;
   MachineStats run_tile(std::int64_t tile);
@@ -184,6 +196,68 @@ const std::uint64_t* ConvExecution::Impl::act_stream(std::size_t idx) {
     }
   }
   return act.data() + idx * wpl;
+}
+
+// The fused-path twin of act_stream(): same claim protocol, but the slot
+// resolves to a comparator-table row pointer instead of filling `act`.
+// Mirrors generate_stream + StreamGenerator::generate(use_table=true)
+// decision-for-decision (value quantization, vn scaling/saturation, the
+// zero-value short-circuit BEFORE any registry acquire, one acquire per
+// generation) so every metric the materialized path bumps is bumped here
+// identically.
+const std::uint64_t* ConvExecution::Impl::act_row(std::size_t idx) {
+  std::atomic<std::uint8_t>& flag = act_ready[idx];
+  std::uint8_t state = flag.load(std::memory_order_acquire);
+  while (state != 2) {
+    if (state == 0) {
+      std::uint8_t expected = 0;
+      if (flag.compare_exchange_strong(expected, 1,
+                                       std::memory_order_acq_rel)) {
+        act_gen_counter->add(1);
+        const float a = std::clamp(input[idx], 0.0f, 1.0f);
+        const std::uint32_t q = nn::quantize_unsigned(a, cfg.value_bits);
+        const sc::SeedSpec spec = alloc->activation(static_cast<int>(idx));
+        const unsigned n = spec.bits;
+        std::uint32_t vn = n >= cfg.value_bits
+                               ? q << (n - cfg.value_bits)
+                               : q >> (cfg.value_bits - n);
+        const std::uint32_t max = (1u << n) - 1u;
+        if (vn > max) vn = max;  // Sng::load saturates the same way
+        const std::uint64_t* row = zero_row.data();
+        if (vn != 0) {
+          if (const sc::StreamTable* t =
+                  sc::StreamTableRegistry::instance().acquire(
+                      cfg.rng, spec, static_cast<std::size_t>(L))) {
+            row = t->row(vn);
+          } else {
+            std::vector<std::uint64_t> buf(wpl, 0);
+            sc::StreamGenerator::local().generate(
+                buf.data(), wpl, static_cast<std::size_t>(L), cfg.rng, spec,
+                vn, /*use_table=*/false);
+            const std::lock_guard<std::mutex> lock(act_fallback_mu);
+            auto& slot = act_fallback[idx];
+            slot = std::move(buf);
+            row = slot.data();
+          }
+        }
+        act_rowp[idx] = row;
+        flag.store(2, std::memory_order_release);
+        flag.notify_all();
+        break;
+      }
+      state = expected;
+      continue;
+    }
+    for (int s = 0; s < 256 && state == 1; ++s) {
+      std::this_thread::yield();
+      state = flag.load(std::memory_order_acquire);
+    }
+    if (state == 1) {
+      flag.wait(1, std::memory_order_acquire);
+      state = flag.load(std::memory_order_acquire);
+    }
+  }
+  return act_rowp[idx];
 }
 
 MachineStats ConvExecution::Impl::run_tile(std::int64_t tile) {
@@ -275,7 +349,7 @@ MachineStats ConvExecution::Impl::run_tile(std::int64_t tile) {
           const std::size_t aidx =
               (static_cast<std::size_t>(ic) * shape.hin + iy) * shape.win +
               ix;
-          const std::uint64_t* a = act_stream(aidx);
+          const std::uint64_t* a = fused ? act_row(aidx) : act_stream(aidx);
           const std::size_t widx =
               (static_cast<std::size_t>(oc) * K + t) * wpl;
           const std::uint64_t* wp = &wpos[widx];
@@ -327,11 +401,16 @@ MachineStats ConvExecution::Impl::run_tile(std::int64_t tile) {
                   bn &= bn - 1;
                 }
               }
+            } else if (a != nullptr) {
+              // Clean fast path: one fused multiply-popcount pass over the
+              // packed words — the product stream is never materialized.
+              direct += sc::simd::mac_popcount(a, wp, wn, wpl);
             } else {
-              for (std::size_t k = 0; k < wpl; ++k) {
-                direct += std::popcount(prod_word(wp, k));
-                direct -= std::popcount(prod_word(wn, k));
-              }
+              // Products were formed (and corrupted) above; count them.
+              direct += static_cast<std::int64_t>(
+                  sc::simd::popcount_words(wp, wpl));
+              direct -= static_cast<std::int64_t>(
+                  sc::simd::popcount_words(wn, wpl));
             }
           } else {
             int g = 0;
@@ -342,9 +421,12 @@ MachineStats ConvExecution::Impl::run_tile(std::int64_t tile) {
             std::uint64_t* gp =
                 &scratch[static_cast<std::size_t>(g) * 2 * wpl];
             std::uint64_t* gn = gp + wpl;
-            for (std::size_t k = 0; k < wpl; ++k) {
-              gp[k] |= prod_word(wp, k);
-              gn[k] |= prod_word(wn, k);
+            if (a != nullptr) {
+              sc::simd::or_and_into(gp, a, wp, wpl);
+              sc::simd::or_and_into(gn, a, wn, wpl);
+            } else {
+              sc::simd::or_into(gp, wp, wpl);
+              sc::simd::or_into(gn, wn, wpl);
             }
           }
         }
@@ -380,8 +462,10 @@ MachineStats ConvExecution::Impl::run_tile(std::int64_t tile) {
                 total -= fm->apply_stuck(bn);
               }
             } else {
-              total += static_cast<std::int64_t>(popcount_words(gp, wpl));
-              total -= static_cast<std::int64_t>(popcount_words(gn, wpl));
+              total += static_cast<std::int64_t>(
+                  sc::simd::popcount_words(gp, wpl));
+              total -= static_cast<std::int64_t>(
+                  sc::simd::popcount_words(gn, wpl));
             }
           }
         }
@@ -745,7 +829,16 @@ geo::StatusOr<ConvExecution> GeoMachine::prepare_conv(
   // ---- activation streams, generated lazily per buffer slot -------------
   auto& metrics = telemetry::MetricsRegistry::instance();
   impl->act_gen_counter = &metrics.counter("machine.act_streams_generated");
-  impl->act.assign(input.size() * wpl, 0);
+  // Fused generate+execute eligibility: fault injection corrupts seeds and
+  // stream buffers per-slot (the rows are shared), and progressive loading
+  // composes masked row segments — both need a private materialized buffer.
+  impl->fused = fm == nullptr && impl->use_stream_table && !cfg.progressive;
+  if (impl->fused) {
+    impl->act_rowp.assign(input.size(), nullptr);
+    impl->zero_row.assign(wpl, 0);
+  } else {
+    impl->act.assign(input.size() * wpl, 0);
+  }
   impl->act_ready =
       std::make_unique<std::atomic<std::uint8_t>[]>(input.size());
   for (std::size_t i = 0; i < input.size(); ++i)

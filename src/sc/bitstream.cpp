@@ -1,8 +1,11 @@
 #include "sc/bitstream.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <cassert>
 #include <stdexcept>
+
+#include "sc/simd.hpp"
 
 namespace geo::sc {
 
@@ -20,14 +23,32 @@ Bitstream::Bitstream(std::size_t length, bool fill)
 }
 
 Bitstream Bitstream::from_bits(const std::vector<bool>& bits) {
+  // Assemble whole words (O(L/64) stores) instead of L read-modify-write
+  // set() calls; the tail word past the length stays zero by construction.
   Bitstream s(bits.size());
-  for (std::size_t i = 0; i < bits.size(); ++i) s.set(i, bits[i]);
+  std::size_t i = 0;
+  for (auto& word : s.words_) {
+    std::uint64_t w = 0;
+    const std::size_t hi = std::min(bits.size(), i + kWordBits);
+    for (std::size_t b = i; b < hi; ++b)
+      w |= static_cast<std::uint64_t>(bits[b]) << (b - i);
+    word = w;
+    i = hi;
+  }
   return s;
 }
 
 Bitstream Bitstream::from_string(const std::string& bits) {
   Bitstream s(bits.size());
-  for (std::size_t i = 0; i < bits.size(); ++i) s.set(i, bits[i] == '1');
+  std::size_t i = 0;
+  for (auto& word : s.words_) {
+    std::uint64_t w = 0;
+    const std::size_t hi = std::min(bits.size(), i + kWordBits);
+    for (std::size_t b = i; b < hi; ++b)
+      w |= static_cast<std::uint64_t>(bits[b] == '1') << (b - i);
+    word = w;
+    i = hi;
+  }
   return s;
 }
 
@@ -51,9 +72,8 @@ void Bitstream::flip(std::size_t i) {
 }
 
 std::size_t Bitstream::popcount() const noexcept {
-  std::size_t n = 0;
-  for (std::uint64_t w : words_) n += static_cast<std::size_t>(std::popcount(w));
-  return n;
+  return static_cast<std::size_t>(
+      simd::popcount_words(words_.data(), words_.size()));
 }
 
 std::size_t Bitstream::popcount_prefix(std::size_t n) const {
@@ -79,19 +99,19 @@ double Bitstream::bipolar_value() const noexcept { return 2.0 * value() - 1.0; }
 
 Bitstream& Bitstream::operator&=(const Bitstream& rhs) {
   assert(length_ == rhs.length_);
-  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= rhs.words_[i];
+  simd::and_into(words_.data(), rhs.words_.data(), words_.size());
   return *this;
 }
 
 Bitstream& Bitstream::operator|=(const Bitstream& rhs) {
   assert(length_ == rhs.length_);
-  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= rhs.words_[i];
+  simd::or_into(words_.data(), rhs.words_.data(), words_.size());
   return *this;
 }
 
 Bitstream& Bitstream::operator^=(const Bitstream& rhs) {
   assert(length_ == rhs.length_);
-  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] ^= rhs.words_[i];
+  simd::xor_into(words_.data(), rhs.words_.data(), words_.size());
   return *this;
 }
 

@@ -20,10 +20,30 @@ Bitstream or_accumulate(std::span<const Bitstream> streams) {
 Bitstream mux_add(const Bitstream& a, const Bitstream& b, RngSource& select) {
   if (a.length() != b.length())
     throw std::invalid_argument("mux_add: length mismatch");
-  const std::uint32_t half = 1u << (select.bits() - 1);
+  // The select comparator must split the source's *emitted* range in half,
+  // not the nominal [0, 2^bits) range. A maximal-length LFSR never emits
+  // zero, so `next() < 2^(bits-1)` selects only 2^(bits-1)-1 of its
+  // 2^bits-1 states — a systematic bias toward `b` of 1/(2(2^bits-1)) that
+  // skews every scaled add. With the range [lo, 2^bits) the midpoint is
+  // lo + span/2; an even span (lo = 0) splits exactly. An odd span (the
+  // LFSR case) has a single midpoint state, which alternates between the
+  // two inputs so consecutive periods select a and b exactly equally:
+  // P(select) = 1/2 with zero long-run bias.
+  const std::uint32_t lo = select.min_value();
+  const std::uint32_t span = (1u << select.bits()) - lo;
+  const std::uint32_t half = lo + span / 2;
+  const bool odd_span = (span & 1u) != 0;
+  bool midpoint_toggle = false;
   Bitstream out(a.length());
   for (std::size_t i = 0; i < a.length(); ++i) {
-    const bool sel = select.next() < half;
+    const std::uint32_t r = select.next();
+    bool sel;
+    if (odd_span && r == half) {
+      sel = midpoint_toggle;
+      midpoint_toggle = !midpoint_toggle;
+    } else {
+      sel = r < half;
+    }
     out.set(i, sel ? a.get(i) : b.get(i));
   }
   return out;

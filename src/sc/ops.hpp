@@ -22,7 +22,12 @@ Bitstream multiply_bipolar(const Bitstream& a, const Bitstream& b);
 Bitstream or_accumulate(std::span<const Bitstream> streams);
 
 // Scaled addition: per-cycle MUX between a and b driven by a select source
-// with p(select) = 0.5, computing (a + b) / 2 in expectation.
+// with p(select) = 0.5, computing (a + b) / 2 in expectation. The select
+// threshold is derived from the source's emitted range (RngSource::
+// min_value) — an LFSR never emits zero, and splitting its odd-sized range
+// naively would bias the result toward `b`; the single midpoint state
+// alternates so a full even number of periods selects each input exactly
+// half the time.
 Bitstream mux_add(const Bitstream& a, const Bitstream& b, RngSource& select);
 
 // Stochastic scaled saturating subtract used by some SC pipelines:

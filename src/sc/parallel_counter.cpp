@@ -3,6 +3,7 @@
 #include <bit>
 
 #include "fault/fault_model.hpp"
+#include "sc/simd.hpp"
 
 namespace geo::sc {
 
@@ -63,9 +64,12 @@ StatusOr<std::uint64_t> apc_count_total(std::span<const Bitstream> streams) {
   std::size_t i = 0;
   bool use_or = true;
   for (; i + 1 < streams.size(); i += 2, use_or = !use_or) {
-    const Bitstream merged =
-        use_or ? (streams[i] | streams[i + 1]) : (streams[i] & streams[i + 1]);
-    total += 2 * merged.popcount();
+    // Fused merge-and-count: the OR/AND merge stage never materializes.
+    const std::uint64_t* a = streams[i].words().data();
+    const std::uint64_t* b = streams[i + 1].words().data();
+    const std::size_t wc = streams[i].word_count();
+    total += 2 * (use_or ? simd::or_popcount(a, b, wc)
+                         : simd::and_popcount(a, b, wc));
   }
   if (i < streams.size()) total += streams[i].popcount();
   return total;

@@ -39,6 +39,14 @@ class RngSource {
 
   virtual unsigned bits() const noexcept = 0;
 
+  // Smallest value this source can emit. A maximal-length LFSR never
+  // reaches the absorbing all-zero state, so its range is [1, 2^bits - 1];
+  // every other source covers [0, 2^bits - 1]. Consumers that split the
+  // range (e.g. sc::mux_add's select comparator) must derive thresholds
+  // from this, not from 2^bits alone — assuming a full range over an
+  // LFSR systematically biases the split.
+  virtual std::uint32_t min_value() const noexcept { return 0; }
+
   // Restarts the sequence. Deterministic sources replay exactly; the TRNG
   // draws a fresh sequence (that is the point of a TRNG).
   virtual void reset() = 0;
@@ -61,6 +69,7 @@ class LfsrSource final : public RngSource {
 
   std::uint32_t next() override { return lfsr_.next(); }
   unsigned bits() const noexcept override { return lfsr_.bits(); }
+  std::uint32_t min_value() const noexcept override { return 1; }
   void reset() override { lfsr_.reset(); }
   void reseed(const SeedSpec& spec) override;
   bool deterministic() const noexcept override { return true; }

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "sc/simd.hpp"
+
 namespace geo::sc {
 
 double rms(std::span<const double> errors) {
@@ -26,7 +28,11 @@ double scc(const Bitstream& a, const Bitstream& b) {
   const double n = static_cast<double>(a.length());
   const double pa = a.value();
   const double pb = b.value();
-  const double pab = static_cast<double>((a & b).popcount()) / n;
+  // Fused AND-popcount: the joint stream is counted without materializing.
+  const double pab = static_cast<double>(simd::and_popcount(
+                         a.words().data(), b.words().data(),
+                         a.word_count())) /
+                     n;
   const double delta = pab - pa * pb;
   if (delta > 0) {
     const double denom = std::min(pa, pb) - pa * pb;
@@ -42,7 +48,10 @@ double pearson(const Bitstream& a, const Bitstream& b) {
   const double n = static_cast<double>(a.length());
   const double pa = a.value();
   const double pb = b.value();
-  const double pab = static_cast<double>((a & b).popcount()) / n;
+  const double pab = static_cast<double>(simd::and_popcount(
+                         a.words().data(), b.words().data(),
+                         a.word_count())) /
+                     n;
   const double va = pa * (1.0 - pa);
   const double vb = pb * (1.0 - pb);
   if (va <= 0.0 || vb <= 0.0) return 0.0;

@@ -52,6 +52,39 @@ TEST(Bitstream, FromBitsAndToString) {
   EXPECT_EQ(Bitstream::from_string("1011"), s);
 }
 
+// from_bits / from_string assemble whole words; the word-boundary lengths
+// (63/64/65) and the empty stream are where an off-by-one would land.
+TEST(Bitstream, FromBitsRoundTripsAtWordBoundaries) {
+  std::mt19937 rng(7);
+  for (std::size_t len : {std::size_t{0}, std::size_t{1}, std::size_t{63},
+                          std::size_t{64}, std::size_t{65},
+                          std::size_t{1000}}) {
+    std::vector<bool> bits(len);
+    std::string str(len, '0');
+    std::size_t ones = 0;
+    for (std::size_t i = 0; i < len; ++i) {
+      const bool v = (rng() & 1u) != 0;
+      bits[i] = v;
+      str[i] = v ? '1' : '0';
+      ones += v;
+    }
+    const Bitstream from_b = Bitstream::from_bits(bits);
+    const Bitstream from_s = Bitstream::from_string(str);
+    ASSERT_EQ(from_b.length(), len);
+    EXPECT_EQ(from_b, from_s) << "len=" << len;
+    EXPECT_EQ(from_b.popcount(), ones) << "len=" << len;
+    EXPECT_EQ(from_b.to_string(), str) << "len=" << len;
+    for (std::size_t i = 0; i < len; ++i)
+      ASSERT_EQ(from_b.get(i), static_cast<bool>(bits[i]))
+          << "len=" << len << " i=" << i;
+    // The tail word past the logical length must stay zero (popcount and
+    // whole-word kernels rely on it).
+    if (len % 64 != 0 && !from_b.words().empty()) {
+      EXPECT_EQ(from_b.words().back() >> (len % 64), 0u) << "len=" << len;
+    }
+  }
+}
+
 TEST(Bitstream, LogicOps) {
   const Bitstream a = Bitstream::from_string("1100");
   const Bitstream b = Bitstream::from_string("1010");

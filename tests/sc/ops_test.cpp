@@ -89,6 +89,41 @@ TEST(Ops, MuxAddHalvesSum) {
   EXPECT_NEAR(mux_add(a, b, *sel).value(), 0.5, 0.05);
 }
 
+// Regression: the select comparator must split the LFSR's *emitted* range
+// [1, 2^n - 1], not the nominal [0, 2^n). With a = all-ones and
+// b = all-zeros the output bit IS the select bit, so the popcount counts
+// selects directly. Over two full 8-bit periods (2 * 255 = 510 draws) an
+// unbiased select fires exactly 255 times; the old `next() < 2^(n-1)`
+// threshold fired only 254 times (bias 1/510 toward b), which fails the
+// exact check below.
+TEST(Ops, MuxAddSelectIsExactlyHalfOverFullPeriods) {
+  constexpr unsigned kBits = 8;
+  constexpr std::size_t kPeriod = (1u << kBits) - 1;  // LFSR never emits 0
+  const std::size_t len = 2 * kPeriod;                // even #periods: exact
+  const Bitstream a(len, true);
+  const Bitstream b(len, false);
+  for (std::uint32_t seed : {1u, 77u, 201u}) {
+    auto sel = make_source(RngKind::kLfsr,
+                           SeedSpec{.bits = kBits, .seed = seed});
+    const Bitstream out = mux_add(a, b, *sel);
+    EXPECT_EQ(out.popcount(), len / 2) << "seed=" << seed;
+    EXPECT_DOUBLE_EQ(out.value(), 0.5) << "seed=" << seed;
+  }
+}
+
+// With the unbiased select, mux_add lands within sampling noise of
+// (a + b) / 2 — tighter than the old systematic-bias floor at full-period
+// lengths.
+TEST(Ops, MuxAddApproximatesHalfSumTightly) {
+  constexpr std::size_t kPeriod = 255;
+  const std::size_t len = 32 * kPeriod;  // 8160
+  const Bitstream a = gen(RngKind::kLfsr, 13, 0.8, len);
+  const Bitstream b = gen(RngKind::kLfsr, 77, 0.2, len);
+  auto sel = make_source(RngKind::kLfsr, SeedSpec{.bits = 8, .seed = 201});
+  const double expect = (a.value() + b.value()) / 2.0;
+  EXPECT_NEAR(mux_add(a, b, *sel).value(), expect, 0.02);
+}
+
 TEST(Ops, MuxAddLengthMismatchThrows) {
   auto sel = make_source(RngKind::kLfsr, SeedSpec{.bits = 8, .seed = 1});
   EXPECT_THROW(mux_add(Bitstream(8), Bitstream(16), *sel),

@@ -18,6 +18,19 @@ TEST(LfsrSource, DeterministicReplay) {
     EXPECT_EQ(src.next(), first[static_cast<std::size_t>(i)]);
 }
 
+// A maximal-length LFSR never reaches the all-zero state, so its emitted
+// range floor is 1; every other source covers the full [0, 2^bits) range.
+// Consumers that split the range (sc::mux_add) key their thresholds off
+// this — see MuxAddSelectIsExactlyHalfOverFullPeriods.
+TEST(LfsrSource, MinValueReflectsEmittedRange) {
+  SeedSpec spec{.bits = 8, .seed = 11};
+  EXPECT_EQ(LfsrSource(spec).min_value(), 1u);
+  EXPECT_EQ(TrngSource(spec).min_value(), 0u);
+  EXPECT_EQ(CounterSource(spec).min_value(), 0u);
+  LfsrSource lfsr(spec);
+  for (int i = 0; i < 512; ++i) EXPECT_GE(lfsr.next(), lfsr.min_value());
+}
+
 TEST(LfsrSource, CloneReproduces) {
   SeedSpec spec{.bits = 6, .seed = 5};
   LfsrSource a(spec);
