@@ -45,6 +45,10 @@ RULES = [
     # materialized): wall-clock-derived, so noisy run to run, but a collapse
     # means an optimization silently stopped engaging. Gate loosely, higher
     # is better.
+    # Batched-serving throughput ratio (bench/serve batch section): a
+    # collapse below baseline means coalesced dispatch stopped amortizing
+    # preparation. Same loose shrink-only gate as the other ratios.
+    ("*batch_speedup*", 0.5, 0.0, -1, False),
     ("*speedup*", 0.5, 0.0, -1, False),
     ("*accuracy*", 0.0, 0.25, -1, False),         # percentage points
     ("*frames_per_joule*", 0.02, 0.0, -1, False),

@@ -661,6 +661,37 @@ const nn::ScLayerConfig& ConvExecution::config() const { return impl_->cfg; }
 
 MachineResult ConvExecution::finish() { return impl_->finish(); }
 
+geo::Status ConvExecution::rebind_input(std::span<const float> input) {
+  Impl& im = *impl_;
+  if (input.size() != static_cast<std::size_t>(im.shape.activations()))
+    return geo::Status::invalid_argument(
+        "GeoMachine: rebind input size mismatch: got " +
+        std::to_string(input.size()) + ", shape wants " +
+        std::to_string(im.shape.activations()));
+  im.input = input;
+  // Empty the lazy activation cache: every slot regenerates from the new
+  // input on first use. The buffers themselves are kept (generate_stream
+  // zero-fills its destination before writing), so a rebind allocates only
+  // the per-run result vectors.
+  for (std::size_t i = 0; i < input.size(); ++i)
+    im.act_ready[i].store(0, std::memory_order_relaxed);
+  if (im.fused) {
+    std::fill(im.act_rowp.begin(), im.act_rowp.end(), nullptr);
+    const std::lock_guard<std::mutex> lock(im.act_fallback_mu);
+    im.act_fallback.clear();
+  }
+  im.result.counters.assign(static_cast<std::size_t>(im.outputs), 0);
+  im.result.activations.assign(static_cast<std::size_t>(im.outputs), 0);
+  im.result.stats = MachineStats{};
+  // Re-baseline the ECC retry charge: this run's finish() must charge only
+  // the retries its own activation reads incur, not the previous member's.
+  im.fault_retry0 =
+      im.fm != nullptr ? im.fm->stats().sram_retry_cycles : 0;
+  im.finished = false;
+  im.run_timer.emplace("machine.run_conv", "machine");
+  return geo::Status();
+}
+
 // ----------------------------------------------------------------- machine
 
 GeoMachine::GeoMachine(const HwConfig& hw) : hw_(hw) {}

@@ -349,6 +349,158 @@ geo::Status cancelled_status(std::string_view layer, std::string_view where) {
       std::string(layer) + "'");
 }
 
+// Cycles burned on one rung's tile walk, reported back to the caller.
+struct RungWalkStats {
+  std::int64_t backoff = 0;    // backoff stalls charged into the live ledger
+  std::int64_t abandoned = 0;  // serial-schedule spend, set when the rung fails
+};
+
+// Walks every tile of a prepared execution under the bounded detect/retry
+// loop: the tile-parallel Phase A fast path when eligible, the serial loop
+// otherwise, exponential-backoff retries, and detection bookkeeping into
+// `outcome`. Returns true when every tile passed, false when a tile drained
+// its retry budget (the rung failed; ws.abandoned holds the cycles the
+// serial schedule would have burned by then), or kDeadlineExceeded when
+// `cancel` fired at a tile boundary (the partial run is abandoned in place;
+// the execution stays reusable — rebind or destroy it).
+geo::StatusOr<bool> walk_rung_tiles(arch::ConvExecution& exec,
+                                    const arch::ConvShape& shape,
+                                    const RetryPolicy& policy, Rung rung,
+                                    exec::CancelToken* cancel,
+                                    LayerOutcome& outcome, RungWalkStats& ws) {
+  auto& metrics = telemetry::MetricsRegistry::instance();
+  fault::FaultModel* fm = fault::active();
+  bool rung_failed = false;
+  const std::int64_t tiles = exec.tile_count();
+
+  // Tile-parallel fast path: fan every tile's independent first run across
+  // the process pool (Phase A), then replay the serial loop's detect/retry
+  // decisions tile-by-tile from recorded evidence (Phase B). Disabled for
+  // transient fault models — there each SRAM access advances a per-site
+  // sequence, so a retry interleaved between first runs would change later
+  // tiles' draws; those keep the serial loop verbatim.
+  const bool parallel = exec::ThreadPool::instance().size() > 1 && tiles > 1 &&
+                        (fm == nullptr || !fm->config().transient);
+
+  std::vector<arch::MachineStats> first_costs;
+  std::vector<std::int64_t> emulated_ecc;
+  if (parallel) {
+    first_costs.resize(static_cast<std::size_t>(tiles));
+    if (!exec::ParallelConvRunner().run_all_recording(exec, first_costs,
+                                                      cancel))
+      return cancelled_status(outcome.layer, "parallel-tile-boundary");
+    // Reconstruct the attempt-0 ECC signals the serial loop would have
+    // seen: in tile order, the first tile touching an activation slot owns
+    // its generation, and under the defect model each read's contribution
+    // to the detected-minus-corrected delta is a pure function of the
+    // slot (corrected single-bit events subtract, matching check_tile).
+    emulated_ecc.assign(static_cast<std::size_t>(tiles), 0);
+    if (fm != nullptr && fm->sram_active()) {
+      std::unordered_set<std::size_t> owned;
+      for (std::int64_t t = 0; t < tiles; ++t) {
+        for (const std::size_t aidx : exec.tile_inputs(t)) {
+          if (owned.insert(aidx).second)
+            emulated_ecc[static_cast<std::size_t>(t)] +=
+                fm->sram_defect_ecc_delta(
+                    static_cast<unsigned>(exec.config().value_bits),
+                    fault::FaultModel::Site::kActSram, aidx);
+        }
+      }
+    }
+  }
+
+  // What the serial loop would have spent by the time a rung fails:
+  // first-run costs of the tiles visited so far, plus retry runs and
+  // backoff stalls. The live exec.stats() can't stand in for this in
+  // parallel mode — Phase A already charged *every* tile's first run.
+  std::int64_t serial_cycles = 0;
+
+  for (std::int64_t tile = 0; tile < tiles && !rung_failed; ++tile) {
+    // Tile-boundary cancellation: an expired request stops charging
+    // cycles here, between tiles, and its replica frees promptly.
+    if (cancel != nullptr && cancel->cancelled())
+      return cancelled_status(outcome.layer, "tile-boundary");
+    if (parallel) {
+      const arch::MachineStats& fc =
+          first_costs[static_cast<std::size_t>(tile)];
+      serial_cycles += fc.compute_cycles + fc.stall_cycles;
+    }
+    bool tile_retried = false;
+    for (int attempt = 0;; ++attempt) {
+      TileSignals sig;
+      if (parallel && attempt == 0) {
+        // The tile already ran in Phase A: emulate the ECC delta its first
+        // run produced under the serial schedule, then run the real
+        // guards (the guard reads mutate fault stats identically in both
+        // schedules, tile by tile).
+        const std::int64_t ecc_hits =
+            emulated_ecc[static_cast<std::size_t>(tile)];
+        for (std::int64_t i = 0; i < ecc_hits; ++i)
+          sig.add(ecc_detect_kind(*fm));
+        sig.merge(guard_signals(exec, tile, shape, policy));
+      } else {
+        const fault::FaultStats before =
+            fm != nullptr ? fm->stats() : fault::FaultStats{};
+        const arch::MachineStats run_cost = exec.run_tile(tile);
+        serial_cycles += run_cost.compute_cycles + run_cost.stall_cycles;
+        sig = check_tile(exec, tile, shape, before, policy);
+      }
+      for (int d = 0; d < kDetectKinds; ++d)
+        outcome.detections[static_cast<std::size_t>(d)] +=
+            sig.hits[static_cast<std::size_t>(d)];
+      if (!sig.any) {
+        if (tile_retried) {
+          ++outcome.tiles_recovered;
+          metrics.counter("fault.recovered").add(1);
+        }
+        break;
+      }
+      if (attempt >= policy.retries) {
+        rung_failed = true;  // budget exhausted: trip the circuit breaker
+        break;
+      }
+      if (!tile_retried) {
+        tile_retried = true;
+        ++outcome.tiles_retried;
+      }
+      ++outcome.retries;
+      const std::int64_t stall = policy.backoff_for(attempt);
+      exec.add_stall_cycles(stall);
+      ws.backoff += stall;
+      serial_cycles += stall;
+      if (auto& journal = telemetry::Journal::instance(); journal.enabled())
+        journal.record("resilience.retry", outcome.layer,
+                       {{"tile", static_cast<double>(tile)},
+                        {"attempt", static_cast<double>(attempt)},
+                        {"stall_cycles", static_cast<double>(stall)},
+                        {"detections", static_cast<double>(sig.count())}},
+                       to_string(rung));
+      // Drop the cached activation streams so the retry re-reads SRAM and
+      // regenerates them — under a transient fault model the re-roll can
+      // clear the fault; under the defect model it reproduces it and the
+      // budget drains toward degradation.
+      exec.invalidate_tile_inputs(tile);
+    }
+  }
+
+  if (rung_failed) {
+    // The rung's ledger is discarded with the execution, so keep the burned
+    // cycles visible. In parallel mode the reconstructed serial spend is
+    // reported so the ledger is independent of GEO_THREADS; mid-run
+    // nearmem_cycles are zero in both modes (the near-memory pass is
+    // charged at finish()).
+    if (parallel) {
+      ws.abandoned += serial_cycles;
+    } else {
+      const arch::MachineStats& st = exec.stats();
+      ws.abandoned +=
+          st.compute_cycles + st.stall_cycles + st.nearmem_cycles;
+    }
+    return false;
+  }
+  return true;
+}
+
 }  // namespace
 
 geo::StatusOr<arch::MachineResult> ResilientExecutor::run_conv(
@@ -374,8 +526,6 @@ geo::StatusOr<arch::MachineResult> ResilientExecutor::run_conv(
   if (options.start <= Rung::kFxp && hw_.accum != nn::AccumMode::kFxp)
     ladder.push_back(Rung::kFxp);
   ladder.push_back(Rung::kReference);
-
-  fault::FaultModel* fm = fault::active();
 
   for (const Rung rung : ladder) {
     if (cancel != nullptr && cancel->cancelled())
@@ -424,134 +574,13 @@ geo::StatusOr<arch::MachineResult> ResilientExecutor::run_conv(
     if (!prepared.ok()) return prepared.status();
     arch::ConvExecution exec = std::move(prepared).value();
 
-    bool rung_failed = false;
-    const std::int64_t tiles = exec.tile_count();
-    std::int64_t rung_backoff = 0;
-
-    // Tile-parallel fast path: fan every tile's independent first run across
-    // the process pool (Phase A), then replay the serial loop's detect/retry
-    // decisions tile-by-tile from recorded evidence (Phase B). Disabled for
-    // transient fault models — there each SRAM access advances a per-site
-    // sequence, so a retry interleaved between first runs would change later
-    // tiles' draws; those keep the serial loop verbatim.
-    const bool parallel = exec::ThreadPool::instance().size() > 1 &&
-                          tiles > 1 &&
-                          (fm == nullptr || !fm->config().transient);
-
-    std::vector<arch::MachineStats> first_costs;
-    std::vector<std::int64_t> emulated_ecc;
-    if (parallel) {
-      first_costs.resize(static_cast<std::size_t>(tiles));
-      if (!exec::ParallelConvRunner().run_all_recording(exec, first_costs,
-                                                        cancel))
-        return cancelled_status(outcome.layer, "parallel-tile-boundary");
-      // Reconstruct the attempt-0 ECC signals the serial loop would have
-      // seen: in tile order, the first tile touching an activation slot owns
-      // its generation, and under the defect model each read's contribution
-      // to the detected-minus-corrected delta is a pure function of the
-      // slot (corrected single-bit events subtract, matching check_tile).
-      emulated_ecc.assign(static_cast<std::size_t>(tiles), 0);
-      if (fm != nullptr && fm->sram_active()) {
-        std::unordered_set<std::size_t> owned;
-        for (std::int64_t t = 0; t < tiles; ++t) {
-          for (const std::size_t aidx : exec.tile_inputs(t)) {
-            if (owned.insert(aidx).second)
-              emulated_ecc[static_cast<std::size_t>(t)] +=
-                  fm->sram_defect_ecc_delta(
-                      static_cast<unsigned>(exec.config().value_bits),
-                      fault::FaultModel::Site::kActSram, aidx);
-          }
-        }
-      }
-    }
-
-    // What the serial loop would have spent by the time a rung fails:
-    // first-run costs of the tiles visited so far, plus retry runs and
-    // backoff stalls. The live exec.stats() can't stand in for this in
-    // parallel mode — Phase A already charged *every* tile's first run.
-    std::int64_t serial_cycles = 0;
-
-    for (std::int64_t tile = 0; tile < tiles && !rung_failed; ++tile) {
-      // Tile-boundary cancellation: an expired request stops charging
-      // cycles here, between tiles, and its replica frees promptly.
-      if (cancel != nullptr && cancel->cancelled())
-        return cancelled_status(outcome.layer, "tile-boundary");
-      if (parallel) {
-        const arch::MachineStats& fc =
-            first_costs[static_cast<std::size_t>(tile)];
-        serial_cycles += fc.compute_cycles + fc.stall_cycles;
-      }
-      bool tile_retried = false;
-      for (int attempt = 0;; ++attempt) {
-        TileSignals sig;
-        if (parallel && attempt == 0) {
-          // The tile already ran in Phase A: emulate the ECC delta its first
-          // run produced under the serial schedule, then run the real
-          // guards (the guard reads mutate fault stats identically in both
-          // schedules, tile by tile).
-          const std::int64_t ecc_hits =
-              emulated_ecc[static_cast<std::size_t>(tile)];
-          for (std::int64_t i = 0; i < ecc_hits; ++i)
-            sig.add(ecc_detect_kind(*fm));
-          sig.merge(guard_signals(exec, tile, shape, policy_));
-        } else {
-          const fault::FaultStats before =
-              fm != nullptr ? fm->stats() : fault::FaultStats{};
-          const arch::MachineStats run_cost = exec.run_tile(tile);
-          serial_cycles += run_cost.compute_cycles + run_cost.stall_cycles;
-          sig = check_tile(exec, tile, shape, before, policy_);
-        }
-        for (int d = 0; d < kDetectKinds; ++d)
-          outcome.detections[static_cast<std::size_t>(d)] +=
-              sig.hits[static_cast<std::size_t>(d)];
-        if (!sig.any) {
-          if (tile_retried) {
-            ++outcome.tiles_recovered;
-            metrics.counter("fault.recovered").add(1);
-          }
-          break;
-        }
-        if (attempt >= policy_.retries) {
-          rung_failed = true;  // budget exhausted: trip the circuit breaker
-          break;
-        }
-        if (!tile_retried) {
-          tile_retried = true;
-          ++outcome.tiles_retried;
-        }
-        ++outcome.retries;
-        const std::int64_t stall = policy_.backoff_for(attempt);
-        exec.add_stall_cycles(stall);
-        rung_backoff += stall;
-        serial_cycles += stall;
-        if (auto& journal = telemetry::Journal::instance(); journal.enabled())
-          journal.record("resilience.retry", outcome.layer,
-                         {{"tile", static_cast<double>(tile)},
-                          {"attempt", static_cast<double>(attempt)},
-                          {"stall_cycles", static_cast<double>(stall)},
-                          {"detections", static_cast<double>(sig.count())}},
-                         to_string(rung));
-        // Drop the cached activation streams so the retry re-reads SRAM and
-        // regenerates them — under a transient fault model the re-roll can
-        // clear the fault; under the defect model it reproduces it and the
-        // budget drains toward degradation.
-        exec.invalidate_tile_inputs(tile);
-      }
-    }
-
-    if (rung_failed) {
-      // Abandon this rung: its ledger is discarded with the execution, so
-      // keep the burned cycles visible in the report. In parallel mode the
-      // reconstructed serial spend is reported so the ledger is independent
-      // of GEO_THREADS; mid-run nearmem_cycles are zero in both modes (the
-      // near-memory pass is charged at finish()).
-      if (parallel) {
-        outcome.abandoned_cycles += serial_cycles;
-      } else {
-        const arch::MachineStats& st = exec.stats();
-        outcome.abandoned_cycles +=
-            st.compute_cycles + st.stall_cycles + st.nearmem_cycles;
-      }
+    RungWalkStats ws;
+    auto walked =
+        walk_rung_tiles(exec, shape, policy_, rung, cancel, outcome, ws);
+    if (!walked.ok()) return walked.status();
+    if (!*walked) {
+      // Abandon this rung and descend the ladder.
+      outcome.abandoned_cycles += ws.abandoned;
       if (auto& journal = telemetry::Journal::instance(); journal.enabled())
         journal.record(
             "resilience.degrade", outcome.layer,
@@ -568,6 +597,7 @@ geo::StatusOr<arch::MachineResult> ResilientExecutor::run_conv(
     if (options.io_stall_cycles > 0)
       exec.add_io_stall_cycles(options.io_stall_cycles);
 
+    const std::int64_t tiles = exec.tile_count();
     arch::MachineResult result = exec.finish();
     if (!result.stats.ledger_ok) {
       outcome.detections[static_cast<std::size_t>(Detect::kLedger)] += 1;
@@ -578,7 +608,7 @@ geo::StatusOr<arch::MachineResult> ResilientExecutor::run_conv(
       continue;  // an unreconciled ledger is a detection: descend
     }
     outcome.tiles = tiles;
-    outcome.backoff_cycles += rung_backoff;
+    outcome.backoff_cycles += ws.backoff;
     outcome.ledger_ok = true;
     if (auto& journal = telemetry::Journal::instance();
         journal.enabled() && (outcome.degraded || outcome.tiles_retried > 0))
@@ -594,6 +624,152 @@ geo::StatusOr<arch::MachineResult> ResilientExecutor::run_conv(
 
   // Unreachable: the ladder always ends in kReference, which returns.
   return geo::Status::internal("resilience: degradation ladder fell through");
+}
+
+std::vector<BatchItemResult> ResilientExecutor::run_conv_batch(
+    const arch::ConvShape& shape, std::span<const float> weights,
+    std::span<const float> bn_scale, std::span<const float> bn_shift,
+    std::uint64_t layer_salt, std::vector<BatchItem>& items, Rung start) {
+  std::vector<BatchItemResult> out;
+  out.reserve(items.size());
+  fault::FaultModel* fm = fault::active();
+
+  // Runs one item down the full unbatched path (its own prepare + ladder).
+  // Used when sharing is unsound or as the demotion path when the shared
+  // rung fails — the solo path appends its own complete outcome.
+  auto solo = [&](BatchItem& item) {
+    RunOptions opts;
+    opts.start = start;
+    opts.cancel = item.cancel;
+    opts.io_stall_cycles = item.io_stall_cycles;
+    BatchItemResult br{run_conv(shape, weights, item.input, bn_scale,
+                                bn_shift, layer_salt, item.label, opts)};
+    if (br.result.ok()) {
+      const LayerOutcome* oc = last_outcome();
+      br.degraded = oc != nullptr && oc->degraded;
+    }
+    return br;
+  };
+
+  // Sharing a preparation is sound when reused weight streams are
+  // byte-identical to regenerated ones: no fault model, or a defect model
+  // (per-site pure draws). A transient model advances per-site sequences on
+  // every generation, so members after the first would diverge from their
+  // unbatched execution — fall back per item. A kReference start never
+  // prepares a machine execution, and a single-item batch has nothing to
+  // amortize.
+  const bool shareable = items.size() > 1 && start != Rung::kReference &&
+                         (fm == nullptr || !fm->config().transient);
+  if (!shareable) {
+    for (BatchItem& item : items) out.push_back(solo(item));
+    return out;
+  }
+
+  // Mirror run_conv's ladder entry for the start rung.
+  arch::HwConfig hw = hw_;
+  if (start == Rung::kPbw) hw.accum = nn::AccumMode::kPbw;
+  if (start == Rung::kFxp) hw.accum = nn::AccumMode::kFxp;
+  arch::GeoMachine machine(hw);
+  auto prepared = machine.prepare_conv(shape, weights, items.front().input,
+                                       bn_scale, bn_shift, layer_salt);
+  if (!prepared.ok()) {
+    // Invalid layer: every item fails identically (validation does not
+    // depend on the input values, only sizes — which batch_compatible
+    // dispatchers hold fixed).
+    for (std::size_t i = 0; i < items.size(); ++i)
+      out.push_back(BatchItemResult{
+          geo::StatusOr<arch::MachineResult>(prepared.status())});
+    return out;
+  }
+  arch::ConvExecution exec = std::move(prepared).value();
+
+  auto& metrics = telemetry::MetricsRegistry::instance();
+  if (auto& journal = telemetry::Journal::instance(); journal.enabled())
+    journal.record("resilience.batch", shape.name,
+                   {{"items", static_cast<double>(items.size())}},
+                   to_string(start));
+
+  bool first = true;
+  for (BatchItem& item : items) {
+    if (!first) {
+      if (auto s = exec.rebind_input(item.input); !s.ok()) {
+        out.push_back(BatchItemResult{geo::StatusOr<arch::MachineResult>(s)});
+        continue;
+      }
+    }
+    first = false;
+
+    LayerOutcome outcome;
+    outcome.layer = item.label.empty() ? shape.name : item.label;
+    outcome.rung = start;
+    outcome.degraded = start != Rung::kNative;
+
+    // Mirrors run_conv's rung-entry poll: an already-expired item charges
+    // nothing and appends no outcome.
+    if (item.cancel != nullptr && item.cancel->cancelled()) {
+      out.push_back(BatchItemResult{geo::StatusOr<arch::MachineResult>(
+          cancelled_status(outcome.layer, "batch-entry"))});
+      continue;
+    }
+
+    RungWalkStats ws;
+    auto walked = walk_rung_tiles(exec, shape, policy_, start, item.cancel,
+                                  outcome, ws);
+    if (!walked.ok()) {
+      // Cancelled mid-walk: abandon this item (no outcome, like run_conv);
+      // the execution rebinds cleanly for the next member.
+      out.push_back(
+          BatchItemResult{geo::StatusOr<arch::MachineResult>(walked.status())});
+      continue;
+    }
+
+    bool demote = !*walked;
+    std::int64_t demote_abandoned = ws.abandoned;
+    if (!demote) {
+      if (item.io_stall_cycles > 0)
+        exec.add_io_stall_cycles(item.io_stall_cycles);
+      const std::int64_t tiles = exec.tile_count();
+      arch::MachineResult result = exec.finish();
+      if (!result.stats.ledger_ok) {
+        demote = true;
+        demote_abandoned += result.stats.total_cycles;
+      } else {
+        outcome.tiles = tiles;
+        outcome.backoff_cycles += ws.backoff;
+        outcome.ledger_ok = true;
+        if (auto& journal = telemetry::Journal::instance();
+            journal.enabled() &&
+            (outcome.degraded || outcome.tiles_retried > 0))
+          journal.record("resilience.accept", outcome.layer,
+                         {{"tiles_retried",
+                           static_cast<double>(outcome.tiles_retried)},
+                          {"retries", static_cast<double>(outcome.retries)}},
+                         to_string(start));
+        const bool degraded = outcome.degraded;
+        if (degraded) metrics.counter("fault.degraded").add(1);
+        report_.layers.push_back(std::move(outcome));
+        out.push_back(BatchItemResult{
+            geo::StatusOr<arch::MachineResult>(std::move(result)), degraded,
+            /*shared=*/true});
+        continue;
+      }
+    }
+
+    // The shared rung drained its retry budget (or its ledger failed to
+    // reconcile) on this item: drop the partial outcome and demote to a solo
+    // run_conv, which re-attempts the same ladder from `start` — exactly the
+    // unbatched path, so the item's output stays byte-identical to serial
+    // execution. The shared attempt's burned cycles are journaled so the
+    // work stays visible (the solo outcome accounts only its own spend).
+    if (auto& journal = telemetry::Journal::instance(); journal.enabled())
+      journal.record("resilience.batch_demote", outcome.layer,
+                     {{"abandoned_cycles",
+                       static_cast<double>(demote_abandoned)},
+                      {"retries", static_cast<double>(outcome.retries)}},
+                     to_string(start));
+    out.push_back(solo(item));
+  }
+  return out;
 }
 
 }  // namespace geo::resilience

@@ -154,6 +154,27 @@ struct RunOptions {
   std::int64_t io_stall_cycles = 0;
 };
 
+// One member of a batched layer dispatch (run_conv_batch): same layer
+// (shape/weights/BN/salt), a private input snapshot, and per-request
+// controls. Spans must outlive the call.
+struct BatchItem {
+  std::span<const float> input;
+  std::string label;                     // journal/report label
+  exec::CancelToken* cancel = nullptr;   // polled at tile boundaries
+  std::int64_t io_stall_cycles = 0;      // weight-store pin wait (see RunOptions)
+};
+
+// Per-item result of run_conv_batch, in item order.
+struct BatchItemResult {
+  geo::StatusOr<arch::MachineResult> result;
+  bool degraded = false;  // accepted below kNative (meaningful when ok())
+  // True when the item executed on the batch-shared preparation; false when
+  // it fell back to a solo run_conv (transient fault model, steered-to-
+  // reference batch, or a rung failure demotion) — the solo path is the
+  // unbatched code verbatim.
+  bool shared = false;
+};
+
 // Drives convolution layers through detect -> retry -> degrade. One executor
 // per network pass; outcomes accumulate in report() in call order.
 class ResilientExecutor {
@@ -172,6 +193,23 @@ class ResilientExecutor {
       std::span<const float> input, std::span<const float> bn_scale,
       std::span<const float> bn_shift, std::uint64_t layer_salt,
       std::string label = "", RunOptions options = {});
+
+  // Executes one layer for a batch of inputs, preparing the conv once and
+  // rebinding it per item (ConvExecution::rebind_input) — the serving
+  // batcher's amortization path. Per-item outputs are byte-identical to a
+  // solo run_conv on the same input; per-item outcomes append to report()
+  // in item order (cancelled items append nothing, like run_conv). Items
+  // whose shared-rung walk fails (retry budget drained) demote to a solo
+  // run_conv so the full degradation ladder still applies. The whole batch
+  // falls back to per-item run_conv when sharing is unsound or pointless:
+  // a transient fault model (regeneration draws fresh per-site sequences),
+  // a kReference start, or a single-item batch. `start` mirrors
+  // RunOptions::start for every item.
+  std::vector<BatchItemResult> run_conv_batch(
+      const arch::ConvShape& shape, std::span<const float> weights,
+      std::span<const float> bn_scale, std::span<const float> bn_shift,
+      std::uint64_t layer_salt, std::vector<BatchItem>& items,
+      Rung start = Rung::kNative);
 
   const RetryPolicy& policy() const noexcept { return policy_; }
   const ResilienceReport& report() const noexcept { return report_; }

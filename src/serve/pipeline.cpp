@@ -1,0 +1,288 @@
+#include "serve/pipeline.hpp"
+
+#include <algorithm>
+#include <condition_variable>
+#include <mutex>
+#include <utility>
+
+#include "nn/quantize.hpp"
+#include "telemetry/journal.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace geo::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+void journal_event(std::string_view kind, std::string_view label,
+                   std::initializer_list<telemetry::JournalArg> args = {},
+                   std::string_view note = {}) {
+  auto& journal = telemetry::Journal::instance();
+  if (journal.enabled()) journal.record(kind, label, args, note);
+}
+
+}  // namespace
+
+// One admitted network's lifetime across stages. Shared between the lane
+// tasks; the caller holds only the future.
+struct PipelineRouter::InFlight {
+  NetworkRequest req;
+  std::promise<NetworkResponse> promise;
+  Clock::time_point submitted;
+  Clock::time_point deadline;  // meaningful when has_deadline
+  bool has_deadline = false;
+  std::vector<float> act;  // inter-stage activation buffer (dequantized)
+  bool degraded = false;
+  int failovers = 0;
+
+  const std::string& label() const {
+    return req.label.empty() ? req.tenant : req.label;
+  }
+};
+
+// Double-buffer admission gate: at most two networks in flight per stage
+// (one executing, one arriving). Acquired before the handoff, released when
+// the network leaves the stage — so stage N can execute b while it receives
+// b+1, but b+2 waits.
+struct PipelineRouter::StageGate {
+  std::mutex mu;
+  std::condition_variable cv;
+  int in_flight = 0;
+};
+
+PipelineRouter::PipelineRouter(const arch::HwConfig& hw, int stages,
+                               ServeOptions options)
+    : hw_(hw), stages_(stages) {
+  if (stages < 1)
+    throw std::invalid_argument("PipelineRouter: stages < 1");
+  auto& m = telemetry::MetricsRegistry::instance();
+  for (const char* name :
+       {"serve.pipeline", "serve.pipeline_completed",
+        "serve.pipeline_degraded", "serve.pipeline_deadline",
+        "serve.pipeline_failed", "serve.pipeline_handoff",
+        "serve.pipeline_stall"})
+    m.counter(name);
+  servers_.reserve(static_cast<std::size_t>(stages));
+  gates_.reserve(static_cast<std::size_t>(stages));
+  lanes_.reserve(static_cast<std::size_t>(stages));
+  for (int s = 0; s < stages; ++s) {
+    servers_.push_back(std::make_unique<InferenceServer>(hw, options));
+    gates_.push_back(std::make_unique<StageGate>());
+    lanes_.push_back(std::make_unique<exec::AsyncLane>());
+  }
+  journal_event("pipeline.start", "router",
+                {{"stages", static_cast<double>(stages)},
+                 {"replicas_per_stage", static_cast<double>(options.replicas)}});
+}
+
+PipelineRouter::~PipelineRouter() {
+  // Drain front to back: a draining lane may hand off to the next lane and
+  // still needs the downstream servers and gates alive.
+  for (auto& lane : lanes_) lane.reset();
+}
+
+int PipelineRouter::stage_first(int s, int layers) const noexcept {
+  return static_cast<int>((static_cast<std::int64_t>(s) * layers) / stages_);
+}
+
+void PipelineRouter::acquire_gate(int s) {
+  StageGate& g = *gates_[static_cast<std::size_t>(s)];
+  std::unique_lock lock(g.mu);
+  if (g.in_flight >= 2) {
+    stage_waits_.fetch_add(1, std::memory_order_relaxed);
+    telemetry::MetricsRegistry::instance()
+        .counter("serve.pipeline_stall")
+        .add();
+    g.cv.wait(lock, [&] { return g.in_flight < 2; });
+  }
+  ++g.in_flight;
+}
+
+void PipelineRouter::release_gate(int s) {
+  StageGate& g = *gates_[static_cast<std::size_t>(s)];
+  {
+    std::lock_guard lock(g.mu);
+    --g.in_flight;
+  }
+  g.cv.notify_all();
+}
+
+geo::StatusOr<std::future<NetworkResponse>> PipelineRouter::submit(
+    NetworkRequest req) {
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  telemetry::MetricsRegistry::instance().counter("serve.pipeline").add();
+  if (req.layers.empty())
+    return geo::Status::invalid_argument("pipeline: network has no layers");
+  if (static_cast<int>(req.layers.size()) < stages_)
+    return geo::Status::invalid_argument(
+        "pipeline: " + std::to_string(req.layers.size()) +
+        " layer(s) across " + std::to_string(stages_) +
+        " stages leaves a stage empty");
+  if (req.input.size() !=
+      static_cast<std::size_t>(req.layers.front().shape.activations()))
+    return geo::Status::invalid_argument(
+        "pipeline: input has " + std::to_string(req.input.size()) +
+        " floats, layer 0 wants " +
+        std::to_string(req.layers.front().shape.activations()));
+  for (std::size_t i = 1; i < req.layers.size(); ++i) {
+    if (req.layers[i].shape.activations() != req.layers[i - 1].shape.outputs())
+      return geo::Status::invalid_argument(
+          "pipeline: layer " + std::to_string(i) + " wants " +
+          std::to_string(req.layers[i].shape.activations()) +
+          " activations, layer " + std::to_string(i - 1) + " produces " +
+          std::to_string(req.layers[i - 1].shape.outputs()));
+  }
+  if (req.deadline_us < 0)
+    return geo::Status::invalid_argument("pipeline: deadline_us < 0");
+
+  auto net = std::make_shared<InFlight>();
+  net->req = std::move(req);
+  net->submitted = Clock::now();
+  net->has_deadline = net->req.deadline_us > 0;
+  if (net->has_deadline)
+    net->deadline =
+        net->submitted + std::chrono::microseconds(net->req.deadline_us);
+  std::future<NetworkResponse> future = net->promise.get_future();
+
+  // Backpressure: blocks while stage 0 already holds two in-flight
+  // networks. Admitted from here on — a terminal response is guaranteed.
+  acquire_gate(0);
+  lanes_.front()->submit([this, net] { advance(net, 0); });
+  return future;
+}
+
+NetworkResponse PipelineRouter::run(NetworkRequest req) {
+  auto future = submit(std::move(req));
+  if (!future.ok()) {
+    NetworkResponse r;
+    r.status = future.status();
+    return r;
+  }
+  return future->get();
+}
+
+void PipelineRouter::fulfill(const std::shared_ptr<InFlight>& net,
+                             NetworkResponse resp) {
+  resp.degraded = net->degraded;
+  resp.failovers = net->failovers;
+  resp.total_us = std::chrono::duration<double, std::micro>(Clock::now() -
+                                                            net->submitted)
+                      .count();
+  completed_.fetch_add(1, std::memory_order_relaxed);
+  auto& m = telemetry::MetricsRegistry::instance();
+  m.counter("serve.pipeline_completed").add();
+  if (resp.status.ok()) {
+    if (resp.degraded) {
+      degraded_.fetch_add(1, std::memory_order_relaxed);
+      m.counter("serve.pipeline_degraded").add();
+    }
+  } else if (resp.status.code() == geo::StatusCode::kDeadlineExceeded) {
+    deadline_expired_.fetch_add(1, std::memory_order_relaxed);
+    m.counter("serve.pipeline_deadline").add();
+  } else {
+    failed_.fetch_add(1, std::memory_order_relaxed);
+    m.counter("serve.pipeline_failed").add();
+  }
+  net->promise.set_value(std::move(resp));
+}
+
+void PipelineRouter::advance(std::shared_ptr<InFlight> net, int s) {
+  const int layer_count = static_cast<int>(net->req.layers.size());
+  const int first = stage_first(s, layer_count);
+  const int last = stage_first(s + 1, layer_count);
+
+  std::span<const float> input =
+      s == 0 ? net->req.input : std::span<const float>(net->act);
+  std::vector<float> chained;
+
+  for (int li = first; li < last; ++li) {
+    std::int64_t remaining_us = 0;
+    if (net->has_deadline) {
+      remaining_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                         net->deadline - Clock::now())
+                         .count();
+      if (remaining_us <= 0) {
+        NetworkResponse resp;
+        resp.status = geo::Status::deadline_exceeded(
+            "pipeline: deadline expired before layer " + std::to_string(li));
+        fulfill(net, std::move(resp));
+        release_gate(s);
+        return;
+      }
+    }
+
+    const LayerSpec& layer = net->req.layers[static_cast<std::size_t>(li)];
+    Request r;
+    r.tenant = net->req.tenant;
+    r.shape = layer.shape;
+    r.weights = layer.weights;
+    r.input = input;
+    r.bn_scale = layer.bn_scale;
+    r.bn_shift = layer.bn_shift;
+    r.layer_salt = layer.layer_salt;
+    r.store_layer = layer.store_layer;
+    r.deadline_us = net->has_deadline ? remaining_us : 0;
+    r.label = net->label() + "/l" + std::to_string(li);
+
+    Response resp = servers_[static_cast<std::size_t>(s)]->run(std::move(r));
+    if (!resp.status.ok()) {
+      NetworkResponse nresp;
+      nresp.status = std::move(resp.status);
+      fulfill(net, std::move(nresp));
+      release_gate(s);
+      return;
+    }
+    net->degraded = net->degraded || resp.degraded;
+    net->failovers += std::max(0, resp.attempts - 1);
+
+    if (li == layer_count - 1) {
+      NetworkResponse nresp;
+      nresp.result = std::move(resp.result);
+      fulfill(net, std::move(nresp));
+      release_gate(s);
+      return;
+    }
+
+    // Chain: the next layer consumes this layer's activations dequantized
+    // back to the unipolar float domain (same as serial layer-by-layer
+    // execution).
+    chained.resize(resp.result.activations.size());
+    for (std::size_t i = 0; i < chained.size(); ++i)
+      chained[i] = nn::dequantize_unsigned(resp.result.activations[i], 8);
+    input = chained;
+  }
+
+  // Handoff to the next stage: park the activations in the network's
+  // buffer, take the downstream double-buffer slot (blocking here is the
+  // pipeline's backpressure), then free this stage for the next network.
+  net->act = std::move(chained);
+  handoffs_.fetch_add(1, std::memory_order_relaxed);
+  telemetry::MetricsRegistry::instance().counter("serve.pipeline_handoff").add();
+  journal_event("pipeline.stage", net->label(),
+                {{"stage", static_cast<double>(s)},
+                 {"next", static_cast<double>(s + 1)}});
+  acquire_gate(s + 1);
+  const int next = s + 1;
+  lanes_[static_cast<std::size_t>(next)]->submit(
+      [this, net, next] { advance(net, next); });
+  release_gate(s);
+}
+
+void PipelineRouter::attach_store(std::shared_ptr<store::WeightStore> store) {
+  for (auto& server : servers_) server->attach_store(store);
+}
+
+PipelineStats PipelineRouter::stats() const {
+  PipelineStats s;
+  s.submitted = submitted_.load(std::memory_order_relaxed);
+  s.completed = completed_.load(std::memory_order_relaxed);
+  s.degraded = degraded_.load(std::memory_order_relaxed);
+  s.deadline_expired = deadline_expired_.load(std::memory_order_relaxed);
+  s.failed = failed_.load(std::memory_order_relaxed);
+  s.handoffs = handoffs_.load(std::memory_order_relaxed);
+  s.stage_waits = stage_waits_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace geo::serve

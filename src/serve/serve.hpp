@@ -80,6 +80,19 @@ struct ServeOptions {
   // GEO_SERVE_STEER (pbw|fxp|reference): the rung overload traffic starts
   // on. kReference is the cheapest (pure software) and the default.
   resilience::Rung steer_rung = resilience::Rung::kReference;
+  // GEO_SERVE_BATCH: max same-model requests coalesced into one dispatch
+  // (shared conv preparation via resilience::run_conv_batch). 1 disables
+  // batching — every request prepares its own conv, the pre-batching path.
+  int batch = 1;
+  // GEO_SERVE_BATCH_WAIT_US: how long a replica lingers for the batch to
+  // fill once it holds at least one compatible request. 0 = dispatch
+  // whatever is immediately coalescible (no added latency).
+  std::int64_t batch_wait_us = 0;
+  // GEO_SERVE_PREWARM (0|1): pre-warm the weight-store pin and stream-table
+  // rows for an admitted request's model off the critical section
+  // (exec::AsyncLane::io), so the first dispatch of a burst hits warm
+  // caches.
+  bool prewarm = true;
 
   static ServeOptions from_env();
   geo::Status validate() const;
@@ -108,6 +121,10 @@ struct Request {
   // 0 = none, > 0 = microseconds from submit.
   std::int64_t deadline_us = -1;
   std::string label;  // journal/metrics label; defaults to tenant
+  // Test hook: > 0 arms the request's CancelToken to trip after N
+  // cancellation polls (exec::CancelToken::trip_after), making mid-batch
+  // deadline expiry deterministic regardless of wall-clock timing.
+  std::int64_t trip_after_polls = 0;
 };
 
 struct Response {
@@ -119,7 +136,9 @@ struct Response {
   int attempts = 0;       // executions across replicas (1 = no failover)
   double queue_us = 0.0;  // submit -> first dispatch
   double exec_us = 0.0;   // execution wall time of the final attempt
+                          // (amortized batch wall time when batched)
   double total_us = 0.0;  // submit -> response
+  bool batched = false;   // final attempt ran in a coalesced batch dispatch
 };
 
 // Monotone counters since construction (stats() snapshot).
@@ -139,6 +158,11 @@ struct ServeStats {
   std::int64_t quarantines = 0;       // breaker open transitions
   std::int64_t probes = 0;            // half-open probes dispatched
   std::int64_t readmits = 0;          // probes that closed the breaker
+  std::int64_t batches = 0;           // coalesced dispatches (size >= 2)
+  std::int64_t batched_requests = 0;  // requests served inside those batches
+  std::int64_t prewarms = 0;          // admission-time prewarm tasks scheduled
+  std::int64_t prewarm_pins = 0;      // weight-store layers pinned warm
+  std::int64_t prewarm_tables = 0;    // stream-table rows acquired warm
   std::int64_t queue_depth = 0;       // instantaneous
   std::vector<std::int64_t> served_by;  // executions per replica
 };
@@ -185,9 +209,18 @@ class InferenceServer {
 
  private:
   struct Pending;
+  struct PrewarmCounters;
 
   void worker_main(int replica);
   void serve_one(int replica, std::unique_ptr<Pending> p);
+  void serve_batch(int replica, std::vector<std::unique_ptr<Pending>> batch);
+  // Shared post-execution tail of serve_one / serve_batch: attempt
+  // bookkeeping, deadline/error handling, failover re-queue, breaker
+  // signal, terminal respond.
+  void finish_attempt(int replica, std::unique_ptr<Pending> p,
+                      geo::StatusOr<arch::MachineResult> result,
+                      bool degraded, double exec_us, bool batched);
+  void schedule_prewarm(const Request& req);
   void respond(std::unique_ptr<Pending> p, Response resp);
   void apply_transition(ReplicaHealth::Transition t, int replica);
 
@@ -211,7 +244,12 @@ class InferenceServer {
   std::atomic<std::int64_t> submitted_{0}, admitted_{0}, rejected_invalid_{0},
       shed_queue_{0}, shed_quota_{0}, completed_{0}, ok_{0}, degraded_{0},
       steered_{0}, deadline_expired_{0}, failed_{0}, failovers_{0},
-      quarantines_{0}, probes_{0}, readmits_{0};
+      quarantines_{0}, probes_{0}, readmits_{0}, batches_{0},
+      batched_requests_{0};
+
+  // Shared with detached prewarm tasks on exec::AsyncLane::io(), which may
+  // outlive this server — they capture the shared_ptr, never `this`.
+  std::shared_ptr<PrewarmCounters> prewarm_;
 
   std::vector<std::thread> workers_;
 };

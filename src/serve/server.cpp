@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <utility>
 
+#include "exec/async_lane.hpp"
+#include "sc/seed_sharing.hpp"
+#include "sc/stream_table.hpp"
 #include "store/weight_store.hpp"
 #include "telemetry/journal.hpp"
 #include "telemetry/metrics.hpp"
@@ -22,6 +25,19 @@ void journal_event(std::string_view kind, std::string_view label,
                    std::string_view note = {}) {
   auto& journal = telemetry::Journal::instance();
   if (journal.enabled()) journal.record(kind, label, args, note);
+}
+
+// Span identity, not value equality: batch members must share the caller's
+// actual weight/BN storage for the one-preparation dispatch to be sound.
+bool same_span(std::span<const float> a, std::span<const float> b) {
+  return a.data() == b.data() && a.size() == b.size();
+}
+
+bool same_shape(const arch::ConvShape& a, const arch::ConvShape& b) {
+  return a.cin == b.cin && a.hin == b.hin && a.win == b.win &&
+         a.cout == b.cout && a.kh == b.kh && a.kw == b.kw &&
+         a.stride == b.stride && a.pad == b.pad && a.pool == b.pool &&
+         a.output == b.output;
 }
 
 }  // namespace
@@ -46,6 +62,15 @@ struct InferenceServer::Pending {
   }
 };
 
+// Prewarm bookkeeping shared with detached exec::AsyncLane::io() tasks: a
+// task may complete after the server is gone, so it holds this shared_ptr,
+// never the server.
+struct InferenceServer::PrewarmCounters {
+  std::atomic<std::int64_t> scheduled{0};
+  std::atomic<std::int64_t> pins{0};
+  std::atomic<std::int64_t> tables{0};
+};
+
 InferenceServer::InferenceServer(const arch::HwConfig& hw,
                                  ServeOptions options)
     : hw_(hw),
@@ -67,12 +92,16 @@ InferenceServer::InferenceServer(const arch::HwConfig& hw,
         "serve.shed_queue", "serve.shed_quota", "serve.completed", "serve.ok",
         "serve.degraded", "serve.steered", "serve.deadline_expired",
         "serve.failed", "serve.failover", "serve.quarantine", "serve.probe",
-        "serve.probe_failed", "serve.readmit"})
+        "serve.probe_failed", "serve.readmit", "serve.batch",
+        "serve.batch_requests", "serve.prewarm", "serve.prewarm_pins",
+        "serve.prewarm_tables"})
     m.counter(name);
   m.gauge("serve.queue_depth");
   m.histogram("serve.queue_us");
   m.histogram("serve.exec_us");
   m.histogram("serve.latency_us");
+  m.histogram("serve.batch_occupancy");
+  prewarm_ = std::make_shared<PrewarmCounters>();
   journal_event("serve.start", "server", {}, options_.to_string());
   workers_.reserve(static_cast<std::size_t>(options_.replicas));
   for (int r = 0; r < options_.replicas; ++r)
@@ -151,6 +180,8 @@ geo::StatusOr<std::future<Response>> InferenceServer::submit(Request req) {
   if (deadline_us > 0)
     p->cancel.set_deadline(p->submitted +
                            std::chrono::microseconds(deadline_us));
+  if (p->req.trip_after_polls > 0)
+    p->cancel.trip_after(p->req.trip_after_polls);
   std::future<Response> future = p->promise.get_future();
 
   {
@@ -189,6 +220,10 @@ geo::StatusOr<std::future<Response>> InferenceServer::submit(Request req) {
     }
     admitted_.fetch_add(1, std::memory_order_relaxed);
     telemetry::MetricsRegistry::instance().counter("serve.admitted").add();
+    // Warm the model's caches off the replica's critical section: by the
+    // time a worker claims this request, the weight-store pin and
+    // stream-table rows are (best-effort) already resident.
+    if (options_.prewarm) schedule_prewarm(p->req);
     queue_.push_back(std::move(p));
     telemetry::MetricsRegistry::instance()
         .gauge("serve.queue_depth")
@@ -211,6 +246,7 @@ Response InferenceServer::run(Request req) {
 void InferenceServer::worker_main(int replica) {
   for (;;) {
     std::unique_ptr<Pending> next;
+    std::vector<std::unique_ptr<Pending>> batch;
     {
       std::unique_lock lock(mu_);
       for (;;) {
@@ -244,6 +280,57 @@ void InferenceServer::worker_main(int replica) {
               }
               next = std::move(*pick);
               queue_.erase(pick);
+              // Coalesce compatible requests behind the claimed leader into
+              // one batch dispatch (probes stay solo: a probe's health
+              // signal must be attributable to one request). Gathering
+              // happens under the same lock hold as the claim, so without a
+              // linger the batch is exactly what was queued at claim time.
+              if (!probe && options_.batch > 1) {
+                const auto compatible = [](const Pending& a,
+                                           const Pending& b) {
+                  return a.steered == b.steered &&
+                         a.req.layer_salt == b.req.layer_salt &&
+                         a.req.store_layer == b.req.store_layer &&
+                         same_span(a.req.weights, b.req.weights) &&
+                         same_span(a.req.bn_scale, b.req.bn_scale) &&
+                         same_span(a.req.bn_shift, b.req.bn_shift) &&
+                         same_shape(a.req.shape, b.req.shape);
+                };
+                const auto gather = [&] {
+                  const auto gnow = Clock::now();
+                  for (auto it = queue_.begin();
+                       it != queue_.end() &&
+                       1 + static_cast<int>(batch.size()) < options_.batch;) {
+                    if ((*it)->not_before > gnow ||
+                        ((*it)->exclude == replica &&
+                         health_.other_candidate(replica)) ||
+                        !compatible(*next, **it)) {
+                      ++it;
+                      continue;
+                    }
+                    batch.push_back(std::move(*it));
+                    it = queue_.erase(it);
+                  }
+                };
+                gather();
+                if (options_.batch_wait_us > 0) {
+                  // Linger for the batch to fill; every enqueue notifies
+                  // cv_, so freshly admitted compatible requests join
+                  // until the window closes or the batch is full.
+                  const auto linger_until =
+                      Clock::now() +
+                      std::chrono::microseconds(options_.batch_wait_us);
+                  while (1 + static_cast<int>(batch.size()) <
+                             options_.batch &&
+                         !stopping_ && !paused_) {
+                    const bool timed_out =
+                        cv_.wait_until(lock, linger_until) ==
+                        std::cv_status::timeout;
+                    gather();
+                    if (timed_out) break;
+                  }
+                }
+              }
               telemetry::MetricsRegistry::instance()
                   .gauge("serve.queue_depth")
                   .set(static_cast<double>(queue_.size()));
@@ -260,7 +347,12 @@ void InferenceServer::worker_main(int replica) {
           cv_.wait_until(lock, wait_until);
       }
     }
-    serve_one(replica, std::move(next));
+    if (batch.empty()) {
+      serve_one(replica, std::move(next));
+    } else {
+      batch.insert(batch.begin(), std::move(next));
+      serve_batch(replica, std::move(batch));
+    }
   }
 }
 
@@ -350,6 +442,16 @@ void InferenceServer::serve_one(int replica, std::unique_ptr<Pending> p) {
                                   p->req.bn_scale, p->req.bn_shift,
                                   p->req.layer_salt, p->label(), run_options);
   const double exec_us = micros_between(exec_start, Clock::now());
+  const resilience::LayerOutcome* outcome = executor.last_outcome();
+  const bool degraded = result.ok() && outcome != nullptr && outcome->degraded;
+  finish_attempt(replica, std::move(p), std::move(result), degraded, exec_us,
+                 /*batched=*/false);
+}
+
+void InferenceServer::finish_attempt(int replica, std::unique_ptr<Pending> p,
+                                     geo::StatusOr<arch::MachineResult> result,
+                                     bool degraded, double exec_us,
+                                     bool batched) {
   ++p->attempts;
   {
     std::lock_guard lock(mu_);
@@ -362,6 +464,7 @@ void InferenceServer::serve_one(int replica, std::unique_ptr<Pending> p) {
     resp.replica = replica;
     resp.attempts = p->attempts;
     resp.exec_us = exec_us;
+    resp.batched = batched;
     if (result.status().code() == geo::StatusCode::kDeadlineExceeded) {
       // Cancelled mid-execution: the execution was abandoned at a tile
       // boundary and carries no health signal about the replica.
@@ -389,8 +492,6 @@ void InferenceServer::serve_one(int replica, std::unique_ptr<Pending> p) {
     return;
   }
 
-  const resilience::LayerOutcome* outcome = executor.last_outcome();
-  const bool degraded = outcome != nullptr && outcome->degraded;
   // Steering chose the rung; only an unsteered degradation implicates the
   // replica (its tile-retry budget drained on hardware rungs).
   const bool clean = !degraded || p->steered;
@@ -431,7 +532,197 @@ void InferenceServer::serve_one(int replica, std::unique_ptr<Pending> p) {
   resp.replica = replica;
   resp.attempts = p->attempts;
   resp.exec_us = exec_us;
+  resp.batched = batched;
   respond(std::move(p), std::move(resp));
+}
+
+void InferenceServer::serve_batch(int replica,
+                                  std::vector<std::unique_ptr<Pending>> batch) {
+  const auto popped = Clock::now();
+  std::vector<std::unique_ptr<Pending>> live;
+  live.reserve(batch.size());
+  for (auto& p : batch) {
+    if (!p->dispatched) {
+      p->dispatched = true;
+      p->queue_us = micros_between(p->submitted, popped);
+    }
+    // Deadline already expired while queued: terminal response without
+    // charging a cycle, exactly like the serve_one path.
+    if (p->cancel.cancelled()) {
+      health_.on_no_signal(replica);
+      deadline_expired_.fetch_add(1, std::memory_order_relaxed);
+      telemetry::MetricsRegistry::instance()
+          .counter("serve.deadline_expired")
+          .add();
+      journal_event("serve.deadline", p->label(),
+                    {{"replica", static_cast<double>(replica)},
+                     {"attempt", static_cast<double>(p->attempts)}},
+                    "expired-in-queue");
+      Response resp;
+      resp.status =
+          geo::Status::deadline_exceeded("serve: deadline expired in queue");
+      resp.replica = replica;
+      resp.attempts = p->attempts;
+      respond(std::move(p), std::move(resp));
+      continue;
+    }
+    live.push_back(std::move(p));
+  }
+  if (live.empty()) return;
+  if (live.size() == 1) {
+    // A batch that shrank to one member is just a request (queue_us is
+    // latched; serve_one skips everything already done here).
+    serve_one(replica, std::move(live.front()));
+    return;
+  }
+
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  batched_requests_.fetch_add(static_cast<std::int64_t>(live.size()),
+                              std::memory_order_relaxed);
+  auto& m = telemetry::MetricsRegistry::instance();
+  m.counter("serve.batch").add();
+  m.counter("serve.batch_requests").add(static_cast<std::int64_t>(live.size()));
+  m.histogram("serve.batch_occupancy").observe(static_cast<double>(live.size()));
+  journal_event("serve.batch", live.front()->label(),
+                {{"replica", static_cast<double>(replica)},
+                 {"size", static_cast<double>(live.size())}});
+
+  // Per-replica fault domain, one scope around the whole dispatch — batch
+  // members share the replica's hardware and therefore its faults.
+  std::optional<fault::FaultConfig> fault_cfg;
+  {
+    std::lock_guard lock(mu_);
+    fault_cfg = replica_fault_[static_cast<std::size_t>(replica)];
+  }
+  std::optional<fault::ScopedFaultInjection> fault_scope;
+  if (fault_cfg.has_value()) fault_scope.emplace(*fault_cfg);
+
+  resilience::ResilientExecutor executor(hw_, retry_policy_);
+  const Pending& leader = *live.front();
+  const resilience::Rung start =
+      leader.steered ? options_.steer_rung : resilience::Rung::kNative;
+
+  // One store pin for the whole batch — the amortization batching exists
+  // for. The pin's modeled io stall is charged once, to the first member
+  // (the batch pays the wait once, not per member).
+  std::span<const float> weights = leader.req.weights;
+  store::Pinned pinned;
+  std::int64_t io_stall_cycles = 0;
+  if (!leader.req.store_layer.empty()) {
+    std::shared_ptr<store::WeightStore> store;
+    {
+      std::lock_guard lock(mu_);
+      store = store_;
+    }
+    geo::StatusOr<store::Pinned> pin =
+        store != nullptr ? store->pin(leader.req.store_layer)
+                         : geo::Status::failed_precondition(
+                               "serve: weight store detached after admission");
+    if (!pin.ok()) {
+      for (auto& p : live) {
+        apply_transition(health_.on_outcome(replica, false), replica);
+        failed_.fetch_add(1, std::memory_order_relaxed);
+        m.counter("serve.failed").add();
+        journal_event("serve.fail", p->label(),
+                      {{"replica", static_cast<double>(replica)}},
+                      pin.status().message());
+        Response resp;
+        resp.status = pin.status();
+        resp.replica = replica;
+        resp.attempts = p->attempts;
+        respond(std::move(p), std::move(resp));
+      }
+      return;
+    }
+    pinned = std::move(*pin);
+    weights = pinned.span();
+    io_stall_cycles = pinned.stats().io_stall_cycles;
+  }
+
+  std::vector<resilience::BatchItem> items;
+  items.reserve(live.size());
+  for (std::size_t i = 0; i < live.size(); ++i) {
+    resilience::BatchItem item;
+    item.input = live[i]->req.input;
+    item.label = live[i]->label();
+    item.cancel = &live[i]->cancel;
+    item.io_stall_cycles = i == 0 ? io_stall_cycles : 0;
+    items.push_back(std::move(item));
+  }
+
+  const auto exec_start = Clock::now();
+  std::vector<resilience::BatchItemResult> results = executor.run_conv_batch(
+      leader.req.shape, weights, leader.req.bn_scale, leader.req.bn_shift,
+      leader.req.layer_salt, items, start);
+  // Amortized per-request service time: the batch's wall time split evenly
+  // (members share one preparation; finer attribution is not observable).
+  const double exec_us = micros_between(exec_start, Clock::now()) /
+                         static_cast<double>(live.size());
+
+  for (std::size_t i = 0; i < live.size(); ++i)
+    finish_attempt(replica, std::move(live[i]), std::move(results[i].result),
+                   results[i].degraded, exec_us, /*batched=*/true);
+}
+
+void InferenceServer::schedule_prewarm(const Request& req) {
+  // Called under mu_ from submit(). The task captures values and shared
+  // ownership only — never `this` — so a server torn down with prewarms
+  // still in the lane is safe; the counters outlive it.
+  prewarm_->scheduled.fetch_add(1, std::memory_order_relaxed);
+  telemetry::MetricsRegistry::instance().counter("serve.prewarm").add();
+  std::shared_ptr<PrewarmCounters> counters = prewarm_;
+  std::shared_ptr<store::WeightStore> store =
+      req.store_layer.empty() ? nullptr : store_;
+  const arch::HwConfig hw = hw_;
+  const arch::ConvShape shape = req.shape;
+  const std::uint64_t salt = req.layer_salt;
+  const std::string store_layer = req.store_layer;
+  exec::AsyncLane::io().submit([counters, store, hw, shape, salt,
+                                store_layer] {
+    auto& metrics = telemetry::MetricsRegistry::instance();
+    if (store != nullptr) {
+      // Pinning loads + verifies the layer's blocks into the store cache;
+      // dropping the pin keeps the cached blocks warm for dispatch.
+      if (auto pin = store->pin(store_layer); pin.ok()) {
+        counters->pins.fetch_add(1, std::memory_order_relaxed);
+        metrics.counter("serve.prewarm_pins").add();
+      }
+    }
+    if (!sc::stream_table_enabled()) return;
+    // Build the comparator tables dispatch will acquire: the layer's seed
+    // layout is a pure function of (shape, salt, hw), so acquiring the
+    // same specs here makes the dispatch-time acquires cache hits. Bounded
+    // slice — at moderate sharing the spec space collapses to a handful of
+    // distinct rows, so the first few coordinates cover the layer.
+    const nn::ScLayerConfig cfg =
+        arch::GeoMachine(hw).layer_config(shape, salt);
+    const sc::SeedAllocator alloc(
+        cfg.sharing, cfg.lfsr_bits(),
+        sc::KernelExtents{shape.cout, shape.cin, shape.kh, shape.kw}, salt);
+    auto& registry = sc::StreamTableRegistry::instance();
+    std::vector<sc::SeedSpec> seen;
+    std::int64_t acquired = 0;
+    const auto acquire_once = [&](const sc::SeedSpec& spec) {
+      if (std::find(seen.begin(), seen.end(), spec) != seen.end()) return;
+      seen.push_back(spec);
+      if (registry.acquire(cfg.rng, spec,
+                           static_cast<std::size_t>(cfg.stream_len)) !=
+          nullptr)
+        ++acquired;
+    };
+    const int acts =
+        static_cast<int>(std::min<std::int64_t>(shape.activations(), 64));
+    for (int i = 0; i < acts; ++i) acquire_once(alloc.activation(i));
+    for (int oc = 0; oc < std::min(shape.cout, 4); ++oc)
+      for (int ic = 0; ic < std::min(shape.cin, 4); ++ic)
+        for (int ky = 0; ky < shape.kh; ++ky)
+          for (int kx = 0; kx < shape.kw; ++kx)
+            acquire_once(alloc.weight(sc::WeightPos{oc, ic, ky, kx}));
+    if (acquired > 0) {
+      counters->tables.fetch_add(acquired, std::memory_order_relaxed);
+      metrics.counter("serve.prewarm_tables").add(acquired);
+    }
+  });
 }
 
 void InferenceServer::respond(std::unique_ptr<Pending> p, Response resp) {
@@ -508,6 +799,11 @@ ServeStats InferenceServer::stats() const {
   s.quarantines = quarantines_.load(std::memory_order_relaxed);
   s.probes = probes_.load(std::memory_order_relaxed);
   s.readmits = readmits_.load(std::memory_order_relaxed);
+  s.batches = batches_.load(std::memory_order_relaxed);
+  s.batched_requests = batched_requests_.load(std::memory_order_relaxed);
+  s.prewarms = prewarm_->scheduled.load(std::memory_order_relaxed);
+  s.prewarm_pins = prewarm_->pins.load(std::memory_order_relaxed);
+  s.prewarm_tables = prewarm_->tables.load(std::memory_order_relaxed);
   std::lock_guard lock(mu_);
   s.queue_depth = static_cast<std::int64_t>(queue_.size());
   s.served_by = served_by_;

@@ -1,0 +1,249 @@
+// Pipeline-sharded serving: byte-equivalence with serial layer-by-layer
+// execution, admission validation, stage failover under a faulted stage
+// (zero failed requests), and double-buffered handoff bookkeeping.
+#include <gtest/gtest.h>
+
+#include <future>
+#include <random>
+#include <vector>
+
+#include "fault/fault_model.hpp"
+#include "nn/quantize.hpp"
+#include "resilience/resilience.hpp"
+#include "serve/pipeline.hpp"
+
+namespace geo::serve {
+namespace {
+
+using arch::ConvShape;
+using arch::HwConfig;
+using fault::FaultConfig;
+using fault::ScopedFaultInjection;
+
+FaultConfig persistent_fault() {
+  auto cfg = FaultConfig::parse("sram=2e-2,burst=2,ecc=secded,rng=99");
+  EXPECT_TRUE(cfg.ok());
+  return *cfg;
+}
+
+HwConfig small_hw() {
+  HwConfig hw = HwConfig::ulp();
+  hw.accum = nn::AccumMode::kPbw;
+  hw.stream_len = 64;
+  hw.stream_len_pool = 64;
+  hw.stream_len_output = 64;
+  return hw;
+}
+
+ServeOptions quiet_options() {
+  ServeOptions o;
+  o.replicas = 1;
+  o.queue_capacity = 64;
+  o.high_water = 64;  // no load steering — deterministic outputs
+  o.tenant_quota = 64;
+  o.retries = 1;
+  o.retry_backoff_us = 0;
+  return o;
+}
+
+// Two chained conv layers: l0 produces 5x6x6 = 180 outputs, l1 consumes
+// 5-channel 6x6 activations. Weights/BN caller-owned, as LayerSpec requires.
+struct NetFixture {
+  ConvShape shape0 = ConvShape::conv("l0", 4, 6, 5, 3, 1, false);
+  ConvShape shape1 = ConvShape::conv("l1", 5, 6, 6, 3, 1, false);
+  std::vector<float> w0, w1, ones0, zeros0, ones1, zeros1, input;
+
+  NetFixture() {
+    EXPECT_EQ(shape1.activations(), shape0.outputs());
+    std::mt19937 rng(77);
+    std::uniform_real_distribution<float> wdist(-0.8f, 0.8f);
+    std::uniform_real_distribution<float> adist(0.0f, 1.0f);
+    w0.resize(static_cast<std::size_t>(shape0.weights()));
+    for (auto& w : w0) w = wdist(rng);
+    w1.resize(static_cast<std::size_t>(shape1.weights()));
+    for (auto& w : w1) w = wdist(rng);
+    input.resize(static_cast<std::size_t>(shape0.activations()));
+    for (auto& a : input) a = adist(rng);
+    ones0.assign(static_cast<std::size_t>(shape0.cout), 1.0f);
+    zeros0.assign(static_cast<std::size_t>(shape0.cout), 0.0f);
+    ones1.assign(static_cast<std::size_t>(shape1.cout), 1.0f);
+    zeros1.assign(static_cast<std::size_t>(shape1.cout), 0.0f);
+  }
+
+  NetworkRequest request(std::string label = "net") const {
+    NetworkRequest req;
+    req.layers = {{shape0, w0, ones0, zeros0, /*layer_salt=*/9, ""},
+                  {shape1, w1, ones1, zeros1, /*layer_salt=*/10, ""}};
+    req.input = input;
+    req.label = std::move(label);
+    return req;
+  }
+};
+
+TEST(PipelineRouter, MatchesSerialLayerByLayerExecution) {
+  ScopedFaultInjection off(nullptr);
+  const NetFixture f;
+  const HwConfig hw = small_hw();
+
+  // Serial reference: run both layers on one executor, chaining activations
+  // through the same 8-bit dequantization the router uses.
+  arch::MachineResult ref;
+  {
+    resilience::ResilientExecutor executor(hw, resilience::RetryPolicy{});
+    auto r0 = executor.run_conv(f.shape0, f.w0, f.input, f.ones0, f.zeros0, 9);
+    ASSERT_TRUE(r0.ok());
+    std::vector<float> chained(r0->activations.size());
+    for (std::size_t i = 0; i < chained.size(); ++i)
+      chained[i] = nn::dequantize_unsigned(r0->activations[i], 8);
+    auto r1 = executor.run_conv(f.shape1, f.w1, chained, f.ones1, f.zeros1, 10);
+    ASSERT_TRUE(r1.ok());
+    ref = *std::move(r1);
+  }
+
+  PipelineRouter router(hw, /*stages=*/2, quiet_options());
+  for (int s = 0; s < router.stages(); ++s)
+    router.stage(s).set_replica_fault(0, FaultConfig{});
+  NetworkResponse resp = router.run(f.request());
+  ASSERT_TRUE(resp.status.ok()) << resp.status.to_string();
+  EXPECT_FALSE(resp.degraded);
+  EXPECT_EQ(resp.failovers, 0);
+  EXPECT_EQ(resp.result.counters, ref.counters);
+  EXPECT_EQ(resp.result.activations, ref.activations);
+
+  const PipelineStats s = router.stats();
+  EXPECT_EQ(s.submitted, 1);
+  EXPECT_EQ(s.completed, 1);
+  EXPECT_EQ(s.failed, 0);
+  EXPECT_EQ(s.handoffs, 1);
+}
+
+TEST(PipelineRouter, RejectsMalformedNetworks) {
+  ScopedFaultInjection off(nullptr);
+  const NetFixture f;
+  PipelineRouter router(small_hw(), /*stages=*/2, quiet_options());
+
+  NetworkRequest empty;
+  EXPECT_FALSE(router.submit(std::move(empty)).ok());
+
+  NetworkRequest one_layer = f.request();
+  one_layer.layers.resize(1);  // 1 layer over 2 stages leaves one empty
+  EXPECT_FALSE(router.submit(std::move(one_layer)).ok());
+
+  NetworkRequest short_input = f.request();
+  std::vector<float> truncated(f.input.begin(), f.input.end() - 1);
+  short_input.input = truncated;
+  EXPECT_FALSE(router.submit(std::move(short_input)).ok());
+
+  NetworkRequest mischained = f.request();
+  std::swap(mischained.layers[0], mischained.layers[1]);
+  mischained.input = std::span<const float>();  // wrong size anyway
+  EXPECT_FALSE(router.submit(std::move(mischained)).ok());
+
+  NetworkRequest bad_deadline = f.request();
+  bad_deadline.deadline_us = -1;
+  EXPECT_FALSE(router.submit(std::move(bad_deadline)).ok());
+
+  EXPECT_EQ(router.stats().failed, 0);  // refusals are not failures
+}
+
+// Satellite: a faulted replica inside one stage fails over to its healthy
+// peer — every network completes at full fidelity and the stage's breaker
+// quarantines the bad replica. Zero failed requests throughout.
+TEST(PipelineRouter, StageFailoverKeepsFidelityAndZeroFailed) {
+  ScopedFaultInjection off(nullptr);
+  const NetFixture f;
+
+  ServeOptions o = quiet_options();
+  o.replicas = 2;
+  o.retries = 2;
+  o.breaker_strikes = 2;
+  o.probe_after = 1 << 20;  // no probes during the test
+  PipelineRouter router(small_hw(), /*stages=*/2, o);
+  router.stage(0).set_replica_fault(0, FaultConfig{});
+  router.stage(0).set_replica_fault(1, FaultConfig{});
+  router.stage(1).set_replica_fault(0, persistent_fault());
+  router.stage(1).set_replica_fault(1, FaultConfig{});
+
+  // Which replica claims a request races on worker wake-up, so keep serving
+  // until the faulted replica has taken enough strikes to quarantine (same
+  // bounded-rounds idiom as the single-server failover test).
+  int completed = 0;
+  int failovers = 0;
+  bool opened = false;
+  for (int i = 0; i < 60 && !opened; ++i) {
+    NetworkResponse resp = router.run(f.request("net" + std::to_string(i)));
+    ASSERT_TRUE(resp.status.ok()) << i << ": " << resp.status.to_string();
+    EXPECT_FALSE(resp.degraded) << i;  // healthy peer preserved fidelity
+    failovers += resp.failovers;
+    ++completed;
+    opened = router.stage(1).stats().quarantines > 0;
+  }
+  ASSERT_TRUE(opened) << "stage 1's faulted replica never quarantined";
+  EXPECT_GT(failovers, 0);
+
+  const PipelineStats s = router.stats();
+  EXPECT_EQ(s.completed, completed);
+  EXPECT_EQ(s.failed, 0);
+  EXPECT_EQ(s.degraded, 0);
+}
+
+// An entire stage's replicas persistently faulted: networks complete
+// degraded (the stage's ladder walks down) but none fail.
+TEST(PipelineRouter, FullyFaultedStageDegradesWithZeroFailed) {
+  ScopedFaultInjection off(nullptr);
+  const NetFixture f;
+
+  ServeOptions o = quiet_options();
+  o.replicas = 2;
+  o.breaker_strikes = 2;
+  PipelineRouter router(small_hw(), /*stages=*/2, o);
+  router.stage(0).set_replica_fault(0, FaultConfig{});
+  router.stage(0).set_replica_fault(1, FaultConfig{});
+  router.stage(1).set_replica_fault(0, persistent_fault());
+  router.stage(1).set_replica_fault(1, persistent_fault());
+
+  for (int i = 0; i < 4; ++i) {
+    NetworkResponse resp = router.run(f.request("net" + std::to_string(i)));
+    ASSERT_TRUE(resp.status.ok()) << i << ": " << resp.status.to_string();
+    EXPECT_TRUE(resp.degraded) << i;
+  }
+  const PipelineStats s = router.stats();
+  EXPECT_EQ(s.completed, 4);
+  EXPECT_EQ(s.failed, 0);
+  EXPECT_EQ(s.degraded, 4);
+}
+
+// Double-buffered overlap: concurrent submissions flow through both stages,
+// one handoff per network, and every future resolves.
+TEST(PipelineRouter, ConcurrentNetworksAllCompleteWithOneHandoffEach) {
+  ScopedFaultInjection off(nullptr);
+  const NetFixture f;
+  PipelineRouter router(small_hw(), /*stages=*/2, quiet_options());
+  for (int s = 0; s < router.stages(); ++s)
+    router.stage(s).set_replica_fault(0, FaultConfig{});
+
+  constexpr int kNetworks = 4;
+  std::vector<std::future<NetworkResponse>> futures;
+  for (int i = 0; i < kNetworks; ++i) {
+    auto fut = router.submit(f.request("net" + std::to_string(i)));
+    ASSERT_TRUE(fut.ok()) << fut.status().to_string();
+    futures.push_back(std::move(*fut));
+  }
+  decltype(arch::MachineResult{}.activations) first;
+  for (int i = 0; i < kNetworks; ++i) {
+    NetworkResponse resp = futures[static_cast<std::size_t>(i)].get();
+    ASSERT_TRUE(resp.status.ok()) << i << ": " << resp.status.to_string();
+    if (i == 0)
+      first = resp.result.activations;
+    else
+      EXPECT_EQ(resp.result.activations, first) << i;  // same net, same bytes
+  }
+  const PipelineStats s = router.stats();
+  EXPECT_EQ(s.submitted, kNetworks);
+  EXPECT_EQ(s.completed, kNetworks);
+  EXPECT_EQ(s.handoffs, kNetworks);  // stages - 1 per network
+  EXPECT_EQ(s.failed, 0);
+}
+
+}  // namespace
+}  // namespace geo::serve
